@@ -1,0 +1,70 @@
+"""Section V-C2 — destroy attack *with* re-ordering.
+
+Paper setting: the α = 0.5 reference watermark; the attacker perturbs every
+frequency by up to {10, 30, 50, 60, 80, 90} % with no ranking restriction,
+and detection runs at t = 4. The paper's success rates are approximately
+[94, 88, 82, 79, 78, 76] %. Expected shape: the verified-pair rate decays
+slowly and monotonically with the noise level and remains well above the
+50 % detection threshold even at 90 % noise — by which point the attacker
+has destroyed most of the data's own utility.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.attacks.destroy import ReorderingNoiseAttack, reordering_success_rates
+from repro.core.similarity import rank_changes
+
+from bench_utils import experiment_banner
+
+NOISE_PERCENTS = (10, 30, 50, 60, 80, 90)
+PAIR_THRESHOLD = 4
+
+
+def _reordering_sweep(scale, reference_watermark) -> list:
+    watermarked = reference_watermark.watermarked_histogram
+    secret = reference_watermark.secret
+    rates = reordering_success_rates(
+        watermarked,
+        secret,
+        percents=NOISE_PERCENTS,
+        pair_threshold=PAIR_THRESHOLD,
+        repetitions=scale.attack_repetitions,
+        rng=91,
+    )
+    rows = []
+    for percent in NOISE_PERCENTS:
+        attacked = ReorderingNoiseAttack(percent, rng=92).tamper(watermarked)
+        rows.append(
+            {
+                "noise_percent": percent,
+                "verified_pair_fraction": rates[float(percent)],
+                "rank_changes_caused_by_attack": rank_changes(
+                    watermarked.as_dict(), attacked.as_dict()
+                ),
+                "total_tokens": len(watermarked),
+            }
+        )
+    return rows
+
+
+def test_destroy_attack_with_reordering(benchmark, scale, reference_watermark):
+    """Regenerate the Section V-C2 success-rate table."""
+    rows = benchmark.pedantic(
+        _reordering_sweep, args=(scale, reference_watermark), rounds=1, iterations=1
+    )
+    experiment_banner(
+        "Section V-C2",
+        f"destroy attack with re-ordering, t={PAIR_THRESHOLD} (scale={scale.name})",
+    )
+    print(format_table(rows))  # noqa: T201
+
+    fractions = [row["verified_pair_fraction"] for row in rows]
+    # Success decays (weakly) with the noise level...
+    assert fractions[0] >= fractions[-1]
+    # ...but the watermark survives even 90% noise with a solid margin
+    # (the paper reports ~76%).
+    assert fractions[-1] > 0.4
+    # Meanwhile the attack itself wrecks the data: a large share of tokens
+    # change rank at high noise levels.
+    assert rows[-1]["rank_changes_caused_by_attack"] > rows[-1]["total_tokens"] // 2

@@ -1,0 +1,98 @@
+"""Section III-B4 — false-positive probability analysis.
+
+The paper derives a Markov bound ``P(S_n >= k) <= mu / k`` for the
+probability of "detecting" a watermark on data that does not carry it, and
+evaluates the exact Poisson-Binomial survival function (via the DFT of its
+characteristic function) for n = 50 pairs with uniform per-pair
+probabilities. Expected shape: the survival probability falls to ~0 as k
+approaches n, decreasing t drives the false-positive probability to zero,
+and the Markov bound always dominates the exact probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.false_positive import (
+    empirical_false_positive_rate,
+    false_positive_bound,
+    markov_bound,
+    pair_false_positive_probability,
+    poisson_binomial_survival,
+    survival_curve,
+    uniform_probability_profile,
+)
+from repro.analysis.reporting import format_table
+
+from bench_utils import experiment_banner
+
+N_PAIRS = 50
+
+
+def _false_positive_analysis() -> dict:
+    # 1. The paper's n = 50 survival curve with Uniform[0,1] probabilities.
+    profile = uniform_probability_profile(N_PAIRS, rng=77)
+    curve = survival_curve(profile.pair_probabilities)
+    curve_rows = [
+        {"k": k, "survival": float(curve[k]), "markov_bound": profile.markov_probability(k)}
+        for k in (0, 5, 10, 20, 30, 40, 45, 50)
+    ]
+
+    # 2. Behaviour in t for a realistic modulus (z = 131 regime).
+    threshold_rows = []
+    for threshold in (20, 10, 4, 2, 1, 0):
+        per_pair = pair_false_positive_probability(131, threshold)
+        threshold_rows.append(
+            {
+                "t": threshold,
+                "per_pair_probability": per_pair,
+                "exact_P(Sn>=k)": poisson_binomial_survival([per_pair] * N_PAIRS, 10),
+                "markov_bound": false_positive_bound(N_PAIRS, 10, modulus=131, threshold=threshold),
+            }
+        )
+
+    # 3. Monte-Carlo cross-check of the exact computation.
+    moduli = [131] * N_PAIRS
+    empirical = empirical_false_positive_rate(moduli, threshold=4, k=5, trials=4000, rng=11)
+    exact = poisson_binomial_survival(
+        [pair_false_positive_probability(131, 4)] * N_PAIRS, 5
+    )
+    return {
+        "curve_rows": curve_rows,
+        "threshold_rows": threshold_rows,
+        "empirical": empirical,
+        "exact": exact,
+    }
+
+
+def test_false_positive_bounds(benchmark):
+    """Regenerate the Section III-B4 false-positive analysis."""
+    report = benchmark.pedantic(_false_positive_analysis, rounds=1, iterations=1)
+    experiment_banner("Section III-B4", "false-positive probability bounds")
+    print(format_table(report["curve_rows"], title="Survival P(Sn >= k), n = 50, p ~ U[0,1]"))  # noqa: T201
+    print()  # noqa: T201
+    print(  # noqa: T201
+        format_table(
+            report["threshold_rows"],
+            title="Effect of the per-pair threshold t (z = 131, k = 10, n = 50)",
+            float_digits=6,
+        )
+    )
+    print(  # noqa: T201
+        f"\nMonte-Carlo cross-check (t=4, k=5): empirical={report['empirical']:.4f} "
+        f"exact={report['exact']:.4f}"
+    )
+
+    curve = {row["k"]: row for row in report["curve_rows"]}
+    # Survival starts at 1, ends at ~0 (the paper's n = 50 observation).
+    assert curve[0]["survival"] == 1.0
+    assert curve[50]["survival"] < 0.01
+    # Markov bound dominates the exact probability everywhere.
+    for row in report["curve_rows"]:
+        assert row["markov_bound"] + 1e-9 >= row["survival"]
+    # Decreasing t drives the false-positive probability towards zero.
+    probabilities = [row["exact_P(Sn>=k)"] for row in report["threshold_rows"]]
+    assert probabilities == sorted(probabilities, reverse=True)
+    assert report["threshold_rows"][-1]["exact_P(Sn>=k)"] < 1e-6
+    # The Monte-Carlo estimate agrees with the exact computation.
+    assert abs(report["empirical"] - report["exact"]) < 0.05

@@ -1,0 +1,59 @@
+"""Figure 2b — chosen pairs versus the modulus cap z.
+
+Paper setting: α = 0.5 synthetic workload, b = 2, z swept over a range of
+values. Expected shape: smaller z means smaller remainders to cancel, so
+more pairs fit the budget; at very small z the three strategies converge,
+while at larger z the optimal selection keeps a clear edge.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.config import GenerationConfig
+from repro.core.generator import WatermarkGenerator
+
+from bench_utils import experiment_banner
+
+BUDGET = 2.0
+MODULUS_SWEEP = (10, 131, 521, 1031, 2053)
+STRATEGIES = ("optimal", "greedy", "random")
+
+
+def _chosen_pairs_by_modulus(histogram) -> list:
+    rows = []
+    for modulus_cap in MODULUS_SWEEP:
+        row = {"z": modulus_cap}
+        for strategy in STRATEGIES:
+            config = GenerationConfig(
+                budget_percent=BUDGET, modulus_cap=modulus_cap, strategy=strategy
+            )
+            result = WatermarkGenerator(config, rng=11).generate(histogram)
+            row[strategy] = result.pair_count
+        row["eligible"] = len(result.eligible_pairs)
+        rows.append(row)
+    return rows
+
+
+def test_fig2b_chosen_pairs_vs_modulus(benchmark, scale, synthetic_histogram):
+    """Regenerate the Figure 2b series and check its qualitative shape."""
+    rows = benchmark.pedantic(
+        _chosen_pairs_by_modulus, args=(synthetic_histogram,), rounds=1, iterations=1
+    )
+    experiment_banner(
+        "Figure 2b",
+        f"chosen pairs vs modulus cap z (α=0.5, b={BUDGET}, scale={scale.name})",
+    )
+    print(  # noqa: T201
+        format_table(rows, columns=["z", "optimal", "greedy", "random", "eligible"])
+    )
+
+    by_z = {row["z"]: row for row in rows}
+    # Small moduli admit at least as many pairs as large moduli.
+    assert by_z[10]["optimal"] >= by_z[2053]["optimal"]
+    # Optimal never loses to the heuristics.
+    for row in rows:
+        assert row["optimal"] >= row["greedy"]
+        assert row["optimal"] >= row["random"]
+    # With a very small z the heuristics are close to optimal (within ~25%).
+    if by_z[10]["optimal"] > 0:
+        assert by_z[10]["greedy"] >= 0.7 * by_z[10]["optimal"]

@@ -1,0 +1,89 @@
+"""Section V-B and Figure 4 — sampling attack.
+
+Paper setting: the α = 0.5 reference watermark (z = 131, b = 2); the
+attacker keeps a random x% subsample and the owner rescales the suspect
+back to the original size before detection, sweeping the per-pair
+threshold t ∈ {0, 1, 2, 4, 10}. Expected shape: for samples larger than a
+few times the number of distinct tokens the verified-pair rate is high and
+grows with t (the paper: ~36 % at t = 0 up to ~99.5 % at t = 10, with >90 %
+detection at a 20 % sample); for extremely small samples (Figure 4) the
+rate collapses because watermarked tokens go missing entirely.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.attacks.sampling import evaluate_sampling_attack
+
+from bench_utils import experiment_banner
+
+COARSE_FRACTIONS = (0.01, 0.05, 0.2, 0.5, 0.9)
+TINY_FRACTIONS = (0.0005, 0.001, 0.005, 0.02)
+THRESHOLDS = (0, 1, 2, 4, 10)
+
+
+def _sampling_sweep(reference_watermark, repetitions) -> dict:
+    watermarked = reference_watermark.watermarked_histogram
+    secret = reference_watermark.secret
+    coarse = evaluate_sampling_attack(
+        watermarked,
+        secret,
+        fractions=COARSE_FRACTIONS,
+        thresholds=THRESHOLDS,
+        repetitions=repetitions,
+        rng=17,
+    )
+    tiny = evaluate_sampling_attack(
+        watermarked,
+        secret,
+        fractions=TINY_FRACTIONS,
+        thresholds=(0, 2, 10),
+        repetitions=repetitions,
+        rng=18,
+    )
+    return {"coarse": coarse, "tiny": tiny}
+
+
+def _rows(points) -> list:
+    return [
+        {
+            "sample_fraction": point.fraction,
+            "t": point.pair_threshold,
+            "verified_pair_fraction": point.accepted_fraction,
+            "detected": point.detected,
+        }
+        for point in points
+    ]
+
+
+def test_fig4_sampling_attack(benchmark, scale, reference_watermark):
+    """Regenerate the sampling-attack sweeps (Section V-B text + Figure 4)."""
+    report = benchmark.pedantic(
+        _sampling_sweep,
+        args=(reference_watermark, scale.attack_repetitions),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_banner(
+        "Figure 4 / §V-B",
+        f"sampling attack on the α=0.5 reference watermark (scale={scale.name})",
+    )
+    print(format_table(_rows(report["coarse"]), title="Coarse sample sizes (1% – 90%)"))  # noqa: T201
+    print()  # noqa: T201
+    print(format_table(_rows(report["tiny"]), title="Figure 4: extremely small samples"))  # noqa: T201
+
+    coarse = {(p.fraction, p.pair_threshold): p for p in report["coarse"]}
+    # For a fixed, non-tiny sample, larger t verifies at least as many pairs.
+    for fraction in (0.2, 0.5, 0.9):
+        series = [coarse[(fraction, t)].accepted_fraction for t in THRESHOLDS]
+        assert all(series[i] <= series[i + 1] + 1e-9 for i in range(len(series) - 1))
+    # A generous threshold keeps the watermark detectable at a 20% sample
+    # (the paper reports >90% detection there).
+    assert coarse[(0.2, 10)].accepted_fraction > 0.5
+    assert coarse[(0.2, 10)].detected
+    # Tiny samples verify no more pairs than moderate samples at the same t.
+    tiny = {(p.fraction, p.pair_threshold): p for p in report["tiny"]}
+    assert (
+        tiny[(TINY_FRACTIONS[0], 10)].accepted_fraction
+        <= coarse[(0.5, 10)].accepted_fraction + 1e-9
+    )

@@ -1,0 +1,102 @@
+"""Figure 5 — destroy attacks without re-ordering.
+
+Paper setting: the α = 0.5 reference watermark plus, as a false-positive
+control, a non-watermarked dataset over the same token space with α = 0.7.
+Four curves of verified-pair percentage versus the per-pair threshold t:
+
+* ``D_w``   — the untouched watermarked dataset (100 % everywhere),
+* ``D^1_w`` — frequencies changed by at most 1 % of their slack (weak
+  attack; ~90 % verified already at t = 0),
+* ``D^r_w`` — frequencies changed randomly within the ranking boundaries
+  (strong attack; ~35 % at t = 0 rising to ~90 % at t = 10),
+* ``D_non`` — the non-watermarked control, whose verified fraction grows
+  with t (this is the false-positive region).
+
+Expected shape: the same ordering of the four curves and the same growth
+with t; usable (t, k) settings live between the strong-attack curve and
+the control curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.attacks.destroy import BoundaryNoiseAttack, PercentageNoiseAttack, sweep_thresholds
+from repro.datasets.synthetic import generate_power_law_histogram
+
+from bench_utils import experiment_banner
+
+THRESHOLDS = (0, 1, 2, 4, 10)
+
+
+def _destroy_sweeps(scale, reference_watermark) -> dict:
+    watermarked = reference_watermark.watermarked_histogram
+    secret = reference_watermark.secret
+    repetitions = scale.attack_repetitions
+
+    non_watermarked = generate_power_law_histogram(
+        0.7,
+        n_tokens=scale.synthetic_tokens,
+        sample_size=scale.synthetic_samples,
+        mode="sampled",
+        rng=707,
+    )
+
+    sweeps = {
+        "Dw (no attack)": sweep_thresholds(watermarked, secret, THRESHOLDS),
+        "D1w (<=1% of slack)": sweep_thresholds(
+            watermarked,
+            secret,
+            THRESHOLDS,
+            attack=PercentageNoiseAttack(1.0, rng=31),
+            repetitions=repetitions,
+        ),
+        "Drw (random within bounds)": sweep_thresholds(
+            watermarked,
+            secret,
+            THRESHOLDS,
+            attack=BoundaryNoiseAttack(rng=32),
+            repetitions=repetitions,
+        ),
+        "Dnon (not watermarked, α=0.7)": sweep_thresholds(
+            non_watermarked, secret, THRESHOLDS
+        ),
+    }
+    return sweeps
+
+
+def test_fig5_destroy_without_reordering(benchmark, scale, reference_watermark):
+    """Regenerate the Figure 5 curves."""
+    sweeps = benchmark.pedantic(
+        _destroy_sweeps, args=(scale, reference_watermark), rounds=1, iterations=1
+    )
+    experiment_banner(
+        "Figure 5",
+        f"verified pairs vs threshold t under destroy attacks (scale={scale.name})",
+    )
+    rows = []
+    for index, threshold in enumerate(THRESHOLDS):
+        row = {"t": threshold}
+        for label, points in sweeps.items():
+            row[label] = points[index].accepted_fraction
+        rows.append(row)
+    print(format_table(rows))  # noqa: T201
+
+    by_threshold = {row["t"]: row for row in rows}
+    # The untouched watermarked dataset verifies every pair at every t.
+    for row in rows:
+        assert row["Dw (no attack)"] == 1.0
+    # The weak attack dominates the strong attack at t = 0, and both grow
+    # towards full verification as t increases.
+    assert (
+        by_threshold[0]["D1w (<=1% of slack)"]
+        >= by_threshold[0]["Drw (random within bounds)"]
+    )
+    strong = [by_threshold[t]["Drw (random within bounds)"] for t in THRESHOLDS]
+    assert strong == sorted(strong)
+    assert strong[-1] > strong[0]
+    # The non-watermarked control stays below the attacked watermarked data
+    # at the strict threshold (the usable parameter region of the paper).
+    assert (
+        by_threshold[0]["Dnon (not watermarked, α=0.7)"]
+        <= by_threshold[0]["D1w (<=1% of slack)"]
+    )

@@ -1,0 +1,113 @@
+"""Section V-A — guess (brute-force) attack.
+
+Paper claim: the probability that a probabilistic polynomial-time attacker
+guesses a secret list that the detection algorithm accepts is negligible in
+the security parameter, so impersonating the owner by brute force is
+impractical, while verification by the legitimate owner runs in linear
+time. Expected shape: the analytical success probability of a random guess
+collapses super-exponentially as the required pair count k grows, the
+Monte-Carlo attacker never succeeds at realistic thresholds, and detection
+latency grows linearly in the number of stored pairs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.attacks.guess import GuessAttack, expected_guesses_to_succeed, guess_success_probability
+from repro.core.config import DetectionConfig
+from repro.core.detector import WatermarkDetector
+from repro.core.secrets import WatermarkSecret
+from repro.core.tokens import TokenPair
+
+from bench_utils import experiment_banner
+
+MODULUS_CAP = 131
+
+
+def _guess_attack_study(reference_watermark, attempts) -> dict:
+    histogram = reference_watermark.watermarked_histogram
+    n_pairs = len(reference_watermark.secret.pairs)
+
+    analytical_rows = []
+    for required in (1, 2, 5, 10, max(2, n_pairs // 2)):
+        probability = guess_success_probability(
+            n_pairs, required, modulus=MODULUS_CAP, threshold=0
+        )
+        analytical_rows.append(
+            {
+                "guessed_pairs": n_pairs,
+                "required_pairs_k": required,
+                "success_probability": probability,
+                "expected_guesses": expected_guesses_to_succeed(
+                    n_pairs, required, modulus=MODULUS_CAP, threshold=0
+                ),
+            }
+        )
+
+    attack = GuessAttack(guessed_pairs=min(20, n_pairs), modulus_cap=MODULUS_CAP, rng=123)
+    monte_carlo = attack.run(
+        histogram,
+        attempts=attempts,
+        detection=DetectionConfig(pair_threshold=0, min_accepted_fraction=0.5),
+    )
+
+    # Detection latency versus number of stored pairs (linear-time claim).
+    tokens = histogram.tokens
+    timing_rows = []
+    for stored_pairs in (10, 50, 100):
+        stored_pairs = min(stored_pairs, len(tokens) // 2)
+        pairs = [
+            TokenPair.ordered(
+                tokens[2 * i],
+                tokens[2 * i + 1],
+                histogram.frequency(tokens[2 * i]),
+                histogram.frequency(tokens[2 * i + 1]),
+            )
+            for i in range(stored_pairs)
+        ]
+        secret = WatermarkSecret.build(pairs, secret=99, modulus_cap=MODULUS_CAP)
+        detector = WatermarkDetector(secret, DetectionConfig(pair_threshold=0))
+        start = time.perf_counter()
+        for _ in range(20):
+            detector.detect(histogram)
+        elapsed = (time.perf_counter() - start) / 20
+        timing_rows.append({"stored_pairs": stored_pairs, "detect_seconds": elapsed})
+
+    return {
+        "analytical": analytical_rows,
+        "monte_carlo_attempts": monte_carlo.attempts,
+        "monte_carlo_successes": monte_carlo.successes,
+        "timing": timing_rows,
+    }
+
+
+def test_guess_attack_probabilities(benchmark, scale, reference_watermark):
+    """Regenerate the Section V-A guess-attack analysis."""
+    report = benchmark.pedantic(
+        _guess_attack_study,
+        args=(reference_watermark, 100 * scale.attack_repetitions),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_banner(
+        "Section V-A",
+        f"guess attack success probability and detection latency (scale={scale.name})",
+    )
+    print(format_table(report["analytical"], float_digits=8, title="Analytical single-guess success"))  # noqa: T201
+    print(  # noqa: T201
+        f"\nMonte-Carlo attacker: {report['monte_carlo_successes']} successes in "
+        f"{report['monte_carlo_attempts']} attempts"
+    )
+    print()  # noqa: T201
+    print(format_table(report["timing"], float_digits=6, title="Detection latency vs stored pairs"))  # noqa: T201
+
+    probabilities = [row["success_probability"] for row in report["analytical"]]
+    # Success probability collapses as the required pair count grows.
+    assert probabilities == sorted(probabilities, reverse=True)
+    assert probabilities[-1] < 1e-6
+    # The Monte-Carlo attacker never succeeds at realistic thresholds.
+    assert report["monte_carlo_successes"] == 0
+    # Detection stays fast (well under a second) even with 100 stored pairs.
+    assert all(row["detect_seconds"] < 0.5 for row in report["timing"])

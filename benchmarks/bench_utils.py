@@ -1,0 +1,109 @@
+"""Shared helpers for the benchmark / experiment-reproduction suite.
+
+Every module in this directory regenerates one table or figure from the
+FreqyWM paper (the mapping lives in DESIGN.md §4 and EXPERIMENTS.md). Each
+benchmark uses ``benchmark.pedantic(..., rounds=1)`` so the experiment runs
+exactly once under timing, and then prints the rows / series the paper
+reports so the output can be compared side by side with the publication.
+
+Scale
+-----
+The paper's synthetic workload is 1 M samples over 1 000 distinct tokens.
+Because the watermarking algorithms only consume the token histogram, the
+experiments reproduce the paper's *shapes* at a reduced default scale that
+runs the full suite in a few minutes. Set ``REPRO_BENCH_SCALE=paper`` to
+run at the publication scale (slower), or ``REPRO_BENCH_SCALE=smoke`` for
+a quick sanity pass.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+# Allow running the benchmarks from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:  # pragma: no cover - environment dependent
+        sys.path.insert(0, str(_SRC))
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizes used by the experiment reproductions."""
+
+    name: str
+    #: Synthetic power-law workload (Figures 2, 4, 5 and the attack studies).
+    synthetic_tokens: int
+    synthetic_samples: int
+    #: Real-dataset stand-ins (Table II).
+    taxi_taxis: int
+    taxi_trips: int
+    clickstream_urls: int
+    clickstream_events: int
+    adult_rows: int
+    #: Baseline comparison (Figure 3).
+    baseline_tokens: int
+    baseline_samples: int
+    #: Repetitions for randomised attack sweeps.
+    attack_repetitions: int
+    #: Successive watermarks in the Section VI experiment.
+    multiwatermark_rounds: int
+
+
+_SCALES = {
+    "smoke": BenchScale(
+        name="smoke",
+        synthetic_tokens=120,
+        synthetic_samples=60_000,
+        taxi_taxis=200,
+        taxi_trips=20_000,
+        clickstream_urls=200,
+        clickstream_events=10_000,
+        adult_rows=8_000,
+        baseline_tokens=200,
+        baseline_samples=100_000,
+        attack_repetitions=1,
+        multiwatermark_rounds=3,
+    ),
+    "default": BenchScale(
+        name="default",
+        synthetic_tokens=300,
+        synthetic_samples=300_000,
+        taxi_taxis=800,
+        taxi_trips=80_000,
+        clickstream_urls=600,
+        clickstream_events=40_000,
+        adult_rows=32_000,
+        baseline_tokens=500,
+        baseline_samples=500_000,
+        attack_repetitions=2,
+        multiwatermark_rounds=10,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        synthetic_tokens=1_000,
+        synthetic_samples=1_000_000,
+        taxi_taxis=6_573,
+        taxi_trips=500_000,
+        clickstream_urls=11_479,
+        clickstream_events=500_000,
+        adult_rows=32_561,
+        baseline_tokens=1_000,
+        baseline_samples=1_000_000,
+        attack_repetitions=5,
+        multiwatermark_rounds=10,
+    ),
+}
+
+
+
+
+def experiment_banner(identifier: str, description: str) -> None:
+    """Print a banner naming the paper artefact being regenerated."""
+    line = "=" * 78
+    print(f"\n{line}\n{identifier}: {description}\n{line}")  # noqa: T201

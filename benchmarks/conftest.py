@@ -1,0 +1,53 @@
+"""Pytest fixtures for the benchmark suite (see bench_utils for scales)."""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:  # pragma: no cover - environment dependent
+        sys.path.insert(0, str(_SRC))
+
+from bench_utils import _SCALES, BenchScale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    """The active benchmark scale, selected via ``REPRO_BENCH_SCALE``."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def synthetic_histogram(scale):
+    """The α = 0.5 reference workload shared by several experiments."""
+    from repro.datasets.synthetic import generate_power_law_histogram
+
+    return generate_power_law_histogram(
+        0.5,
+        n_tokens=scale.synthetic_tokens,
+        sample_size=scale.synthetic_samples,
+        mode="sampled",
+        rng=20_240,
+    )
+
+
+@pytest.fixture(scope="session")
+def reference_watermark(scale, synthetic_histogram):
+    """The paper's reference watermark (α=0.5, z=131, b=2) used in Section V."""
+    from repro.core.config import GenerationConfig
+    from repro.core.generator import WatermarkGenerator
+
+    config = GenerationConfig(budget_percent=2.0, modulus_cap=131, strategy="optimal")
+    return WatermarkGenerator(config, rng=4_242).generate(synthetic_histogram)

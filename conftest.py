@@ -1,0 +1,19 @@
+"""Pytest bootstrap: make ``repro`` importable from the source tree.
+
+Installing the package (``pip install -e .``) is the normal workflow, but
+tests and benchmarks should also run straight from a source checkout in
+fully offline environments, so the ``src/`` layout directory is appended
+to ``sys.path`` when the package is not already installed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401 - probe whether the package is installed
+    except ImportError:
+        sys.path.insert(0, str(_SRC))

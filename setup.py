@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in fully
+offline environments where the ``wheel`` package (needed for PEP 660
+editable wheels) may not be available: pip falls back to the legacy
+``setup.py develop`` code path in that case.
+"""
+
+from setuptools import setup
+
+setup()

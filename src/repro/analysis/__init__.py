@@ -1,0 +1,51 @@
+"""Analysis utilities: false-positive bounds, distortion, decomposition."""
+
+from repro.analysis.decomposition import (
+    Decomposition,
+    component_difference,
+    decompose,
+    series_similarity_percent,
+)
+from repro.analysis.distortion import (
+    DistortionReport,
+    compare_methods,
+    distortion_report,
+    moment_preservation,
+)
+from repro.analysis.false_positive import (
+    FalsePositiveProfile,
+    empirical_false_positive_rate,
+    false_positive_bound,
+    markov_bound,
+    pair_false_positive_probability,
+    poisson_binomial_pmf,
+    poisson_binomial_survival,
+    profile_from_moduli,
+    survival_curve,
+    uniform_probability_profile,
+)
+from repro.analysis.reporting import format_series, format_table, print_table
+
+__all__ = [
+    "Decomposition",
+    "component_difference",
+    "decompose",
+    "series_similarity_percent",
+    "DistortionReport",
+    "compare_methods",
+    "distortion_report",
+    "moment_preservation",
+    "FalsePositiveProfile",
+    "empirical_false_positive_rate",
+    "false_positive_bound",
+    "markov_bound",
+    "pair_false_positive_probability",
+    "poisson_binomial_pmf",
+    "poisson_binomial_survival",
+    "profile_from_moduli",
+    "survival_curve",
+    "uniform_probability_profile",
+    "format_series",
+    "format_table",
+    "print_table",
+]

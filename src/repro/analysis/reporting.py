@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment results.
+
+The benchmark harness regenerates the paper's tables and figure series as
+rows printed to stdout; this module keeps that formatting in one place so
+every benchmark and example produces consistent, readable output without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object, float_digits: int) -> str:
+    """Render one cell: floats get fixed precision, everything else str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    float_digits: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    header = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        [_format_value(row.get(column, ""), float_digits) for column in header]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[index]), *(len(row[index]) for row in rendered))
+        for index in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(name.ljust(width) for name, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Mapping[object, Sequence[float]],
+    *,
+    float_digits: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render a figure-style series: one x column and several y columns."""
+    rows = []
+    for x_value, y_values in points.items():
+        row: Dict[str, object] = {x_label: x_value}
+        for label, value in zip(y_labels, y_values):
+            row[label] = value
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *y_labels], float_digits=float_digits, title=title)
+
+
+def print_table(rows: Sequence[Mapping[str, object]], **kwargs: object) -> None:
+    """Print :func:`format_table` output (convenience for benchmarks)."""
+    print(format_table(rows, **kwargs))  # noqa: T201 - intentional console output
+
+
+__all__ = ["format_table", "format_series", "print_table"]

@@ -1,0 +1,54 @@
+"""Attack models and robustness evaluation for FreqyWM (paper Section V)."""
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.attacks.destroy import (
+    BoundaryNoiseAttack,
+    PercentageNoiseAttack,
+    ReorderingNoiseAttack,
+    reordering_success_rates,
+    sweep_thresholds,
+    verified_pair_fraction,
+)
+from repro.attacks.evaluation import RobustnessEvaluator, RobustnessReport
+from repro.attacks.guess import (
+    GuessAttack,
+    GuessAttackReport,
+    expected_guesses_to_succeed,
+    guess_success_probability,
+    single_pair_acceptance_probability,
+)
+from repro.attacks.rewatermark import RewatermarkAttack, RewatermarkOutcome
+from repro.attacks.sampling import (
+    SamplingAttack,
+    SamplingDetectionPoint,
+    evaluate_sampling_attack,
+    rescale_suspect,
+    sample_token_sequence,
+    subsample_histogram,
+)
+
+__all__ = [
+    "Attack",
+    "AttackOutcome",
+    "BoundaryNoiseAttack",
+    "PercentageNoiseAttack",
+    "ReorderingNoiseAttack",
+    "reordering_success_rates",
+    "sweep_thresholds",
+    "verified_pair_fraction",
+    "RobustnessEvaluator",
+    "RobustnessReport",
+    "GuessAttack",
+    "GuessAttackReport",
+    "expected_guesses_to_succeed",
+    "guess_success_probability",
+    "single_pair_acceptance_probability",
+    "RewatermarkAttack",
+    "RewatermarkOutcome",
+    "SamplingAttack",
+    "SamplingDetectionPoint",
+    "evaluate_sampling_attack",
+    "rescale_suspect",
+    "sample_token_sequence",
+    "subsample_histogram",
+]

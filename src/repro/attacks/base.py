@@ -1,0 +1,105 @@
+"""Common attack abstractions.
+
+Section V analyses FreqyWM against four attacker models — guess, sampling,
+destroy and re-watermarking. Every concrete attack in this package
+transforms a *watermarked histogram* (or raw dataset) into an attacked
+version the way an adversary who only holds the watermarked copy could,
+and the shared :class:`AttackOutcome` couples the attacked data with the
+owner's subsequent detection attempt so robustness sweeps all look alike.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.core.config import DetectionConfig
+from repro.core.detector import DetectionResult, WatermarkDetector
+from repro.core.histogram import TokenHistogram
+from repro.core.secrets import WatermarkSecret
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of running one attack and re-running detection afterwards.
+
+    Attributes
+    ----------
+    attack_name:
+        Identifier of the attack that produced this outcome.
+    attacked_histogram:
+        The histogram of the pirated / tampered dataset.
+    detection:
+        Detection result obtained with the owner's secret on the attacked
+        data (None when the caller only wanted the attacked data).
+    parameters:
+        The attack's own knobs (sample fraction, noise level, ...), kept
+        for reporting.
+    """
+
+    attack_name: str
+    attacked_histogram: TokenHistogram
+    detection: Optional[DetectionResult]
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def detected(self) -> bool:
+        """Whether the owner's watermark survived the attack."""
+        return bool(self.detection and self.detection.accepted)
+
+    @property
+    def accepted_pair_fraction(self) -> float:
+        """Fraction of watermarked pairs that still verify after the attack."""
+        if self.detection is None:
+            return 0.0
+        return self.detection.accepted_fraction
+
+
+class Attack(abc.ABC):
+    """Base class for attacks on a watermarked histogram.
+
+    Subclasses implement :meth:`tamper`, producing the attacked histogram;
+    :meth:`run` then optionally evaluates the owner's detection on it.
+    """
+
+    #: Human-readable attack identifier (subclasses override).
+    name: str = "attack"
+
+    def __init__(self, *, rng: RngLike = None) -> None:
+        self._rng_source = rng
+
+    @property
+    def rng(self):
+        """A NumPy generator for this attack's randomness."""
+        return ensure_rng(self._rng_source)
+
+    @abc.abstractmethod
+    def tamper(self, histogram: TokenHistogram) -> TokenHistogram:
+        """Return the attacked version of ``histogram``."""
+
+    def parameters(self) -> Dict[str, object]:
+        """The attack's parameters, for reporting; subclasses extend."""
+        return {}
+
+    def run(
+        self,
+        histogram: TokenHistogram,
+        secret: Optional[WatermarkSecret] = None,
+        detection: Optional[DetectionConfig] = None,
+    ) -> AttackOutcome:
+        """Tamper with ``histogram`` and (optionally) re-run detection."""
+        attacked = self.tamper(histogram)
+        result: Optional[DetectionResult] = None
+        if secret is not None:
+            result = WatermarkDetector(secret, detection).detect(attacked)
+        return AttackOutcome(
+            attack_name=self.name,
+            attacked_histogram=attacked,
+            detection=result,
+            parameters=self.parameters(),
+        )
+
+
+__all__ = ["AttackOutcome", "Attack"]

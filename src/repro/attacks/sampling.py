@@ -1,0 +1,176 @@
+"""Sampling attack — Section V-B and Figure 4.
+
+The pirate copies only a random ``x%`` subsample of the watermarked
+dataset, hoping the watermark will not be detectable within the extract.
+The owner's counter-measure is to rescale the suspected subsample back to
+the original dataset size (multiply every frequency by ``100 / x``, the
+original size being known from the watermark metadata) before running
+detection; small ``t`` values then absorb the rounding noise introduced by
+the subsampling, except when the sample is so small that watermarked
+tokens are missing entirely.
+
+Two granularities are provided:
+
+* :class:`SamplingAttack` subsamples a *histogram* multinomially — the
+  occurrences kept are a uniform random subset of the occurrences, which
+  is statistically identical to subsampling the raw rows and is what the
+  large sweeps use;
+* :func:`sample_token_sequence` subsamples an actual token sequence, used
+  by the examples and the row-level tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.core.config import DetectionConfig
+from repro.core.detector import WatermarkDetector
+from repro.core.histogram import TokenHistogram
+from repro.core.secrets import WatermarkSecret
+from repro.exceptions import AttackError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def sample_token_sequence(
+    tokens: Sequence[str], fraction: float, *, rng: RngLike = None
+) -> List[str]:
+    """Uniformly subsample ``fraction`` of a raw token sequence."""
+    if not 0.0 < fraction <= 1.0:
+        raise AttackError(f"sample fraction must lie in (0, 1], got {fraction}")
+    generator = ensure_rng(rng)
+    size = max(1, int(round(fraction * len(tokens))))
+    indices = generator.choice(len(tokens), size=size, replace=False)
+    return [tokens[int(index)] for index in sorted(indices)]
+
+
+def subsample_histogram(
+    histogram: TokenHistogram, fraction: float, *, rng: RngLike = None
+) -> TokenHistogram:
+    """Subsample a histogram as if ``fraction`` of its occurrences were kept.
+
+    A multivariate hypergeometric draw (sampling occurrences without
+    replacement) keeps exactly ``round(fraction * N)`` occurrences and
+    matches what subsampling the raw dataset would produce.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise AttackError(f"sample fraction must lie in (0, 1], got {fraction}")
+    generator = ensure_rng(rng)
+    counts = np.array(histogram.frequencies(), dtype=np.int64)
+    total = int(counts.sum())
+    keep = max(1, int(round(fraction * total)))
+    drawn = generator.multivariate_hypergeometric(counts, keep)
+    sampled = {
+        token: int(count)
+        for token, count in zip(histogram.tokens, drawn)
+        if count > 0
+    }
+    return TokenHistogram.from_counts(sampled)
+
+
+class SamplingAttack(Attack):
+    """Pirate a random ``fraction`` of the watermarked dataset."""
+
+    name = "sampling"
+
+    def __init__(self, fraction: float, *, rng: RngLike = None) -> None:
+        super().__init__(rng=rng)
+        if not 0.0 < fraction <= 1.0:
+            raise AttackError(f"sample fraction must lie in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def parameters(self) -> Dict[str, object]:
+        return {"fraction": self.fraction}
+
+    def tamper(self, histogram: TokenHistogram) -> TokenHistogram:
+        return subsample_histogram(histogram, self.fraction, rng=self.rng)
+
+
+def rescale_suspect(
+    suspect: TokenHistogram, original_size: int
+) -> TokenHistogram:
+    """Owner-side rescaling of a suspected subsample to the original size.
+
+    The owner knows the watermarked dataset's size (stored in the secret
+    metadata); multiplying every frequency by ``original_size /
+    suspect_size`` restores the magnitude the moduli were calibrated for.
+    """
+    suspect_size = suspect.total_count()
+    if suspect_size <= 0:
+        raise AttackError("suspected dataset is empty")
+    return suspect.scaled(original_size / suspect_size)
+
+
+@dataclass(frozen=True)
+class SamplingDetectionPoint:
+    """One point of the Figure 4 sweep."""
+
+    fraction: float
+    pair_threshold: int
+    accepted_pairs: int
+    total_pairs: int
+    accepted_fraction: float
+    detected: bool
+
+
+def evaluate_sampling_attack(
+    watermarked: TokenHistogram,
+    secret: WatermarkSecret,
+    *,
+    fractions: Sequence[float],
+    thresholds: Sequence[int] = (0, 1, 2, 4, 10),
+    min_accepted_fraction: float = 0.5,
+    repetitions: int = 3,
+    rng: RngLike = None,
+) -> List[SamplingDetectionPoint]:
+    """Sweep sample fractions and thresholds, averaging over repetitions.
+
+    This reproduces both the coarse sweep (1–90 % samples) reported in the
+    text of Section V-B and the very-low-sample sweep of Figure 4. The
+    owner-side rescaling step is applied before each detection.
+    """
+    generator = ensure_rng(rng)
+    original_size = watermarked.total_count()
+    points: List[SamplingDetectionPoint] = []
+    for fraction in fractions:
+        for threshold in thresholds:
+            accepted_counts: List[int] = []
+            detected_votes: List[bool] = []
+            for _ in range(repetitions):
+                attack = SamplingAttack(fraction, rng=generator)
+                sampled = attack.tamper(watermarked)
+                rescaled = rescale_suspect(sampled, original_size)
+                detection = WatermarkDetector(
+                    secret,
+                    DetectionConfig(
+                        pair_threshold=threshold,
+                        min_accepted_fraction=min_accepted_fraction,
+                    ),
+                ).detect(rescaled)
+                accepted_counts.append(detection.accepted_pairs)
+                detected_votes.append(detection.accepted)
+            mean_accepted = float(np.mean(accepted_counts))
+            points.append(
+                SamplingDetectionPoint(
+                    fraction=fraction,
+                    pair_threshold=threshold,
+                    accepted_pairs=int(round(mean_accepted)),
+                    total_pairs=len(secret.pairs),
+                    accepted_fraction=mean_accepted / len(secret.pairs),
+                    detected=bool(np.mean(detected_votes) >= 0.5),
+                )
+            )
+    return points
+
+
+__all__ = [
+    "sample_token_sequence",
+    "subsample_histogram",
+    "SamplingAttack",
+    "rescale_suspect",
+    "SamplingDetectionPoint",
+    "evaluate_sampling_attack",
+]

@@ -1,0 +1,21 @@
+"""Baseline watermarking schemes the paper compares against (Section IV-D)."""
+
+from repro.baselines.genetic import GeneticConfig, GeneticOptimizer, GeneticResult
+from repro.baselines.partitioning import Partition, partition_histogram, partition_index
+from repro.baselines.wm_obt import WmObtConfig, WmObtResult, WmObtWatermarker
+from repro.baselines.wm_rvs import WmRvsConfig, WmRvsResult, WmRvsWatermarker
+
+__all__ = [
+    "GeneticConfig",
+    "GeneticOptimizer",
+    "GeneticResult",
+    "Partition",
+    "partition_histogram",
+    "partition_index",
+    "WmObtConfig",
+    "WmObtResult",
+    "WmObtWatermarker",
+    "WmRvsConfig",
+    "WmRvsResult",
+    "WmRvsWatermarker",
+]

@@ -1,0 +1,65 @@
+"""Secret-keyed data partitioning used by the WM-OBT baseline.
+
+Shehab et al. group tuples into partitions using a keyed hash of each
+tuple's primary key, then embed one watermark bit per group of partitions.
+For the histogram-level adaptation used in the paper's comparison (tokens
+act as primary keys, frequencies as the numeric attribute) we partition
+tokens the same way: partition index = ``H(key || token) mod n_partitions``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import BaselineError
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One partition: the tokens it holds and their current frequencies."""
+
+    index: int
+    tokens: Tuple[str, ...]
+    frequencies: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+def partition_index(token: str, key: int, n_partitions: int) -> int:
+    """Keyed partition assignment ``H(key || token) mod n_partitions``."""
+    if n_partitions < 1:
+        raise BaselineError("n_partitions must be at least 1")
+    digest = hashlib.sha256(f"{key}|{token}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_partitions
+
+
+def partition_histogram(
+    counts: Mapping[str, int],
+    key: int,
+    n_partitions: int,
+) -> List[Partition]:
+    """Split a token->count histogram into keyed partitions.
+
+    Empty partitions are kept (with no tokens) so the bit-embedding loop
+    can still iterate deterministically over partition indices.
+    """
+    buckets: Dict[int, List[Tuple[str, int]]] = {index: [] for index in range(n_partitions)}
+    for token in sorted(counts):
+        buckets[partition_index(token, key, n_partitions)].append((token, counts[token]))
+    partitions: List[Partition] = []
+    for index in range(n_partitions):
+        members = buckets[index]
+        partitions.append(
+            Partition(
+                index=index,
+                tokens=tuple(token for token, _count in members),
+                frequencies=tuple(count for _token, count in members),
+            )
+        )
+    return partitions
+
+
+__all__ = ["Partition", "partition_index", "partition_histogram"]

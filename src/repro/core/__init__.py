@@ -1,0 +1,45 @@
+"""FreqyWM core: watermark generation, detection, and supporting stages."""
+
+from repro.core.config import DetectionConfig, GenerationConfig
+from repro.core.detector import DetectionResult, WatermarkDetector, detect_watermark
+from repro.core.eligibility import EligiblePair, generate_eligible_pairs
+from repro.core.generator import WatermarkGenerator, WatermarkResult, generate_watermark
+from repro.core.histogram import TokenHistogram
+from repro.core.matching import SelectionResult, select_pairs
+from repro.core.multiwatermark import MultiWatermarker, ProvenanceChain
+from repro.core.secrets import WatermarkSecret
+from repro.core.similarity import (
+    distortion_percent,
+    histogram_similarity,
+    rank_changes,
+    ranking_preserved,
+    similarity_percent,
+)
+from repro.core.tokens import TokenPair, canonical_token, compose_token
+
+__all__ = [
+    "DetectionConfig",
+    "GenerationConfig",
+    "DetectionResult",
+    "WatermarkDetector",
+    "detect_watermark",
+    "EligiblePair",
+    "generate_eligible_pairs",
+    "WatermarkGenerator",
+    "WatermarkResult",
+    "generate_watermark",
+    "TokenHistogram",
+    "SelectionResult",
+    "select_pairs",
+    "MultiWatermarker",
+    "ProvenanceChain",
+    "WatermarkSecret",
+    "distortion_percent",
+    "histogram_similarity",
+    "rank_changes",
+    "ranking_preserved",
+    "similarity_percent",
+    "TokenPair",
+    "canonical_token",
+    "compose_token",
+]

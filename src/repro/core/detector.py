@@ -1,0 +1,197 @@
+"""Watermark detection — Algorithm II (``WM_Detect``).
+
+Given a suspected dataset ``D'_w``, the owner's secret list ``L_sc`` and
+two thresholds (``t``: per-pair tolerance, ``k``: minimum accepted pairs),
+detection
+
+1. builds the histogram of the suspected dataset (frequencies only — no
+   boundaries are needed),
+2. recomputes ``s_ij`` for every stored pair whose two tokens are present,
+3. accepts a pair when ``(f_i - f_j) mod s_ij <= t``,
+4. declares the dataset watermarked when at least ``k`` pairs verified.
+
+Detection is linear in the number of stored pairs, which is the paper's
+"verification in linear time" claim; it never needs the original dataset
+(the scheme is blind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import DetectionConfig
+from repro.core.hashing import pair_modulus
+from repro.core.histogram import TokenHistogram
+from repro.core.secrets import WatermarkSecret
+from repro.core.tokens import TokenPair, TokenValue
+from repro.exceptions import DetectionError
+
+
+@dataclass(frozen=True)
+class PairEvidence:
+    """Per-pair detection outcome.
+
+    ``present`` is False when either token of the pair is missing from the
+    suspected dataset (the pair then automatically fails); ``remainder``
+    is the observed ``(f_i - f_j) mod s_ij`` for present pairs.
+    """
+
+    pair: TokenPair
+    present: bool
+    modulus: int
+    remainder: Optional[int]
+    threshold: int
+    accepted: bool
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one watermark detection run.
+
+    ``accepted`` is the boolean verdict; the remaining fields expose the
+    evidence needed by the evaluation (accepted-pair rates, per-pair
+    remainders) and by the dispute protocol.
+    """
+
+    accepted: bool
+    accepted_pairs: int
+    required_pairs: int
+    total_pairs: int
+    evidence: Tuple[PairEvidence, ...]
+
+    @property
+    def accepted_fraction(self) -> float:
+        """Fraction of stored pairs that verified (0 when none stored)."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.accepted_pairs / self.total_pairs
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary used by the CLI and benchmarks."""
+        return {
+            "accepted": self.accepted,
+            "accepted_pairs": self.accepted_pairs,
+            "required_pairs": self.required_pairs,
+            "total_pairs": self.total_pairs,
+            "accepted_fraction": self.accepted_fraction,
+        }
+
+
+class WatermarkDetector:
+    """Reusable ``WM_Detect`` engine for one secret list.
+
+    Parameters
+    ----------
+    secret:
+        The owner's secret list ``L_sc`` produced at generation time.
+    config:
+        Detection thresholds; defaults to the strict setting ``t = 0`` and
+        ``k = 50%`` of the stored pairs.
+    """
+
+    def __init__(
+        self,
+        secret: WatermarkSecret,
+        config: Optional[DetectionConfig] = None,
+    ) -> None:
+        if len(secret.pairs) == 0:
+            raise DetectionError("the secret list contains no watermarked pairs")
+        self.secret = secret
+        self.config = config or DetectionConfig()
+
+    def detect(
+        self, data: Union[Sequence[TokenValue], TokenHistogram]
+    ) -> DetectionResult:
+        """Run detection against a suspected dataset or its histogram."""
+        histogram = (
+            data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
+        )
+        evidence: List[PairEvidence] = []
+        accepted_pairs = 0
+        for pair in self.secret.pairs:
+            modulus = pair_modulus(
+                pair.first, pair.second, self.secret.secret, self.secret.modulus_cap
+            )
+            threshold = self.config.threshold_for(modulus)
+            present = pair.first in histogram and pair.second in histogram
+            if not present:
+                evidence.append(
+                    PairEvidence(
+                        pair=pair,
+                        present=False,
+                        modulus=modulus,
+                        remainder=None,
+                        threshold=threshold,
+                        accepted=False,
+                    )
+                )
+                continue
+            if modulus < 2:
+                # A modulus of 0 or 1 carries no information (the generation
+                # algorithm never selects such pairs); treat the pair as
+                # unverifiable so forged secrets cannot exploit it.
+                evidence.append(
+                    PairEvidence(
+                        pair=pair,
+                        present=True,
+                        modulus=modulus,
+                        remainder=None,
+                        threshold=threshold,
+                        accepted=False,
+                    )
+                )
+                continue
+            difference = histogram.frequency(pair.first) - histogram.frequency(pair.second)
+            remainder = difference % modulus
+            if self.config.symmetric_tolerance:
+                accepted = min(remainder, modulus - remainder) <= threshold
+            else:
+                accepted = remainder <= threshold
+            if accepted:
+                accepted_pairs += 1
+            evidence.append(
+                PairEvidence(
+                    pair=pair,
+                    present=True,
+                    modulus=modulus,
+                    remainder=remainder,
+                    threshold=threshold,
+                    accepted=accepted,
+                )
+            )
+        required = self.config.required_pairs(len(self.secret.pairs))
+        return DetectionResult(
+            accepted=accepted_pairs >= required,
+            accepted_pairs=accepted_pairs,
+            required_pairs=required,
+            total_pairs=len(self.secret.pairs),
+            evidence=tuple(evidence),
+        )
+
+
+def detect_watermark(
+    data: Union[Sequence[TokenValue], TokenHistogram],
+    secret: WatermarkSecret,
+    *,
+    pair_threshold: int = 0,
+    min_accepted_pairs: Optional[int] = None,
+    min_accepted_fraction: float = 0.5,
+    pair_threshold_fraction: Optional[float] = None,
+) -> DetectionResult:
+    """Functional one-shot wrapper mirroring ``WM_Detect(D'_w, L_sc, k, t)``."""
+    config = DetectionConfig(
+        pair_threshold=pair_threshold,
+        pair_threshold_fraction=pair_threshold_fraction,
+        min_accepted_pairs=min_accepted_pairs,
+        min_accepted_fraction=min_accepted_fraction,
+    )
+    return WatermarkDetector(secret, config).detect(data)
+
+
+__all__ = [
+    "PairEvidence",
+    "DetectionResult",
+    "WatermarkDetector",
+    "detect_watermark",
+]

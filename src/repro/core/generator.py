@@ -1,0 +1,266 @@
+"""Watermark generation — Algorithm I (``WM_Generate``).
+
+The generator wires together every stage of the FreqyWM pipeline:
+
+1. **Histogram generation** — build the descending-frequency histogram of
+   the original dataset.
+2. **Eligible tokens** — sample the secret ``R``, derive per-pair moduli
+   ``s_ij`` and collect the pairs whose boundaries tolerate the change.
+3. **Optimal selection** — pick the watermarked pairs ``L_wm`` with the
+   chosen strategy (MWM + knapsack, greedy, or random) under budget ``b``.
+4. **Frequency modification** — plan and apply the ceil/floor adjustments
+   that zero each pair's difference modulo ``s_ij``.
+5. **Data transformation** — add/remove token instances at random
+   positions so the edited dataset realises the watermarked histogram.
+
+The result bundles the watermarked dataset (histogram and, when a raw
+token sequence was supplied, the edited sequence), the secret list
+``L_sc`` and per-stage diagnostics used by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import GenerationConfig
+from repro.core.eligibility import EligiblePair, generate_eligible_pairs
+from repro.core.hashing import generate_secret
+from repro.core.histogram import TokenHistogram
+from repro.core.matching import SelectionResult, select_pairs
+from repro.core.modification import (
+    PairAdjustment,
+    apply_adjustments,
+    total_cost,
+    verify_alignment,
+)
+from repro.core.secrets import WatermarkSecret
+from repro.core.similarity import ranking_preserved, similarity_percent
+from repro.core.tokens import TokenValue
+from repro.core.transform import transform_dataset
+from repro.exceptions import GenerationError
+from repro.utils.rng import RngLike, derive_rng, ensure_rng
+from repro.utils.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class WatermarkResult:
+    """Everything produced by one watermark generation run.
+
+    Attributes
+    ----------
+    original_histogram / watermarked_histogram:
+        Token histograms before and after embedding.
+    watermarked_tokens:
+        The edited token sequence, or ``None`` when generation was run
+        directly on a histogram (histogram-only mode).
+    secret:
+        The owner's secret list ``L_sc`` (pairs, ``R``, ``z``).
+    selection:
+        Full pair-selection diagnostics (strategy, eligible/matched/selected
+        counts, final similarity).
+    adjustments:
+        The per-pair frequency adjustments that were applied.
+    eligible_pairs:
+        The eligible list ``L_e`` (useful for analysis; not secret-critical
+        but derived from the secret, so treat with the same care).
+    timings:
+        Wall-clock seconds per pipeline stage.
+    """
+
+    original_histogram: TokenHistogram
+    watermarked_histogram: TokenHistogram
+    watermarked_tokens: Optional[List[str]]
+    secret: WatermarkSecret
+    selection: SelectionResult
+    adjustments: Tuple[PairAdjustment, ...]
+    eligible_pairs: Tuple[EligiblePair, ...]
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def pair_count(self) -> int:
+        """Number of watermarked pairs (the paper's main size metric)."""
+        return len(self.selection.selected)
+
+    @property
+    def similarity_percent(self) -> float:
+        """Similarity between original and watermarked histograms (cosine, %)."""
+        return similarity_percent(
+            self.original_histogram.as_dict(), self.watermarked_histogram.as_dict()
+        )
+
+    @property
+    def distortion_percent(self) -> float:
+        """Distortion introduced by the watermark, in percent."""
+        return 100.0 - self.similarity_percent
+
+    @property
+    def total_changes(self) -> int:
+        """Total number of token appearances added plus removed."""
+        return total_cost(self.adjustments)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary used by the CLI, examples and benchmarks."""
+        return {
+            "strategy": self.selection.strategy,
+            "distinct_tokens": len(self.original_histogram),
+            "eligible_pairs": len(self.eligible_pairs),
+            "matched_pairs": self.selection.matched_count,
+            "selected_pairs": self.pair_count,
+            "similarity_percent": self.similarity_percent,
+            "distortion_percent": self.distortion_percent,
+            "total_changes": self.total_changes,
+            "generation_seconds": sum(self.timings.values()),
+        }
+
+
+class WatermarkGenerator:
+    """Reusable ``WM_Generate`` engine configured once, applied many times.
+
+    Parameters
+    ----------
+    config:
+        The generation parameters (budget, modulus cap, strategy, ...).
+    rng:
+        Seed or generator controlling every random choice (secret sampling
+        in reproducible mode, the random heuristic, insertion positions).
+        ``None`` uses the OS CSPRNG for the secret — the secure default.
+    """
+
+    def __init__(self, config: Optional[GenerationConfig] = None, *, rng: RngLike = None) -> None:
+        self.config = config or GenerationConfig()
+        self._rng_source = rng
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def generate(
+        self,
+        data: Union[Sequence[TokenValue], TokenHistogram],
+        *,
+        secret_value: Optional[int] = None,
+    ) -> WatermarkResult:
+        """Embed a watermark into ``data``.
+
+        ``data`` may be a raw sequence of token occurrences (the normal
+        case) or an already-built :class:`TokenHistogram` (histogram-only
+        mode, used when the caller keeps the raw data elsewhere). An
+        explicit ``secret_value`` overrides secret sampling, which the
+        multi-watermarking and test code rely on.
+        """
+        stopwatch = Stopwatch()
+        tokens: Optional[Sequence[TokenValue]]
+        with stopwatch.measure("histogram"):
+            if isinstance(data, TokenHistogram):
+                histogram, tokens = data, None
+            else:
+                histogram = TokenHistogram.from_tokens(data)
+                tokens = data
+
+        if len(histogram) < 2:
+            raise GenerationError(
+                "watermarking needs at least two distinct tokens; the dataset "
+                "has a single token value"
+            )
+
+        rng = ensure_rng(self._rng_source)
+        if secret_value is None:
+            secret_value = generate_secret(self.config.secret_bits, rng=self._rng_source)
+
+        with stopwatch.measure("eligibility"):
+            eligible = generate_eligible_pairs(
+                histogram,
+                secret_value,
+                self.config.modulus_cap,
+                max_candidates=self.config.max_candidates,
+                excluded_tokens=self.config.excluded_tokens,
+                require_modification=self.config.require_modification,
+            )
+
+        with stopwatch.measure("selection"):
+            selection = select_pairs(
+                histogram,
+                eligible,
+                self.config.budget_percent,
+                strategy=self.config.strategy,
+                metric=self.config.metric,
+                rng=derive_rng(self._rng_source, "selection") if self._rng_source is not None else rng,
+                max_pairs=self.config.max_pairs,
+            )
+
+        with stopwatch.measure("modification"):
+            adjustments = selection.adjustments
+            watermarked_histogram = apply_adjustments(histogram, adjustments)
+            if not verify_alignment(histogram, adjustments):
+                raise GenerationError("internal error: adjusted pairs are not aligned")
+            if not ranking_preserved(
+                histogram.as_dict(), watermarked_histogram.as_dict()
+            ):
+                raise GenerationError("internal error: ranking constraint violated")
+
+        watermarked_tokens: Optional[List[str]] = None
+        if tokens is not None:
+            with stopwatch.measure("transformation"):
+                watermarked_tokens = transform_dataset(
+                    tokens,
+                    histogram,
+                    watermarked_histogram,
+                    rng=derive_rng(self._rng_source, "transform") if self._rng_source is not None else rng,
+                )
+
+        secret = WatermarkSecret.build(
+            [item.pair for item in selection.selected],
+            secret_value,
+            self.config.modulus_cap,
+            strategy=selection.strategy,
+            budget_percent=self.config.budget_percent,
+            metric=self.config.metric,
+            original_size=histogram.total_count(),
+            distinct_tokens=len(histogram),
+        )
+
+        return WatermarkResult(
+            original_histogram=histogram,
+            watermarked_histogram=watermarked_histogram,
+            watermarked_tokens=watermarked_tokens,
+            secret=secret,
+            selection=selection,
+            adjustments=adjustments,
+            eligible_pairs=tuple(eligible),
+            timings=stopwatch.as_dict(),
+        )
+
+
+def generate_watermark(
+    data: Union[Sequence[TokenValue], TokenHistogram],
+    *,
+    budget_percent: float = 2.0,
+    modulus_cap: int = 131,
+    strategy: str = "optimal",
+    metric: str = "cosine",
+    rng: RngLike = None,
+    secret_value: Optional[int] = None,
+    max_candidates: Optional[int] = None,
+    excluded_tokens: Sequence[str] = (),
+    require_modification: bool = False,
+) -> WatermarkResult:
+    """Functional one-shot wrapper around :class:`WatermarkGenerator`.
+
+    This is the primary public entry point mirroring the paper's
+    ``WM_Generate(D_o, b) -> (D_w, L_sc)`` signature, with the remaining
+    parameters exposed as keywords.
+    """
+    config = GenerationConfig(
+        budget_percent=budget_percent,
+        modulus_cap=modulus_cap,
+        strategy=strategy,
+        metric=metric,
+        max_candidates=max_candidates,
+        excluded_tokens=tuple(excluded_tokens),
+        require_modification=require_modification,
+    )
+    return WatermarkGenerator(config, rng=rng).generate(data, secret_value=secret_value)
+
+
+__all__ = ["WatermarkResult", "WatermarkGenerator", "generate_watermark"]

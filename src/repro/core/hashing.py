@@ -1,0 +1,128 @@
+"""Cryptographic hashing primitives for FreqyWM.
+
+The paper derives a per-pair modulus ``s_ij`` from a keyed, nested hash::
+
+    s_ij = H(tk_i || H(R || tk_j)) mod z
+
+where ``H`` is a collision-resistant hash (SHA-256 in the paper's
+implementation), ``R`` is a high-entropy secret sampled once per
+watermark, ``z`` caps the modulus, and ``||`` denotes concatenation. The
+nesting makes ``s_ij`` order-sensitive — swapping the pair members yields
+an unrelated value — which matters because the pair is stored with its
+higher-frequency member first.
+
+This module exposes that construction plus small helpers for serialising
+secrets. Everything is pure and deterministic so watermark detection can
+recompute exactly the same moduli years later from the stored secret list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Callable
+
+#: Security parameter (output bits of the hash) used throughout the paper.
+DEFAULT_SECURITY_BITS = 256
+
+#: Byte used to separate fields before hashing so that concatenation is
+#: unambiguous (``"ab" || "c"`` cannot collide with ``"a" || "bc"``).
+_FIELD_SEPARATOR = b"\x00"
+
+HashFunction = Callable[[bytes], bytes]
+
+
+def sha256_hash(data: bytes) -> bytes:
+    """SHA-256 digest of ``data`` — the paper's instantiation of ``H``."""
+    return hashlib.sha256(data).digest()
+
+
+def _encode(value: "str | bytes | int") -> bytes:
+    """Encode a secret component or token into bytes for hashing."""
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, int):
+        # Fixed-width little-endian-free encoding: decimal string keeps the
+        # construction readable and portable across platforms.
+        return str(value).encode("ascii")
+    raise TypeError(f"cannot encode {type(value)!r} for hashing")
+
+
+def digest_to_int(digest: bytes) -> int:
+    """Interpret a hash digest as a non-negative big-endian integer."""
+    return int.from_bytes(digest, "big")
+
+
+def pair_modulus(
+    token_i: str,
+    token_j: str,
+    secret: int,
+    z: int,
+    *,
+    hash_function: HashFunction = sha256_hash,
+) -> int:
+    """Compute ``s_ij = H(tk_i || H(R || tk_j)) mod z``.
+
+    Parameters
+    ----------
+    token_i, token_j:
+        Canonical token strings; ``token_i`` is the higher-frequency member
+        of the pair by convention.
+    secret:
+        The high-entropy watermarking secret ``R`` as an integer.
+    z:
+        Upper cap on the modulus; the result lies in ``[0, z)``. Values of
+        0 or 1 returned here make the pair unusable (modulo 0 is undefined
+        and everything is congruent mod 1), which the eligibility stage
+        filters out.
+    hash_function:
+        Alternative hash, mainly for testing; defaults to SHA-256.
+    """
+    if z < 2:
+        raise ValueError(f"modulus cap z must be at least 2, got {z}")
+    inner = hash_function(_encode(secret) + _FIELD_SEPARATOR + _encode(token_j))
+    outer = hash_function(_encode(token_i) + _FIELD_SEPARATOR + inner)
+    return digest_to_int(outer) % z
+
+
+def keyed_fingerprint(secret: int, *fields: "str | bytes | int") -> str:
+    """HMAC-SHA256 fingerprint of ``fields`` under ``secret``.
+
+    Used by the watermark registry and the re-watermarking defence to
+    commit to a watermark description without revealing the secret.
+    """
+    key = _encode(secret)
+    message = _FIELD_SEPARATOR.join(_encode(field) for field in fields)
+    return hmac.new(key, message, hashlib.sha256).hexdigest()
+
+
+def generate_secret(bits: int = DEFAULT_SECURITY_BITS, *, rng=None) -> int:
+    """Sample the high-entropy secret ``R`` with ``bits`` bits of entropy.
+
+    With ``rng=None`` the OS CSPRNG is used (the secure default). Passing a
+    seed or :class:`numpy.random.Generator` produces a reproducible secret,
+    which the experiments rely on; this trades cryptographic strength for
+    reproducibility and must not be used to protect real datasets.
+    """
+    if bits <= 0:
+        raise ValueError("secret size in bits must be positive")
+    if rng is None:
+        import secrets as _secrets
+
+        return _secrets.randbits(bits)
+    from repro.utils.rng import random_bigint
+
+    return random_bigint(rng, bits)
+
+
+__all__ = [
+    "DEFAULT_SECURITY_BITS",
+    "HashFunction",
+    "sha256_hash",
+    "digest_to_int",
+    "pair_modulus",
+    "keyed_fingerprint",
+    "generate_secret",
+]

@@ -1,0 +1,236 @@
+"""Token frequency histograms and ranking boundaries.
+
+The first step of both watermark generation and detection is
+``Preprocess(D)``: build the histogram of token appearance frequencies,
+sorted in descending order. Generation additionally computes, for every
+token, an *upper boundary* ``u_i`` (how much its frequency may grow) and a
+*lower boundary* ``l_i`` (how much it may shrink) such that any change
+within the boundaries cannot invert the ranking of two tokens:
+
+* the most frequent token has ``u_0 = inf`` (it can only grow further away
+  from the second token),
+* the least frequent token has ``l_last = f_last`` (it can lose all of its
+  appearances),
+* otherwise ``u_i = f_{i-1} - f_i`` and ``l_i = f_i - f_{i+1}``.
+
+Boundaries are computed once on the *original* histogram and, per the
+paper, are not updated afterwards: the eligibility rule only ever allows a
+token to take part in a single watermarked pair (matchings share no
+vertices), so the original slack is never spent twice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.tokens import TokenValue, canonical_token
+from repro.exceptions import HistogramError
+
+
+@dataclass(frozen=True)
+class TokenBoundaries:
+    """Per-token ranking-preservation slack.
+
+    ``upper`` is how many appearances may be *added* and ``lower`` how many
+    may be *removed* without the token overtaking its higher-ranked
+    neighbour or falling behind its lower-ranked neighbour.
+    """
+
+    upper: float
+    lower: int
+
+    def allows_change(self, magnitude: int) -> bool:
+        """Whether a change of ``magnitude`` in either direction fits the slack."""
+        return self.upper >= magnitude and self.lower >= magnitude
+
+
+class TokenHistogram:
+    """Frequency histogram of a token dataset, sorted by descending count.
+
+    The histogram is the single data structure the FreqyWM algorithms
+    operate on: eligibility, matching, modification and detection all read
+    (and in one place write) token counts through this class.
+
+    Instances can be built from a raw iterable of token occurrences
+    (:meth:`from_tokens`) or directly from a token->count mapping
+    (:meth:`from_counts`).
+    """
+
+    def __init__(self, counts: Mapping[str, int]) -> None:
+        cleaned: Dict[str, int] = {}
+        for token, count in counts.items():
+            if not isinstance(count, (int,)) or isinstance(count, bool):
+                if isinstance(count, float) and count.is_integer():
+                    count = int(count)
+                else:
+                    raise HistogramError(
+                        f"frequency of token {token!r} must be an integer, got {count!r}"
+                    )
+            if count < 0:
+                raise HistogramError(
+                    f"frequency of token {token!r} must be non-negative, got {count}"
+                )
+            if count > 0:
+                cleaned[canonical_token(token)] = cleaned.get(canonical_token(token), 0) + count
+        if not cleaned:
+            raise HistogramError("cannot build a histogram with no token occurrences")
+        self._counts: Dict[str, int] = cleaned
+        self._order: List[str] = sorted(
+            self._counts, key=lambda token: (-self._counts[token], token)
+        )
+        self._rank: Dict[str, int] = {
+            token: index for index, token in enumerate(self._order)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_tokens(cls, tokens: Iterable[TokenValue]) -> "TokenHistogram":
+        """Count token occurrences from a raw sequence of values."""
+        counts: Dict[str, int] = {}
+        for value in tokens:
+            token = canonical_token(value)
+            counts[token] = counts.get(token, 0) + 1
+        if not counts:
+            raise HistogramError("cannot build a histogram from an empty dataset")
+        return cls(counts)
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[TokenValue, int]) -> "TokenHistogram":
+        """Build a histogram from an existing token->count mapping."""
+        return cls({canonical_token(token): count for token, count in counts.items()})
+
+    # ------------------------------------------------------------------ #
+    # Read access
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)
+
+    def __contains__(self, token: object) -> bool:
+        return token in self._counts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TokenHistogram):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenHistogram({len(self)} tokens, {self.total_count()} occurrences)"
+
+    @property
+    def tokens(self) -> Tuple[str, ...]:
+        """Tokens in descending frequency order."""
+        return tuple(self._order)
+
+    def frequency(self, token: TokenValue) -> int:
+        """Appearance count of ``token`` (0 if absent)."""
+        return self._counts.get(canonical_token(token), 0)
+
+    def rank(self, token: TokenValue) -> Optional[int]:
+        """Zero-based rank of ``token`` in descending frequency order."""
+        return self._rank.get(canonical_token(token))
+
+    def total_count(self) -> int:
+        """Total number of token occurrences (the dataset size)."""
+        return sum(self._counts.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of the token->count mapping."""
+        return dict(self._counts)
+
+    def frequencies(self) -> Tuple[int, ...]:
+        """Counts in descending order, aligned with :attr:`tokens`."""
+        return tuple(self._counts[token] for token in self._order)
+
+    def top(self, n: int) -> List[Tuple[str, int]]:
+        """The ``n`` most frequent tokens with their counts."""
+        return [(token, self._counts[token]) for token in self._order[:n]]
+
+    # ------------------------------------------------------------------ #
+    # Boundaries
+    # ------------------------------------------------------------------ #
+
+    def boundaries(self) -> Dict[str, TokenBoundaries]:
+        """Ranking-preservation boundaries for every token.
+
+        See the module docstring for the definition. The returned mapping
+        is freshly computed from the current counts.
+        """
+        bounds: Dict[str, TokenBoundaries] = {}
+        order = self._order
+        for index, token in enumerate(order):
+            frequency = self._counts[token]
+            if index == 0:
+                upper: float = math.inf
+            else:
+                upper = float(self._counts[order[index - 1]] - frequency)
+            if index == len(order) - 1:
+                lower = frequency
+            else:
+                lower = frequency - self._counts[order[index + 1]]
+            bounds[token] = TokenBoundaries(upper=upper, lower=lower)
+        return bounds
+
+    # ------------------------------------------------------------------ #
+    # Mutation (used by the frequency-modification stage)
+    # ------------------------------------------------------------------ #
+
+    def with_updates(self, deltas: Mapping[str, int]) -> "TokenHistogram":
+        """Return a new histogram with ``deltas`` applied to token counts.
+
+        Counts may not become negative; tokens whose count reaches zero are
+        dropped from the histogram (they no longer appear in the dataset).
+        """
+        counts = dict(self._counts)
+        for token, delta in deltas.items():
+            canonical = canonical_token(token)
+            new_count = counts.get(canonical, 0) + delta
+            if new_count < 0:
+                raise HistogramError(
+                    f"update would make frequency of {canonical!r} negative"
+                    f" ({counts.get(canonical, 0)} {delta:+d})"
+                )
+            if new_count == 0:
+                counts.pop(canonical, None)
+            else:
+                counts[canonical] = new_count
+        return TokenHistogram(counts)
+
+    def scaled(self, factor: float) -> "TokenHistogram":
+        """Return a histogram with every count multiplied by ``factor``.
+
+        Used by the sampling-attack defence, where the owner rescales a
+        suspected subsample back to the original dataset size before
+        running detection. Counts are rounded to the nearest integer and
+        tokens that round to zero are kept at one occurrence so they stay
+        part of the histogram support.
+        """
+        if factor <= 0:
+            raise HistogramError(f"scale factor must be positive, got {factor}")
+        counts = {
+            token: max(1, int(round(count * factor)))
+            for token, count in self._counts.items()
+        }
+        return TokenHistogram(counts)
+
+
+def pairwise_rank_gaps(histogram: TokenHistogram) -> List[int]:
+    """Gaps between consecutive frequencies in descending order.
+
+    A convenience used by the dataset generators and tests: uniform data
+    has (near-)zero gaps everywhere, which is exactly the regime in which
+    the paper says FreqyWM cannot embed a watermark.
+    """
+    frequencies: Sequence[int] = histogram.frequencies()
+    return [frequencies[i] - frequencies[i + 1] for i in range(len(frequencies) - 1)]
+
+
+__all__ = ["TokenBoundaries", "TokenHistogram", "pairwise_rank_gaps"]

@@ -1,0 +1,180 @@
+"""Watermarking secrets: the list ``L_sc = {L_wm, R, z}``.
+
+Watermark generation outputs, besides the watermarked dataset, a secret
+list that the owner must store to later prove ownership:
+
+* ``L_wm`` — the ordered list of watermarked token pairs,
+* ``R``    — the high-entropy secret used inside the hash,
+* ``z``    — the modulus cap.
+
+Detection replays the hash construction over the stored pairs, so the
+secret must serialise losslessly; this module provides a dataclass with
+JSON (de)serialisation, plus a commitment fingerprint that can be lodged
+in the watermark registry (the paper's immutable index) without revealing
+the secret itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.core.hashing import keyed_fingerprint, pair_modulus
+from repro.core.tokens import TokenPair, as_token_pair
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WatermarkSecret:
+    """The owner's secret list ``L_sc`` produced by watermark generation.
+
+    Attributes
+    ----------
+    pairs:
+        The watermarked token pairs ``L_wm`` in selection order; each pair
+        stores its higher-frequency member first.
+    secret:
+        The high-entropy integer secret ``R``.
+    modulus_cap:
+        The integer ``z`` that caps every per-pair modulus ``s_ij``.
+    metadata:
+        Free-form provenance information (owner id, buyer id, creation
+        round, original dataset size) carried along for registry lookups;
+        it plays no role in detection itself.
+    """
+
+    pairs: Tuple[TokenPair, ...]
+    secret: int
+    modulus_cap: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.modulus_cap < 2:
+            raise ConfigurationError(
+                f"modulus cap z must be at least 2, got {self.modulus_cap}"
+            )
+        if self.secret < 0:
+            raise ConfigurationError("secret R must be a non-negative integer")
+
+    # ------------------------------------------------------------------ #
+    # Derived values
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def pair_moduli(self) -> Dict[TokenPair, int]:
+        """Recompute ``s_ij`` for every stored pair."""
+        return {
+            pair: pair_modulus(pair.first, pair.second, self.secret, self.modulus_cap)
+            for pair in self.pairs
+        }
+
+    def fingerprint(self) -> str:
+        """Keyed commitment to this watermark (pairs + parameters).
+
+        Two different watermarks (different pairs, secret, or modulus cap)
+        produce different fingerprints except with negligible probability,
+        while the fingerprint reveals nothing about the pairs to a party
+        that does not hold ``R``.
+        """
+        fields: List[Union[str, int]] = [self.modulus_cap, len(self.pairs)]
+        for pair in self.pairs:
+            fields.append(pair.first)
+            fields.append(pair.second)
+        return keyed_fingerprint(self.secret, *fields)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation of the secret list."""
+        return {
+            "version": 1,
+            "pairs": [[pair.first, pair.second] for pair in self.pairs],
+            "secret": str(self.secret),
+            "modulus_cap": self.modulus_cap,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "WatermarkSecret":
+        """Rebuild a secret list from :meth:`to_dict` output."""
+        try:
+            raw_pairs = payload["pairs"]
+            secret = int(str(payload["secret"]))
+            modulus_cap = int(payload["modulus_cap"])  # type: ignore[arg-type]
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ConfigurationError(f"malformed watermark secret payload: {exc}") from exc
+        pairs = tuple(as_token_pair((first, second)) for first, second in raw_pairs)
+        metadata = dict(payload.get("metadata", {}))  # type: ignore[arg-type]
+        return cls(pairs=pairs, secret=secret, modulus_cap=modulus_cap, metadata=metadata)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WatermarkSecret":
+        """Deserialise from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the secret list to ``path`` as JSON."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WatermarkSecret":
+        """Read a secret list previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        pairs: Iterable[Union[TokenPair, Tuple[str, str]]],
+        secret: int,
+        modulus_cap: int,
+        **metadata: object,
+    ) -> "WatermarkSecret":
+        """Build a secret list coercing plain tuples into :class:`TokenPair`."""
+        return cls(
+            pairs=tuple(as_token_pair(pair) for pair in pairs),
+            secret=secret,
+            modulus_cap=modulus_cap,
+            metadata=dict(metadata),
+        )
+
+    def with_metadata(self, **metadata: object) -> "WatermarkSecret":
+        """Return a copy with additional metadata entries."""
+        merged = dict(self.metadata)
+        merged.update(metadata)
+        return WatermarkSecret(
+            pairs=self.pairs,
+            secret=self.secret,
+            modulus_cap=self.modulus_cap,
+            metadata=merged,
+        )
+
+
+def max_modulus_cap(frequencies: Sequence[int]) -> int:
+    """Upper bound ``r_max`` on the modulus cap ``z`` for a histogram.
+
+    Section IV-A1: the largest useful remainder for any pair is the gap
+    between the most and least frequent tokens, so ``z`` should be chosen
+    from ``(2, r_max)``. For degenerate histograms (a single token, or all
+    counts equal) the bound collapses and 2 is returned.
+    """
+    if not frequencies:
+        raise ConfigurationError("cannot bound z for an empty histogram")
+    spread = max(frequencies) - min(frequencies)
+    return max(2, spread)
+
+
+__all__ = ["WatermarkSecret", "max_modulus_cap"]

@@ -1,0 +1,227 @@
+"""Similarity and distance metrics between token frequency histograms.
+
+The paper's *similarity constraint* requires the watermarked histogram to
+stay within a budget ``b`` of the original: ``sim(D_o, D_w) >= (100 - b)%``.
+Cosine similarity is what the paper's experiments use, but Section III
+notes that "any similarity metric can be deployed without any loss of
+security"; this module therefore exposes a small registry of metrics that
+the generator, the baselines and the distortion analysis all share.
+
+All metrics operate on *aligned* frequency vectors: callers pass two
+mappings from token to count and the metric aligns them over the union of
+keys (missing tokens count as zero), so histograms with different supports
+compare correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+FrequencyMap = Mapping[str, int]
+MetricFunction = Callable[[np.ndarray, np.ndarray], float]
+
+
+def align_frequencies(
+    original: FrequencyMap, other: FrequencyMap
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Align two token->count mappings over the union of their tokens.
+
+    Returns two equally sized float vectors in a deterministic (sorted)
+    token order, with zeros for tokens absent from one of the histograms.
+    """
+    tokens = sorted(set(original) | set(other))
+    left = np.array([original.get(token, 0) for token in tokens], dtype=float)
+    right = np.array([other.get(token, 0) for token in tokens], dtype=float)
+    return left, right
+
+
+def cosine_similarity(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine similarity in ``[0, 1]`` between two count vectors.
+
+    Two all-zero vectors are defined as identical (similarity 1.0); a zero
+    vector against a non-zero vector has similarity 0.0.
+    """
+    left_norm = float(np.linalg.norm(left))
+    right_norm = float(np.linalg.norm(right))
+    if left_norm == 0.0 and right_norm == 0.0:
+        return 1.0
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    value = float(np.dot(left, right) / (left_norm * right_norm))
+    # Guard against floating point drift slightly above 1.
+    return min(max(value, 0.0), 1.0)
+
+
+def l1_similarity(left: np.ndarray, right: np.ndarray) -> float:
+    """Similarity derived from the normalised L1 (total variation) distance."""
+    total = float(np.sum(left) + np.sum(right))
+    if total == 0.0:
+        return 1.0
+    distance = float(np.sum(np.abs(left - right))) / total
+    return 1.0 - distance
+
+
+def l2_similarity(left: np.ndarray, right: np.ndarray) -> float:
+    """Similarity derived from the normalised Euclidean distance."""
+    denominator = float(np.linalg.norm(left) + np.linalg.norm(right))
+    if denominator == 0.0:
+        return 1.0
+    return 1.0 - float(np.linalg.norm(left - right)) / denominator
+
+
+def jaccard_similarity(left: np.ndarray, right: np.ndarray) -> float:
+    """Weighted Jaccard similarity ``sum(min) / sum(max)`` of the counts."""
+    maxima = np.maximum(left, right)
+    total_max = float(np.sum(maxima))
+    if total_max == 0.0:
+        return 1.0
+    return float(np.sum(np.minimum(left, right)) / total_max)
+
+
+def kl_divergence(left: np.ndarray, right: np.ndarray) -> float:
+    """Kullback-Leibler divergence ``KL(P_left || P_right)`` in nats.
+
+    Counts are normalised into probability distributions; a small epsilon
+    smooths zero bins on the right-hand side so the divergence stays
+    finite for histograms with disjoint support.
+    """
+    epsilon = 1e-12
+    p = left / max(float(np.sum(left)), epsilon)
+    q = right / max(float(np.sum(right)), epsilon)
+    q = np.clip(q, epsilon, None)
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))
+
+
+_METRICS: Dict[str, MetricFunction] = {
+    "cosine": cosine_similarity,
+    "l1": l1_similarity,
+    "l2": l2_similarity,
+    "jaccard": jaccard_similarity,
+}
+
+
+def available_metrics() -> Tuple[str, ...]:
+    """Names of the registered similarity metrics."""
+    return tuple(sorted(_METRICS))
+
+
+def get_metric(name: str) -> MetricFunction:
+    """Look up a similarity metric by name (case-insensitive)."""
+    try:
+        return _METRICS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown similarity metric {name!r}; available: {available_metrics()}"
+        ) from None
+
+
+def register_metric(name: str, function: MetricFunction) -> None:
+    """Register a custom similarity metric under ``name``.
+
+    The function must map two aligned count vectors to a similarity in
+    ``[0, 1]`` where 1 means identical.
+    """
+    _METRICS[name.lower()] = function
+
+
+def histogram_similarity(
+    original: FrequencyMap,
+    other: FrequencyMap,
+    *,
+    metric: str = "cosine",
+) -> float:
+    """Similarity between two token->count mappings under ``metric``."""
+    left, right = align_frequencies(original, other)
+    return get_metric(metric)(left, right)
+
+
+def similarity_percent(
+    original: FrequencyMap,
+    other: FrequencyMap,
+    *,
+    metric: str = "cosine",
+) -> float:
+    """Similarity expressed as a percentage in ``[0, 100]``."""
+    return 100.0 * histogram_similarity(original, other, metric=metric)
+
+
+def distortion_percent(
+    original: FrequencyMap,
+    other: FrequencyMap,
+    *,
+    metric: str = "cosine",
+) -> float:
+    """Distortion = ``100 - similarity_percent`` — the quantity bounded by ``b``."""
+    return 100.0 - similarity_percent(original, other, metric=metric)
+
+
+def ranking(frequencies: FrequencyMap) -> Tuple[str, ...]:
+    """Tokens ordered by descending frequency with deterministic tie-break."""
+    return tuple(
+        token
+        for token, _count in sorted(
+            frequencies.items(), key=lambda item: (-item[1], item[0])
+        )
+    )
+
+
+def rank_changes(original: FrequencyMap, other: FrequencyMap) -> int:
+    """Number of tokens whose rank position differs between two histograms.
+
+    This is the metric behind the paper's claim that WM-OBT and WM-RVS
+    change the ranking of 998 and 987 out of 1000 tokens while FreqyWM
+    changes none. Tokens appearing in only one histogram count as changed.
+    """
+    original_rank = {token: index for index, token in enumerate(ranking(original))}
+    other_rank = {token: index for index, token in enumerate(ranking(other))}
+    tokens = set(original_rank) | set(other_rank)
+    changed = 0
+    for token in tokens:
+        if original_rank.get(token) != other_rank.get(token):
+            changed += 1
+    return changed
+
+
+def ranking_preserved(
+    original: FrequencyMap,
+    other: FrequencyMap,
+    *,
+    strict: bool = False,
+) -> bool:
+    """Whether the descending-frequency ranking is preserved.
+
+    With ``strict=False`` (the default, matching the paper's constraint)
+    the order of the original ranking must remain *non-increasing* in the
+    new histogram — ties introduced by the watermark are allowed because
+    they do not invert any pair of tokens. With ``strict=True`` the exact
+    rank permutation must be identical.
+    """
+    if strict:
+        return rank_changes(original, other) == 0
+    order = ranking(original)
+    counts = [other.get(token, 0) for token in order]
+    return all(counts[i] >= counts[i + 1] for i in range(len(counts) - 1))
+
+
+__all__ = [
+    "FrequencyMap",
+    "MetricFunction",
+    "align_frequencies",
+    "cosine_similarity",
+    "l1_similarity",
+    "l2_similarity",
+    "jaccard_similarity",
+    "kl_divergence",
+    "available_metrics",
+    "get_metric",
+    "register_metric",
+    "histogram_similarity",
+    "similarity_percent",
+    "distortion_percent",
+    "ranking",
+    "rank_changes",
+    "ranking_preserved",
+]

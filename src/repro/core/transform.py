@@ -1,0 +1,114 @@
+"""Data transformation: turn histogram deltas into an edited dataset.
+
+The frequency-modification stage only decides *how many* appearances of
+each token to add or remove; this module performs the actual edit on the
+token sequence (the ``Create`` step of Algorithm I):
+
+* removals pick random existing positions of the token, so no positional
+  pattern reveals which appearances belonged to the watermark;
+* insertions go to random positions of the sequence — the paper stresses
+  that inserting at predictable positions (for example always at the end)
+  would weaken FreqyWM against a guess attack.
+
+For multi-dimensional datasets (where a token is a combination of
+attribute values but rows carry further attributes) the equivalent row
+transformation lives in :mod:`repro.core.multidimensional`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.histogram import TokenHistogram
+from repro.core.tokens import TokenValue, canonical_token
+from repro.exceptions import GenerationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def apply_deltas_to_tokens(
+    tokens: Sequence[TokenValue],
+    deltas: Mapping[str, int],
+    *,
+    rng: RngLike = None,
+) -> List[str]:
+    """Apply token-count ``deltas`` to a raw token sequence.
+
+    Parameters
+    ----------
+    tokens:
+        The original dataset as a sequence of token occurrences.
+    deltas:
+        Mapping from canonical token to the signed number of appearances
+        to add (positive) or remove (negative).
+    rng:
+        Randomness source for choosing removal victims and insertion
+        positions.
+
+    Returns
+    -------
+    A new list of canonical token strings whose histogram equals the
+    original histogram with ``deltas`` applied.
+    """
+    generator = ensure_rng(rng)
+    canonical = [canonical_token(token) for token in tokens]
+
+    # Plan removals: choose random occurrence indices per token.
+    removal_indices: set = set()
+    positions_by_token: Dict[str, List[int]] = {}
+    removals = {token: -delta for token, delta in deltas.items() if delta < 0}
+    if removals:
+        for index, token in enumerate(canonical):
+            if token in removals:
+                positions_by_token.setdefault(token, []).append(index)
+        for token, count in removals.items():
+            positions = positions_by_token.get(token, [])
+            if len(positions) < count:
+                raise GenerationError(
+                    f"cannot remove {count} appearances of {token!r}: only "
+                    f"{len(positions)} present"
+                )
+            chosen = generator.choice(len(positions), size=count, replace=False)
+            removal_indices.update(positions[i] for i in chosen)
+
+    result = [token for index, token in enumerate(canonical) if index not in removal_indices]
+
+    # Plan insertions: new appearances land at random positions.
+    additions = {token: delta for token, delta in deltas.items() if delta > 0}
+    for token, count in additions.items():
+        for _ in range(count):
+            position = int(generator.integers(0, len(result) + 1))
+            result.insert(position, token)
+    return result
+
+
+def transform_dataset(
+    tokens: Sequence[TokenValue],
+    original: TokenHistogram,
+    watermarked: TokenHistogram,
+    *,
+    rng: RngLike = None,
+) -> List[str]:
+    """Edit ``tokens`` so its histogram matches ``watermarked``.
+
+    The deltas are derived by diffing the two histograms, so this function
+    also serves the multi-watermarking and attack modules, which produce a
+    target histogram first and then need a consistent dataset.
+    """
+    deltas: Dict[str, int] = {}
+    all_tokens = set(original.as_dict()) | set(watermarked.as_dict())
+    for token in all_tokens:
+        delta = watermarked.frequency(token) - original.frequency(token)
+        if delta != 0:
+            deltas[token] = delta
+    return apply_deltas_to_tokens(tokens, deltas, rng=rng)
+
+
+def verify_transformation(
+    transformed: Sequence[str],
+    expected: TokenHistogram,
+) -> bool:
+    """Check that a transformed token sequence matches the target histogram."""
+    return TokenHistogram.from_tokens(transformed).as_dict() == expected.as_dict()
+
+
+__all__ = ["apply_deltas_to_tokens", "transform_dataset", "verify_transformation"]

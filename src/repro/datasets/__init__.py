@@ -1,0 +1,55 @@
+"""Dataset substrates: synthetic workloads and stand-ins for the paper's data."""
+
+from repro.datasets.adult import AdultSpec, adult_age_tokens, generate_adult_dataset
+from repro.datasets.clickstream import (
+    ClickstreamSpec,
+    clickstream_tokens,
+    daily_visit_series,
+    generate_clickstream,
+    url_sequences_by_user,
+)
+from repro.datasets.loaders import (
+    load_histogram_json,
+    load_table_csv,
+    load_token_file,
+    save_histogram_json,
+    save_table_csv,
+    save_token_file,
+    tokens_from_table,
+)
+from repro.datasets.synthetic import (
+    PAPER_ALPHA_SWEEP,
+    PowerLawSpec,
+    generate_power_law_histogram,
+    generate_power_law_tokens,
+    uniform_histogram,
+)
+from repro.datasets.tabular import TabularDataset
+from repro.datasets.taxi import TaxiSpec, generate_taxi_dataset, taxi_tokens
+
+__all__ = [
+    "AdultSpec",
+    "adult_age_tokens",
+    "generate_adult_dataset",
+    "ClickstreamSpec",
+    "clickstream_tokens",
+    "daily_visit_series",
+    "generate_clickstream",
+    "url_sequences_by_user",
+    "load_histogram_json",
+    "load_table_csv",
+    "load_token_file",
+    "save_histogram_json",
+    "save_table_csv",
+    "save_token_file",
+    "tokens_from_table",
+    "PAPER_ALPHA_SWEEP",
+    "PowerLawSpec",
+    "generate_power_law_histogram",
+    "generate_power_law_tokens",
+    "uniform_histogram",
+    "TabularDataset",
+    "TaxiSpec",
+    "generate_taxi_dataset",
+    "taxi_tokens",
+]

@@ -1,0 +1,96 @@
+"""Loading and saving token datasets and tables.
+
+The watermarking pipeline consumes either a raw token sequence (one token
+per line / per row value) or a :class:`TabularDataset`. These helpers read
+and write both forms so the CLI and examples can work with files on disk,
+and they are the natural extension point for users who want to plug in
+their own data sources.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.histogram import TokenHistogram
+from repro.datasets.tabular import TabularDataset
+from repro.exceptions import DatasetError
+
+PathLike = Union[str, Path]
+
+
+def load_token_file(path: PathLike) -> List[str]:
+    """Read a token-per-line text file into a token list.
+
+    Blank lines are skipped; surrounding whitespace is stripped. This is
+    the natural on-disk form for single-dimensional datasets such as a
+    list of visited URLs.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    tokens = [line.strip() for line in text.splitlines() if line.strip()]
+    if not tokens:
+        raise DatasetError(f"token file {path!s} contains no tokens")
+    return tokens
+
+
+def save_token_file(tokens: Iterable[str], path: PathLike) -> None:
+    """Write a token list as a token-per-line text file."""
+    Path(path).write_text("\n".join(str(token) for token in tokens) + "\n", encoding="utf-8")
+
+
+def load_histogram_json(path: PathLike) -> TokenHistogram:
+    """Read a token->count JSON mapping into a :class:`TokenHistogram`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise DatasetError(f"histogram file {path!s} must contain a JSON object")
+    return TokenHistogram.from_counts({str(key): int(value) for key, value in payload.items()})
+
+
+def save_histogram_json(histogram: TokenHistogram, path: PathLike) -> None:
+    """Write a histogram as a token->count JSON mapping."""
+    Path(path).write_text(
+        json.dumps(histogram.as_dict(), indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def load_table_csv(path: PathLike) -> TabularDataset:
+    """Read a CSV file into a :class:`TabularDataset`."""
+    return TabularDataset.from_csv(Path(path))
+
+
+def save_table_csv(dataset: TabularDataset, path: PathLike) -> None:
+    """Write a :class:`TabularDataset` to a CSV file."""
+    dataset.to_csv(Path(path))
+
+
+def tokens_from_table(
+    dataset: TabularDataset, token_columns: List[str]
+) -> List[str]:
+    """Project a table onto (possibly composite) tokens.
+
+    Single-column projections return the stringified column values;
+    multi-column projections compose the values with
+    :func:`repro.core.tokens.compose_token`.
+    """
+    from repro.core.tokens import compose_token
+
+    if not token_columns:
+        raise DatasetError("token_columns must name at least one column")
+    if len(token_columns) == 1:
+        return [str(value) for value in dataset.column(token_columns[0])]
+    return [
+        compose_token(tuple(str(row[column]) for column in token_columns))
+        for row in dataset
+    ]
+
+
+__all__ = [
+    "load_token_file",
+    "save_token_file",
+    "load_histogram_json",
+    "save_histogram_json",
+    "load_table_csv",
+    "save_table_csv",
+    "tokens_from_table",
+]

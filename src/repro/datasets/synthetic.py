@@ -1,0 +1,169 @@
+"""Synthetic power-law token datasets (Section IV-A workload).
+
+The paper's synthetic experiments draw 1 M token occurrences over 1 000
+distinct tokens from a power-law (Zipf-like) distribution whose skewness
+``alpha`` is swept over ``{0.05, 0.2, 0.5, 0.7, 0.9, 1.0}``:
+
+* ``alpha = 0`` is the uniform distribution (no eligible pairs — FreqyWM
+  explicitly does not apply);
+* increasing ``alpha`` widens the gaps between consecutive frequencies,
+  creating more eligible pairs, until the long tail itself becomes flat.
+
+Token *probabilities* follow ``p_i ∝ 1 / i^alpha`` over ranks
+``i = 1..n_tokens``. Two sampling modes are offered: multinomial sampling
+(the realistic, noisy option) and an "expected counts" mode that assigns
+each token its expected frequency directly, which makes experiments
+deterministic given the seed and much faster for large sample sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.histogram import TokenHistogram
+from repro.exceptions import DatasetError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class PowerLawSpec:
+    """Specification of one synthetic power-law dataset.
+
+    Attributes
+    ----------
+    alpha:
+        Skewness parameter in ``[0, ~1.5]``; 0 is uniform.
+    n_tokens:
+        Number of distinct tokens (the paper uses 1 000).
+    sample_size:
+        Total number of token occurrences (the paper uses 1 000 000).
+    token_prefix:
+        Prefix of the generated token names (``tok-0000`` style), useful
+        when several synthetic datasets must not share a token space.
+    """
+
+    alpha: float
+    n_tokens: int = 1000
+    sample_size: int = 1_000_000
+    token_prefix: str = "tok"
+
+    def __post_init__(self) -> None:
+        require_in_range("alpha", self.alpha, 0.0, 5.0)
+        require_positive("n_tokens", self.n_tokens)
+        require_positive("sample_size", self.sample_size)
+
+
+def power_law_probabilities(alpha: float, n_tokens: int) -> np.ndarray:
+    """Normalised token probabilities ``p_i ∝ 1 / i^alpha``, rank-ordered."""
+    require_in_range("alpha", alpha, 0.0, 5.0)
+    require_positive("n_tokens", n_tokens)
+    ranks = np.arange(1, n_tokens + 1, dtype=float)
+    weights = ranks ** (-float(alpha))
+    return weights / weights.sum()
+
+
+def token_names(n_tokens: int, prefix: str = "tok") -> List[str]:
+    """Deterministic token names ``prefix-0000 .. prefix-(n-1)``."""
+    width = max(4, len(str(n_tokens - 1)))
+    return [f"{prefix}-{index:0{width}d}" for index in range(n_tokens)]
+
+
+def expected_counts(spec: PowerLawSpec) -> Dict[str, int]:
+    """Expected (rounded) frequency of each token under ``spec``.
+
+    Rounding keeps at least one occurrence per token so the histogram
+    support always has ``n_tokens`` entries; the total may therefore differ
+    from ``sample_size`` by a small amount, which is irrelevant to the
+    watermarking behaviour.
+    """
+    probabilities = power_law_probabilities(spec.alpha, spec.n_tokens)
+    names = token_names(spec.n_tokens, spec.token_prefix)
+    counts = np.maximum(1, np.round(probabilities * spec.sample_size).astype(int))
+    return dict(zip(names, counts.tolist()))
+
+
+def sampled_counts(spec: PowerLawSpec, rng: RngLike = None) -> Dict[str, int]:
+    """Multinomially sampled frequencies of each token under ``spec``."""
+    generator = ensure_rng(rng)
+    probabilities = power_law_probabilities(spec.alpha, spec.n_tokens)
+    names = token_names(spec.n_tokens, spec.token_prefix)
+    draws = generator.multinomial(spec.sample_size, probabilities)
+    return {name: int(count) for name, count in zip(names, draws) if count > 0}
+
+
+def generate_power_law_histogram(
+    alpha: float,
+    *,
+    n_tokens: int = 1000,
+    sample_size: int = 1_000_000,
+    mode: str = "expected",
+    rng: RngLike = None,
+    token_prefix: str = "tok",
+) -> TokenHistogram:
+    """Generate the synthetic histogram used by the Figure 2 experiments.
+
+    ``mode="expected"`` (default) assigns expected counts — deterministic
+    and fast; ``mode="sampled"`` draws a true multinomial sample.
+    """
+    spec = PowerLawSpec(
+        alpha=alpha, n_tokens=n_tokens, sample_size=sample_size, token_prefix=token_prefix
+    )
+    if mode == "expected":
+        counts = expected_counts(spec)
+    elif mode == "sampled":
+        counts = sampled_counts(spec, rng)
+    else:
+        raise DatasetError(f"mode must be 'expected' or 'sampled', got {mode!r}")
+    return TokenHistogram.from_counts(counts)
+
+
+def generate_power_law_tokens(
+    alpha: float,
+    *,
+    n_tokens: int = 1000,
+    sample_size: int = 100_000,
+    rng: RngLike = None,
+    token_prefix: str = "tok",
+) -> List[str]:
+    """Generate a raw token occurrence sequence (shuffled) under the spec.
+
+    Used when an experiment needs an actual dataset (for sampling attacks
+    on raw data, transformation tests, examples) rather than a histogram.
+    """
+    spec = PowerLawSpec(
+        alpha=alpha, n_tokens=n_tokens, sample_size=sample_size, token_prefix=token_prefix
+    )
+    generator = ensure_rng(rng)
+    probabilities = power_law_probabilities(spec.alpha, spec.n_tokens)
+    names = token_names(spec.n_tokens, spec.token_prefix)
+    indices = generator.choice(spec.n_tokens, size=spec.sample_size, p=probabilities)
+    return [names[int(index)] for index in indices]
+
+
+def uniform_histogram(
+    n_tokens: int = 100, count_per_token: int = 100, *, token_prefix: str = "uni"
+) -> TokenHistogram:
+    """A perfectly uniform histogram — the regime where FreqyWM cannot embed."""
+    names = token_names(n_tokens, token_prefix)
+    return TokenHistogram.from_counts({name: count_per_token for name in names})
+
+
+#: The skewness sweep used throughout the paper's synthetic evaluation.
+PAPER_ALPHA_SWEEP: Tuple[float, ...] = (0.05, 0.2, 0.5, 0.7, 0.9, 1.0)
+
+
+__all__ = [
+    "PowerLawSpec",
+    "power_law_probabilities",
+    "token_names",
+    "expected_counts",
+    "sampled_counts",
+    "generate_power_law_histogram",
+    "generate_power_law_tokens",
+    "uniform_histogram",
+    "PAPER_ALPHA_SWEEP",
+]

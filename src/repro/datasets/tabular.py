@@ -1,0 +1,177 @@
+"""A minimal, dependency-free tabular dataset container.
+
+The multi-dimensional watermarking path (Section IV-C) and the synthetic
+stand-ins for the paper's real datasets (Chicago Taxi, eyeWnder, Adult)
+all need a small relational substrate: ordered columns, a list of row
+dictionaries, selection by predicate, column projection and CSV
+round-tripping. Rather than depending on pandas (not available offline in
+this environment) the package ships this purpose-built container.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import DatasetError
+
+Row = Dict[str, object]
+
+
+@dataclass
+class TabularDataset:
+    """An ordered-column, row-oriented table.
+
+    Attributes
+    ----------
+    columns:
+        Column names in presentation order.
+    rows:
+        Row dictionaries; every row must provide a value for every column.
+    """
+
+    columns: Tuple[str, ...]
+    rows: List[Row] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.columns = tuple(self.columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise DatasetError(f"duplicate column names in {self.columns!r}")
+        for row in self.rows:
+            self._check_row(row)
+
+    def _check_row(self, row: Mapping[str, object]) -> None:
+        missing = [column for column in self.columns if column not in row]
+        if missing:
+            raise DatasetError(f"row is missing columns {missing!r}: {row!r}")
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self.rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TabularDataset):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TabularDataset(columns={list(self.columns)}, rows={len(self.rows)})"
+
+    # ------------------------------------------------------------------ #
+    # Relational operations
+    # ------------------------------------------------------------------ #
+
+    def append(self, row: Mapping[str, object]) -> None:
+        """Append a row, validating it carries every column."""
+        self._check_row(row)
+        self.rows.append(dict(row))
+
+    def column(self, name: str) -> List[object]:
+        """Project a single column as a list of values."""
+        if name not in self.columns:
+            raise DatasetError(f"unknown column {name!r}; columns: {list(self.columns)!r}")
+        return [row[name] for row in self.rows]
+
+    def project(self, names: Sequence[str]) -> "TabularDataset":
+        """Return a new dataset with only ``names`` columns."""
+        for name in names:
+            if name not in self.columns:
+                raise DatasetError(f"unknown column {name!r}")
+        return TabularDataset(
+            columns=tuple(names),
+            rows=[{name: row[name] for name in names} for row in self.rows],
+        )
+
+    def select(self, predicate: Callable[[Row], bool]) -> "TabularDataset":
+        """Return a new dataset with only rows matching ``predicate``."""
+        return TabularDataset(
+            columns=self.columns, rows=[dict(row) for row in self.rows if predicate(row)]
+        )
+
+    def rows_matching(self, values: Mapping[str, object]) -> List[Row]:
+        """All rows whose columns equal ``values`` (string comparison).
+
+        Comparison is on the stringified values so that CSV round-trips
+        (where everything becomes a string) still match.
+        """
+        matches: List[Row] = []
+        for row in self.rows:
+            if all(str(row[column]) == str(value) for column, value in values.items()):
+                matches.append(row)
+        return matches
+
+    def value_counts(self, column: str) -> Dict[str, int]:
+        """Frequency of each (stringified) value in ``column``."""
+        counts: Dict[str, int] = {}
+        for value in self.column(column):
+            key = str(value)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def sample(self, fraction: float, rng) -> "TabularDataset":
+        """Uniform random subsample keeping roughly ``fraction`` of the rows."""
+        if not 0.0 < fraction <= 1.0:
+            raise DatasetError(f"sample fraction must be in (0, 1], got {fraction}")
+        size = max(1, int(round(fraction * len(self.rows))))
+        indices = rng.choice(len(self.rows), size=size, replace=False)
+        return TabularDataset(
+            columns=self.columns, rows=[dict(self.rows[int(i)]) for i in sorted(indices)]
+        )
+
+    def copy(self) -> "TabularDataset":
+        """Deep-enough copy (rows are copied, values are shared)."""
+        return TabularDataset(columns=self.columns, rows=[dict(row) for row in self.rows])
+
+    # ------------------------------------------------------------------ #
+    # CSV round trip
+    # ------------------------------------------------------------------ #
+
+    def to_csv(self, path: Union[str, Path, None] = None) -> Optional[str]:
+        """Write the dataset as CSV to ``path``, or return the CSV text."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self.columns))
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({column: row[column] for column in self.columns})
+        text = buffer.getvalue()
+        if path is None:
+            return text
+        Path(path).write_text(text, encoding="utf-8")
+        return None
+
+    @classmethod
+    def from_csv(cls, source: Union[str, Path]) -> "TabularDataset":
+        """Read a dataset from a CSV file path or CSV text."""
+        if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and Path(source).exists()):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = str(source)
+        reader = csv.DictReader(io.StringIO(text))
+        if reader.fieldnames is None:
+            raise DatasetError("CSV input has no header row")
+        rows = [dict(row) for row in reader]
+        return cls(columns=tuple(reader.fieldnames), rows=rows)
+
+    @classmethod
+    def from_records(
+        cls, columns: Sequence[str], records: Iterable[Sequence[object]]
+    ) -> "TabularDataset":
+        """Build a dataset from positional records."""
+        columns = tuple(columns)
+        rows = [dict(zip(columns, record)) for record in records]
+        return cls(columns=columns, rows=rows)
+
+
+__all__ = ["Row", "TabularDataset"]

@@ -1,0 +1,106 @@
+"""Synthetic taxi-trip dataset (stand-in for the Chicago Taxi dataset).
+
+The paper's largest validation dataset is the Chicago Taxi Trips table
+(9.68 GB) with *Taxi ID* as the watermarking token: 6 573 distinct taxis,
+33 308 eligible pairs, and 805 optimally chosen pairs at ``z = 131``,
+``b = 2``. The defining property for FreqyWM is the Taxi-ID frequency
+histogram: thousands of distinct tokens whose trip counts follow a
+heavy-tailed distribution with plenty of gaps between consecutive ranks.
+
+This generator produces a trip table with that histogram shape plus
+realistic auxiliary columns (trip seconds, miles, fare, payment type,
+pickup area) so the multi-dimensional and tabular code paths can be
+exercised on it as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.tabular import TabularDataset
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_positive
+
+_PAYMENT_TYPES = ("Cash", "Credit Card", "Mobile", "Prcard", "Unknown")
+_COMMUNITY_AREAS = tuple(f"area-{index:02d}" for index in range(1, 78))
+
+
+@dataclass(frozen=True)
+class TaxiSpec:
+    """Parameters of the synthetic taxi-trip generator.
+
+    The defaults are scaled down (number of trips) from the real dataset
+    so the full benchmark suite runs in minutes; the number of distinct
+    taxis and the skew of the trips-per-taxi distribution follow the real
+    dataset's regime.
+    """
+
+    n_taxis: int = 1500
+    n_trips: int = 120_000
+    activity_exponent: float = 0.9
+
+    def __post_init__(self) -> None:
+        require_positive("n_taxis", self.n_taxis)
+        require_positive("n_trips", self.n_trips)
+        require_positive("activity_exponent", self.activity_exponent)
+
+
+def generate_taxi_dataset(
+    spec: Optional[TaxiSpec] = None,
+    *,
+    rng: RngLike = None,
+) -> TabularDataset:
+    """Generate a synthetic taxi-trip table.
+
+    Columns: ``taxi_id``, ``trip_seconds``, ``trip_miles``, ``fare``,
+    ``payment_type``, ``pickup_area``.
+    """
+    spec = spec or TaxiSpec()
+    generator = ensure_rng(rng)
+
+    ranks = np.arange(1, spec.n_taxis + 1, dtype=float)
+    activity = ranks ** (-spec.activity_exponent)
+    activity /= activity.sum()
+    taxi_ids = [f"taxi-{index:05d}" for index in range(spec.n_taxis)]
+
+    taxi_choices = generator.choice(spec.n_taxis, size=spec.n_trips, p=activity)
+    trip_seconds = np.maximum(60, generator.gamma(2.0, 400.0, size=spec.n_trips)).astype(int)
+    trip_miles = np.round(np.maximum(0.1, generator.gamma(1.5, 2.2, size=spec.n_trips)), 2)
+    fares = np.round(3.25 + 2.25 * trip_miles + 0.35 * trip_seconds / 60.0, 2)
+    payments = generator.choice(len(_PAYMENT_TYPES), size=spec.n_trips, p=(0.4, 0.45, 0.1, 0.03, 0.02))
+    areas = generator.integers(0, len(_COMMUNITY_AREAS), size=spec.n_trips)
+
+    rows: List[Dict[str, object]] = []
+    for index in range(spec.n_trips):
+        rows.append(
+            {
+                "taxi_id": taxi_ids[int(taxi_choices[index])],
+                "trip_seconds": int(trip_seconds[index]),
+                "trip_miles": float(trip_miles[index]),
+                "fare": float(fares[index]),
+                "payment_type": _PAYMENT_TYPES[int(payments[index])],
+                "pickup_area": _COMMUNITY_AREAS[int(areas[index])],
+            }
+        )
+    return TabularDataset(
+        columns=(
+            "taxi_id",
+            "trip_seconds",
+            "trip_miles",
+            "fare",
+            "payment_type",
+            "pickup_area",
+        ),
+        rows=rows,
+    )
+
+
+def taxi_tokens(dataset: TabularDataset) -> List[str]:
+    """Project the trip table onto its Taxi-ID tokens (the paper's choice)."""
+    return [str(value) for value in dataset.column("taxi_id")]
+
+
+__all__ = ["TaxiSpec", "generate_taxi_dataset", "taxi_tokens"]

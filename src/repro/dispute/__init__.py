@@ -1,0 +1,6 @@
+"""Ownership dispute resolution: judge protocol and watermark registry."""
+
+from repro.dispute.judge import Judge, OwnershipClaim, Verdict
+from repro.dispute.registry import RegistryEntry, WatermarkRegistry
+
+__all__ = ["Judge", "OwnershipClaim", "Verdict", "RegistryEntry", "WatermarkRegistry"]

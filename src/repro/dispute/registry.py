@@ -1,0 +1,220 @@
+"""Watermark registry — the paper's "immutable index" for buyer tracing.
+
+The introduction sketches a leak-tracing workflow: a seller (or data
+marketplace) creates a *different* watermark for every buyer, stores a
+description of each watermark in an immutable index (the paper suggests a
+blockchain), and when an unauthorised copy surfaces, looks it up against
+the index to identify the leaking buyer.
+
+This module provides that index as a hash-chained, append-only ledger of
+watermark *fingerprints* (keyed commitments — the secrets themselves never
+enter the registry), plus the lookup that runs detection with each
+registered secret to attribute a leaked copy. The hash chain makes
+after-the-fact tampering evident, which is the property the blockchain was
+buying; persistence is plain JSON so the registry can be shared or
+audited.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import DetectionConfig
+from repro.core.detector import WatermarkDetector
+from repro.core.histogram import TokenHistogram
+from repro.core.secrets import WatermarkSecret
+from repro.core.tokens import TokenValue
+from repro.exceptions import DisputeError
+
+_GENESIS = "0" * 64
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered watermark: who it was issued to and its commitment."""
+
+    index: int
+    buyer_id: str
+    fingerprint: str
+    metadata: Dict[str, object]
+    previous_hash: str
+    entry_hash: str
+
+    @staticmethod
+    def compute_hash(
+        index: int,
+        buyer_id: str,
+        fingerprint: str,
+        metadata: Dict[str, object],
+        previous_hash: str,
+    ) -> str:
+        """Deterministic hash binding the entry to its predecessor."""
+        payload = json.dumps(
+            {
+                "index": index,
+                "buyer_id": buyer_id,
+                "fingerprint": fingerprint,
+                "metadata": metadata,
+                "previous_hash": previous_hash,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class WatermarkRegistry:
+    """Append-only, hash-chained index of issued watermarks.
+
+    The registry stores only fingerprints; the seller keeps the full
+    secrets privately (``secrets_vault``) so leak attribution can re-run
+    detection. Splitting the two mirrors the paper's intent: the public
+    index proves *when* a watermark was issued and to whom, without
+    revealing anything that helps an attacker find or remove it.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[RegistryEntry] = []
+        self._vault: Dict[str, WatermarkSecret] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> Tuple[RegistryEntry, ...]:
+        """All registry entries in issue order."""
+        return tuple(self._entries)
+
+    def register(
+        self,
+        buyer_id: str,
+        secret: WatermarkSecret,
+        **metadata: object,
+    ) -> RegistryEntry:
+        """Register the watermark issued to ``buyer_id``.
+
+        The secret itself goes into the private vault; only its keyed
+        fingerprint enters the chained public entry.
+        """
+        if buyer_id in self._vault:
+            raise DisputeError(f"buyer {buyer_id!r} already has a registered watermark")
+        previous_hash = self._entries[-1].entry_hash if self._entries else _GENESIS
+        index = len(self._entries)
+        fingerprint = secret.fingerprint()
+        entry_metadata = dict(metadata)
+        entry_hash = RegistryEntry.compute_hash(
+            index, buyer_id, fingerprint, entry_metadata, previous_hash
+        )
+        entry = RegistryEntry(
+            index=index,
+            buyer_id=buyer_id,
+            fingerprint=fingerprint,
+            metadata=entry_metadata,
+            previous_hash=previous_hash,
+            entry_hash=entry_hash,
+        )
+        self._entries.append(entry)
+        self._vault[buyer_id] = secret
+        return entry
+
+    def secret_for(self, buyer_id: str) -> WatermarkSecret:
+        """The privately held secret issued to ``buyer_id``."""
+        try:
+            return self._vault[buyer_id]
+        except KeyError:
+            raise DisputeError(f"no watermark registered for buyer {buyer_id!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Integrity and lookup
+    # ------------------------------------------------------------------ #
+
+    def verify_chain(self) -> bool:
+        """Check the hash chain: any tampered entry breaks verification."""
+        previous_hash = _GENESIS
+        for index, entry in enumerate(self._entries):
+            expected = RegistryEntry.compute_hash(
+                index, entry.buyer_id, entry.fingerprint, entry.metadata, previous_hash
+            )
+            if entry.index != index or entry.previous_hash != previous_hash:
+                return False
+            if entry.entry_hash != expected:
+                return False
+            previous_hash = entry.entry_hash
+        return True
+
+    def attribute_leak(
+        self,
+        data: Union[Sequence[TokenValue], TokenHistogram],
+        *,
+        detection: Optional[DetectionConfig] = None,
+    ) -> List[Tuple[str, float]]:
+        """Identify which buyer's watermark a leaked copy carries.
+
+        Runs detection with every registered secret and returns the buyers
+        whose watermark verifies, sorted by decreasing accepted-pair
+        fraction (the strongest match first).
+        """
+        detection_config = detection or DetectionConfig(pair_threshold=1)
+        histogram = (
+            data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
+        )
+        matches: List[Tuple[str, float]] = []
+        for buyer_id, secret in self._vault.items():
+            result = WatermarkDetector(secret, detection_config).detect(histogram)
+            if result.accepted:
+                matches.append((buyer_id, result.accepted_fraction))
+        matches.sort(key=lambda item: (-item[1], item[0]))
+        return matches
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def export_public_ledger(self) -> List[Dict[str, object]]:
+        """Serialisable public view (fingerprints only, no secrets)."""
+        return [
+            {
+                "index": entry.index,
+                "buyer_id": entry.buyer_id,
+                "fingerprint": entry.fingerprint,
+                "metadata": entry.metadata,
+                "previous_hash": entry.previous_hash,
+                "entry_hash": entry.entry_hash,
+            }
+            for entry in self._entries
+        ]
+
+    def save_public_ledger(self, path: Union[str, Path]) -> None:
+        """Write the public ledger to ``path`` as JSON."""
+        Path(path).write_text(
+            json.dumps(self.export_public_ledger(), indent=2), encoding="utf-8"
+        )
+
+    @staticmethod
+    def verify_exported_ledger(entries: Sequence[Dict[str, object]]) -> bool:
+        """Verify the hash chain of an exported public ledger."""
+        previous_hash = _GENESIS
+        for index, raw in enumerate(entries):
+            expected = RegistryEntry.compute_hash(
+                int(raw["index"]),
+                str(raw["buyer_id"]),
+                str(raw["fingerprint"]),
+                dict(raw["metadata"]),
+                previous_hash,
+            )
+            if int(raw["index"]) != index or raw["previous_hash"] != previous_hash:
+                return False
+            if raw["entry_hash"] != expected:
+                return False
+            previous_hash = str(raw["entry_hash"])
+        return True
+
+
+__all__ = ["RegistryEntry", "WatermarkRegistry"]

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the FreqyWM reproduction package.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+applications embedding the library can catch a single base class. More
+specific subclasses communicate which stage of the watermarking pipeline
+failed and carry enough context to act on the failure programmatically.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user supplied configuration value is invalid.
+
+    Examples include a non-positive modulus ``z``, a distortion budget
+    outside ``[0, 100]`` or detection thresholds that cannot be satisfied.
+    """
+
+
+class HistogramError(ReproError):
+    """Raised when a token histogram cannot be built or is malformed."""
+
+
+class EligibilityError(ReproError):
+    """Raised when eligible-pair generation receives inconsistent inputs."""
+
+
+class MatchingError(ReproError):
+    """Raised when the pair-selection stage (MWM / knapsack / heuristics)
+    cannot produce a valid matching."""
+
+
+class GenerationError(ReproError):
+    """Raised when watermark generation cannot complete.
+
+    The most common cause is a dataset with (near-)uniform token
+    frequencies where no eligible pair exists within the ranking
+    constraint, which the paper explicitly calls out as unsupported.
+    """
+
+
+class DetectionError(ReproError):
+    """Raised when watermark detection receives invalid secrets or data."""
+
+
+class AttackError(ReproError):
+    """Raised when an attack simulation is configured inconsistently."""
+
+
+class DatasetError(ReproError):
+    """Raised by the dataset substrates (loaders and generators)."""
+
+
+class DisputeError(ReproError):
+    """Raised by the ownership-dispute (judge / registry) protocol."""
+
+
+class BaselineError(ReproError):
+    """Raised by the WM-OBT / WM-RVS baseline implementations."""

@@ -1,0 +1,15 @@
+"""Machine-learning substrates used by the Section VI analyses."""
+
+from repro.ml.sequence_model import (
+    MarkovSequenceModel,
+    SequenceEvaluation,
+    accuracy_impact,
+    train_test_split_sequences,
+)
+
+__all__ = [
+    "MarkovSequenceModel",
+    "SequenceEvaluation",
+    "accuracy_impact",
+    "train_test_split_sequences",
+]

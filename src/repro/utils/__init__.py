@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic RNG handling, timing, validation."""
+
+from repro.utils.rng import derive_rng, ensure_rng
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_non_empty,
+    require_positive,
+)
+
+__all__ = [
+    "derive_rng",
+    "ensure_rng",
+    "Stopwatch",
+    "timed",
+    "require",
+    "require_in_range",
+    "require_non_empty",
+    "require_positive",
+]

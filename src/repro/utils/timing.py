@@ -1,0 +1,50 @@
+"""Lightweight wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock measurements.
+
+    The Table II reproduction reports separate generation and detection
+    times; a stopwatch instance is threaded through the pipeline so each
+    stage can record its own duration without global state.
+    """
+
+    laps: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed seconds under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.laps[name] = self.laps.get(name, 0.0) + elapsed
+
+    def elapsed(self, name: str) -> float:
+        """Total seconds recorded under ``name`` (0.0 if never measured)."""
+        return self.laps.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of all recorded laps."""
+        return dict(self.laps)
+
+
+def timed(func: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+__all__ = ["Stopwatch", "timed"]

@@ -1,0 +1,68 @@
+"""Small validation helpers shared across the package.
+
+They raise :class:`repro.exceptions.ConfigurationError` with a message that
+names the offending parameter, keeping argument checking terse at call
+sites while producing actionable errors for library users.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sized
+
+from repro.exceptions import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(name: str, value: float, *, strict: bool = True) -> None:
+    """Ensure a numeric parameter is positive (or non-negative)."""
+    if strict and value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> None:
+    """Ensure ``low <= value <= high`` (or strict inequalities)."""
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+
+
+def require_non_empty(name: str, value: Sized) -> None:
+    """Ensure a container argument is not empty."""
+    if len(value) == 0:
+        raise ConfigurationError(f"{name} must not be empty")
+
+
+def require_type(name: str, value: Any, expected: type) -> None:
+    """Ensure ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        raise ConfigurationError(
+            f"{name} must be of type {expected.__name__}, got {type(value).__name__}"
+        )
+
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_non_empty",
+    "require_type",
+]

@@ -1,0 +1,95 @@
+"""Unit tests for the trend/seasonality/residual decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.decomposition import (
+    component_difference,
+    decompose,
+    series_similarity_percent,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _weekly_series(days: int = 56, *, trend_slope: float = 2.0, noise: float = 0.0, seed: int = 3):
+    rng = np.random.default_rng(seed)
+    t = np.arange(days)
+    seasonal = 20.0 * np.sin(2 * np.pi * t / 7.0)
+    series = 500.0 + trend_slope * t + seasonal + rng.normal(0, noise, size=days)
+    return series
+
+
+class TestDecompose:
+    def test_components_sum_to_series(self):
+        series = _weekly_series(noise=5.0)
+        decomposition = decompose(series, period=7)
+        reconstructed = decomposition.trend + decomposition.seasonal + decomposition.residual
+        assert np.allclose(reconstructed, series)
+
+    def test_trend_captures_slope(self):
+        series = _weekly_series(trend_slope=3.0, noise=0.0)
+        decomposition = decompose(series, period=7)
+        interior = decomposition.trend[7:-7]
+        slopes = np.diff(interior)
+        assert np.mean(slopes) == pytest.approx(3.0, abs=0.5)
+
+    def test_seasonal_component_has_weekly_period(self):
+        series = _weekly_series(noise=0.0)
+        decomposition = decompose(series, period=7)
+        seasonal = decomposition.seasonal
+        assert np.allclose(seasonal[:7], seasonal[7:14], atol=1e-6)
+        assert seasonal.max() > 10.0
+
+    def test_seasonal_component_is_centred(self):
+        decomposition = decompose(_weekly_series(), period=7)
+        assert decomposition.seasonal[:7].mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_residual_small_for_clean_signal(self):
+        decomposition = decompose(_weekly_series(noise=0.0), period=7)
+        interior = decomposition.residual[7:-7]
+        assert np.abs(interior).mean() < 5.0
+
+    def test_period_one_has_no_seasonality(self):
+        decomposition = decompose([1.0, 2.0, 3.0, 4.0], period=1)
+        assert np.allclose(decomposition.seasonal, 0.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            decompose([1.0], period=7)
+        with pytest.raises(ConfigurationError):
+            decompose([1.0, 2.0], period=0)
+
+    def test_as_dict(self):
+        decomposition = decompose(_weekly_series(), period=7)
+        assert set(decomposition.as_dict()) == {"series", "trend", "seasonal", "residual"}
+
+
+class TestComparisons:
+    def test_component_difference_zero_for_identical(self):
+        series = _weekly_series()
+        a = decompose(series, period=7)
+        b = decompose(series.copy(), period=7)
+        differences = component_difference(a, b)
+        assert all(value == pytest.approx(0.0, abs=1e-12) for value in differences.values())
+
+    def test_component_difference_small_for_tiny_perturbation(self):
+        series = _weekly_series()
+        perturbed = series.copy()
+        perturbed[10] += 1.0
+        differences = component_difference(decompose(series, period=7), decompose(perturbed, period=7))
+        assert differences["series"] < 0.01
+
+    def test_component_difference_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            component_difference(
+                decompose(_weekly_series(28), period=7), decompose(_weekly_series(56), period=7)
+            )
+
+    def test_series_similarity(self):
+        series = _weekly_series()
+        assert series_similarity_percent(series, series) == pytest.approx(100.0)
+        assert series_similarity_percent(series, series * 1.01) > 99.9
+        with pytest.raises(ConfigurationError):
+            series_similarity_percent([1.0, 2.0], [1.0])

@@ -1,0 +1,102 @@
+"""Unit tests for the distortion analysis and reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distortion import (
+    compare_methods,
+    distortion_report,
+    moment_preservation,
+)
+from repro.analysis.reporting import format_series, format_table, print_table
+
+
+class TestDistortionReport:
+    def test_identity_has_zero_distortion(self):
+        counts = {"a": 100, "b": 50, "c": 10}
+        report = distortion_report(counts, counts, method="identity")
+        assert report.similarity_percent == pytest.approx(100.0)
+        assert report.distortion_percent == pytest.approx(0.0)
+        assert report.rank_changes == 0
+        assert report.ranking_preserved
+        assert report.total_absolute_change == 0
+        assert report.tokens_changed == 0
+
+    def test_report_on_watermarked_histogram(self, watermarked_bundle):
+        result, original = watermarked_bundle
+        report = distortion_report(
+            original.as_dict(), result.watermarked_histogram.as_dict(), method="freqywm"
+        )
+        assert report.ranking_preserved
+        assert report.distortion_percent < 2.0
+        assert report.total_absolute_change == result.total_changes
+        assert report.tokens_changed <= 2 * result.pair_count
+
+    def test_rank_destroying_change_detected(self):
+        original = {"a": 100, "b": 90, "c": 10}
+        scrambled = {"a": 10, "b": 90, "c": 100}
+        report = distortion_report(original, scrambled, method="scrambled")
+        assert not report.ranking_preserved
+        assert report.rank_changes == 2
+        assert report.max_absolute_change == 90
+
+    def test_as_dict_round_trip(self):
+        report = distortion_report({"a": 5}, {"a": 6}, method="x")
+        payload = report.as_dict()
+        assert payload["method"] == "x"
+        assert payload["total_absolute_change"] == 1
+
+    def test_compare_methods(self, watermarked_bundle):
+        result, original = watermarked_bundle
+        reports = compare_methods(
+            original.as_dict(),
+            {
+                "freqywm": result.watermarked_histogram.as_dict(),
+                "identity": original.as_dict(),
+            },
+        )
+        assert set(reports) == {"freqywm", "identity"}
+        assert reports["identity"].distortion_percent == pytest.approx(0.0)
+
+    def test_moment_preservation(self):
+        original = {"a": 10, "b": 20, "c": 30}
+        shifted = {"a": 20, "b": 30, "c": 40}
+        moments = moment_preservation(original, shifted)
+        assert moments["mean_shift"] == pytest.approx(10.0)
+        assert moments["std_shift"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        rows = [
+            {"alpha": 0.5, "optimal": 139, "greedy": 110},
+            {"alpha": 0.7, "optimal": 150, "greedy": 120},
+        ]
+        text = format_table(rows, title="Figure 2a")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 2a"
+        assert "alpha" in lines[1] and "optimal" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        text = format_series(
+            "z", ["optimal", "greedy"], {10: (5, 4), 131: (3, 2)}, title="Figure 2b"
+        )
+        assert "Figure 2b" in text
+        assert "131" in text
+
+    def test_print_table_smoke(self, capsys):
+        print_table([{"x": 1}])
+        assert "x" in capsys.readouterr().out
+
+    def test_booleans_render_as_yes_no(self):
+        text = format_table([{"ok": True, "bad": False}])
+        assert "yes" in text and "no" in text

@@ -1,0 +1,131 @@
+"""Unit tests for the false-positive probability analysis — Section III-B4."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.analysis.false_positive import (
+    FalsePositiveProfile,
+    empirical_false_positive_rate,
+    false_positive_bound,
+    markov_bound,
+    pair_false_positive_probability,
+    poisson_binomial_pmf,
+    poisson_binomial_survival,
+    profile_from_moduli,
+    survival_curve,
+    uniform_probability_profile,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestPairProbability:
+    def test_uniform_remainder_model(self):
+        assert pair_false_positive_probability(131, 0) == pytest.approx(1 / 131)
+        assert pair_false_positive_probability(131, 12) == pytest.approx(13 / 131)
+        assert pair_false_positive_probability(10, 100) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            pair_false_positive_probability(1, 0)
+        with pytest.raises(ConfigurationError):
+            pair_false_positive_probability(10, -1)
+
+
+class TestPoissonBinomial:
+    def test_matches_binomial_for_identical_probabilities(self):
+        n, p = 30, 0.2
+        pmf = poisson_binomial_pmf([p] * n)
+        reference = stats.binom.pmf(np.arange(n + 1), n, p)
+        assert np.allclose(pmf, reference, atol=1e-9)
+
+    def test_pmf_sums_to_one(self, rng):
+        probabilities = rng.uniform(0, 1, size=40)
+        pmf = poisson_binomial_pmf(probabilities)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+
+    def test_survival_against_binomial(self):
+        n, p, k = 50, 0.3, 20
+        survival = poisson_binomial_survival([p] * n, k)
+        assert survival == pytest.approx(float(stats.binom.sf(k - 1, n, p)), abs=1e-9)
+
+    def test_survival_edge_cases(self):
+        assert poisson_binomial_survival([0.5] * 10, 0) == 1.0
+        assert poisson_binomial_survival([0.5] * 10, 11) == 0.0
+
+    def test_empty_probabilities(self):
+        assert poisson_binomial_pmf([]).tolist() == [1.0]
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_binomial_pmf([0.5, 1.5])
+
+    def test_survival_curve_monotone_decreasing(self, rng):
+        probabilities = rng.uniform(0, 1, size=50)
+        curve = survival_curve(probabilities)
+        assert curve[0] == pytest.approx(1.0)
+        assert np.all(np.diff(curve) <= 1e-12)
+        # The paper's observation for n = 50: survival reaches ~0 at k = n.
+        assert curve[-1] < 0.05
+
+
+class TestMarkovBound:
+    def test_bound_dominates_exact_probability(self, rng):
+        probabilities = rng.uniform(0, 0.3, size=30)
+        for k in (1, 5, 10, 20):
+            assert markov_bound(probabilities, k) + 1e-12 >= poisson_binomial_survival(
+                probabilities, k
+            )
+
+    def test_limit_in_t(self):
+        # As t -> 0 the per-pair probability and hence the bound go to zero.
+        bounds = [
+            false_positive_bound(50, 10, modulus=131, threshold=t) for t in (20, 10, 4, 0)
+        ]
+        assert bounds == sorted(bounds, reverse=True)
+        assert bounds[-1] < 0.04
+
+    def test_limit_in_k(self):
+        bounds = [false_positive_bound(50, k, modulus=131, threshold=4) for k in (1, 5, 20, 50)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_k_zero_gives_one(self):
+        assert markov_bound([0.1] * 10, 0) == 1.0
+
+
+class TestProfiles:
+    def test_profile_from_moduli(self):
+        profile = profile_from_moduli([100, 50, 25], threshold=4)
+        assert profile.pair_probabilities == pytest.approx((5 / 100, 5 / 50, 5 / 25))
+        assert profile.mean_accepted_pairs == pytest.approx(5 / 100 + 5 / 50 + 5 / 25)
+
+    def test_minimal_k_reaches_target(self):
+        profile = profile_from_moduli([131] * 40, threshold=0)
+        k = profile.minimal_k_for(1e-6)
+        assert profile.exact_probability(k) <= 1e-6
+        assert profile.exact_probability(max(0, k - 1)) > 1e-6
+
+    def test_markov_dominates_exact_in_profile(self):
+        profile = uniform_probability_profile(30, rng=3)
+        for k in (5, 15, 25):
+            assert profile.markov_probability(k) + 1e-12 >= profile.exact_probability(k)
+
+
+class TestEmpiricalValidation:
+    def test_monte_carlo_close_to_exact(self):
+        moduli = [131] * 30
+        threshold, k = 4, 3
+        exact = poisson_binomial_survival(
+            [pair_false_positive_probability(m, threshold) for m in moduli], k
+        )
+        empirical = empirical_false_positive_rate(
+            moduli, threshold, k, trials=4000, rng=11
+        )
+        assert empirical == pytest.approx(exact, abs=0.03)
+
+    def test_invalid_moduli_rejected(self):
+        with pytest.raises(ConfigurationError):
+            empirical_false_positive_rate([1, 10], 0, 1, trials=10)

@@ -1,0 +1,125 @@
+"""Unit tests for the destroy attacks — Section V-C."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.destroy import (
+    BoundaryNoiseAttack,
+    PercentageNoiseAttack,
+    ReorderingNoiseAttack,
+    reordering_success_rates,
+    sweep_thresholds,
+    verified_pair_fraction,
+)
+from repro.core.similarity import ranking_preserved
+from repro.exceptions import AttackError
+
+
+class TestRankPreservingAttacks:
+    def test_boundary_noise_preserves_ranking(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        attack = BoundaryNoiseAttack(rng=3)
+        attacked = attack.tamper(result.watermarked_histogram)
+        assert ranking_preserved(
+            result.watermarked_histogram.as_dict(), attacked.as_dict()
+        )
+
+    def test_percentage_noise_preserves_ranking_and_is_small(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        attack = PercentageNoiseAttack(1.0, rng=3)
+        attacked = attack.tamper(result.watermarked_histogram)
+        assert ranking_preserved(
+            result.watermarked_histogram.as_dict(), attacked.as_dict()
+        )
+        # A 1%-of-slack attack barely moves any frequency.
+        for token in attacked.tokens:
+            before = result.watermarked_histogram.frequency(token)
+            after = attacked.frequency(token)
+            assert abs(after - before) <= max(2, int(0.05 * before))
+
+    def test_percentage_zero_is_identity(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        attacked = PercentageNoiseAttack(0.0, rng=3).tamper(result.watermarked_histogram)
+        assert attacked.as_dict() == result.watermarked_histogram.as_dict()
+
+    def test_invalid_percent(self):
+        with pytest.raises(AttackError):
+            PercentageNoiseAttack(-1)
+        with pytest.raises(AttackError):
+            ReorderingNoiseAttack(-5)
+
+    def test_attack_run_wrapper_reports_detection(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        outcome = PercentageNoiseAttack(1.0, rng=3).run(
+            result.watermarked_histogram, result.secret
+        )
+        assert outcome.attack_name == "destroy-percentage-within-bounds"
+        assert outcome.detection is not None
+        assert 0.0 <= outcome.accepted_pair_fraction <= 1.0
+
+
+class TestReorderingAttack:
+    def test_reordering_attack_changes_ranking_at_high_noise(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        attacked = ReorderingNoiseAttack(90.0, rng=3).tamper(result.watermarked_histogram)
+        assert not ranking_preserved(
+            result.watermarked_histogram.as_dict(), attacked.as_dict()
+        )
+
+    def test_success_rate_degrades_with_noise(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        rates = reordering_success_rates(
+            result.watermarked_histogram,
+            result.secret,
+            percents=(10, 90),
+            pair_threshold=4,
+            repetitions=3,
+            rng=5,
+        )
+        assert set(rates) == {10.0, 90.0}
+        assert rates[10.0] >= rates[90.0]
+        # Even at 90% noise a substantial share of pairs still verifies
+        # (the paper reports ~76%); be generous on the lower bound.
+        assert rates[90.0] > 0.3
+        assert rates[10.0] > 0.6
+
+
+class TestThresholdSweeps:
+    def test_unattacked_data_verifies_fully_at_t0(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        points = sweep_thresholds(
+            result.watermarked_histogram, result.secret, thresholds=(0, 4)
+        )
+        assert points[0].accepted_fraction == pytest.approx(1.0)
+        assert points[0].attack_name == "no-attack"
+
+    def test_attacked_sweep_improves_with_threshold(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        points = sweep_thresholds(
+            result.watermarked_histogram,
+            result.secret,
+            thresholds=(0, 2, 10),
+            attack=BoundaryNoiseAttack(rng=9),
+            repetitions=2,
+        )
+        fractions = [point.accepted_fraction for point in points]
+        assert fractions == sorted(fractions)
+
+    def test_non_watermarked_dataset_has_low_false_positive_fraction(
+        self, watermarked_bundle
+    ):
+        # Like the paper's Figure 5 control: a non-watermarked dataset over
+        # the same token space but with a different skewness (α = 0.7)
+        # verifies only a small fraction of the pairs at t = 0.
+        from repro.datasets.synthetic import generate_power_law_histogram
+
+        result, _original = watermarked_bundle
+        non_watermarked = generate_power_law_histogram(
+            0.7, n_tokens=120, sample_size=60_000, mode="sampled", rng=909
+        )
+        fraction = verified_pair_fraction(non_watermarked, result.secret, pair_threshold=0)
+        # At test scale the eligible moduli are small (single digits), so the
+        # per-pair chance-acceptance rate 1/s_ij is non-trivial; the fraction
+        # must still sit clearly below the 50% detection threshold.
+        assert fraction < 0.45

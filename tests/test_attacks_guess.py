@@ -1,0 +1,97 @@
+"""Unit tests for the guess (brute-force) attack — Section V-A."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.attacks.guess import (
+    GuessAttack,
+    expected_guesses_to_succeed,
+    guess_success_probability,
+    single_pair_acceptance_probability,
+)
+from repro.core.config import DetectionConfig
+from repro.exceptions import AttackError
+
+
+class TestAnalyticalProbabilities:
+    def test_single_pair_probability(self):
+        assert single_pair_acceptance_probability(100, 0) == pytest.approx(0.01)
+        assert single_pair_acceptance_probability(100, 9) == pytest.approx(0.10)
+        assert single_pair_acceptance_probability(10, 99) == 1.0
+        with pytest.raises(AttackError):
+            single_pair_acceptance_probability(1, 0)
+
+    def test_success_probability_decreases_with_k(self):
+        previous = 1.0
+        for k in (1, 2, 5, 10, 15):
+            probability = guess_success_probability(20, k, modulus=131, threshold=0)
+            assert probability <= previous
+            previous = probability
+
+    def test_success_probability_is_negligible_for_paper_parameters(self):
+        # 139 pairs, k = half of them, z = 131, t = 0: essentially impossible.
+        probability = guess_success_probability(139, 70, modulus=131, threshold=0)
+        assert probability < 1e-80
+
+    def test_required_more_than_guessed_is_impossible(self):
+        assert guess_success_probability(5, 6, modulus=131) == 0.0
+
+    def test_expected_guesses(self):
+        assert expected_guesses_to_succeed(2, 2, modulus=10, threshold=0) == pytest.approx(
+            (10 / 1) ** 2, rel=0.2
+        )
+        assert math.isinf(expected_guesses_to_succeed(5, 6, modulus=131))
+
+    def test_larger_threshold_helps_the_attacker(self):
+        strict = guess_success_probability(20, 10, modulus=131, threshold=0)
+        loose = guess_success_probability(20, 10, modulus=131, threshold=20)
+        assert loose > strict
+
+
+class TestMonteCarloAttack:
+    def test_attack_never_succeeds_at_strict_thresholds(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        attack = GuessAttack(guessed_pairs=10, modulus_cap=131, rng=17)
+        report = attack.run(
+            result.watermarked_histogram,
+            attempts=50,
+            detection=DetectionConfig(pair_threshold=0, min_accepted_fraction=0.5),
+        )
+        assert report.attempts == 50
+        assert report.successes == 0
+        assert report.empirical_success_rate == 0.0
+        assert report.analytical_success_probability < 1e-6
+
+    def test_attack_succeeds_when_thresholds_are_absurdly_loose(self, watermarked_bundle):
+        # Sanity check of the harness itself: with t larger than any modulus
+        # every guessed pair verifies, so the forged secret is accepted.
+        result, _ = watermarked_bundle
+        attack = GuessAttack(guessed_pairs=3, modulus_cap=131, rng=17)
+        report = attack.run(
+            result.watermarked_histogram,
+            attempts=5,
+            detection=DetectionConfig(pair_threshold=131, min_accepted_fraction=1.0),
+        )
+        assert report.successes == 5
+
+    def test_histogram_too_small_rejected(self):
+        from repro.core.histogram import TokenHistogram
+
+        tiny = TokenHistogram.from_counts({"a": 5, "b": 3})
+        attack = GuessAttack(guessed_pairs=5, rng=1)
+        with pytest.raises(AttackError):
+            attack.attempt(tiny, DetectionConfig())
+
+    def test_invalid_guessed_pairs(self):
+        with pytest.raises(AttackError):
+            GuessAttack(guessed_pairs=0)
+
+    def test_report_parameters(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        attack = GuessAttack(guessed_pairs=4, modulus_cap=61, rng=2)
+        report = attack.run(result.watermarked_histogram, attempts=3)
+        assert report.parameters["guessed_pairs"] == 4
+        assert report.parameters["modulus_cap"] == 61

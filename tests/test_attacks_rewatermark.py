@@ -1,0 +1,124 @@
+"""Unit tests for the re-watermarking attack and the robustness harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.evaluation import RobustnessEvaluator
+from repro.attacks.rewatermark import RewatermarkAttack
+from repro.core.config import DetectionConfig, GenerationConfig
+
+
+@pytest.fixture(scope="module")
+def rewatermark_outcome(watermarked_bundle):
+    result, _ = watermarked_bundle
+    attack = RewatermarkAttack(
+        GenerationConfig(budget_percent=2.0, modulus_cap=131), rng=777
+    )
+    return attack.run(
+        result.watermarked_histogram,
+        result.secret,
+        detection=DetectionConfig(pair_threshold=0),
+    ), result
+
+
+class TestRewatermarkAttack:
+    def test_owner_watermark_survives_in_attacker_version(self, rewatermark_outcome):
+        outcome, _owner = rewatermark_outcome
+        # The paper reports ~92% survival at t = 0 on its 1 000-token
+        # workload; at test scale the attacker's modifications touch a much
+        # larger share of the (120-token) space, so we assert the weaker
+        # invariant that the owner's watermark remains detectable.
+        assert outcome.owner_pair_survival > 0.5
+        assert outcome.owner_on_attacker_data.accepted
+
+    def test_attacker_modified_pairs_do_not_verify_on_owner_version(
+        self, rewatermark_outcome
+    ):
+        # The attacker's pairs that actually needed a frequency change were,
+        # by construction, misaligned in the owner's earlier version. (Pairs
+        # the attacker got "for free" — already aligned by chance — do
+        # verify there; that ambiguity is what the registry tie-break in the
+        # judge protocol exists for.)
+        outcome, _owner = rewatermark_outcome
+        assert outcome.attacker_modified_pair_survival_on_owner < 0.5
+        assert 0.0 <= outcome.attacker_on_owner_data.accepted_fraction <= 1.0
+
+    def test_dispute_resolution_via_registry_chronology(self, rewatermark_outcome):
+        from repro.dispute.judge import Judge, OwnershipClaim
+        from repro.dispute.registry import WatermarkRegistry
+
+        outcome, owner_result = rewatermark_outcome
+        registry = WatermarkRegistry()
+        # The owner registered its watermark when it published the dataset;
+        # the pirate can only register (if at all) afterwards.
+        registry.register("owner", owner_result.secret)
+        registry.register("pirate", outcome.attacker_result.secret)
+        judge = Judge(DetectionConfig(pair_threshold=1), registry=registry)
+        verdict = judge.arbitrate(
+            [
+                OwnershipClaim(
+                    "owner", owner_result.secret, owner_result.watermarked_histogram
+                ),
+                OwnershipClaim(
+                    "pirate",
+                    outcome.attacker_result.secret,
+                    outcome.attacker_result.watermarked_histogram,
+                ),
+            ]
+        )
+        assert verdict.winner == "owner"
+
+    def test_attacker_detects_its_own_watermark(self, rewatermark_outcome):
+        outcome, _owner = rewatermark_outcome
+        from repro.core.detector import WatermarkDetector
+
+        attacker_detection = WatermarkDetector(
+            outcome.attacker_result.secret, DetectionConfig(pair_threshold=0)
+        ).detect(outcome.attacker_result.watermarked_histogram)
+        assert attacker_detection.accepted
+
+    def test_attacker_used_a_fresh_secret(self, rewatermark_outcome):
+        outcome, owner_result = rewatermark_outcome
+        assert outcome.attacker_result.secret.secret != owner_result.secret.secret
+
+
+class TestRobustnessEvaluator:
+    def test_full_report_structure(self, skewed_histogram):
+        evaluator = RobustnessEvaluator(
+            GenerationConfig(budget_percent=2.0, modulus_cap=61), rng=5
+        )
+        report = evaluator.evaluate(
+            skewed_histogram,
+            sampling_fractions=(0.5,),
+            sampling_thresholds=(0, 4),
+            destroy_thresholds=(0, 4),
+            reordering_percents=(10, 50),
+            repetitions=1,
+        )
+        assert report.watermark.pair_count > 0
+        assert len(report.sampling) == 2
+        assert set(report.destroy_threshold_sweeps) == {
+            "no-attack",
+            "random-within-bounds",
+            "percentage-within-bounds",
+        }
+        assert set(report.reordering_success) == {10.0, 50.0}
+        assert report.rewatermark is not None
+        assert report.rewatermark.owner_pair_survival > 0.6
+        assert report.rewatermark.owner_on_attacker_data.accepted
+
+    def test_rewatermark_can_be_skipped(self, skewed_histogram):
+        evaluator = RobustnessEvaluator(
+            GenerationConfig(budget_percent=2.0, modulus_cap=61), rng=5
+        )
+        report = evaluator.evaluate(
+            skewed_histogram,
+            sampling_fractions=(0.5,),
+            sampling_thresholds=(0,),
+            destroy_thresholds=(0,),
+            reordering_percents=(10,),
+            include_rewatermark=False,
+            repetitions=1,
+        )
+        assert report.rewatermark is None

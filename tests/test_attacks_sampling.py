@@ -1,0 +1,101 @@
+"""Unit tests for the sampling attack and its detection counter-measure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.sampling import (
+    SamplingAttack,
+    evaluate_sampling_attack,
+    rescale_suspect,
+    sample_token_sequence,
+    subsample_histogram,
+)
+from repro.core.detector import detect_watermark
+from repro.exceptions import AttackError
+
+
+class TestSubsampling:
+    def test_histogram_subsample_size(self, skewed_histogram):
+        sampled = subsample_histogram(skewed_histogram, 0.25, rng=3)
+        expected = round(0.25 * skewed_histogram.total_count())
+        assert sampled.total_count() == expected
+
+    def test_counts_never_exceed_original(self, skewed_histogram):
+        sampled = subsample_histogram(skewed_histogram, 0.4, rng=3)
+        for token in sampled.tokens:
+            assert sampled.frequency(token) <= skewed_histogram.frequency(token)
+
+    def test_full_fraction_is_identity(self, skewed_histogram):
+        sampled = subsample_histogram(skewed_histogram, 1.0, rng=3)
+        assert sampled.as_dict() == skewed_histogram.as_dict()
+
+    def test_invalid_fraction(self, skewed_histogram):
+        with pytest.raises(AttackError):
+            subsample_histogram(skewed_histogram, 0.0)
+        with pytest.raises(AttackError):
+            SamplingAttack(1.5)
+
+    def test_token_sequence_sampling(self, skewed_tokens):
+        sampled = sample_token_sequence(skewed_tokens, 0.1, rng=5)
+        assert len(sampled) == round(0.1 * len(skewed_tokens))
+        assert set(sampled) <= set(skewed_tokens)
+
+    def test_attack_parameters(self):
+        assert SamplingAttack(0.2).parameters() == {"fraction": 0.2}
+
+
+class TestRescaling:
+    def test_rescale_restores_magnitude(self, skewed_histogram):
+        sampled = subsample_histogram(skewed_histogram, 0.2, rng=3)
+        rescaled = rescale_suspect(sampled, skewed_histogram.total_count())
+        ratio = rescaled.total_count() / skewed_histogram.total_count()
+        assert 0.9 < ratio < 1.1
+
+    def test_rescale_preserves_rank_of_top_token(self, skewed_histogram):
+        sampled = subsample_histogram(skewed_histogram, 0.3, rng=3)
+        rescaled = rescale_suspect(sampled, skewed_histogram.total_count())
+        assert rescaled.tokens[0] == skewed_histogram.tokens[0]
+
+
+class TestDetectionUnderSampling:
+    def test_moderate_sample_detected_with_relaxed_threshold(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        watermarked = result.watermarked_histogram
+        sampled = subsample_histogram(watermarked, 0.5, rng=11)
+        rescaled = rescale_suspect(sampled, watermarked.total_count())
+        relaxed = detect_watermark(rescaled, result.secret, pair_threshold=10)
+        strict = detect_watermark(rescaled, result.secret, pair_threshold=0)
+        assert relaxed.accepted_pairs >= strict.accepted_pairs
+        assert relaxed.accepted_fraction > 0.5
+
+    def test_sweep_structure_and_monotonicity(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        points = evaluate_sampling_attack(
+            result.watermarked_histogram,
+            result.secret,
+            fractions=(0.2, 0.8),
+            thresholds=(0, 10),
+            repetitions=2,
+            rng=5,
+        )
+        assert len(points) == 4
+        by_key = {(p.fraction, p.pair_threshold): p for p in points}
+        # For a fixed fraction, a larger threshold never verifies fewer pairs.
+        for fraction in (0.2, 0.8):
+            assert (
+                by_key[(fraction, 10)].accepted_fraction
+                >= by_key[(fraction, 0)].accepted_fraction
+            )
+        for point in points:
+            assert point.total_pairs == result.pair_count
+            assert 0.0 <= point.accepted_fraction <= 1.0
+
+    def test_tiny_sample_degrades_detection(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        watermarked = result.watermarked_histogram
+        tiny = subsample_histogram(watermarked, 0.002, rng=11)
+        rescaled = rescale_suspect(tiny, watermarked.total_count())
+        tiny_detection = detect_watermark(rescaled, result.secret, pair_threshold=2)
+        full_detection = detect_watermark(watermarked, result.secret, pair_threshold=2)
+        assert tiny_detection.accepted_pairs <= full_detection.accepted_pairs

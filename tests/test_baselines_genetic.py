@@ -1,0 +1,75 @@
+"""Unit tests for the genetic optimiser used by the WM-OBT baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.genetic import GeneticConfig, GeneticOptimizer
+from repro.exceptions import BaselineError
+
+
+class TestConfiguration:
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(BaselineError):
+            GeneticConfig(population_size=1)
+        with pytest.raises(BaselineError):
+            GeneticConfig(generations=0)
+        with pytest.raises(BaselineError):
+            GeneticConfig(crossover_rate=1.5)
+        with pytest.raises(BaselineError):
+            GeneticConfig(mutation_rate=-0.1)
+        with pytest.raises(BaselineError):
+            GeneticConfig(elitism=40, population_size=40)
+
+    def test_bounds_shape_mismatch(self):
+        with pytest.raises(BaselineError):
+            GeneticOptimizer([0.0, 0.0], [1.0])
+
+    def test_inverted_bounds(self):
+        with pytest.raises(BaselineError):
+            GeneticOptimizer([1.0], [0.0])
+
+
+class TestOptimisation:
+    def test_maximises_concave_objective(self):
+        # Maximum of -(x-3)^2 - (y+1)^2 inside the box is at (3, -1).
+        optimizer = GeneticOptimizer(
+            [-5.0, -5.0],
+            [5.0, 5.0],
+            GeneticConfig(population_size=60, generations=80),
+            rng=7,
+        )
+        result = optimizer.maximize(lambda x: -((x[0] - 3.0) ** 2) - ((x[1] + 1.0) ** 2))
+        assert result.best_solution[0] == pytest.approx(3.0, abs=0.5)
+        assert result.best_solution[1] == pytest.approx(-1.0, abs=0.5)
+        assert result.best_fitness == pytest.approx(0.0, abs=0.3)
+
+    def test_minimise_wraps_maximise(self):
+        optimizer = GeneticOptimizer([-4.0], [4.0], GeneticConfig(generations=40), rng=3)
+        result = optimizer.minimize(lambda x: (x[0] - 1.0) ** 2)
+        assert result.best_solution[0] == pytest.approx(1.0, abs=0.5)
+        assert result.best_fitness >= 0.0
+
+    def test_solutions_respect_bounds(self):
+        optimizer = GeneticOptimizer([0.0] * 5, [1.0] * 5, GeneticConfig(generations=20), rng=5)
+        result = optimizer.maximize(lambda x: float(np.sum(x)))
+        assert np.all(result.best_solution >= 0.0)
+        assert np.all(result.best_solution <= 1.0)
+        # Maximising the sum drives every coordinate towards its upper bound.
+        assert result.best_fitness > 4.0
+
+    def test_deterministic_given_seed(self):
+        def objective(x):
+            return -float(np.sum(np.square(x)))
+
+        first = GeneticOptimizer([-1.0] * 3, [1.0] * 3, rng=11).maximize(objective)
+        second = GeneticOptimizer([-1.0] * 3, [1.0] * 3, rng=11).maximize(objective)
+        assert np.allclose(first.best_solution, second.best_solution)
+        assert first.best_fitness == second.best_fitness
+
+    def test_history_is_monotone_non_decreasing(self):
+        optimizer = GeneticOptimizer([-2.0], [2.0], GeneticConfig(generations=30, elitism=2), rng=9)
+        result = optimizer.maximize(lambda x: -(x[0] ** 2))
+        history = np.array(result.history)
+        assert np.all(np.diff(history) >= -1e-12)

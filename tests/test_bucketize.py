@@ -1,0 +1,88 @@
+"""Unit tests for bucketisation of wide-range values (Section VI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bucketize import Bucketizer, bucketize_values
+from repro.core.histogram import TokenHistogram
+from repro.exceptions import DatasetError
+
+
+class TestFitting:
+    def test_quantile_buckets_balance_counts(self, rng):
+        values = rng.lognormal(3.0, 1.0, size=5000)
+        labels, bucketizer = bucketize_values(values, 10, strategy="quantile")
+        histogram = TokenHistogram.from_tokens(labels)
+        counts = histogram.frequencies()
+        # Quantile buckets hold roughly equal mass: max/min ratio bounded.
+        assert max(counts) <= 3 * min(counts)
+        assert len(bucketizer.buckets) <= 10
+
+    def test_width_buckets_cover_range(self, rng):
+        values = rng.uniform(0, 100, size=1000)
+        bucketizer = Bucketizer(5, strategy="width").fit(values)
+        buckets = bucketizer.buckets
+        assert buckets[0].low == pytest.approx(values.min())
+        assert buckets[-1].high >= values.max()
+        assert len(buckets) == 5
+
+    def test_invalid_strategy(self):
+        with pytest.raises(DatasetError):
+            Bucketizer(5, strategy="kmeans")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(DatasetError):
+            Bucketizer(5).fit([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(DatasetError):
+            Bucketizer(5).fit([1.0, float("nan")])
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(DatasetError):
+            Bucketizer(5).transform([1.0])
+
+
+class TestTransform:
+    def test_every_value_maps_to_its_bucket(self, rng):
+        values = rng.normal(50, 10, size=2000)
+        labels, bucketizer = bucketize_values(values, 8)
+        for value, label in zip(values[:100], labels[:100]):
+            bucket = bucketizer.bucket_of(float(value))
+            assert bucket.label == label
+
+    def test_representative_is_inside_bucket(self, rng):
+        values = rng.uniform(0, 10, size=500)
+        _labels, bucketizer = bucketize_values(values, 4, strategy="width")
+        for bucket in bucketizer.buckets:
+            assert bucket.low <= bucket.midpoint <= bucket.high
+            assert bucketizer.representative(bucket.label) == bucket.midpoint
+
+    def test_unknown_label_rejected(self, rng):
+        _labels, bucketizer = bucketize_values(rng.uniform(0, 1, 100), 3)
+        with pytest.raises(DatasetError):
+            bucketizer.representative("bucket[99](0,1)")
+
+    def test_out_of_range_values_clamp(self, rng):
+        values = rng.uniform(10, 20, size=200)
+        bucketizer = Bucketizer(4, strategy="width").fit(values)
+        labels = bucketizer.transform([0.0, 100.0])
+        assert labels[0] == bucketizer.buckets[0].label
+        assert labels[1] == bucketizer.buckets[-1].label
+
+
+class TestWatermarkingBucketisedData:
+    def test_bucketised_continuous_data_becomes_watermarkable(self, rng):
+        # Raw continuous values almost never repeat -> flat histogram; the
+        # bucketised view has repeating tokens and can carry a watermark.
+        # Equal-width buckets over a skewed value distribution give the
+        # uneven bucket counts the watermark needs (quantile buckets would
+        # be deliberately uniform and therefore unwatermarkable).
+        from repro.core.generator import generate_watermark
+
+        values = rng.lognormal(4.0, 0.8, size=20_000)
+        labels, _bucketizer = bucketize_values(values, 40, strategy="width")
+        result = generate_watermark(labels, modulus_cap=31, rng=5)
+        assert result.pair_count > 0

@@ -1,0 +1,146 @@
+"""Unit tests for the ``freqywm`` command line interface."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.secrets import WatermarkSecret
+from repro.datasets.loaders import load_token_file, save_token_file
+from repro.datasets.synthetic import generate_power_law_tokens
+
+
+@pytest.fixture()
+def token_file(tmp_path) -> Path:
+    path = tmp_path / "tokens.txt"
+    tokens = generate_power_law_tokens(0.7, n_tokens=50, sample_size=6_000, rng=3)
+    save_token_file(tokens, path)
+    return path
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["synth", "out.txt", "--alpha", "0.7"])
+        assert args.command == "synth"
+        assert args.alpha == 0.7
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerateDetect:
+    def test_generate_then_detect_roundtrip(self, token_file, tmp_path, capsys):
+        watermarked = tmp_path / "watermarked.txt"
+        secret = tmp_path / "secret.json"
+        exit_code = main(
+            [
+                "generate",
+                str(token_file),
+                str(watermarked),
+                str(secret),
+                "--modulus",
+                "31",
+                "--seed",
+                "7",
+            ]
+        )
+        assert exit_code == 0
+        assert watermarked.exists() and secret.exists()
+        WatermarkSecret.load(secret)  # parses
+        output = capsys.readouterr().out
+        assert "selected_pairs" in output
+
+        exit_code = main(["detect", str(watermarked), str(secret)])
+        assert exit_code == 0
+        assert "accepted" in capsys.readouterr().out
+
+    def test_detect_fails_on_unrelated_data(self, token_file, tmp_path, capsys):
+        watermarked = tmp_path / "watermarked.txt"
+        secret = tmp_path / "secret.json"
+        main(["generate", str(token_file), str(watermarked), str(secret), "--modulus", "31", "--seed", "7"])
+        unrelated = tmp_path / "unrelated.txt"
+        save_token_file([f"other-{i}" for i in range(500)], unrelated)
+        exit_code = main(["detect", str(unrelated), str(secret)])
+        assert exit_code == 1
+
+    def test_json_output(self, token_file, tmp_path, capsys):
+        watermarked = tmp_path / "watermarked.txt"
+        secret = tmp_path / "secret.json"
+        exit_code = main(
+            [
+                "--json",
+                "generate",
+                str(token_file),
+                str(watermarked),
+                str(secret),
+                "--modulus",
+                "31",
+                "--seed",
+                "7",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["selected_pairs"] >= 1
+
+
+class TestAttackAndSynth:
+    def test_sampling_attack_command(self, token_file, tmp_path, capsys):
+        watermarked = tmp_path / "watermarked.txt"
+        secret = tmp_path / "secret.json"
+        main(["generate", str(token_file), str(watermarked), str(secret), "--modulus", "31", "--seed", "7"])
+        exit_code = main(
+            [
+                "attack",
+                str(watermarked),
+                str(secret),
+                "--kind",
+                "sampling",
+                "--fraction",
+                "0.5",
+                "--threshold",
+                "4",
+                "--seed",
+                "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "attack" in output
+        assert exit_code in (0, 1)
+
+    def test_destroy_attack_command(self, token_file, tmp_path, capsys):
+        watermarked = tmp_path / "watermarked.txt"
+        secret = tmp_path / "secret.json"
+        main(["generate", str(token_file), str(watermarked), str(secret), "--modulus", "31", "--seed", "7"])
+        exit_code = main(
+            [
+                "attack",
+                str(watermarked),
+                str(secret),
+                "--kind",
+                "destroy-percent",
+                "--percent",
+                "1.0",
+                "--threshold",
+                "10",
+                "--seed",
+                "3",
+            ]
+        )
+        assert exit_code in (0, 1)
+        assert "destroy-percentage-within-bounds" in capsys.readouterr().out
+
+    def test_synth_command(self, tmp_path, capsys):
+        output_path = tmp_path / "synthetic.txt"
+        exit_code = main(
+            ["synth", str(output_path), "--alpha", "0.5", "--tokens", "40", "--size", "2000", "--seed", "2"]
+        )
+        assert exit_code == 0
+        tokens = load_token_file(output_path)
+        assert len(tokens) == 2000
+        assert "alpha" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Unit tests for generation and detection configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_BUDGET_PERCENT,
+    DEFAULT_MODULUS_CAP,
+    DetectionConfig,
+    GenerationConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGenerationConfig:
+    def test_defaults_match_paper_settings(self):
+        config = GenerationConfig()
+        assert config.budget_percent == DEFAULT_BUDGET_PERCENT == 2.0
+        assert config.modulus_cap == DEFAULT_MODULUS_CAP == 131
+        assert config.strategy == "optimal"
+        assert config.metric == "cosine"
+
+    def test_rejects_budget_outside_range(self):
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(budget_percent=-0.1)
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(budget_percent=100.5)
+
+    def test_rejects_small_modulus_cap(self):
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(modulus_cap=1)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(strategy="simulated-annealing")
+
+    def test_rejects_non_positive_secret_bits(self):
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(secret_bits=0)
+
+    def test_rejects_non_positive_max_candidates(self):
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(max_candidates=0)
+
+    def test_accepts_excluded_tokens(self):
+        config = GenerationConfig(excluded_tokens=("top-url",))
+        assert "top-url" in config.excluded_tokens
+
+
+class TestDetectionConfig:
+    def test_defaults(self):
+        config = DetectionConfig()
+        assert config.pair_threshold == 0
+        assert config.min_accepted_fraction == 0.5
+        assert config.symmetric_tolerance is False
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ConfigurationError):
+            DetectionConfig(pair_threshold=-1)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ConfigurationError):
+            DetectionConfig(pair_threshold_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DetectionConfig(min_accepted_fraction=-0.1)
+
+    def test_rejects_zero_min_pairs(self):
+        with pytest.raises(ConfigurationError):
+            DetectionConfig(min_accepted_pairs=0)
+
+    def test_threshold_for_absolute(self):
+        config = DetectionConfig(pair_threshold=4)
+        assert config.threshold_for(100) == 4
+        assert config.threshold_for(7) == 4
+
+    def test_threshold_for_fractional(self):
+        config = DetectionConfig(pair_threshold_fraction=0.5)
+        assert config.threshold_for(100) == 50
+        assert config.threshold_for(9) == 4
+
+    def test_required_pairs_fraction(self):
+        config = DetectionConfig(min_accepted_fraction=0.5)
+        assert config.required_pairs(10) == 5
+        assert config.required_pairs(1) == 1
+
+    def test_required_pairs_absolute_capped_at_stored(self):
+        config = DetectionConfig(min_accepted_pairs=20)
+        assert config.required_pairs(10) == 10
+        assert config.required_pairs(50) == 20
+
+    def test_required_pairs_rejects_zero_stored(self):
+        with pytest.raises(ConfigurationError):
+            DetectionConfig().required_pairs(0)

@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic stand-ins of the paper's real datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import TokenHistogram, pairwise_rank_gaps
+from repro.datasets.adult import AdultSpec, adult_age_tokens, generate_adult_dataset
+from repro.datasets.clickstream import (
+    ClickstreamSpec,
+    clickstream_tokens,
+    daily_visit_series,
+    generate_clickstream,
+    url_catalogue,
+    url_sequences_by_user,
+)
+from repro.datasets.taxi import TaxiSpec, generate_taxi_dataset, taxi_tokens
+
+
+@pytest.fixture(scope="module")
+def clickstream():
+    return generate_clickstream(
+        ClickstreamSpec(n_urls=300, n_users=40, n_events=8_000, days=14), rng=7
+    )
+
+
+@pytest.fixture(scope="module")
+def taxi():
+    return generate_taxi_dataset(TaxiSpec(n_taxis=200, n_trips=10_000), rng=7)
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult_dataset(AdultSpec(n_rows=5_000), rng=7)
+
+
+class TestClickstream:
+    def test_schema_and_size(self, clickstream):
+        assert clickstream.columns == ("timestamp", "user_id", "url", "session_id")
+        assert abs(len(clickstream) - 8_000) <= 100  # session rounding tolerance
+
+    def test_timestamps_sorted(self, clickstream):
+        timestamps = [int(value) for value in clickstream.column("timestamp")]
+        assert timestamps == sorted(timestamps)
+
+    def test_url_histogram_is_skewed(self, clickstream):
+        histogram = TokenHistogram.from_tokens(clickstream_tokens(clickstream))
+        frequencies = histogram.frequencies()
+        # Heavy-tailed: the top URL is visited far more than the median URL.
+        assert frequencies[0] > 5 * frequencies[len(frequencies) // 2]
+        assert sum(gap > 0 for gap in pairwise_rank_gaps(histogram)) > 10
+
+    def test_daily_series_covers_days(self, clickstream):
+        days, counts = daily_visit_series(clickstream)
+        assert len(days) >= 10
+        assert all(count > 0 for count in counts)
+
+    def test_user_sequences(self, clickstream):
+        sequences = url_sequences_by_user(clickstream)
+        assert len(sequences) <= 40
+        assert all(len(sequence) >= 1 for sequence in sequences)
+        total = sum(len(sequence) for sequence in sequences)
+        assert total == len(clickstream)
+
+    def test_reproducible(self):
+        spec = ClickstreamSpec(n_urls=50, n_users=5, n_events=500, days=7)
+        first = generate_clickstream(spec, rng=3)
+        second = generate_clickstream(spec, rng=3)
+        assert first.rows == second.rows
+
+    def test_url_catalogue_unique(self):
+        assert len(set(url_catalogue(500, rng=1))) == 500
+
+    def test_watermarkable(self, clickstream):
+        from repro.core.generator import generate_watermark
+
+        result = generate_watermark(
+            clickstream_tokens(clickstream), modulus_cap=31, rng=5, max_candidates=150
+        )
+        assert result.pair_count > 0
+
+
+class TestTaxi:
+    def test_schema(self, taxi):
+        assert "taxi_id" in taxi.columns
+        assert len(taxi) == 10_000
+
+    def test_taxi_activity_is_heavy_tailed(self, taxi):
+        histogram = TokenHistogram.from_tokens(taxi_tokens(taxi))
+        frequencies = histogram.frequencies()
+        assert frequencies[0] > 3 * frequencies[len(frequencies) // 2]
+
+    def test_numeric_columns_positive(self, taxi):
+        assert all(row["trip_seconds"] >= 60 for row in taxi.rows[:200])
+        assert all(row["fare"] > 0 for row in taxi.rows[:200])
+
+    def test_reproducible(self):
+        spec = TaxiSpec(n_taxis=30, n_trips=500)
+        assert generate_taxi_dataset(spec, rng=2).rows == generate_taxi_dataset(spec, rng=2).rows
+
+    def test_watermarkable(self, taxi):
+        from repro.core.generator import generate_watermark
+
+        result = generate_watermark(taxi_tokens(taxi), modulus_cap=31, rng=5, max_candidates=150)
+        assert result.pair_count > 0
+
+
+class TestAdult:
+    def test_schema_and_size(self, adult):
+        assert adult.columns[0] == "age"
+        assert len(adult) == 5_000
+
+    def test_age_range(self, adult):
+        ages = [int(value) for value in adult.column("age")]
+        assert min(ages) >= 17 and max(ages) <= 90
+
+    def test_age_distribution_single_peak_regime(self, adult):
+        histogram = TokenHistogram.from_tokens(adult_age_tokens(adult))
+        # Small-cardinality token space like the real Adult Age column.
+        assert 40 <= len(histogram) <= 74
+
+    def test_workclass_marginal(self, adult):
+        counts = adult.value_counts("workclass")
+        assert counts["Private"] > counts["State-gov"]
+
+    def test_income_depends_on_education(self, adult):
+        rows = adult.rows
+        high = [row for row in rows if row["education"] in ("Bachelors", "Masters", "Doctorate")]
+        low = [row for row in rows if row["education"] == "11th"]
+        rate_high = np.mean([row["income"] == ">50K" for row in high])
+        rate_low = np.mean([row["income"] == ">50K" for row in low])
+        assert rate_high > rate_low
+
+    def test_reproducible(self):
+        spec = AdultSpec(n_rows=300)
+        assert generate_adult_dataset(spec, rng=4).rows == generate_adult_dataset(spec, rng=4).rows
+
+    def test_watermarkable_on_age(self, adult):
+        from repro.core.generator import generate_watermark
+
+        result = generate_watermark(adult_age_tokens(adult), modulus_cap=31, rng=5)
+        assert result.pair_count >= 1

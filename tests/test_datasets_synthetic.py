@@ -1,0 +1,107 @@
+"""Unit tests for the synthetic power-law dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    PAPER_ALPHA_SWEEP,
+    PowerLawSpec,
+    expected_counts,
+    generate_power_law_histogram,
+    generate_power_law_tokens,
+    power_law_probabilities,
+    sampled_counts,
+    token_names,
+    uniform_histogram,
+)
+from repro.exceptions import DatasetError
+
+
+class TestProbabilities:
+    def test_normalised(self):
+        probabilities = power_law_probabilities(0.7, 500)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(probabilities > 0)
+
+    def test_alpha_zero_is_uniform(self):
+        probabilities = power_law_probabilities(0.0, 100)
+        assert np.allclose(probabilities, 1.0 / 100)
+
+    def test_higher_alpha_is_more_skewed(self):
+        flat = power_law_probabilities(0.2, 100)
+        steep = power_law_probabilities(1.0, 100)
+        assert steep[0] > flat[0]
+        assert steep[-1] < flat[-1]
+
+    def test_monotone_decreasing(self):
+        probabilities = power_law_probabilities(0.9, 50)
+        assert np.all(np.diff(probabilities) <= 0)
+
+
+class TestHistogramGeneration:
+    def test_expected_mode_is_deterministic(self):
+        first = generate_power_law_histogram(0.5, n_tokens=100, sample_size=10_000)
+        second = generate_power_law_histogram(0.5, n_tokens=100, sample_size=10_000)
+        assert first.as_dict() == second.as_dict()
+
+    def test_expected_mode_keeps_all_tokens(self):
+        histogram = generate_power_law_histogram(1.0, n_tokens=200, sample_size=5_000)
+        assert len(histogram) == 200
+        assert min(histogram.frequencies()) >= 1
+
+    def test_sampled_mode_total_matches_sample_size(self):
+        histogram = generate_power_law_histogram(
+            0.5, n_tokens=50, sample_size=20_000, mode="sampled", rng=3
+        )
+        assert histogram.total_count() == 20_000
+
+    def test_sampled_mode_reproducible(self):
+        a = sampled_counts(PowerLawSpec(0.5, 50, 10_000), rng=8)
+        b = sampled_counts(PowerLawSpec(0.5, 50, 10_000), rng=8)
+        assert a == b
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_power_law_histogram(0.5, n_tokens=10, sample_size=100, mode="bogus")
+
+    def test_token_prefix_respected(self):
+        histogram = generate_power_law_histogram(
+            0.5, n_tokens=10, sample_size=100, token_prefix="url"
+        )
+        assert all(token.startswith("url-") for token in histogram.tokens)
+
+    def test_spec_validation(self):
+        with pytest.raises(Exception):
+            PowerLawSpec(alpha=-1.0)
+        with pytest.raises(Exception):
+            PowerLawSpec(alpha=0.5, n_tokens=0)
+
+
+class TestTokenSequences:
+    def test_sequence_length_and_support(self):
+        tokens = generate_power_law_tokens(0.7, n_tokens=30, sample_size=5_000, rng=2)
+        assert len(tokens) == 5_000
+        assert set(tokens) <= set(token_names(30))
+
+    def test_reproducible_with_seed(self):
+        first = generate_power_law_tokens(0.7, n_tokens=20, sample_size=1_000, rng=5)
+        second = generate_power_law_tokens(0.7, n_tokens=20, sample_size=1_000, rng=5)
+        assert first == second
+
+
+class TestUniform:
+    def test_uniform_histogram_has_equal_counts(self):
+        histogram = uniform_histogram(n_tokens=20, count_per_token=7)
+        assert set(histogram.frequencies()) == {7}
+
+    def test_paper_sweep_constant(self):
+        assert PAPER_ALPHA_SWEEP == (0.05, 0.2, 0.5, 0.7, 0.9, 1.0)
+
+
+class TestNames:
+    def test_token_names_are_unique_and_padded(self):
+        names = token_names(1000)
+        assert len(set(names)) == 1000
+        assert names[0] == "tok-0000"

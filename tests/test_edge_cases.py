@@ -1,0 +1,152 @@
+"""Edge-case and failure-injection tests across module boundaries.
+
+These complement the per-module unit tests with the awkward inputs a
+downstream user will eventually feed the library: two-token datasets, huge
+single gaps, all-tied histograms, degenerate bucket inputs, empty attack
+spaces, and serialisation of unusual token strings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bucketize import Bucketizer
+from repro.core.config import DetectionConfig, GenerationConfig
+from repro.core.detector import detect_watermark
+from repro.core.generator import generate_watermark
+from repro.core.histogram import TokenHistogram
+from repro.core.multiwatermark import MultiWatermarker
+from repro.core.secrets import WatermarkSecret
+from repro.datasets.tabular import TabularDataset
+from repro.exceptions import DatasetError, GenerationError
+
+
+class TestTinyDatasets:
+    def test_two_token_dataset_with_large_gap(self):
+        # Two tokens with a wide gap: the single candidate pair is eligible
+        # and can be watermarked whenever the modulus fits the boundaries.
+        histogram = TokenHistogram.from_counts({"a": 10_000, "b": 100})
+        result = generate_watermark(histogram, modulus_cap=31, rng=3)
+        assert result.pair_count in (0, 1)
+        detection = detect_watermark(result.watermarked_histogram, result.secret) if result.pair_count else None
+        if detection is not None:
+            assert detection.accepted
+
+    def test_two_token_dataset_with_tiny_gap_selects_nothing(self):
+        histogram = TokenHistogram.from_counts({"a": 101, "b": 100})
+        result = generate_watermark(histogram, modulus_cap=131, rng=3)
+        assert result.pair_count == 0
+        assert result.watermarked_histogram.as_dict() == histogram.as_dict()
+
+    def test_all_tied_histogram_is_a_noop(self):
+        histogram = TokenHistogram.from_counts({f"t{i}": 500 for i in range(20)})
+        result = generate_watermark(histogram, rng=1)
+        assert result.pair_count == 0
+        assert result.similarity_percent == pytest.approx(100.0)
+
+    def test_single_occurrence_tokens(self):
+        # A long tail of hapax tokens plus a skewed head must not crash and
+        # must never drive any count negative.
+        counts = {f"head{i}": 1000 - 40 * i for i in range(10)}
+        counts.update({f"tail{i}": 1 for i in range(50)})
+        result = generate_watermark(TokenHistogram.from_counts(counts), modulus_cap=31, rng=5)
+        assert min(result.watermarked_histogram.frequencies()) >= 1
+
+
+class TestUnusualTokens:
+    def test_tokens_with_unicode_and_whitespace(self):
+        tokens = (
+            ["café.example/路径"] * 400
+            + ["with space.example"] * 250
+            + ["tab\tseparated"] * 120
+            + ["ünïcödé"] * 40
+        )
+        result = generate_watermark(tokens, modulus_cap=13, rng=2)
+        assert detect_watermark(result.watermarked_tokens, result.secret).accepted
+
+    def test_secret_roundtrip_with_unicode_pairs(self, tmp_path):
+        secret = WatermarkSecret.build(
+            [("café.example/路径", "ünïcödé")], secret=12345, modulus_cap=17
+        )
+        path = tmp_path / "secret.json"
+        secret.save(path)
+        assert WatermarkSecret.load(path) == secret
+
+    def test_numeric_tokens_detect_consistently(self):
+        # Integers and their string forms collapse into one bucket by design;
+        # the watermark must survive the round trip through string form.
+        tokens = [7] * 900 + ["7"] * 100 + [13] * 420 + [29] * 55
+        result = generate_watermark(tokens, modulus_cap=13, rng=4)
+        as_strings = [str(token) for token in result.watermarked_tokens]
+        assert detect_watermark(as_strings, result.secret).accepted
+
+
+class TestDetectionEdgeCases:
+    def test_detection_on_much_smaller_unscaled_sample_fails_strictly(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        shrunk = result.watermarked_histogram.scaled(0.01)
+        detection = detect_watermark(shrunk, result.secret, pair_threshold=0)
+        assert detection.accepted_fraction <= 1.0  # never exceeds bounds
+
+    def test_threshold_fraction_one_accepts_every_present_pair(self, watermarked_bundle):
+        result, original = watermarked_bundle
+        detection = detect_watermark(
+            original, result.secret, pair_threshold_fraction=1.0, min_accepted_fraction=1.0
+        )
+        assert detection.accepted_pairs == detection.total_pairs
+
+    def test_min_accepted_fraction_zero_requires_one_pair(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        config = DetectionConfig(pair_threshold=0, min_accepted_fraction=0.0)
+        assert config.required_pairs(len(result.secret.pairs)) == 1
+
+
+class TestBucketizerDegenerateInputs:
+    def test_constant_values_collapse_to_one_bucket(self):
+        bucketizer = Bucketizer(5, strategy="quantile").fit([3.0] * 100)
+        labels = bucketizer.transform([3.0, 3.0])
+        assert len(set(labels)) == 1
+
+    def test_two_distinct_values(self):
+        bucketizer = Bucketizer(4, strategy="width").fit([1.0, 2.0] * 50)
+        labels = bucketizer.transform([1.0, 2.0])
+        assert len(set(labels)) == 2
+
+
+class TestTabularEdgeCases:
+    def test_empty_table_watermarking_rejected(self):
+        from repro.core.multidimensional import TabularWatermarker
+
+        empty = TabularDataset(columns=("age",), rows=[])
+        with pytest.raises((GenerationError, DatasetError, Exception)):
+            TabularWatermarker(["age"]).watermark(empty)
+
+    def test_table_with_one_distinct_token_rejected(self):
+        from repro.core.multidimensional import TabularWatermarker
+
+        table = TabularDataset(columns=("age",), rows=[{"age": 30}] * 50)
+        with pytest.raises(GenerationError):
+            TabularWatermarker(["age"]).watermark(table)
+
+
+class TestMultiWatermarkEdgeCases:
+    def test_single_round_equals_plain_generation_shape(self, skewed_histogram):
+        config = GenerationConfig(budget_percent=2.0, modulus_cap=61)
+        multi = MultiWatermarker(config, rng=5).watermark(skewed_histogram, rounds=1)
+        assert len(multi.rounds) == 1
+        assert multi.final_similarity_percent > 98.0
+
+    def test_rounds_exhausting_token_space_degrade_gracefully(self):
+        # A tiny token space with many protected rounds: later rounds may
+        # find nothing left to watermark but must not crash.
+        histogram = TokenHistogram.from_counts(
+            {f"t{i}": 2_000 - 140 * i for i in range(12)}
+        )
+        config = GenerationConfig(
+            budget_percent=2.0, modulus_cap=13, require_modification=True, max_pairs=2
+        )
+        multi = MultiWatermarker(config, protect_previous_rounds=True, rng=8).watermark(
+            histogram, rounds=4
+        )
+        assert len(multi.rounds) == 4
+        assert all(stage.result.pair_count >= 0 for stage in multi.rounds)

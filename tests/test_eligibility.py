@@ -1,0 +1,127 @@
+"""Unit tests for eligible-pair generation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.eligibility import (
+    EligiblePair,
+    eligible_pair_index,
+    generate_eligible_pairs,
+    iter_candidate_pairs,
+)
+from repro.core.hashing import pair_modulus
+from repro.core.histogram import TokenHistogram
+from repro.core.tokens import TokenPair
+from repro.datasets.synthetic import uniform_histogram
+from repro.exceptions import EligibilityError
+
+SECRET = 987654321
+Z = 131
+
+
+class TestCandidateEnumeration:
+    def test_all_unordered_pairs_enumerated(self, running_example_histogram):
+        pairs = list(iter_candidate_pairs(running_example_histogram))
+        n = len(running_example_histogram)
+        assert len(pairs) == n * (n - 1) // 2
+
+    def test_first_member_has_higher_or_equal_frequency(self, running_example_histogram):
+        for first, second in iter_candidate_pairs(running_example_histogram):
+            assert running_example_histogram.frequency(first) >= running_example_histogram.frequency(second)
+
+    def test_max_candidates_caps_scan(self, skewed_histogram):
+        limited = list(iter_candidate_pairs(skewed_histogram, max_candidates=10))
+        assert len(limited) == 10 * 9 // 2
+
+
+class TestEligibilityRule:
+    def test_eligible_pairs_respect_boundary_rule(self, running_example_histogram):
+        eligible = generate_eligible_pairs(running_example_histogram, SECRET, Z)
+        bounds = running_example_histogram.boundaries()
+        for item in eligible:
+            needed = math.ceil(item.modulus / 2)
+            for token in (item.pair.first, item.pair.second):
+                assert bounds[token].upper >= needed
+                assert bounds[token].lower >= needed
+            assert item.modulus >= 2
+
+    def test_modulus_matches_hash_construction(self, running_example_histogram):
+        eligible = generate_eligible_pairs(running_example_histogram, SECRET, Z)
+        for item in eligible:
+            assert item.modulus == pair_modulus(item.pair.first, item.pair.second, SECRET, Z)
+
+    def test_remainder_and_difference_consistent(self, running_example_histogram):
+        eligible = generate_eligible_pairs(running_example_histogram, SECRET, Z)
+        for item in eligible:
+            difference = running_example_histogram.frequency(
+                item.pair.first
+            ) - running_example_histogram.frequency(item.pair.second)
+            assert item.frequency_difference == difference
+            assert item.remainder == difference % item.modulus
+
+    def test_uniform_histogram_has_no_eligible_pairs(self):
+        histogram = uniform_histogram(n_tokens=50, count_per_token=100)
+        assert generate_eligible_pairs(histogram, SECRET, Z) == []
+
+    def test_single_token_histogram(self):
+        histogram = TokenHistogram.from_counts({"only": 10})
+        assert generate_eligible_pairs(histogram, SECRET, Z) == []
+
+    def test_excluded_tokens_never_eligible(self, skewed_histogram):
+        top_token = skewed_histogram.tokens[0]
+        eligible = generate_eligible_pairs(
+            skewed_histogram, SECRET, Z, excluded_tokens=[top_token]
+        )
+        assert all(not item.pair.contains(top_token) for item in eligible)
+
+    def test_rejects_invalid_modulus_cap(self, skewed_histogram):
+        with pytest.raises(EligibilityError):
+            generate_eligible_pairs(skewed_histogram, SECRET, 1)
+
+    def test_deterministic_order(self, skewed_histogram):
+        first = generate_eligible_pairs(skewed_histogram, SECRET, Z)
+        second = generate_eligible_pairs(skewed_histogram, SECRET, Z)
+        assert first == second
+
+    def test_more_skew_more_eligible_pairs(self):
+        from repro.datasets.synthetic import generate_power_law_histogram
+
+        flat = generate_power_law_histogram(0.05, n_tokens=100, sample_size=50_000)
+        skewed = generate_power_law_histogram(0.7, n_tokens=100, sample_size=50_000)
+        assert len(generate_eligible_pairs(skewed, SECRET, Z)) > len(
+            generate_eligible_pairs(flat, SECRET, Z)
+        )
+
+    def test_smaller_modulus_cap_more_eligible_pairs(self, skewed_histogram):
+        small = generate_eligible_pairs(skewed_histogram, SECRET, 10)
+        large = generate_eligible_pairs(skewed_histogram, SECRET, 1031)
+        assert len(small) >= len(large)
+
+
+class TestCostAndIndex:
+    def test_cost_below_half_modulus(self):
+        item = EligiblePair(
+            pair=TokenPair("a", "b"), modulus=100, remainder=30, frequency_difference=130
+        )
+        assert item.cost == 30
+
+    def test_cost_above_half_modulus_uses_growth(self):
+        item = EligiblePair(
+            pair=TokenPair("a", "b"), modulus=100, remainder=80, frequency_difference=180
+        )
+        assert item.cost == 20
+
+    def test_cost_zero_when_aligned(self):
+        item = EligiblePair(
+            pair=TokenPair("a", "b"), modulus=50, remainder=0, frequency_difference=100
+        )
+        assert item.cost == 0
+
+    def test_index_lookup(self, running_example_histogram):
+        eligible = generate_eligible_pairs(running_example_histogram, SECRET, Z)
+        index = eligible_pair_index(eligible)
+        for item in eligible:
+            assert index[item.pair] is item

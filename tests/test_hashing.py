@@ -1,0 +1,90 @@
+"""Unit tests for the keyed hash construction behind ``s_ij``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashing import (
+    DEFAULT_SECURITY_BITS,
+    digest_to_int,
+    generate_secret,
+    keyed_fingerprint,
+    pair_modulus,
+    sha256_hash,
+)
+
+
+class TestSha256:
+    def test_known_vector(self):
+        digest = sha256_hash(b"abc")
+        assert digest.hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_digest_to_int_is_big_endian(self):
+        assert digest_to_int(b"\x01\x00") == 256
+
+
+class TestPairModulus:
+    def test_deterministic(self):
+        a = pair_modulus("youtube.com", "instagram.com", secret=12345, z=131)
+        b = pair_modulus("youtube.com", "instagram.com", secret=12345, z=131)
+        assert a == b
+
+    def test_range(self):
+        for z in (2, 17, 131, 1031):
+            value = pair_modulus("a", "b", secret=99, z=z)
+            assert 0 <= value < z
+
+    def test_order_sensitive(self):
+        forward = pair_modulus("a", "b", secret=7, z=10_000)
+        backward = pair_modulus("b", "a", secret=7, z=10_000)
+        assert forward != backward
+
+    def test_secret_sensitive(self):
+        assert pair_modulus("a", "b", secret=1, z=10_000) != pair_modulus(
+            "a", "b", secret=2, z=10_000
+        )
+
+    def test_rejects_small_z(self):
+        with pytest.raises(ValueError):
+            pair_modulus("a", "b", secret=1, z=1)
+
+    def test_concatenation_is_unambiguous(self):
+        # "ab" || "c" must not collide with "a" || "bc".
+        assert pair_modulus("ab", "c", secret=5, z=1 << 60) != pair_modulus(
+            "a", "bc", secret=5, z=1 << 60
+        )
+
+
+class TestSecrets:
+    def test_generate_secret_entropy_bits(self):
+        secret = generate_secret(64, rng=3)
+        assert 0 <= secret < (1 << 64)
+
+    def test_generate_secret_reproducible_with_seed(self):
+        assert generate_secret(128, rng=42) == generate_secret(128, rng=42)
+
+    def test_generate_secret_default_bits(self):
+        secret = generate_secret()
+        assert secret < (1 << DEFAULT_SECURITY_BITS)
+
+    def test_generate_secret_rejects_non_positive_bits(self):
+        with pytest.raises(ValueError):
+            generate_secret(0)
+
+    def test_os_random_secrets_differ(self):
+        assert generate_secret(128) != generate_secret(128)
+
+
+class TestFingerprint:
+    def test_depends_on_key_and_fields(self):
+        base = keyed_fingerprint(1, "a", "b")
+        assert base != keyed_fingerprint(2, "a", "b")
+        assert base != keyed_fingerprint(1, "a", "c")
+        assert base == keyed_fingerprint(1, "a", "b")
+
+    def test_hex_string(self):
+        fingerprint = keyed_fingerprint(9, "x")
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)  # must parse as hex

@@ -1,0 +1,112 @@
+"""End-to-end integration tests across the whole FreqyWM pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distortion import distortion_report
+from repro.attacks.destroy import PercentageNoiseAttack
+from repro.attacks.sampling import rescale_suspect, subsample_histogram
+from repro.core.config import DetectionConfig, GenerationConfig
+from repro.core.detector import WatermarkDetector, detect_watermark
+from repro.core.generator import WatermarkGenerator, generate_watermark
+from repro.core.histogram import TokenHistogram
+from repro.core.secrets import WatermarkSecret
+from repro.datasets.clickstream import ClickstreamSpec, clickstream_tokens, generate_clickstream
+from repro.dispute.judge import Judge, OwnershipClaim
+from repro.dispute.registry import WatermarkRegistry
+
+
+class TestMarketplaceScenario:
+    """A seller watermarks per buyer, a buyer leaks, the seller proves it."""
+
+    def test_full_marketplace_lifecycle(self, tmp_path):
+        clickstream = generate_clickstream(
+            ClickstreamSpec(n_urls=200, n_users=25, n_events=6_000, days=10), rng=42
+        )
+        tokens = clickstream_tokens(clickstream)
+
+        registry = WatermarkRegistry()
+        config = GenerationConfig(budget_percent=2.0, modulus_cap=61, max_candidates=150)
+        buyer_versions = {}
+        for index, buyer in enumerate(("alpha-corp", "beta-llc")):
+            generator = WatermarkGenerator(config, rng=500 + index)
+            result = generator.generate(tokens)
+            registry.register(buyer, result.secret, dataset="clickstream-q1")
+            buyer_versions[buyer] = result
+
+        assert registry.verify_chain()
+
+        # beta-llc leaks a 40% subsample of its copy.
+        leaked_histogram = subsample_histogram(
+            buyer_versions["beta-llc"].watermarked_histogram, 0.4, rng=9
+        )
+        rescaled = rescale_suspect(
+            leaked_histogram, buyer_versions["beta-llc"].watermarked_histogram.total_count()
+        )
+        matches = registry.attribute_leak(rescaled, detection=DetectionConfig(pair_threshold=4))
+        assert matches
+        assert matches[0][0] == "beta-llc"
+
+        # Secrets survive a round-trip through storage.
+        secret_path = tmp_path / "beta.json"
+        buyer_versions["beta-llc"].secret.save(secret_path)
+        reloaded = WatermarkSecret.load(secret_path)
+        detection = detect_watermark(
+            buyer_versions["beta-llc"].watermarked_histogram, reloaded
+        )
+        assert detection.accepted
+
+
+class TestAttackThenDisputeScenario:
+    def test_watermark_survives_noise_and_dispute(self, skewed_histogram):
+        config = GenerationConfig(budget_percent=2.0, modulus_cap=131)
+        owner = WatermarkGenerator(config, rng=61).generate(skewed_histogram)
+
+        # The owner lodges its watermark fingerprint in the registry when it
+        # publishes the dataset; the pirate can only register later.
+        registry = WatermarkRegistry()
+        registry.register("owner", owner.secret, dataset="published-v1")
+
+        # A pirate adds 1%-of-slack noise and then re-watermarks.
+        noisy = PercentageNoiseAttack(1.0, rng=7).tamper(owner.watermarked_histogram)
+        pirate = WatermarkGenerator(config, rng=62).generate(noisy)
+        registry.register("pirate", pirate.secret, dataset="stolen-v1")
+
+        detection_config = DetectionConfig(pair_threshold=4)
+        owner_on_pirate = WatermarkDetector(owner.secret, detection_config).detect(
+            pirate.watermarked_histogram
+        )
+        assert owner_on_pirate.accepted
+
+        verdict = Judge(detection_config, registry=registry).arbitrate(
+            [
+                OwnershipClaim("owner", owner.secret, owner.watermarked_histogram),
+                OwnershipClaim("pirate", pirate.secret, pirate.watermarked_histogram),
+            ]
+        )
+        assert verdict.winner == "owner"
+
+
+class TestQualityGuarantees:
+    def test_watermark_quality_report(self, skewed_histogram):
+        result = generate_watermark(skewed_histogram, budget_percent=1.0, rng=77)
+        report = distortion_report(
+            result.original_histogram.as_dict(),
+            result.watermarked_histogram.as_dict(),
+            method="freqywm",
+        )
+        assert report.ranking_preserved
+        assert report.distortion_percent <= 1.0
+        assert report.total_absolute_change == result.total_changes
+
+    def test_histograms_and_raw_tokens_agree_end_to_end(self, skewed_tokens):
+        result = generate_watermark(skewed_tokens, modulus_cap=31, rng=17)
+        assert result.watermarked_tokens is not None
+        rebuilt = TokenHistogram.from_tokens(result.watermarked_tokens)
+        detection_from_tokens = detect_watermark(result.watermarked_tokens, result.secret)
+        detection_from_histogram = detect_watermark(rebuilt, result.secret)
+        assert detection_from_tokens.accepted and detection_from_histogram.accepted
+        assert (
+            detection_from_tokens.accepted_pairs == detection_from_histogram.accepted_pairs
+        )

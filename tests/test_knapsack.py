@@ -1,0 +1,86 @@
+"""Unit tests for the budget-constrained (equally valued knapsack) selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.eligibility import generate_eligible_pairs
+from repro.core.knapsack import (
+    BudgetedSelection,
+    knapsack_capacity_report,
+    select_within_budget,
+)
+from repro.core.similarity import similarity_percent
+from repro.exceptions import MatchingError
+
+SECRET = 31337
+Z = 131
+
+
+def _disjoint(eligible):
+    used, kept = set(), []
+    for item in eligible:
+        if item.pair.first in used or item.pair.second in used:
+            continue
+        used.update(item.pair.as_tuple())
+        kept.append(item)
+    return kept
+
+
+class TestBudgetEnforcement:
+    def test_selection_respects_budget(self, skewed_histogram):
+        candidates = _disjoint(generate_eligible_pairs(skewed_histogram, SECRET, Z))
+        budget = 0.5
+        selection = select_within_budget(skewed_histogram, candidates, budget)
+        assert selection.similarity_percent >= 100.0 - budget - 1e-9
+
+    def test_final_similarity_matches_applied_adjustments(self, skewed_histogram):
+        candidates = _disjoint(generate_eligible_pairs(skewed_histogram, SECRET, Z))
+        selection = select_within_budget(skewed_histogram, candidates, 2.0)
+        working = skewed_histogram
+        for adjustment in selection.adjustments:
+            working = working.with_updates(adjustment.as_deltas())
+        assert selection.similarity_percent == pytest.approx(
+            similarity_percent(skewed_histogram.as_dict(), working.as_dict()), abs=1e-9
+        )
+
+    def test_zero_budget_selects_only_free_pairs(self, skewed_histogram):
+        candidates = _disjoint(generate_eligible_pairs(skewed_histogram, SECRET, Z))
+        selection = select_within_budget(skewed_histogram, candidates, 0.0)
+        assert all(adjustment.cost == 0 for adjustment in selection.adjustments)
+        assert selection.similarity_percent == pytest.approx(100.0)
+
+    def test_larger_budget_never_selects_fewer_pairs(self, skewed_histogram):
+        candidates = _disjoint(generate_eligible_pairs(skewed_histogram, SECRET, Z))
+        small = select_within_budget(skewed_histogram, candidates, 0.01)
+        large = select_within_budget(skewed_histogram, candidates, 5.0)
+        assert len(large.selected) >= len(small.selected)
+
+    def test_invalid_budget_rejected(self, skewed_histogram):
+        with pytest.raises(MatchingError):
+            select_within_budget(skewed_histogram, [], -1.0)
+        with pytest.raises(MatchingError):
+            select_within_budget(skewed_histogram, [], 101.0)
+
+    def test_empty_candidates(self, skewed_histogram):
+        selection = select_within_budget(skewed_histogram, [], 2.0)
+        assert selection.selected == ()
+        assert selection.similarity_percent == 100.0
+
+
+class TestBookkeeping:
+    def test_selected_plus_rejected_covers_candidates_with_cost(self, skewed_histogram):
+        candidates = _disjoint(generate_eligible_pairs(skewed_histogram, SECRET, Z))
+        selection = select_within_budget(skewed_histogram, candidates, 0.05)
+        assert len(selection.selected) + len(selection.rejected) == len(candidates)
+
+    def test_capacity_report_fields(self, skewed_histogram):
+        candidates = _disjoint(generate_eligible_pairs(skewed_histogram, SECRET, Z))
+        selection = select_within_budget(skewed_histogram, candidates, 2.0)
+        report = knapsack_capacity_report(selection, 2.0)
+        assert report["selected_pairs"] == len(selection.selected)
+        assert report["budget_percent"] == 2.0
+        assert report["budget_used_percent"] == pytest.approx(
+            100.0 - selection.similarity_percent
+        )
+        assert report["total_cost"] == sum(a.cost for a in selection.adjustments)

@@ -1,0 +1,89 @@
+"""Unit tests for the optimal / greedy / random pair-selection strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.eligibility import generate_eligible_pairs
+from repro.core.graph import matching_is_valid
+from repro.core.matching import (
+    available_strategies,
+    get_matcher,
+    greedy_matching,
+    optimal_matching,
+    random_matching,
+    select_pairs,
+)
+from repro.exceptions import MatchingError
+
+SECRET = 5150
+Z = 131
+BUDGET = 2.0
+
+
+@pytest.fixture(scope="module")
+def eligible(skewed_histogram):
+    return generate_eligible_pairs(skewed_histogram, SECRET, Z)
+
+
+class TestStrategies:
+    def test_registry(self):
+        assert set(available_strategies()) == {"greedy", "optimal", "random"}
+        assert get_matcher("OPTIMAL") is optimal_matching
+        with pytest.raises(MatchingError):
+            get_matcher("annealing")
+
+    def test_all_strategies_produce_disjoint_pairs_within_budget(
+        self, skewed_histogram, eligible
+    ):
+        for strategy in available_strategies():
+            result = select_pairs(
+                skewed_histogram, eligible, BUDGET, strategy=strategy, rng=5
+            )
+            assert matching_is_valid(result.selected)
+            assert result.similarity_percent >= 100.0 - BUDGET - 1e-9
+            assert result.eligible_count == len(eligible)
+            assert len(result) == len(result.selected)
+
+    def test_optimal_at_least_matches_heuristics(self, skewed_histogram, eligible):
+        optimal = optimal_matching(skewed_histogram, eligible, BUDGET)
+        greedy = greedy_matching(skewed_histogram, eligible, BUDGET)
+        random = random_matching(skewed_histogram, eligible, BUDGET, rng=7)
+        assert len(optimal.selected) >= len(greedy.selected)
+        assert len(optimal.selected) >= len(random.selected)
+        assert len(optimal.selected) > 0
+
+    def test_greedy_visits_cheapest_first(self, skewed_histogram, eligible):
+        result = greedy_matching(skewed_histogram, eligible, BUDGET)
+        costs = [item.cost for item in result.selected]
+        assert costs == sorted(costs)
+
+    def test_random_is_seed_deterministic(self, skewed_histogram, eligible):
+        first = random_matching(skewed_histogram, eligible, BUDGET, rng=99)
+        second = random_matching(skewed_histogram, eligible, BUDGET, rng=99)
+        assert [item.pair for item in first.selected] == [item.pair for item in second.selected]
+
+    def test_random_varies_with_seed(self, skewed_histogram, eligible):
+        first = random_matching(skewed_histogram, eligible, BUDGET, rng=1)
+        second = random_matching(skewed_histogram, eligible, BUDGET, rng=2)
+        # Selections may coincide in size but the visiting order should
+        # almost surely differ for 100+ eligible pairs.
+        assert [item.pair for item in first.selected] != [item.pair for item in second.selected]
+
+    def test_empty_eligible_list(self, skewed_histogram):
+        for strategy in available_strategies():
+            result = select_pairs(skewed_histogram, [], BUDGET, strategy=strategy)
+            assert result.selected == ()
+            assert result.similarity_percent == 100.0
+
+    def test_max_pairs_caps_every_strategy(self, skewed_histogram, eligible):
+        for strategy in available_strategies():
+            result = select_pairs(
+                skewed_histogram, eligible, BUDGET, strategy=strategy, rng=5, max_pairs=3
+            )
+            assert len(result.selected) <= 3
+
+    def test_strategy_label_recorded(self, skewed_histogram, eligible):
+        assert optimal_matching(skewed_histogram, eligible, BUDGET).strategy == "optimal"
+        assert greedy_matching(skewed_histogram, eligible, BUDGET).strategy == "greedy"
+        assert random_matching(skewed_histogram, eligible, BUDGET).strategy == "random"

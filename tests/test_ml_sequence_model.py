@@ -1,0 +1,89 @@
+"""Unit tests for the Markov next-URL sequence model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ml.sequence_model import (
+    MarkovSequenceModel,
+    accuracy_impact,
+    train_test_split_sequences,
+)
+
+
+@pytest.fixture()
+def corpus():
+    # Highly predictable browsing sessions: a -> b -> c, repeated, with a
+    # couple of detours so back-off paths get exercised.
+    return [
+        ["a", "b", "c", "a", "b", "c", "a", "b", "c"],
+        ["a", "b", "c", "d", "a", "b", "c"],
+        ["b", "c", "a", "b", "c"],
+    ]
+
+
+class TestMarkovModel:
+    def test_fit_predict_most_likely_transition(self, corpus):
+        model = MarkovSequenceModel(order=1).fit(corpus)
+        assert model.predict(["a"]) == ["b"]
+        assert model.predict(["b"]) == ["c"]
+
+    def test_order2_context_beats_order1_ambiguity(self, corpus):
+        model = MarkovSequenceModel(order=2).fit(corpus)
+        assert model.predict(["b", "c"])[0] in {"a", "d"}
+        assert model.predict(["a", "b"]) == ["c"]
+
+    def test_backoff_to_unigram_for_unknown_context(self, corpus):
+        model = MarkovSequenceModel(order=2).fit(corpus)
+        prediction = model.predict(["never-seen"])
+        # Falls back to the globally most frequent tokens.
+        assert prediction[0] in {"a", "b", "c"}
+
+    def test_top_k_predictions(self, corpus):
+        model = MarkovSequenceModel(order=1).fit(corpus)
+        top2 = model.predict(["c"], top_k=2)
+        assert len(top2) == 2
+        assert "a" in top2 or "d" in top2
+
+    def test_evaluate_accuracy_high_on_predictable_corpus(self, corpus):
+        model = MarkovSequenceModel(order=2).fit(corpus)
+        evaluation = model.evaluate(corpus, top_k=1)
+        assert evaluation.accuracy > 0.7
+        assert evaluation.evaluated_transitions == sum(len(s) - 1 for s in corpus)
+
+    def test_errors_for_unfitted_or_invalid(self):
+        with pytest.raises(ConfigurationError):
+            MarkovSequenceModel(order=0)
+        model = MarkovSequenceModel()
+        with pytest.raises(ConfigurationError):
+            model.predict(["a"])
+        with pytest.raises(ConfigurationError):
+            model.evaluate([["a", "b"]])
+        with pytest.raises(ConfigurationError):
+            model.fit([])
+
+
+class TestSplitsAndImpact:
+    def test_split_partitions_sequences(self, corpus):
+        train, test = train_test_split_sequences(corpus * 4, test_fraction=0.25, rng=3)
+        assert len(train) + len(test) == len(corpus) * 4
+        assert len(test) >= 1
+
+    def test_split_rejects_bad_fraction(self, corpus):
+        with pytest.raises(ConfigurationError):
+            train_test_split_sequences(corpus, test_fraction=0.0)
+
+    def test_accuracy_impact_of_identical_corpora_is_zero(self, corpus):
+        report = accuracy_impact(corpus * 5, corpus * 5, order=2, top_k=1, rng=7)
+        assert report["accuracy_difference"] == pytest.approx(0.0, abs=1e-9)
+        assert report["original_accuracy"] > 0.5
+
+    def test_accuracy_impact_reports_both_sides(self, corpus):
+        shuffled = [list(reversed(sequence)) for sequence in corpus * 5]
+        report = accuracy_impact(corpus * 5, shuffled, order=1, top_k=1, rng=7)
+        assert set(report) >= {
+            "original_accuracy",
+            "watermarked_accuracy",
+            "accuracy_difference",
+        }

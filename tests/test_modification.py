@@ -1,0 +1,111 @@
+"""Unit tests for the frequency-modification (embedding arithmetic) stage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.eligibility import generate_eligible_pairs
+from repro.core.histogram import TokenHistogram
+from repro.core.modification import (
+    PairAdjustment,
+    apply_adjustments,
+    combined_deltas,
+    plan_adjustment,
+    plan_adjustments,
+    total_cost,
+    verify_alignment,
+)
+from repro.core.similarity import ranking_preserved
+from repro.core.tokens import TokenPair
+from repro.exceptions import GenerationError
+
+
+class TestPaperRunningExample:
+    def test_youtube_instagram_example(self):
+        """Figure 1: 1098/537 under modulus 129 becomes 1075/559."""
+        pair = TokenPair("youtube.com", "instagram.com")
+        adjustment = plan_adjustment(1098, 537, 129, pair)
+        assert adjustment.delta_first == -23
+        assert adjustment.delta_second == +22
+        assert (1098 + adjustment.delta_first - (537 + adjustment.delta_second)) % 129 == 0
+
+
+class TestAdjustmentArithmetic:
+    def test_zero_remainder_means_no_change(self):
+        adjustment = plan_adjustment(200, 100, 50, TokenPair("a", "b"))
+        assert adjustment.delta_first == 0
+        assert adjustment.delta_second == 0
+        assert adjustment.cost == 0
+
+    def test_small_remainder_shrinks_difference(self):
+        # difference 103, modulus 50 -> remainder 3 (<= 25): shrink by 3.
+        adjustment = plan_adjustment(203, 100, 50, TokenPair("a", "b"))
+        assert adjustment.delta_first == -2
+        assert adjustment.delta_second == +1
+        assert (203 - 2 - (100 + 1)) % 50 == 0
+
+    def test_large_remainder_grows_difference(self):
+        # difference 148, modulus 50 -> remainder 48 (> 25): grow by 2.
+        adjustment = plan_adjustment(248, 100, 50, TokenPair("a", "b"))
+        assert adjustment.delta_first == +1
+        assert adjustment.delta_second == -1
+        assert (248 + 1 - (100 - 1)) % 50 == 0
+
+    def test_changes_bounded_by_half_modulus(self):
+        for difference in range(0, 300, 7):
+            adjustment = plan_adjustment(1000 + difference, 1000, 97, TokenPair("a", "b"))
+            assert abs(adjustment.delta_first) <= (97 + 1) // 2
+            assert abs(adjustment.delta_second) <= (97 + 1) // 2
+
+    def test_alignment_holds_for_many_inputs(self):
+        for first in range(500, 560):
+            for modulus in (7, 13, 64, 129):
+                adjustment = plan_adjustment(first, 123, modulus, TokenPair("a", "b"))
+                aligned = (first + adjustment.delta_first) - (123 + adjustment.delta_second)
+                assert aligned % modulus == 0
+
+    def test_rejects_wrong_order(self):
+        with pytest.raises(GenerationError):
+            plan_adjustment(10, 20, 5, TokenPair("a", "b"))
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(GenerationError):
+            plan_adjustment(20, 10, 1, TokenPair("a", "b"))
+
+    def test_cost_is_sum_of_absolute_deltas(self):
+        adjustment = PairAdjustment(TokenPair("a", "b"), 50, -3, 2)
+        assert adjustment.cost == 5
+        assert adjustment.as_deltas() == {"a": -3, "b": 2}
+
+
+class TestBatchApplication:
+    def test_plan_apply_and_verify(self, running_example_histogram):
+        eligible = generate_eligible_pairs(running_example_histogram, 11111, 131)
+        # Keep a vertex-disjoint prefix so the batch mimics a matching.
+        used, selected = set(), []
+        for item in eligible:
+            if item.pair.first in used or item.pair.second in used:
+                continue
+            used.update(item.pair.as_tuple())
+            selected.append(item)
+        adjustments = plan_adjustments(running_example_histogram, selected)
+        assert verify_alignment(running_example_histogram, adjustments)
+        watermarked = apply_adjustments(running_example_histogram, adjustments)
+        assert ranking_preserved(
+            running_example_histogram.as_dict(), watermarked.as_dict()
+        )
+        assert total_cost(adjustments) == sum(item.cost for item in selected)
+
+    def test_combined_deltas_sums_overlaps(self):
+        adjustments = [
+            PairAdjustment(TokenPair("a", "b"), 10, -1, 1),
+            PairAdjustment(TokenPair("a", "c"), 10, -2, 2),
+        ]
+        deltas = combined_deltas(adjustments)
+        assert deltas == {"a": -3, "b": 1, "c": 2}
+
+    def test_verify_alignment_detects_broken_pairs(self):
+        histogram = TokenHistogram.from_counts({"a": 101, "b": 50, "c": 10})
+        # An adjustment that does NOT align the pair under its modulus.
+        bogus = [PairAdjustment(TokenPair("a", "b"), 7, 0, 0)]
+        assert verify_alignment(histogram, bogus) is ((101 - 50) % 7 == 0)

@@ -1,0 +1,108 @@
+"""Unit tests for multi-watermarking and provenance chains (Section VI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DetectionConfig, GenerationConfig
+from repro.core.detector import WatermarkDetector
+from repro.core.multiwatermark import MultiWatermarker, ProvenanceChain
+from repro.core.similarity import ranking_preserved
+from repro.exceptions import GenerationError
+
+
+@pytest.fixture(scope="module")
+def multi_result(skewed_histogram):
+    # Provenance tracking needs every round's watermark to discriminate
+    # between versions, so the owner enables the require_modification
+    # hardening (pairs already aligned by chance carry no evidence) and
+    # protects earlier rounds' tokens from later perturbation.
+    config = GenerationConfig(
+        budget_percent=2.0,
+        modulus_cap=61,
+        require_modification=True,
+        max_pairs=8,
+    )
+    return MultiWatermarker(config, protect_previous_rounds=True, rng=99).watermark(
+        skewed_histogram, rounds=4
+    )
+
+
+class TestMultiWatermarker:
+    def test_round_count(self, multi_result):
+        assert len(multi_result.rounds) == 4
+        assert [round_.index for round_ in multi_result.rounds] == [0, 1, 2, 3]
+
+    def test_each_round_has_its_own_secret(self, multi_result):
+        secrets = {round_.result.secret.secret for round_ in multi_result.rounds}
+        assert len(secrets) == 4
+
+    def test_cumulative_distortion_stays_small(self, multi_result):
+        # The paper: 10 successive b=2 watermarks cost only ~0.003% similarity.
+        assert multi_result.final_similarity_percent > 99.0
+        similarities = [r.cumulative_similarity_percent for r in multi_result.rounds]
+        # Cumulative similarity is non-increasing (each round adds distortion).
+        assert all(
+            similarities[i] >= similarities[i + 1] - 1e-9
+            for i in range(len(similarities) - 1)
+        )
+
+    def test_ranking_survives_every_round(self, multi_result):
+        original = multi_result.original_histogram.as_dict()
+        for round_ in multi_result.rounds:
+            assert ranking_preserved(original, round_.result.watermarked_histogram.as_dict())
+
+    def test_every_round_detectable_in_final_version(self, multi_result):
+        final = multi_result.final_histogram
+        for index in range(len(multi_result.rounds)):
+            detection = multi_result.detect_round(
+                index, final, config=DetectionConfig(pair_threshold=2)
+            )
+            assert detection.accepted
+
+    def test_later_round_not_detectable_in_earlier_version(self, multi_result):
+        first_version = multi_result.rounds[0].result.watermarked_histogram
+        last_secret = multi_result.rounds[-1].result.secret
+        detection = WatermarkDetector(last_secret, DetectionConfig(pair_threshold=0)).detect(
+            first_version
+        )
+        assert detection.accepted_fraction < 1.0
+
+    def test_zero_rounds_rejected(self, skewed_histogram):
+        with pytest.raises(GenerationError):
+            MultiWatermarker(rng=1).watermark(skewed_histogram, rounds=0)
+
+    def test_round_metadata_records_index(self, multi_result):
+        for index, round_ in enumerate(multi_result.rounds):
+            assert round_.result.secret.metadata["round"] == index
+
+
+class TestProvenanceChain:
+    def test_detectable_prefix_orders_versions(self, multi_result):
+        chain = ProvenanceChain(secrets=multi_result.secrets)
+        strict = DetectionConfig(pair_threshold=0)
+        # The final version carries every stage (later rounds never touched
+        # earlier rounds' tokens thanks to protect_previous_rounds).
+        assert chain.detectable_prefix(multi_result.final_histogram, config=strict) == len(chain)
+        # The original carries none of them: every pair needed an actual
+        # modification, so at t = 0 nothing verifies before round 0 ran.
+        assert chain.detectable_prefix(multi_result.original_histogram, config=strict) == 0
+
+    def test_intermediate_version_prefix(self, multi_result):
+        version_1 = multi_result.rounds[1].result.watermarked_histogram
+        chain = ProvenanceChain(secrets=multi_result.secrets)
+        prefix = chain.detectable_prefix(version_1)
+        assert 2 <= prefix <= len(chain)
+
+    def test_detection_report_rows(self, multi_result):
+        chain = ProvenanceChain(secrets=multi_result.secrets)
+        report = chain.detection_report(multi_result.final_histogram)
+        assert len(report) == len(chain)
+        assert all(entry["accepted"] for entry in report)
+        assert [entry["round"] for entry in report] == list(range(len(chain)))
+
+    def test_append(self, multi_result):
+        chain = ProvenanceChain()
+        for secret in multi_result.secrets:
+            chain.append(secret)
+        assert len(chain) == len(multi_result.secrets)

@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for the core FreqyWM invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.false_positive import (
+    markov_bound,
+    poisson_binomial_pmf,
+    poisson_binomial_survival,
+)
+from repro.core.hashing import pair_modulus
+from repro.core.histogram import TokenHistogram
+from repro.core.modification import plan_adjustment
+from repro.core.similarity import (
+    histogram_similarity,
+    ranking_preserved,
+    similarity_percent,
+)
+from repro.core.tokens import TokenPair, canonical_token, compose_token, decompose_token
+
+# Strategy: small token-count histograms with distinct counts spread enough
+# to be interesting but cheap to process.
+_counts = st.dictionaries(
+    keys=st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-", min_size=1, max_size=12),
+    values=st.integers(min_value=1, max_value=100_000),
+    min_size=2,
+    max_size=30,
+)
+
+_settings = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestModificationProperties:
+    @_settings
+    @given(
+        first=st.integers(min_value=0, max_value=1_000_000),
+        gap=st.integers(min_value=0, max_value=1_000_000),
+        modulus=st.integers(min_value=2, max_value=5_000),
+    )
+    def test_adjustment_always_aligns_and_is_bounded(self, first, gap, modulus):
+        frequency_first = first + gap
+        frequency_second = first
+        adjustment = plan_adjustment(
+            frequency_first, frequency_second, modulus, TokenPair("a", "b")
+        )
+        new_difference = (frequency_first + adjustment.delta_first) - (
+            frequency_second + adjustment.delta_second
+        )
+        assert new_difference % modulus == 0
+        assert abs(adjustment.delta_first) <= math.ceil(modulus / 2)
+        assert abs(adjustment.delta_second) <= math.ceil(modulus / 2)
+        assert adjustment.cost <= modulus
+
+
+class TestHashProperties:
+    @_settings
+    @given(
+        token_i=st.text(min_size=1, max_size=20),
+        token_j=st.text(min_size=1, max_size=20),
+        secret=st.integers(min_value=0, max_value=(1 << 128) - 1),
+        z=st.integers(min_value=2, max_value=100_000),
+    )
+    def test_pair_modulus_in_range_and_deterministic(self, token_i, token_j, secret, z):
+        value = pair_modulus(token_i, token_j, secret, z)
+        assert 0 <= value < z
+        assert value == pair_modulus(token_i, token_j, secret, z)
+
+
+class TestHistogramProperties:
+    @_settings
+    @given(counts=_counts)
+    def test_histogram_sorted_and_total_preserved(self, counts):
+        histogram = TokenHistogram.from_counts(counts)
+        frequencies = histogram.frequencies()
+        assert list(frequencies) == sorted(frequencies, reverse=True)
+        assert histogram.total_count() == sum(counts.values())
+
+    @_settings
+    @given(counts=_counts)
+    def test_boundaries_never_negative_and_infinite_only_at_top(self, counts):
+        histogram = TokenHistogram.from_counts(counts)
+        boundaries = histogram.boundaries()
+        top = histogram.tokens[0]
+        for token, bounds in boundaries.items():
+            assert bounds.lower >= 0
+            if token == top:
+                assert math.isinf(bounds.upper)
+            else:
+                assert bounds.upper >= 0 and not math.isinf(bounds.upper)
+
+    @_settings
+    @given(counts=_counts)
+    def test_self_similarity_is_perfect(self, counts):
+        assert similarity_percent(counts, counts) >= 100.0 - 1e-9
+        assert ranking_preserved(counts, counts)
+
+    @_settings
+    @given(counts=_counts, other=_counts)
+    def test_similarity_symmetric_and_bounded(self, counts, other):
+        forward = histogram_similarity(counts, other)
+        backward = histogram_similarity(other, counts)
+        assert 0.0 <= forward <= 1.0
+        assert abs(forward - backward) < 1e-9
+
+
+class TestTokenProperties:
+    @_settings
+    @given(
+        values=st.lists(
+            st.text(
+                alphabet=st.characters(blacklist_characters="\x1f"), min_size=0, max_size=10
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_compose_decompose_roundtrip(self, values):
+        token = compose_token(tuple(values))
+        assert decompose_token(token) == tuple(values)
+
+    @_settings
+    @given(value=st.one_of(st.text(max_size=20), st.integers(), st.booleans()))
+    def test_canonical_token_is_idempotent(self, value):
+        canonical = canonical_token(value)
+        assert canonical_token(canonical) == canonical
+
+
+class TestFalsePositiveProperties:
+    @_settings
+    @given(
+        probabilities=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=40
+        ),
+        k=st.integers(min_value=0, max_value=45),
+    )
+    def test_markov_bound_dominates_exact_survival(self, probabilities, k):
+        exact = poisson_binomial_survival(probabilities, k)
+        bound = markov_bound(probabilities, k)
+        assert exact <= bound + 1e-9
+        assert 0.0 <= exact <= 1.0
+
+    @_settings
+    @given(
+        probabilities=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=40
+        )
+    )
+    def test_pmf_is_a_distribution(self, probabilities):
+        pmf = poisson_binomial_pmf(probabilities)
+        assert len(pmf) == len(probabilities) + 1
+        assert abs(float(pmf.sum()) - 1.0) < 1e-9

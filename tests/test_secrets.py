@@ -1,0 +1,103 @@
+"""Unit tests for the watermark secret list (L_sc) and its serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.secrets import WatermarkSecret, max_modulus_cap
+from repro.core.tokens import TokenPair
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def secret() -> WatermarkSecret:
+    return WatermarkSecret.build(
+        [("youtube.com", "instagram.com"), ("facebook.com", "bbc.com")],
+        secret=123456789,
+        modulus_cap=131,
+        owner="acme",
+    )
+
+
+class TestConstruction:
+    def test_pairs_are_token_pairs(self, secret):
+        assert all(isinstance(pair, TokenPair) for pair in secret.pairs)
+        assert len(secret) == 2
+
+    def test_rejects_small_modulus_cap(self):
+        with pytest.raises(ConfigurationError):
+            WatermarkSecret.build([("a", "b")], secret=1, modulus_cap=1)
+
+    def test_rejects_negative_secret(self):
+        with pytest.raises(ConfigurationError):
+            WatermarkSecret.build([("a", "b")], secret=-1, modulus_cap=10)
+
+    def test_metadata_attached(self, secret):
+        assert secret.metadata["owner"] == "acme"
+
+    def test_with_metadata_merges(self, secret):
+        extended = secret.with_metadata(buyer="b-1")
+        assert extended.metadata["owner"] == "acme"
+        assert extended.metadata["buyer"] == "b-1"
+        assert "buyer" not in secret.metadata
+
+
+class TestModuli:
+    def test_pair_moduli_in_range(self, secret):
+        for modulus in secret.pair_moduli().values():
+            assert 0 <= modulus < 131
+
+    def test_pair_moduli_deterministic(self, secret):
+        assert secret.pair_moduli() == secret.pair_moduli()
+
+
+class TestFingerprint:
+    def test_fingerprint_changes_with_secret(self, secret):
+        other = WatermarkSecret.build(
+            [pair.as_tuple() for pair in secret.pairs], secret=987654321, modulus_cap=131
+        )
+        assert secret.fingerprint() != other.fingerprint()
+
+    def test_fingerprint_changes_with_pairs(self, secret):
+        other = WatermarkSecret.build(
+            [("youtube.com", "instagram.com")], secret=secret.secret, modulus_cap=131
+        )
+        assert secret.fingerprint() != other.fingerprint()
+
+    def test_fingerprint_stable(self, secret):
+        assert secret.fingerprint() == secret.fingerprint()
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, secret):
+        restored = WatermarkSecret.from_json(secret.to_json())
+        assert restored.pairs == secret.pairs
+        assert restored.secret == secret.secret
+        assert restored.modulus_cap == secret.modulus_cap
+        assert restored.metadata == secret.metadata
+
+    def test_file_roundtrip(self, secret, tmp_path):
+        path = tmp_path / "secret.json"
+        secret.save(path)
+        assert WatermarkSecret.load(path) == secret
+
+    def test_large_secret_survives_roundtrip(self):
+        secret = WatermarkSecret.build([("a", "b")], secret=(1 << 256) - 1, modulus_cap=17)
+        assert WatermarkSecret.from_json(secret.to_json()).secret == (1 << 256) - 1
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WatermarkSecret.from_dict({"pairs": [["a", "b"]]})
+
+
+class TestModulusCapBound:
+    def test_bound_is_frequency_spread(self):
+        assert max_modulus_cap([1098, 980, 674, 537, 64, 53, 53]) == 1098 - 53
+
+    def test_degenerate_histograms(self):
+        assert max_modulus_cap([10]) == 2
+        assert max_modulus_cap([5, 5, 5]) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_modulus_cap([])

@@ -1,0 +1,96 @@
+"""Unit tests for token canonicalisation and pair handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tokens import (
+    MULTI_ATTRIBUTE_SEPARATOR,
+    TokenPair,
+    as_token_pair,
+    canonical_token,
+    compose_token,
+    decompose_token,
+    unique_tokens,
+)
+
+
+class TestCanonicalToken:
+    def test_string_passthrough(self):
+        assert canonical_token("youtube.com") == "youtube.com"
+
+    def test_bytes_decoded(self):
+        assert canonical_token(b"abc") == "abc"
+
+    def test_integer(self):
+        assert canonical_token(42) == "42"
+
+    def test_integral_float_collapses_to_int(self):
+        assert canonical_token(42.0) == "42"
+
+    def test_non_integral_float(self):
+        assert canonical_token(3.5) == "3.5"
+
+    def test_tuple_composition_is_injective(self):
+        assert canonical_token(("a", "bc")) != canonical_token(("ab", "c"))
+
+    def test_list_same_as_tuple(self):
+        assert canonical_token(["a", "b"]) == canonical_token(("a", "b"))
+
+
+class TestComposeDecompose:
+    def test_roundtrip(self):
+        token = compose_token(("37", "Private"))
+        assert decompose_token(token) == ("37", "Private")
+
+    def test_separator_not_printable(self):
+        assert MULTI_ATTRIBUTE_SEPARATOR not in "37Private"
+
+    def test_single_attribute(self):
+        assert decompose_token(compose_token(("x",))) == ("x",)
+
+
+class TestTokenPair:
+    def test_rejects_identical_tokens(self):
+        with pytest.raises(ValueError):
+            TokenPair("a", "a")
+
+    def test_ordered_puts_higher_frequency_first(self):
+        pair = TokenPair.ordered("low", "high", 10, 500)
+        assert pair.first == "high"
+        assert pair.second == "low"
+
+    def test_ordered_tie_breaks_lexicographically(self):
+        pair = TokenPair.ordered("beta", "alpha", 10, 10)
+        assert (pair.first, pair.second) == ("alpha", "beta")
+        # And it is deterministic regardless of argument order.
+        assert TokenPair.ordered("alpha", "beta", 10, 10) == pair
+
+    def test_contains_and_other(self):
+        pair = TokenPair("a", "b")
+        assert pair.contains("a") and pair.contains("b")
+        assert pair.other("a") == "b"
+        assert pair.other("b") == "a"
+        with pytest.raises(KeyError):
+            pair.other("c")
+
+    def test_hashable_and_usable_as_dict_key(self):
+        mapping = {TokenPair("a", "b"): 1}
+        assert mapping[TokenPair("a", "b")] == 1
+
+    def test_as_tuple(self):
+        assert TokenPair("a", "b").as_tuple() == ("a", "b")
+
+
+class TestHelpers:
+    def test_unique_tokens_preserves_first_seen_order(self):
+        assert unique_tokens(["b", "a", "b", "c", "a"]) == ("b", "a", "c")
+
+    def test_as_token_pair_from_tuple(self):
+        pair = as_token_pair(("x", "y"))
+        assert isinstance(pair, TokenPair)
+        assert pair.as_tuple() == ("x", "y")
+
+    def test_as_token_pair_passthrough(self):
+        pair = TokenPair("x", "y")
+        assert as_token_pair(pair) is pair

@@ -1,0 +1,65 @@
+"""Unit tests for the dataset transformation (token add/remove) stage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.histogram import TokenHistogram
+from repro.core.transform import (
+    apply_deltas_to_tokens,
+    transform_dataset,
+    verify_transformation,
+)
+from repro.exceptions import GenerationError
+
+
+class TestApplyDeltas:
+    def test_removals_and_additions_change_counts(self, rng):
+        tokens = ["a"] * 30 + ["b"] * 20 + ["c"] * 10
+        edited = apply_deltas_to_tokens(tokens, {"a": -5, "c": +3}, rng=rng)
+        histogram = TokenHistogram.from_tokens(edited)
+        assert histogram.frequency("a") == 25
+        assert histogram.frequency("b") == 20
+        assert histogram.frequency("c") == 13
+        assert len(edited) == len(tokens) - 5 + 3
+
+    def test_no_deltas_is_identity_of_counts(self, rng):
+        tokens = ["x", "y", "x"]
+        edited = apply_deltas_to_tokens(tokens, {}, rng=rng)
+        assert sorted(edited) == sorted(tokens)
+
+    def test_removing_too_many_raises(self, rng):
+        with pytest.raises(GenerationError):
+            apply_deltas_to_tokens(["a"] * 3, {"a": -4}, rng=rng)
+
+    def test_insertions_are_spread_not_appended(self):
+        # With many insertions into a long sequence, at least one must land
+        # away from the tail (probability of failure is negligible).
+        tokens = ["a"] * 200
+        edited = apply_deltas_to_tokens(tokens, {"b": 20}, rng=3)
+        tail = edited[-20:]
+        assert any(token != "b" for token in tail)
+
+    def test_new_token_can_be_introduced(self, rng):
+        edited = apply_deltas_to_tokens(["a", "a"], {"z": 2}, rng=rng)
+        assert TokenHistogram.from_tokens(edited).frequency("z") == 2
+
+
+class TestTransformDataset:
+    def test_transformed_tokens_match_target_histogram(self, skewed_tokens, rng):
+        original = TokenHistogram.from_tokens(skewed_tokens)
+        top, low = original.tokens[0], original.tokens[-1]
+        target = original.with_updates({top: +4, low: -1})
+        edited = transform_dataset(skewed_tokens, original, target, rng=rng)
+        assert verify_transformation(edited, target)
+
+    def test_verify_transformation_detects_mismatch(self):
+        original = TokenHistogram.from_tokens(["a", "a", "b"])
+        assert not verify_transformation(["a", "b"], original)
+
+    def test_deterministic_given_seed(self, skewed_tokens):
+        original = TokenHistogram.from_tokens(skewed_tokens)
+        target = original.with_updates({original.tokens[0]: +2})
+        first = transform_dataset(skewed_tokens, original, target, rng=77)
+        second = transform_dataset(skewed_tokens, original, target, rng=77)
+        assert first == second
