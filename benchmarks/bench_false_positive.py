@@ -11,7 +11,6 @@ and the Markov bound always dominates the exact probability.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.false_positive import (
     empirical_false_positive_rate,

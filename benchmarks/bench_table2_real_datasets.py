@@ -108,7 +108,6 @@ def test_table2_real_dataset_validation(benchmark, scale):
 
     by_name = {row["dataset"]: row for row in rows}
     taxi = by_name["chicago-taxi (Taxi ID)"]
-    clicks = by_name["eyewnder (URL)"]
     adult = by_name["adult (Age)"]
 
     # Every watermark verifies on its own watermarked data.

@@ -107,3 +107,94 @@ def experiment_banner(identifier: str, description: str) -> None:
     """Print a banner naming the paper artefact being regenerated."""
     line = "=" * 78
     print(f"\n{line}\n{identifier}: {description}\n{line}")  # noqa: T201
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark smoke runner (CI)
+# --------------------------------------------------------------------------- #
+
+#: Benchmark scripts exercised by the CI smoke job: every figure
+#: reproduction plus the engine-scaling guard (whose speedup assertions
+#: surface performance regressions per PR).
+SMOKE_PATTERNS = ("bench_fig*.py", "bench_engine_scaling.py")
+
+
+def run_smoke(output, patterns=SMOKE_PATTERNS) -> dict:
+    """Run every matching benchmark on tiny inputs and write a JSON report.
+
+    Each script runs in its own pytest subprocess with
+    ``REPRO_BENCH_SCALE=smoke`` so the whole sweep finishes in well under a
+    minute; per-script wall-clock times and pass/fail states land in
+    ``output`` (the CI job uploads it as the ``BENCH_smoke.json``
+    artifact, giving every PR a comparable perf trace).
+    """
+    import json
+    import subprocess
+    import time
+
+    bench_dir = Path(__file__).resolve().parent
+    scripts = sorted(
+        {script for pattern in patterns for script in bench_dir.glob(pattern)}
+    )
+    environment = dict(os.environ, REPRO_BENCH_SCALE="smoke")
+    results = []
+    for script in scripts:
+        start = time.perf_counter()
+        completed = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", "-x", script.name],
+            cwd=bench_dir,
+            env=environment,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        seconds = time.perf_counter() - start
+        passed = completed.returncode == 0
+        results.append(
+            {
+                "benchmark": script.stem,
+                "passed": passed,
+                "seconds": round(seconds, 3),
+            }
+        )
+        status = "ok" if passed else "FAILED"
+        print(f"  {script.stem:<32} {seconds:6.1f}s  {status}")  # noqa: T201
+        if not passed:
+            print(completed.stdout)  # noqa: T201
+    report = {
+        "scale": "smoke",
+        "python": sys.version.split()[0],
+        "results": results,
+        "total_seconds": round(sum(entry["seconds"] for entry in results), 3),
+        "failed": sum(1 for entry in results if not entry["passed"]),
+    }
+    output = Path(output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"smoke report written to {output} ({report['total_seconds']}s)")  # noqa: T201
+    return report
+
+
+def main(argv=None) -> int:
+    """CLI entry point: ``python benchmarks/bench_utils.py --smoke``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Benchmark suite utilities")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run every bench_fig*/engine-scaling script on tiny inputs",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_smoke.json",
+        help="where to write the JSON smoke report (default: BENCH_smoke.json)",
+    )
+    arguments = parser.parse_args(argv)
+    if not arguments.smoke:
+        parser.error("nothing to do: pass --smoke")
+    report = run_smoke(arguments.output)
+    return 1 if report["failed"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import base64
 import hashlib
-import io
 import os
 import tarfile
 import zipfile

@@ -18,6 +18,7 @@ True
 """
 
 from repro.core import (
+    BatchDetectionReport,
     DetectionConfig,
     DetectionResult,
     GenerationConfig,
@@ -30,6 +31,7 @@ from repro.core import (
     WatermarkGenerator,
     WatermarkResult,
     WatermarkSecret,
+    detect_many,
     detect_watermark,
     generate_watermark,
 )
@@ -38,6 +40,7 @@ from repro.exceptions import ReproError
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchDetectionReport",
     "DetectionConfig",
     "DetectionResult",
     "GenerationConfig",
@@ -50,6 +53,7 @@ __all__ = [
     "WatermarkGenerator",
     "WatermarkResult",
     "WatermarkSecret",
+    "detect_many",
     "detect_watermark",
     "generate_watermark",
     "ReproError",

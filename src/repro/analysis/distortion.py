@@ -10,13 +10,12 @@ baseline-comparison benchmark and the examples share the same numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping
 
 import numpy as np
 
 from repro.core.similarity import (
     align_frequencies,
-    histogram_similarity,
     rank_changes,
     ranking_preserved,
     similarity_percent,

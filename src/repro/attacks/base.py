@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
 from repro.core.config import DetectionConfig
 from repro.core.detector import DetectionResult, WatermarkDetector

@@ -194,26 +194,24 @@ def sweep_thresholds(
     *,
     attack: Optional[Attack] = None,
     repetitions: int = 3,
-    rng: RngLike = None,
 ) -> List[DestroySweepPoint]:
     """Verified-pair fraction versus ``t`` for an (optionally attacked) dataset.
 
     With ``attack=None`` the sweep is run on ``histogram`` itself — used
     for the un-attacked watermarked curve and for the non-watermarked
-    false-positive curve of Figure 5.
+    false-positive curve of Figure 5. Randomness comes entirely from the
+    ``attack`` instance's own generator.
     """
-    generator = ensure_rng(rng)
     points: List[DestroySweepPoint] = []
     for threshold in thresholds:
-        fractions: List[float] = []
-        detected_votes: List[bool] = []
-        for _ in range(max(1, repetitions if attack is not None else 1)):
-            target = attack.tamper(histogram) if attack is not None else histogram
-            detection = WatermarkDetector(
-                secret, DetectionConfig(pair_threshold=threshold)
-            ).detect(target)
-            fractions.append(detection.accepted_fraction)
-            detected_votes.append(detection.accepted)
+        detector = WatermarkDetector(secret, DetectionConfig(pair_threshold=threshold))
+        targets = [
+            attack.tamper(histogram) if attack is not None else histogram
+            for _ in range(max(1, repetitions if attack is not None else 1))
+        ]
+        detections = detector.detect_many(targets)
+        fractions = [detection.accepted_fraction for detection in detections]
+        detected_votes = [detection.accepted for detection in detections]
         points.append(
             DestroySweepPoint(
                 attack_name=attack.name if attack is not None else "no-attack",
@@ -241,16 +239,17 @@ def reordering_success_rates(
     [94, 88, 82, 79, 78, 76] % for noise levels [10..90] % at ``t = 4``.
     """
     generator = ensure_rng(rng)
+    detector = WatermarkDetector(secret, DetectionConfig(pair_threshold=pair_threshold))
     rates: Dict[float, float] = {}
     for percent in percents:
-        fractions: List[float] = []
-        for _ in range(repetitions):
-            attack = ReorderingNoiseAttack(percent, rng=generator)
-            attacked = attack.tamper(histogram)
-            fractions.append(
-                verified_pair_fraction(attacked, secret, pair_threshold)
-            )
-        rates[float(percent)] = float(np.mean(fractions))
+        attacked_batch = [
+            ReorderingNoiseAttack(percent, rng=generator).tamper(histogram)
+            for _ in range(repetitions)
+        ]
+        detections = detector.detect_many(attacked_batch)
+        rates[float(percent)] = float(
+            np.mean([detection.accepted_fraction for detection in detections])
+        )
     return rates
 
 

@@ -15,13 +15,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.attacks.destroy import (
     BoundaryNoiseAttack,
     PercentageNoiseAttack,
-    ReorderingNoiseAttack,
     reordering_success_rates,
     sweep_thresholds,
 )
 from repro.attacks.rewatermark import RewatermarkAttack, RewatermarkOutcome
 from repro.attacks.sampling import SamplingDetectionPoint, evaluate_sampling_attack
-from repro.core.config import DetectionConfig, GenerationConfig
+from repro.core.config import GenerationConfig
 from repro.core.generator import WatermarkGenerator, WatermarkResult
 from repro.core.histogram import TokenHistogram
 from repro.utils.rng import RngLike, derive_rng

@@ -19,7 +19,7 @@ the attack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.detector import DetectionResult, WatermarkDetector

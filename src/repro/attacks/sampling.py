@@ -22,11 +22,11 @@ Two granularities are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.attacks.base import Attack, AttackOutcome
+from repro.attacks.base import Attack
 from repro.core.config import DetectionConfig
 from repro.core.detector import WatermarkDetector
 from repro.core.histogram import TokenHistogram
@@ -135,23 +135,29 @@ def evaluate_sampling_attack(
     generator = ensure_rng(rng)
     original_size = watermarked.total_count()
     points: List[SamplingDetectionPoint] = []
+    # One detector per threshold, shared across the whole sweep: the
+    # SHA-256 modulus derivation happens once instead of once per
+    # (fraction, threshold, repetition) triple.
+    detectors = {
+        threshold: WatermarkDetector(
+            secret,
+            DetectionConfig(
+                pair_threshold=threshold,
+                min_accepted_fraction=min_accepted_fraction,
+            ),
+        )
+        for threshold in thresholds
+    }
     for fraction in fractions:
         for threshold in thresholds:
-            accepted_counts: List[int] = []
-            detected_votes: List[bool] = []
+            rescaled_batch: List[TokenHistogram] = []
             for _ in range(repetitions):
                 attack = SamplingAttack(fraction, rng=generator)
                 sampled = attack.tamper(watermarked)
-                rescaled = rescale_suspect(sampled, original_size)
-                detection = WatermarkDetector(
-                    secret,
-                    DetectionConfig(
-                        pair_threshold=threshold,
-                        min_accepted_fraction=min_accepted_fraction,
-                    ),
-                ).detect(rescaled)
-                accepted_counts.append(detection.accepted_pairs)
-                detected_votes.append(detection.accepted)
+                rescaled_batch.append(rescale_suspect(sampled, original_size))
+            detections = detectors[threshold].detect_many(rescaled_batch)
+            accepted_counts = [detection.accepted_pairs for detection in detections]
+            detected_votes = [detection.accepted for detection in detections]
             mean_accepted = float(np.mean(accepted_counts))
             points.append(
                 SamplingDetectionPoint(

@@ -25,7 +25,6 @@ benchmark reports alongside FreqyWM's.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -34,7 +33,7 @@ import numpy as np
 from repro.baselines.genetic import GeneticConfig, GeneticOptimizer
 from repro.baselines.partitioning import Partition, partition_histogram
 from repro.exceptions import BaselineError
-from repro.utils.rng import RngLike, derive_rng, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)

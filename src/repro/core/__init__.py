@@ -1,5 +1,7 @@
 """FreqyWM core: watermark generation, detection, and supporting stages."""
 
+from repro.core.arrays import HistogramArrays
+from repro.core.batch import BatchDetectionReport, detect_many
 from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.detector import DetectionResult, WatermarkDetector, detect_watermark
 from repro.core.eligibility import EligiblePair, generate_eligible_pairs
@@ -9,6 +11,7 @@ from repro.core.matching import SelectionResult, select_pairs
 from repro.core.multiwatermark import MultiWatermarker, ProvenanceChain
 from repro.core.secrets import WatermarkSecret
 from repro.core.similarity import (
+    SimilarityTracker,
     distortion_percent,
     histogram_similarity,
     rank_changes,
@@ -18,6 +21,9 @@ from repro.core.similarity import (
 from repro.core.tokens import TokenPair, canonical_token, compose_token
 
 __all__ = [
+    "HistogramArrays",
+    "BatchDetectionReport",
+    "detect_many",
     "DetectionConfig",
     "GenerationConfig",
     "DetectionResult",
@@ -34,6 +40,7 @@ __all__ = [
     "MultiWatermarker",
     "ProvenanceChain",
     "WatermarkSecret",
+    "SimilarityTracker",
     "distortion_percent",
     "histogram_similarity",
     "rank_changes",

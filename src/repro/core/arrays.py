@@ -1,0 +1,186 @@
+"""Array backing for token histograms: the vectorized compute layer.
+
+The FreqyWM hot paths (boundary computation, eligibility pre-filtering,
+similarity, pair verification) all reduce to arithmetic over the
+descending-frequency count vector. :class:`HistogramArrays` is the shared
+array view those stages operate on: a token↔index vocabulary plus NumPy
+count and boundary arrays, built once per histogram and reused by every
+stage.
+
+The mapping-style API of :class:`repro.core.histogram.TokenHistogram`
+remains the public data structure; it exposes its backing
+:class:`HistogramArrays` through ``TokenHistogram.arrays()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Sentinel stored in integer boundary arrays for "no upper boundary"
+#: (the top-ranked token may grow without limit). Kept as a huge but
+#: finite int64 so boundary arrays stay integer-typed; the dataclass API
+#: (:class:`repro.core.histogram.TokenBoundaries`) still reports the
+#: mathematical ``inf``.
+UNBOUNDED = np.iinfo(np.int64).max
+
+
+def sort_histogram(
+    tokens: Sequence[str], counts: np.ndarray
+) -> Tuple[List[str], np.ndarray]:
+    """Sort ``(tokens, counts)`` by descending count, lexicographic tie-break.
+
+    Matches the ordering contract of ``TokenHistogram``: ``sorted(tokens,
+    key=lambda t: (-count[t], t))``. NumPy's ``<U`` string comparison is
+    code-point order, identical to Python ``str`` comparison, so
+    ``np.lexsort`` reproduces the dict implementation's ordering exactly.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if len(tokens) != counts.size:
+        raise ValueError("tokens and counts must have the same length")
+    if counts.size <= 1:
+        return list(tokens), counts.copy()
+    if any("\x00" in token for token in tokens):
+        # NumPy ``<U`` arrays strip trailing NULs, which would corrupt the
+        # lexicographic tie-break for such tokens; sort in Python instead.
+        order = sorted(range(len(tokens)), key=lambda i: (-counts[i], tokens[i]))
+        order = np.asarray(order, dtype=np.intp)
+    else:
+        token_array = np.asarray(tokens, dtype=np.str_)
+        order = np.lexsort((token_array, -counts))
+    return [tokens[i] for i in order], counts[order]
+
+
+class HistogramArrays:
+    """Immutable array view of one histogram, shared across pipeline stages.
+
+    Attributes
+    ----------
+    tokens:
+        Token strings in descending-frequency order.
+    counts:
+        ``int64`` appearance counts aligned with ``tokens`` (read-only).
+    index:
+        Token -> position lookup (the rank of each token).
+    """
+
+    __slots__ = ("tokens", "counts", "index", "_upper", "_lower", "_total")
+
+    def __init__(
+        self,
+        tokens: Sequence[str],
+        counts: np.ndarray,
+        index: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.tokens: Tuple[str, ...] = tuple(tokens)
+        array = np.ascontiguousarray(counts, dtype=np.int64)
+        if array is counts and array.flags.writeable:
+            # Never freeze a buffer the caller still owns.
+            array = array.copy()
+        array.flags.writeable = False
+        self.counts: np.ndarray = array
+        self.index: Dict[str, int] = (
+            index
+            if index is not None
+            else {token: position for position, token in enumerate(self.tokens)}
+        )
+        self._upper: Optional[np.ndarray] = None
+        self._lower: Optional[np.ndarray] = None
+        self._total: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def total(self) -> int:
+        """Total number of occurrences (the dataset size)."""
+        if self._total is None:
+            self._total = int(self.counts.sum())
+        return self._total
+
+    # ------------------------------------------------------------------ #
+    # Boundaries (vectorized form of TokenHistogram.boundaries)
+    # ------------------------------------------------------------------ #
+
+    def boundary_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(upper, lower)`` ranking-preservation slack per rank position.
+
+        ``upper[i]`` is how many appearances token ``i`` may gain without
+        overtaking its higher-ranked neighbour (:data:`UNBOUNDED` for the
+        top-ranked token); ``lower[i]`` how many it may lose without
+        falling behind its lower-ranked neighbour (its own count for the
+        last token). Both arrays are ``int64`` and cached.
+        """
+        if self._upper is None:
+            counts = self.counts
+            upper = np.empty(counts.size, dtype=np.int64)
+            lower = np.empty(counts.size, dtype=np.int64)
+            if counts.size:
+                upper[0] = UNBOUNDED
+                np.subtract(counts[:-1], counts[1:], out=upper[1:])
+                lower[-1] = counts[-1]
+                np.subtract(counts[:-1], counts[1:], out=lower[:-1])
+            upper.flags.writeable = False
+            lower.flags.writeable = False
+            self._upper, self._lower = upper, lower
+        return self._upper, self._lower
+
+    def slack(self) -> np.ndarray:
+        """``min(upper, lower)`` per token — the binding boundary.
+
+        A token can take part in an eligible pair with modulus ``s`` only
+        when its slack is at least ``ceil(s / 2)``; tokens with zero slack
+        (equal-frequency neighbours) can never be watermarked, which is
+        what the eligibility pre-filter exploits.
+        """
+        upper, lower = self.boundary_arrays()
+        return np.minimum(upper, lower)
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+
+    def positions(self, tokens: Iterable[str]) -> np.ndarray:
+        """Rank positions of ``tokens`` (-1 for tokens not in the histogram)."""
+        lookup = self.index.get
+        return np.array([lookup(token, -1) for token in tokens], dtype=np.int64)
+
+    def frequencies(self, tokens: Iterable[str]) -> np.ndarray:
+        """Counts for ``tokens`` (0 for tokens not in the histogram)."""
+        positions = self.positions(tokens)
+        present = positions >= 0
+        values = np.zeros(positions.size, dtype=np.int64)
+        values[present] = self.counts[positions[present]]
+        return values
+
+
+def frequency_matrix(
+    histograms: Sequence["HistogramArrays"], tokens: Sequence[str]
+) -> np.ndarray:
+    """Stack the counts of ``tokens`` across many histograms.
+
+    Returns an ``int64`` matrix of shape ``(len(histograms), len(tokens))``
+    with zeros for absent tokens — the input of the batched detector's
+    single vectorized verification pass.
+    """
+    matrix = np.zeros((len(histograms), len(tokens)), dtype=np.int64)
+    for row, arrays in enumerate(histograms):
+        matrix[row] = arrays.frequencies(tokens)
+    return matrix
+
+
+def counts_from_mapping(counts: Mapping[str, int]) -> Tuple[List[str], np.ndarray]:
+    """Split a token->count mapping into parallel token/count sequences."""
+    tokens = list(counts.keys())
+    values = np.fromiter(counts.values(), dtype=np.int64, count=len(tokens))
+    return tokens, values
+
+
+__all__ = [
+    "UNBOUNDED",
+    "HistogramArrays",
+    "sort_histogram",
+    "frequency_matrix",
+    "counts_from_mapping",
+]

@@ -1,0 +1,108 @@
+"""Batch detection over many suspected datasets.
+
+Marketplace-scale operation means screening *fleets* of suspected
+datasets against one secret list — every buyer's copy, every scraped
+re-publication, every version in a provenance chain. Running the
+single-dataset detector in a loop repays the SHA-256 modulus derivation
+and the per-pair Python loop for every dataset; this module exposes the
+batched path instead: the moduli are derived once and all stored pairs of
+all datasets are verified with a single vectorized
+``(f_i - f_j) mod s_ij <= t`` matrix pass (see
+:meth:`repro.core.detector.WatermarkDetector.detect_many`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.config import DetectionConfig
+from repro.core.detector import DetectionResult, SuspectData, WatermarkDetector
+from repro.core.secrets import WatermarkSecret
+
+
+@dataclass(frozen=True)
+class BatchDetectionReport:
+    """Outcome of screening a batch of suspected datasets.
+
+    Attributes
+    ----------
+    results:
+        One :class:`DetectionResult` per input dataset, in input order.
+    """
+
+    results: Tuple[DetectionResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> DetectionResult:
+        return self.results[index]
+
+    @property
+    def accepted_flags(self) -> Tuple[bool, ...]:
+        """Per-dataset verdicts, aligned with the input order."""
+        return tuple(result.accepted for result in self.results)
+
+    @property
+    def accepted_count(self) -> int:
+        """Number of datasets on which the watermark verified."""
+        return sum(result.accepted for result in self.results)
+
+    @property
+    def accepted_indices(self) -> Tuple[int, ...]:
+        """Input positions of the datasets that verified."""
+        return tuple(
+            index for index, result in enumerate(self.results) if result.accepted
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary used by the CLI and benchmarks."""
+        total = len(self.results)
+        return {
+            "datasets": total,
+            "accepted_datasets": self.accepted_count,
+            "accepted_rate": self.accepted_count / total if total else 0.0,
+            "required_pairs": self.results[0].required_pairs if total else 0,
+            "total_pairs": self.results[0].total_pairs if total else 0,
+        }
+
+
+def detect_many(
+    datasets: Sequence[SuspectData],
+    secret: WatermarkSecret,
+    config: Optional[DetectionConfig] = None,
+    *,
+    collect_evidence: bool = False,
+) -> BatchDetectionReport:
+    """Run ``WM_Detect`` over a batch of suspected datasets at once.
+
+    Parameters
+    ----------
+    datasets:
+        Suspected datasets — raw token sequences or pre-built
+        :class:`~repro.core.histogram.TokenHistogram` instances, mixed
+        freely.
+    secret:
+        The owner's secret list ``L_sc``.
+    config:
+        Detection thresholds shared by the whole batch (defaults to the
+        strict ``t = 0``, ``k = 50%`` setting).
+    collect_evidence:
+        When True, per-pair :class:`~repro.core.detector.PairEvidence` is
+        materialised for every dataset (slower; intended for dispute /
+        debugging flows, not for large screens).
+
+    Returns
+    -------
+    :class:`BatchDetectionReport` with one result per dataset, in order.
+    """
+    detector = WatermarkDetector(secret, config)
+    results = detector.detect_many(datasets, collect_evidence=collect_evidence)
+    return BatchDetectionReport(results=tuple(results))
+
+
+__all__ = ["BatchDetectionReport", "detect_many"]

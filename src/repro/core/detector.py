@@ -13,6 +13,15 @@ detection
 Detection is linear in the number of stored pairs, which is the paper's
 "verification in linear time" claim; it never needs the original dataset
 (the scheme is blind).
+
+The detector caches the recomputed moduli and resolved thresholds at
+construction (they depend only on the secret and the configuration), so
+scanning many suspected datasets with one detector pays the SHA-256 cost
+once; each :meth:`WatermarkDetector.detect` call is then a single
+vectorized ``(f_i - f_j) mod s_ij <= t`` pass over NumPy arrays.
+:meth:`WatermarkDetector.detect_many` extends the same pass to a whole
+batch of suspected datasets at once (one matrix operation), which is what
+the marketplace-scale sweeps and :func:`repro.core.batch.detect_many` use.
 """
 
 from __future__ import annotations
@@ -20,12 +29,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from repro.core.arrays import frequency_matrix
 from repro.core.config import DetectionConfig
 from repro.core.hashing import pair_modulus
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
 from repro.core.tokens import TokenPair, TokenValue
 from repro.exceptions import DetectionError
+
+#: A suspected dataset: a raw token sequence or a pre-built histogram.
+SuspectData = Union[Sequence[TokenValue], TokenHistogram]
 
 
 @dataclass(frozen=True)
@@ -51,7 +66,8 @@ class DetectionResult:
 
     ``accepted`` is the boolean verdict; the remaining fields expose the
     evidence needed by the evaluation (accepted-pair rates, per-pair
-    remainders) and by the dispute protocol.
+    remainders) and by the dispute protocol. Batch detection runs skip
+    the per-pair evidence objects for speed (``evidence`` is then empty).
     """
 
     accepted: bool
@@ -99,79 +115,155 @@ class WatermarkDetector:
             raise DetectionError("the secret list contains no watermarked pairs")
         self.secret = secret
         self.config = config or DetectionConfig()
+        # The moduli depend only on the secret, the thresholds only on the
+        # moduli and the configuration: compute both once per detector so
+        # repeated detect calls skip all SHA-256 work.
+        self._moduli = np.fromiter(
+            (
+                pair_modulus(pair.first, pair.second, secret.secret, secret.modulus_cap)
+                for pair in secret.pairs
+            ),
+            dtype=np.int64,
+            count=len(secret.pairs),
+        )
+        self._thresholds = np.fromiter(
+            (self.config.threshold_for(int(modulus)) for modulus in self._moduli),
+            dtype=np.int64,
+            count=len(secret.pairs),
+        )
+        # A modulus of 0 or 1 carries no information (the generation
+        # algorithm never selects such pairs); treat the pair as
+        # unverifiable so forged secrets cannot exploit it.
+        self._valid = self._moduli >= 2
+        self._safe_moduli = np.where(self._valid, self._moduli, 1)
+        self._first_tokens = [pair.first for pair in secret.pairs]
+        self._second_tokens = [pair.second for pair in secret.pairs]
+        self._required = self.config.required_pairs(len(secret.pairs))
+
+    # ------------------------------------------------------------------ #
+    # Vectorized verification core
+    # ------------------------------------------------------------------ #
+
+    def _verify(
+        self, first: np.ndarray, second: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One vectorized ``(f_i - f_j) mod s_ij <= t`` pass.
+
+        ``first``/``second`` hold the pair-member frequencies (0 marks a
+        missing token) for one dataset (1-D) or a batch (2-D, one row per
+        dataset). Returns ``(accepted, present, remainder)`` arrays of the
+        same shape.
+        """
+        present = (first > 0) & (second > 0)
+        remainder = (first - second) % self._safe_moduli
+        if self.config.symmetric_tolerance:
+            residue = np.minimum(remainder, self._safe_moduli - remainder)
+        else:
+            residue = remainder
+        accepted = present & self._valid & (residue <= self._thresholds)
+        return accepted, present, remainder
+
+    def _result(self, accepted_pairs: int, evidence: Tuple[PairEvidence, ...]) -> DetectionResult:
+        return DetectionResult(
+            accepted=accepted_pairs >= self._required,
+            accepted_pairs=accepted_pairs,
+            required_pairs=self._required,
+            total_pairs=len(self.secret.pairs),
+            evidence=evidence,
+        )
+
+    def _evidence(
+        self, accepted: np.ndarray, present: np.ndarray, remainder: np.ndarray
+    ) -> Tuple[PairEvidence, ...]:
+        """Materialise per-pair evidence objects from the vector pass."""
+        return tuple(
+            PairEvidence(
+                pair=pair,
+                present=bool(present[index]),
+                modulus=int(self._moduli[index]),
+                remainder=(
+                    int(remainder[index])
+                    if present[index] and self._valid[index]
+                    else None
+                ),
+                threshold=int(self._thresholds[index]),
+                accepted=bool(accepted[index]),
+            )
+            for index, pair in enumerate(self.secret.pairs)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
 
     def detect(
-        self, data: Union[Sequence[TokenValue], TokenHistogram]
+        self, data: SuspectData, *, collect_evidence: bool = True
     ) -> DetectionResult:
-        """Run detection against a suspected dataset or its histogram."""
+        """Run detection against a suspected dataset or its histogram.
+
+        ``collect_evidence=False`` skips building the per-pair
+        :class:`PairEvidence` objects (the verdict and counts are
+        unaffected), which large sweeps use to stay allocation-free.
+        """
         histogram = (
             data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
         )
-        evidence: List[PairEvidence] = []
-        accepted_pairs = 0
-        for pair in self.secret.pairs:
-            modulus = pair_modulus(
-                pair.first, pair.second, self.secret.secret, self.secret.modulus_cap
-            )
-            threshold = self.config.threshold_for(modulus)
-            present = pair.first in histogram and pair.second in histogram
-            if not present:
-                evidence.append(
-                    PairEvidence(
-                        pair=pair,
-                        present=False,
-                        modulus=modulus,
-                        remainder=None,
-                        threshold=threshold,
-                        accepted=False,
-                    )
-                )
-                continue
-            if modulus < 2:
-                # A modulus of 0 or 1 carries no information (the generation
-                # algorithm never selects such pairs); treat the pair as
-                # unverifiable so forged secrets cannot exploit it.
-                evidence.append(
-                    PairEvidence(
-                        pair=pair,
-                        present=True,
-                        modulus=modulus,
-                        remainder=None,
-                        threshold=threshold,
-                        accepted=False,
-                    )
-                )
-                continue
-            difference = histogram.frequency(pair.first) - histogram.frequency(pair.second)
-            remainder = difference % modulus
-            if self.config.symmetric_tolerance:
-                accepted = min(remainder, modulus - remainder) <= threshold
-            else:
-                accepted = remainder <= threshold
-            if accepted:
-                accepted_pairs += 1
-            evidence.append(
-                PairEvidence(
-                    pair=pair,
-                    present=True,
-                    modulus=modulus,
-                    remainder=remainder,
-                    threshold=threshold,
-                    accepted=accepted,
-                )
-            )
-        required = self.config.required_pairs(len(self.secret.pairs))
-        return DetectionResult(
-            accepted=accepted_pairs >= required,
-            accepted_pairs=accepted_pairs,
-            required_pairs=required,
-            total_pairs=len(self.secret.pairs),
-            evidence=tuple(evidence),
+        arrays = histogram.arrays()
+        first = arrays.frequencies(self._first_tokens)
+        second = arrays.frequencies(self._second_tokens)
+        accepted, present, remainder = self._verify(first, second)
+        evidence: Tuple[PairEvidence, ...] = ()
+        if collect_evidence:
+            evidence = self._evidence(accepted, present, remainder)
+        return self._result(int(accepted.sum()), evidence)
+
+    def detect_many(
+        self,
+        datasets: Sequence[SuspectData],
+        *,
+        collect_evidence: bool = False,
+    ) -> List[DetectionResult]:
+        """Batch detection: verify every stored pair on every dataset.
+
+        The pair frequencies of all datasets are stacked into one matrix
+        and verified with a single vectorized modulo pass — the per-pair
+        Python loop of the seed implementation disappears entirely, and
+        the moduli hashes are shared across the whole batch.
+        """
+        if not datasets:
+            return []
+        histograms = [
+            data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
+            for data in datasets
+        ]
+        tokens: List[str] = []
+        positions: Dict[str, int] = {}
+        for token in self._first_tokens + self._second_tokens:
+            if token not in positions:
+                positions[token] = len(tokens)
+                tokens.append(token)
+        matrix = frequency_matrix([histogram.arrays() for histogram in histograms], tokens)
+        first_columns = np.fromiter(
+            (positions[token] for token in self._first_tokens), dtype=np.intp
         )
+        second_columns = np.fromiter(
+            (positions[token] for token in self._second_tokens), dtype=np.intp
+        )
+        accepted, present, remainder = self._verify(
+            matrix[:, first_columns], matrix[:, second_columns]
+        )
+        accepted_counts = accepted.sum(axis=1)
+        results: List[DetectionResult] = []
+        for row in range(len(histograms)):
+            evidence: Tuple[PairEvidence, ...] = ()
+            if collect_evidence:
+                evidence = self._evidence(accepted[row], present[row], remainder[row])
+            results.append(self._result(int(accepted_counts[row]), evidence))
+        return results
 
 
 def detect_watermark(
-    data: Union[Sequence[TokenValue], TokenHistogram],
+    data: SuspectData,
     secret: WatermarkSecret,
     *,
     pair_threshold: int = 0,
@@ -192,6 +284,7 @@ def detect_watermark(
 __all__ = [
     "PairEvidence",
     "DetectionResult",
+    "SuspectData",
     "WatermarkDetector",
     "detect_watermark",
 ]

@@ -21,12 +21,13 @@ most promising tokens to keep generation latency predictable.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.hashing import pair_modulus
-from repro.core.histogram import TokenBoundaries, TokenHistogram
+from repro.core.histogram import TokenHistogram
 from repro.core.tokens import TokenPair
 from repro.exceptions import EligibilityError
 
@@ -70,21 +71,36 @@ class EligiblePair:
         return self.modulus - self.remainder
 
 
-def _pair_is_eligible(
-    modulus: int,
-    boundaries_i: TokenBoundaries,
-    boundaries_j: TokenBoundaries,
-) -> bool:
-    """Apply the boundary rule ``min(u_i, l_i, u_j, l_j) >= ceil(s_ij / 2)``."""
+def _boundary_allows(modulus: int, slack_i: int, slack_j: int) -> bool:
+    """The boundary rule ``min(u_i, l_i, u_j, l_j) >= ceil(s_ij / 2)``.
+
+    ``slack`` is each token's binding boundary ``min(u, l)`` (with the
+    top-ranked token's unbounded upper collapsing to its lower), so the
+    rule reduces to both slacks covering ``ceil(s_ij / 2)``.
+    """
     if modulus < 2:
         return False
-    needed = math.ceil(modulus / 2)
-    return (
-        boundaries_i.upper >= needed
-        and boundaries_i.lower >= needed
-        and boundaries_j.upper >= needed
-        and boundaries_j.lower >= needed
-    )
+    needed = (modulus + 1) // 2
+    return slack_i >= needed and slack_j >= needed
+
+
+def _candidate_token_mask(
+    histogram: TokenHistogram, max_candidates: Optional[int]
+) -> "np.ndarray":
+    """Boolean mask (rank order) of the tokens admitted to the pair scan.
+
+    With ``max_candidates`` set, tokens are ranked by boundary slack
+    (stable sort, so descending-frequency order breaks ties) and only the
+    top ``max_candidates`` are kept — the single implementation behind
+    both :func:`iter_candidate_pairs` and :func:`generate_eligible_pairs`.
+    """
+    slack = histogram.arrays().slack()
+    keep = np.ones(slack.size, dtype=bool)
+    if max_candidates is not None and max_candidates < slack.size:
+        ranking = np.argsort(-slack, kind="stable")
+        keep = np.zeros(slack.size, dtype=bool)
+        keep[ranking[:max_candidates]] = True
+    return keep
 
 
 def iter_candidate_pairs(
@@ -100,18 +116,10 @@ def iter_candidate_pairs(
     tokens with the largest boundary slack take part, which keeps the scan
     sub-quadratic for very wide histograms.
     """
-    tokens: Sequence[str] = histogram.tokens
-    if max_candidates is not None and max_candidates < len(tokens):
-        boundaries = histogram.boundaries()
-        ranked = sorted(
-            tokens,
-            key=lambda token: -min(
-                boundaries[token].lower,
-                boundaries[token].upper if math.isfinite(boundaries[token].upper) else boundaries[token].lower,
-            ),
-        )
-        keep = set(ranked[:max_candidates])
-        tokens = [token for token in histogram.tokens if token in keep]
+    keep = _candidate_token_mask(histogram, max_candidates)
+    tokens: Sequence[str] = [
+        token for token, kept in zip(histogram.tokens, keep) if kept
+    ]
     for i in range(len(tokens)):
         for j in range(i + 1, len(tokens)):
             yield tokens[i], tokens[j]
@@ -159,27 +167,48 @@ def generate_eligible_pairs(
         raise EligibilityError(f"modulus cap z must be >= 2, got {modulus_cap}")
     if len(histogram) < 2:
         return []
-    boundaries = histogram.boundaries()
-    excluded = set(excluded_tokens or ())
+    arrays = histogram.arrays()
+    slack = arrays.slack()
+    keep = _candidate_token_mask(histogram, max_candidates)
+    # Boundary pre-filter: every valid modulus needs ceil(s_ij / 2) >= 1
+    # slack on both tokens, so tokens whose binding boundary is zero (an
+    # equal-frequency neighbour on the tight side) can never take part in
+    # an eligible pair — drop them before the quadratic scan instead of
+    # hashing their pairs. On flat histograms this removes almost all
+    # candidates; on the paper's power-law data it is a no-op.
+    keep &= slack >= 1
+    if excluded_tokens:
+        excluded = set(excluded_tokens)
+        tokens_all = histogram.tokens
+        for index in np.nonzero(keep)[0]:
+            if tokens_all[int(index)] in excluded:
+                keep[index] = False
+    candidate_indices = np.nonzero(keep)[0]
+    tokens = histogram.tokens
+    counts_list = arrays.counts.tolist()
+    slack_list = slack.tolist()
     eligible: List[EligiblePair] = []
-    for token_i, token_j in iter_candidate_pairs(histogram, max_candidates=max_candidates):
-        if token_i in excluded or token_j in excluded:
-            continue
-        modulus = pair_modulus(token_i, token_j, secret, modulus_cap)
-        if not _pair_is_eligible(modulus, boundaries[token_i], boundaries[token_j]):
-            continue
-        difference = histogram.frequency(token_i) - histogram.frequency(token_j)
-        remainder = difference % modulus
-        if require_modification and remainder == 0:
-            continue
-        eligible.append(
-            EligiblePair(
-                pair=TokenPair(token_i, token_j),
-                modulus=modulus,
-                remainder=remainder,
-                frequency_difference=difference,
+    for position, i in enumerate(candidate_indices):
+        token_i = tokens[i]
+        slack_i = slack_list[i]
+        frequency_i = counts_list[i]
+        for j in candidate_indices[position + 1 :]:
+            token_j = tokens[j]
+            modulus = pair_modulus(token_i, token_j, secret, modulus_cap)
+            if not _boundary_allows(modulus, slack_i, slack_list[j]):
+                continue
+            difference = frequency_i - counts_list[j]
+            remainder = difference % modulus
+            if require_modification and remainder == 0:
+                continue
+            eligible.append(
+                EligiblePair(
+                    pair=TokenPair(token_i, token_j),
+                    modulus=modulus,
+                    remainder=remainder,
+                    frequency_difference=difference,
+                )
             )
-        )
     eligible.sort(key=lambda item: (item.cost, item.pair))
     return eligible
 

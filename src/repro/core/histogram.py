@@ -17,14 +17,27 @@ Boundaries are computed once on the *original* histogram and, per the
 paper, are not updated afterwards: the eligibility rule only ever allows a
 token to take part in a single watermarked pair (matchings share no
 vertices), so the original slack is never spent twice.
+
+Since the array-engine refactor the histogram is backed by NumPy arrays
+(descending count vector + token↔index vocabulary, see
+:mod:`repro.core.arrays`); the mapping-style methods below are thin views
+over that backing so existing callers keep working unchanged.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
+import numpy as np
+
+from repro.core.arrays import (
+    UNBOUNDED,
+    HistogramArrays,
+    counts_from_mapping,
+    sort_histogram,
+)
 from repro.core.tokens import TokenValue, canonical_token
 from repro.exceptions import HistogramError
 
@@ -35,15 +48,30 @@ class TokenBoundaries:
 
     ``upper`` is how many appearances may be *added* and ``lower`` how many
     may be *removed* without the token overtaking its higher-ranked
-    neighbour or falling behind its lower-ranked neighbour.
+    neighbour or falling behind its lower-ranked neighbour. The top-ranked
+    token has no upper boundary at all; that state is carried as
+    ``math.inf`` for backwards compatibility but all decisions go through
+    :attr:`unbounded_upper` rather than comparing against the float.
     """
 
     upper: float
     lower: int
 
+    @property
+    def unbounded_upper(self) -> bool:
+        """Whether this token may grow without limit (the top-ranked token)."""
+        return math.isinf(self.upper)
+
     def allows_change(self, magnitude: int) -> bool:
-        """Whether a change of ``magnitude`` in either direction fits the slack."""
-        return self.upper >= magnitude and self.lower >= magnitude
+        """Whether a change of ``magnitude`` in either direction fits the slack.
+
+        The unbounded upper boundary of the top-ranked token is handled
+        explicitly: only the lower boundary constrains it. For every other
+        token the (integral) upper boundary must also cover ``magnitude``.
+        """
+        if self.lower < magnitude:
+            return False
+        return self.unbounded_upper or int(self.upper) >= magnitude
 
 
 class TokenHistogram:
@@ -55,8 +83,11 @@ class TokenHistogram:
 
     Instances can be built from a raw iterable of token occurrences
     (:meth:`from_tokens`) or directly from a token->count mapping
-    (:meth:`from_counts`).
+    (:meth:`from_counts`). Counts live in a descending-sorted NumPy array
+    (:meth:`arrays`); the dict-style accessors are views over it.
     """
+
+    __slots__ = ("_order", "_array", "_rank", "_arrays", "_dict", "_total")
 
     def __init__(self, counts: Mapping[str, int]) -> None:
         cleaned: Dict[str, int] = {}
@@ -76,13 +107,27 @@ class TokenHistogram:
                 cleaned[canonical_token(token)] = cleaned.get(canonical_token(token), 0) + count
         if not cleaned:
             raise HistogramError("cannot build a histogram with no token occurrences")
-        self._counts: Dict[str, int] = cleaned
-        self._order: List[str] = sorted(
-            self._counts, key=lambda token: (-self._counts[token], token)
-        )
+        self._init_sorted(*sort_histogram(*counts_from_mapping(cleaned)))
+
+    def _init_sorted(self, order: List[str], array: np.ndarray) -> None:
+        """Shared constructor tail: install a pre-sorted token/count pair."""
+        self._order: List[str] = order
+        array = np.ascontiguousarray(array, dtype=np.int64)
+        array.flags.writeable = False
+        self._array: np.ndarray = array
         self._rank: Dict[str, int] = {
-            token: index for index, token in enumerate(self._order)
+            token: index for index, token in enumerate(order)
         }
+        self._arrays: Optional[HistogramArrays] = None
+        self._dict: Optional[Dict[str, int]] = None
+        self._total: Optional[int] = None
+
+    @classmethod
+    def _from_sorted(cls, order: List[str], array: np.ndarray) -> "TokenHistogram":
+        """Fast path for already-validated, already-sorted data."""
+        instance = cls.__new__(cls)
+        instance._init_sorted(order, array)
+        return instance
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -109,18 +154,20 @@ class TokenHistogram:
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self._counts)
+        return len(self._order)
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._order)
 
     def __contains__(self, token: object) -> bool:
-        return token in self._counts
+        return token in self._rank
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TokenHistogram):
             return NotImplemented
-        return self._counts == other._counts
+        return self._order == other._order and bool(
+            np.array_equal(self._array, other._array)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TokenHistogram({len(self)} tokens, {self.total_count()} occurrences)"
@@ -130,9 +177,22 @@ class TokenHistogram:
         """Tokens in descending frequency order."""
         return tuple(self._order)
 
+    def arrays(self) -> HistogramArrays:
+        """The array backing of this histogram (built once, then cached)."""
+        if self._arrays is None:
+            self._arrays = HistogramArrays(self._order, self._array, self._rank)
+        return self._arrays
+
+    def counts_array(self) -> np.ndarray:
+        """Read-only ``int64`` counts in descending order."""
+        return self._array
+
     def frequency(self, token: TokenValue) -> int:
         """Appearance count of ``token`` (0 if absent)."""
-        return self._counts.get(canonical_token(token), 0)
+        index = self._rank.get(canonical_token(token))
+        if index is None:
+            return 0
+        return int(self._array[index])
 
     def rank(self, token: TokenValue) -> Optional[int]:
         """Zero-based rank of ``token`` in descending frequency order."""
@@ -140,19 +200,23 @@ class TokenHistogram:
 
     def total_count(self) -> int:
         """Total number of token occurrences (the dataset size)."""
-        return sum(self._counts.values())
+        if self._total is None:
+            self._total = int(self._array.sum())
+        return self._total
 
     def as_dict(self) -> Dict[str, int]:
         """Copy of the token->count mapping."""
-        return dict(self._counts)
+        if self._dict is None:
+            self._dict = dict(zip(self._order, self._array.tolist()))
+        return dict(self._dict)
 
     def frequencies(self) -> Tuple[int, ...]:
         """Counts in descending order, aligned with :attr:`tokens`."""
-        return tuple(self._counts[token] for token in self._order)
+        return tuple(self._array.tolist())
 
     def top(self, n: int) -> List[Tuple[str, int]]:
         """The ``n`` most frequent tokens with their counts."""
-        return [(token, self._counts[token]) for token in self._order[:n]]
+        return list(zip(self._order[:n], self._array[:n].tolist()))
 
     # ------------------------------------------------------------------ #
     # Boundaries
@@ -161,23 +225,20 @@ class TokenHistogram:
     def boundaries(self) -> Dict[str, TokenBoundaries]:
         """Ranking-preservation boundaries for every token.
 
-        See the module docstring for the definition. The returned mapping
-        is freshly computed from the current counts.
+        See the module docstring for the definition. The mapping is a view
+        materialised from the vectorized boundary arrays (see
+        :meth:`repro.core.arrays.HistogramArrays.boundary_arrays`).
         """
-        bounds: Dict[str, TokenBoundaries] = {}
-        order = self._order
-        for index, token in enumerate(order):
-            frequency = self._counts[token]
-            if index == 0:
-                upper: float = math.inf
-            else:
-                upper = float(self._counts[order[index - 1]] - frequency)
-            if index == len(order) - 1:
-                lower = frequency
-            else:
-                lower = frequency - self._counts[order[index + 1]]
-            bounds[token] = TokenBoundaries(upper=upper, lower=lower)
-        return bounds
+        upper, lower = self.arrays().boundary_arrays()
+        upper_values = upper.tolist()
+        lower_values = lower.tolist()
+        return {
+            token: TokenBoundaries(
+                upper=math.inf if upper_values[index] == UNBOUNDED else float(upper_values[index]),
+                lower=lower_values[index],
+            )
+            for index, token in enumerate(self._order)
+        }
 
     # ------------------------------------------------------------------ #
     # Mutation (used by the frequency-modification stage)
@@ -189,20 +250,43 @@ class TokenHistogram:
         Counts may not become negative; tokens whose count reaches zero are
         dropped from the histogram (they no longer appear in the dataset).
         """
-        counts = dict(self._counts)
+        array = self._array.copy()
+        added: Dict[str, int] = {}
         for token, delta in deltas.items():
             canonical = canonical_token(token)
-            new_count = counts.get(canonical, 0) + delta
-            if new_count < 0:
-                raise HistogramError(
-                    f"update would make frequency of {canonical!r} negative"
-                    f" ({counts.get(canonical, 0)} {delta:+d})"
-                )
-            if new_count == 0:
-                counts.pop(canonical, None)
+            index = self._rank.get(canonical)
+            if index is None:
+                added[canonical] = added.get(canonical, 0) + delta
             else:
-                counts[canonical] = new_count
-        return TokenHistogram(counts)
+                array[index] += delta
+        for token, delta in added.items():
+            if delta < 0:
+                raise HistogramError(
+                    f"update would make frequency of {token!r} negative"
+                    f" (0 {delta:+d})"
+                )
+        negative = np.nonzero(array < 0)[0]
+        if negative.size:
+            index = int(negative[0])
+            token = self._order[index]
+            raise HistogramError(
+                f"update would make frequency of {token!r} negative"
+                f" ({int(self._array[index])} {int(array[index]) - int(self._array[index]):+d})"
+            )
+        keep = array > 0
+        tokens = (
+            self._order
+            if bool(keep.all())
+            else [token for token, kept in zip(self._order, keep) if kept]
+        )
+        values = array if bool(keep.all()) else array[keep]
+        for token, delta in added.items():
+            if delta > 0:
+                tokens = list(tokens) + [token]
+                values = np.concatenate([values, np.array([delta], dtype=np.int64)])
+        if not len(tokens):
+            raise HistogramError("cannot build a histogram with no token occurrences")
+        return TokenHistogram._from_sorted(*sort_histogram(list(tokens), values))
 
     def scaled(self, factor: float) -> "TokenHistogram":
         """Return a histogram with every count multiplied by ``factor``.
@@ -215,11 +299,10 @@ class TokenHistogram:
         """
         if factor <= 0:
             raise HistogramError(f"scale factor must be positive, got {factor}")
-        counts = {
-            token: max(1, int(round(count * factor)))
-            for token, count in self._counts.items()
-        }
-        return TokenHistogram(counts)
+        values = np.maximum(
+            1, np.rint(self._array * float(factor)).astype(np.int64)
+        )
+        return TokenHistogram._from_sorted(*sort_histogram(list(self._order), values))
 
 
 def pairwise_rank_gaps(histogram: TokenHistogram) -> List[int]:
@@ -229,8 +312,8 @@ def pairwise_rank_gaps(histogram: TokenHistogram) -> List[int]:
     has (near-)zero gaps everywhere, which is exactly the regime in which
     the paper says FreqyWM cannot embed a watermark.
     """
-    frequencies: Sequence[int] = histogram.frequencies()
-    return [frequencies[i] - frequencies[i + 1] for i in range(len(frequencies) - 1)]
+    counts = histogram.counts_array()
+    return np.subtract(counts[:-1], counts[1:]).tolist()
 
 
 __all__ = ["TokenBoundaries", "TokenHistogram", "pairwise_rank_gaps"]

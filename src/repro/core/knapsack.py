@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.eligibility import EligiblePair
 from repro.core.histogram import TokenHistogram
 from repro.core.modification import PairAdjustment, plan_adjustment
-from repro.core.similarity import similarity_percent
+from repro.core.similarity import SimilarityTracker
 from repro.exceptions import MatchingError
 
 
@@ -91,11 +91,16 @@ def select_within_budget(
     later, cheaper-in-context candidates are still considered; with
     cost-ordered input this matches the greedy optimum for equally valued
     items while being robust to the non-additivity of the similarity drop.
+
+    The similarity constraint is evaluated through a
+    :class:`repro.core.similarity.SimilarityTracker`, so each candidate
+    costs an O(1) aggregate delta (preview, then commit on acceptance)
+    instead of the seed implementation's full O(n) metric recompute per
+    candidate; see :mod:`repro.core.reference` for the original loop.
     """
     if budget < 0 or budget > 100:
         raise MatchingError(f"budget b must be within [0, 100], got {budget}")
     minimum_similarity = 100.0 - budget
-    original_counts = histogram.as_dict()
     ordered = (
         sorted(candidates, key=lambda item: (item.cost, item.pair))
         if order_by_cost
@@ -105,7 +110,7 @@ def select_within_budget(
     selected: List[EligiblePair] = []
     adjustments: List[PairAdjustment] = []
     rejected: List[EligiblePair] = []
-    working = histogram
+    tracker = SimilarityTracker(histogram, metric=metric)
     current_similarity = 100.0
 
     for item in ordered:
@@ -113,8 +118,8 @@ def select_within_budget(
             rejected.append(item)
             continue
         adjustment = plan_adjustment(
-            working.frequency(item.pair.first),
-            working.frequency(item.pair.second),
+            tracker.current_count(item.pair.first),
+            tracker.current_count(item.pair.second),
             item.modulus,
             item.pair,
         )
@@ -123,14 +128,11 @@ def select_within_budget(
             selected.append(item)
             adjustments.append(adjustment)
             continue
-        tentative = working.with_updates(adjustment.as_deltas())
-        tentative_similarity = similarity_percent(
-            original_counts, tentative.as_dict(), metric=metric
-        )
+        tentative_similarity = tracker.peek_percent(adjustment.as_deltas())
         if tentative_similarity + 1e-12 >= minimum_similarity:
             selected.append(item)
             adjustments.append(adjustment)
-            working = tentative
+            tracker.apply(adjustment.as_deltas())
             current_similarity = tentative_similarity
         else:
             rejected.append(item)

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.eligibility import EligiblePair
 from repro.core.graph import build_pair_graph, matching_is_valid, maximum_weight_matching
 from repro.core.histogram import TokenHistogram
-from repro.core.knapsack import BudgetedSelection, select_within_budget
+from repro.core.knapsack import select_within_budget
 from repro.core.modification import PairAdjustment
 from repro.exceptions import MatchingError
 from repro.utils.rng import RngLike, ensure_rng
@@ -65,8 +65,12 @@ class SelectionResult:
 MatcherFunction = Callable[..., SelectionResult]
 
 
-def _vertex_disjoint(pairs: Sequence[EligiblePair]) -> List[EligiblePair]:
-    """Filter ``pairs`` keeping only pairs that do not reuse a token."""
+def vertex_disjoint(pairs: Sequence[EligiblePair]) -> List[EligiblePair]:
+    """Filter ``pairs`` keeping only pairs that do not reuse a token.
+
+    First-come-first-kept over the given order — the shared helper behind
+    the greedy/random heuristics, the parity tests and the benchmarks.
+    """
     used: set = set()
     kept: List[EligiblePair] = []
     for item in pairs:
@@ -125,7 +129,7 @@ def greedy_matching(
 ) -> SelectionResult:
     """Greedy heuristic: ascending-remainder scan with vertex-disjoint filter."""
     ordered = sorted(eligible, key=lambda item: (item.cost, item.pair))
-    disjoint = _vertex_disjoint(ordered)
+    disjoint = vertex_disjoint(ordered)
     selection = select_within_budget(
         histogram, disjoint, budget, metric=metric, order_by_cost=True, max_pairs=max_pairs
     )
@@ -152,7 +156,7 @@ def random_matching(
     generator = ensure_rng(rng)
     shuffled = list(eligible)
     generator.shuffle(shuffled)
-    disjoint = _vertex_disjoint(shuffled)
+    disjoint = vertex_disjoint(shuffled)
     selection = select_within_budget(
         histogram, disjoint, budget, metric=metric, order_by_cost=False, max_pairs=max_pairs
     )
@@ -205,6 +209,7 @@ def select_pairs(
 
 __all__ = [
     "SelectionResult",
+    "vertex_disjoint",
     "optimal_matching",
     "greedy_matching",
     "random_matching",

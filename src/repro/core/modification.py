@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
 
 from repro.core.eligibility import EligiblePair
 from repro.core.histogram import TokenHistogram
@@ -97,17 +99,47 @@ def plan_adjustments(
     histogram: TokenHistogram,
     selected: Sequence[EligiblePair],
 ) -> List[PairAdjustment]:
-    """Plan the adjustments for every selected pair against ``histogram``."""
-    adjustments: List[PairAdjustment] = []
-    for item in selected:
-        adjustment = plan_adjustment(
-            histogram.frequency(item.pair.first),
-            histogram.frequency(item.pair.second),
-            item.modulus,
-            item.pair,
+    """Plan the adjustments for every selected pair against ``histogram``.
+
+    The ceil/floor arithmetic of :func:`plan_adjustment` is evaluated for
+    all pairs at once over the histogram's array backing; the result is
+    identical to calling :func:`plan_adjustment` per pair.
+    """
+    if not selected:
+        return []
+    arrays = histogram.arrays()
+    first = arrays.frequencies(item.pair.first for item in selected)
+    second = arrays.frequencies(item.pair.second for item in selected)
+    moduli = np.fromiter(
+        (item.modulus for item in selected), dtype=np.int64, count=len(selected)
+    )
+    if np.any(moduli < 2):
+        bad = selected[int(np.nonzero(moduli < 2)[0][0])]
+        raise GenerationError(f"pair modulus must be >= 2, got {bad.modulus}")
+    if np.any(first < second):
+        index = int(np.nonzero(first < second)[0][0])
+        raise GenerationError(
+            "pair convention violated: first token must have the larger frequency "
+            f"({int(first[index])} < {int(second[index])})"
         )
-        adjustments.append(adjustment)
-    return adjustments
+    remainder = (first - second) % moduli
+    shrink = remainder <= moduli // 2
+    growth = moduli - remainder
+    # ceil(x / 2) == (x + 1) // 2 for non-negative integers.
+    delta_first = np.where(shrink, -((remainder + 1) // 2), (growth + 1) // 2)
+    delta_second = np.where(shrink, remainder + delta_first, delta_first - growth)
+    aligned = remainder == 0
+    delta_first = np.where(aligned, 0, delta_first)
+    delta_second = np.where(aligned, 0, delta_second)
+    return [
+        PairAdjustment(
+            pair=item.pair,
+            modulus=item.modulus,
+            delta_first=int(delta_first[index]),
+            delta_second=int(delta_second[index]),
+        )
+        for index, item in enumerate(selected)
+    ]
 
 
 def combined_deltas(adjustments: Iterable[PairAdjustment]) -> Dict[str, int]:
@@ -141,14 +173,18 @@ def verify_alignment(
     suite: after applying ``adjustments`` to ``histogram`` the difference
     of every pair must be congruent to zero modulo the pair's modulus.
     """
+    if not adjustments:
+        return True
     watermarked = apply_adjustments(histogram, adjustments)
-    for adjustment in adjustments:
-        difference = watermarked.frequency(adjustment.pair.first) - watermarked.frequency(
-            adjustment.pair.second
-        )
-        if difference % adjustment.modulus != 0:
-            return False
-    return True
+    arrays = watermarked.arrays()
+    first = arrays.frequencies(adjustment.pair.first for adjustment in adjustments)
+    second = arrays.frequencies(adjustment.pair.second for adjustment in adjustments)
+    moduli = np.fromiter(
+        (adjustment.modulus for adjustment in adjustments),
+        dtype=np.int64,
+        count=len(adjustments),
+    )
+    return bool(np.all((first - second) % moduli == 0))
 
 
 def total_cost(adjustments: Sequence[PairAdjustment]) -> int:

@@ -15,7 +15,7 @@ inconsistencies (the concern the paper raises).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from repro.core.config import GenerationConfig
 from repro.core.generator import WatermarkGenerator, WatermarkResult
@@ -23,7 +23,7 @@ from repro.core.histogram import TokenHistogram
 from repro.core.tokens import compose_token
 from repro.datasets.tabular import TabularDataset
 from repro.exceptions import GenerationError
-from repro.utils.rng import RngLike, derive_rng, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 Row = Dict[str, object]
 

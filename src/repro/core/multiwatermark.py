@@ -19,7 +19,7 @@ module supports the legitimate uses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.detector import WatermarkDetector
@@ -198,9 +198,12 @@ class ProvenanceChain:
         length identifies how far along the pipeline the version is.
         """
         detection_config = config or DetectionConfig(pair_threshold=1)
+        histogram = (
+            data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
+        )
         prefix = 0
         for secret in self.secrets:
-            result = WatermarkDetector(secret, detection_config).detect(data)
+            result = WatermarkDetector(secret, detection_config).detect(histogram)
             if not result.accepted:
                 break
             prefix += 1
@@ -214,9 +217,12 @@ class ProvenanceChain:
     ) -> List[Dict[str, object]]:
         """Per-stage detection summaries for a suspected dataset version."""
         detection_config = config or DetectionConfig(pair_threshold=1)
+        histogram = (
+            data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
+        )
         report: List[Dict[str, object]] = []
         for index, secret in enumerate(self.secrets):
-            result = WatermarkDetector(secret, detection_config).detect(data)
+            result = WatermarkDetector(secret, detection_config).detect(histogram)
             entry = result.summary()
             entry["round"] = index
             report.append(entry)

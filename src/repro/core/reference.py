@@ -1,0 +1,182 @@
+"""Seed (dict-loop) implementations kept as executable specification.
+
+The vectorized engine (:mod:`repro.core.arrays`, the array-backed
+histogram, :class:`repro.core.similarity.SimilarityTracker`, the batched
+detector) replaced the original pure-Python hot paths of this
+reproduction. The originals are preserved here, byte-for-byte in
+behaviour, for two purposes:
+
+* **golden parity tests** — ``tests/test_engine_parity.py`` asserts the
+  vectorized engine produces identical generation and detection outcomes
+  on randomized and adversarial inputs;
+* **benchmarks** — ``benchmarks/bench_engine_scaling.py`` measures the
+  speedup of the engine against these reference implementations.
+
+Nothing in the production pipeline imports this module; it must never be
+"optimised", or the parity tests lose their anchor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.config import DetectionConfig
+from repro.core.detector import DetectionResult, PairEvidence
+from repro.core.eligibility import EligiblePair
+from repro.core.hashing import pair_modulus
+from repro.core.histogram import TokenHistogram
+from repro.core.knapsack import BudgetedSelection
+from repro.core.modification import PairAdjustment, plan_adjustment
+from repro.core.secrets import WatermarkSecret
+from repro.core.similarity import similarity_percent
+from repro.core.tokens import TokenValue
+from repro.exceptions import DetectionError, MatchingError
+
+
+def select_within_budget_reference(
+    histogram: TokenHistogram,
+    candidates: Sequence[EligiblePair],
+    budget: float,
+    *,
+    metric: str = "cosine",
+    order_by_cost: bool = True,
+    max_pairs: Optional[int] = None,
+) -> BudgetedSelection:
+    """The seed budget selection: full similarity recompute per candidate.
+
+    This is the O(n·m) loop the incremental-tracker rewrite in
+    :func:`repro.core.knapsack.select_within_budget` replaced — every
+    candidate pair triggers a full union-alignment and metric evaluation
+    over all n tokens.
+    """
+    if budget < 0 or budget > 100:
+        raise MatchingError(f"budget b must be within [0, 100], got {budget}")
+    minimum_similarity = 100.0 - budget
+    original_counts = histogram.as_dict()
+    ordered = (
+        sorted(candidates, key=lambda item: (item.cost, item.pair))
+        if order_by_cost
+        else list(candidates)
+    )
+
+    selected: List[EligiblePair] = []
+    adjustments: List[PairAdjustment] = []
+    rejected: List[EligiblePair] = []
+    working = histogram
+    current_similarity = 100.0
+
+    for item in ordered:
+        if max_pairs is not None and len(selected) >= max_pairs:
+            rejected.append(item)
+            continue
+        adjustment = plan_adjustment(
+            working.frequency(item.pair.first),
+            working.frequency(item.pair.second),
+            item.modulus,
+            item.pair,
+        )
+        if adjustment.cost == 0:
+            # Already aligned: watermarking this pair is free.
+            selected.append(item)
+            adjustments.append(adjustment)
+            continue
+        tentative = working.with_updates(adjustment.as_deltas())
+        tentative_similarity = similarity_percent(
+            original_counts, tentative.as_dict(), metric=metric
+        )
+        if tentative_similarity + 1e-12 >= minimum_similarity:
+            selected.append(item)
+            adjustments.append(adjustment)
+            working = tentative
+            current_similarity = tentative_similarity
+        else:
+            rejected.append(item)
+
+    return BudgetedSelection(
+        selected=tuple(selected),
+        adjustments=tuple(adjustments),
+        rejected=tuple(rejected),
+        similarity_percent=current_similarity,
+    )
+
+
+def detect_reference(
+    data: Union[Sequence[TokenValue], TokenHistogram],
+    secret: WatermarkSecret,
+    config: Optional[DetectionConfig] = None,
+) -> DetectionResult:
+    """The seed ``WM_Detect`` loop: per-pair hashing on every call.
+
+    Every invocation recomputes ``s_ij`` for every stored pair (two
+    SHA-256 evaluations each) and walks the pairs in a Python loop —
+    exactly what the seed ``WatermarkDetector.detect`` did before moduli
+    caching and the vectorized verification pass.
+    """
+    if len(secret.pairs) == 0:
+        raise DetectionError("the secret list contains no watermarked pairs")
+    config = config or DetectionConfig()
+    histogram = (
+        data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
+    )
+    evidence: List[PairEvidence] = []
+    accepted_pairs = 0
+    for pair in secret.pairs:
+        modulus = pair_modulus(pair.first, pair.second, secret.secret, secret.modulus_cap)
+        threshold = config.threshold_for(modulus)
+        present = pair.first in histogram and pair.second in histogram
+        if not present:
+            evidence.append(
+                PairEvidence(
+                    pair=pair,
+                    present=False,
+                    modulus=modulus,
+                    remainder=None,
+                    threshold=threshold,
+                    accepted=False,
+                )
+            )
+            continue
+        if modulus < 2:
+            # A modulus of 0 or 1 carries no information (the generation
+            # algorithm never selects such pairs); treat the pair as
+            # unverifiable so forged secrets cannot exploit it.
+            evidence.append(
+                PairEvidence(
+                    pair=pair,
+                    present=True,
+                    modulus=modulus,
+                    remainder=None,
+                    threshold=threshold,
+                    accepted=False,
+                )
+            )
+            continue
+        difference = histogram.frequency(pair.first) - histogram.frequency(pair.second)
+        remainder = difference % modulus
+        if config.symmetric_tolerance:
+            accepted = min(remainder, modulus - remainder) <= threshold
+        else:
+            accepted = remainder <= threshold
+        if accepted:
+            accepted_pairs += 1
+        evidence.append(
+            PairEvidence(
+                pair=pair,
+                present=True,
+                modulus=modulus,
+                remainder=remainder,
+                threshold=threshold,
+                accepted=accepted,
+            )
+        )
+    required = config.required_pairs(len(secret.pairs))
+    return DetectionResult(
+        accepted=accepted_pairs >= required,
+        accepted_pairs=accepted_pairs,
+        required_pairs=required,
+        total_pairs=len(secret.pairs),
+        evidence=tuple(evidence),
+    )
+
+
+__all__ = ["select_within_budget_reference", "detect_reference"]

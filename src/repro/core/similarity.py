@@ -15,9 +15,12 @@ compare correctly.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Tuple
+import math
+from typing import Callable, Dict, Mapping, Tuple
 
 import numpy as np
+
+from repro.exceptions import HistogramError
 
 FrequencyMap = Mapping[str, int]
 MetricFunction = Callable[[np.ndarray, np.ndarray], float]
@@ -158,6 +161,242 @@ def distortion_percent(
     return 100.0 - similarity_percent(original, other, metric=metric)
 
 
+#: Built-in metric implementations the tracker can update incrementally
+#: with exact integer aggregates. A metric name qualifies only while the
+#: registry still maps it to the built-in function — a custom metric
+#: registered under a built-in name (``register_metric("cosine", ...)``)
+#: must fall back to the full recompute of the *registered* function.
+_INCREMENTAL_IMPLEMENTATIONS: Dict[str, MetricFunction] = {
+    "cosine": cosine_similarity,
+    "l1": l1_similarity,
+    "l2": l2_similarity,
+    "jaccard": jaccard_similarity,
+}
+
+
+class SimilarityTracker:
+    """Incrementally-updated similarity against a fixed original histogram.
+
+    The budget knapsack evaluates the similarity constraint once per
+    candidate pair. Recomputing the metric from scratch costs a full
+    union-alignment over all ``n`` tokens — O(n·m) across ``m``
+    candidates, the seed implementation's bottleneck. This tracker keeps
+    the scalar aggregates every built-in metric is made of (dot product,
+    squared norms, element sums, absolute/squared difference sums and
+    min/max overlaps) as exact Python integers, so applying or previewing
+    a pair adjustment is an O(1) delta update per touched token instead of
+    a recompute:
+
+    * ``dot  += o_t * d``            (cosine numerator)
+    * ``|c|² += 2 c_t d + d²``       (cosine/l2 denominator)
+    * ``Σ|c-o|``, ``Σ(c-o)²``, ``Σmin``, ``Σmax`` likewise from the
+      before/after values of the touched token only.
+
+    Because the aggregates are exact integers the evaluation order cannot
+    introduce floating-point drift: the similarity reported after any
+    sequence of updates equals the one a full recompute would give (up to
+    one final float division).
+
+    Parameters
+    ----------
+    original:
+        The original histogram as a token->count mapping, or any object
+        with an ``as_dict()`` method (e.g. ``TokenHistogram``).
+    metric:
+        Similarity metric name. The four built-ins update incrementally;
+        custom registered metrics are supported through a full-recompute
+        fallback so behaviour stays correct, just not O(1).
+    """
+
+    __slots__ = (
+        "metric",
+        "_original",
+        "_current",
+        "_metric_function",
+        "_exact",
+        "_norm2_original",
+        "_norm2_current",
+        "_dot",
+        "_sum_original",
+        "_sum_current",
+        "_abs_diff",
+        "_sq_diff",
+        "_min_sum",
+        "_max_sum",
+    )
+
+    def __init__(self, original, *, metric: str = "cosine") -> None:
+        if hasattr(original, "as_dict"):
+            original = original.as_dict()
+        self.metric = metric.lower()
+        self._metric_function = get_metric(self.metric)
+        self._exact = (
+            _INCREMENTAL_IMPLEMENTATIONS.get(self.metric) is self._metric_function
+        )
+        self._original: Dict[str, int] = {
+            token: int(count) for token, count in original.items()
+        }
+        self._current: Dict[str, int] = dict(self._original)
+        counts = self._original.values()
+        self._norm2_original = sum(count * count for count in counts)
+        self._norm2_current = self._norm2_original
+        self._dot = self._norm2_original
+        self._sum_original = sum(counts)
+        self._sum_current = self._sum_original
+        self._abs_diff = 0
+        self._sq_diff = 0
+        self._min_sum = self._sum_original
+        self._max_sum = self._sum_original
+
+    # ------------------------------------------------------------------ #
+    # Read access
+    # ------------------------------------------------------------------ #
+
+    def current_count(self, token: str) -> int:
+        """Current (adjusted) count of ``token`` (0 if absent)."""
+        return self._current.get(token, 0)
+
+    def current_counts(self) -> Dict[str, int]:
+        """Copy of the current token->count state (zero counts dropped)."""
+        return {token: count for token, count in self._current.items() if count > 0}
+
+    def similarity(self) -> float:
+        """Similarity of the current state versus the original, in ``[0, 1]``."""
+        if not self._exact:
+            return self._metric_function(
+                *align_frequencies(self._original, self._current)
+            )
+        return self._evaluate(
+            self._norm2_current,
+            self._dot,
+            self._sum_current,
+            self._abs_diff,
+            self._sq_diff,
+            self._min_sum,
+            self._max_sum,
+        )
+
+    def similarity_percent(self) -> float:
+        """Similarity of the current state as a percentage in ``[0, 100]``."""
+        return 100.0 * self.similarity()
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def peek(self, deltas: Mapping[str, int]) -> float:
+        """Similarity if ``deltas`` were applied, without applying them."""
+        if not self._exact:
+            trial = dict(self._current)
+            for token, delta in deltas.items():
+                value = trial.get(token, 0) + delta
+                self._require_non_negative(token, value, delta)
+                trial[token] = value
+            return self._metric_function(*align_frequencies(self._original, trial))
+        return self._evaluate(*self._shifted(deltas))
+
+    def peek_percent(self, deltas: Mapping[str, int]) -> float:
+        """:meth:`peek` as a percentage in ``[0, 100]``."""
+        return 100.0 * self.peek(deltas)
+
+    def apply(self, deltas: Mapping[str, int]) -> float:
+        """Apply ``deltas`` to the current state; return the new similarity.
+
+        Atomic: a negative-count violation anywhere in ``deltas`` raises
+        before any state is mutated.
+        """
+        if self._exact:
+            (
+                self._norm2_current,
+                self._dot,
+                self._sum_current,
+                self._abs_diff,
+                self._sq_diff,
+                self._min_sum,
+                self._max_sum,
+            ) = self._shifted(deltas)
+        else:
+            for token, delta in deltas.items():
+                self._require_non_negative(
+                    token, self._current.get(token, 0) + delta, delta
+                )
+        for token, delta in deltas.items():
+            self._current[token] = self._current.get(token, 0) + delta
+        return self.similarity()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _require_non_negative(token: str, value: int, delta: int) -> None:
+        if value < 0:
+            raise HistogramError(
+                f"update would make frequency of {token!r} negative"
+                f" ({value - delta} {delta:+d})"
+            )
+
+    def _shifted(self, deltas: Mapping[str, int]):
+        """Aggregates after ``deltas``, computed without mutating state."""
+        norm2 = self._norm2_current
+        dot = self._dot
+        total = self._sum_current
+        abs_diff = self._abs_diff
+        sq_diff = self._sq_diff
+        min_sum = self._min_sum
+        max_sum = self._max_sum
+        for token, delta in deltas.items():
+            if delta == 0:
+                continue
+            before = self._current.get(token, 0)
+            after = before + delta
+            self._require_non_negative(token, after, delta)
+            original = self._original.get(token, 0)
+            norm2 += delta * (before + after)
+            dot += original * delta
+            total += delta
+            abs_diff += abs(after - original) - abs(before - original)
+            sq_diff += (after - original) ** 2 - (before - original) ** 2
+            min_sum += min(after, original) - min(before, original)
+            max_sum += max(after, original) - max(before, original)
+        return norm2, dot, total, abs_diff, sq_diff, min_sum, max_sum
+
+    def _evaluate(
+        self,
+        norm2_current: int,
+        dot: int,
+        sum_current: int,
+        abs_diff: int,
+        sq_diff: int,
+        min_sum: int,
+        max_sum: int,
+    ) -> float:
+        """Evaluate the tracked metric from exact integer aggregates."""
+        if abs_diff == 0:
+            # Identical vectors: every metric is exactly 1 (this also
+            # covers the degenerate all-zero versus all-zero case).
+            return 1.0
+        if self.metric == "cosine":
+            if self._norm2_original == 0 or norm2_current == 0:
+                return 0.0
+            value = dot / math.sqrt(self._norm2_original * norm2_current)
+            return min(max(value, 0.0), 1.0)
+        if self.metric == "l1":
+            total = self._sum_original + sum_current
+            if total == 0:
+                return 1.0
+            return 1.0 - abs_diff / total
+        if self.metric == "l2":
+            denominator = math.sqrt(self._norm2_original) + math.sqrt(norm2_current)
+            if denominator == 0.0:
+                return 1.0
+            return 1.0 - math.sqrt(sq_diff) / denominator
+        # jaccard
+        if max_sum == 0:
+            return 1.0
+        return min_sum / max_sum
+
+
 def ranking(frequencies: FrequencyMap) -> Tuple[str, ...]:
     """Tokens ordered by descending frequency with deterministic tie-break."""
     return tuple(
@@ -219,6 +458,7 @@ __all__ = [
     "get_metric",
     "register_metric",
     "histogram_similarity",
+    "SimilarityTracker",
     "similarity_percent",
     "distortion_percent",
     "ranking",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -111,7 +111,6 @@ def generate_clickstream(
     base_epoch = 1_700_000_000  # fixed reference so outputs are reproducible
     rows: List[Dict[str, object]] = []
     session_counter = 0
-    events_remaining = spec.n_events
     # Distribute events over days with trend + seasonality weights.
     day_weights = np.array(
         [

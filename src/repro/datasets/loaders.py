@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Iterable, List, Union
 
 from repro.core.histogram import TokenHistogram
 from repro.datasets.tabular import TabularDataset

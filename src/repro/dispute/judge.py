@@ -14,7 +14,7 @@ from the owner's earlier version.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence
 
 from repro.core.config import DetectionConfig
 from repro.core.detector import DetectionResult, WatermarkDetector

@@ -10,7 +10,7 @@ reproducible end to end.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -7,7 +7,6 @@ import pytest
 from scipy import stats
 
 from repro.analysis.false_positive import (
-    FalsePositiveProfile,
     empirical_false_positive_rate,
     false_positive_bound,
     markov_bound,

@@ -8,7 +8,6 @@ import pytest
 from repro.datasets.synthetic import (
     PAPER_ALPHA_SWEEP,
     PowerLawSpec,
-    expected_counts,
     generate_power_law_histogram,
     generate_power_law_tokens,
     power_law_probabilities,

@@ -1,0 +1,326 @@
+"""Golden parity tests: the vectorized engine versus the seed dict paths.
+
+The array engine (array-backed :class:`TokenHistogram`, the incremental
+:class:`SimilarityTracker`, the cached/vectorized detector and the
+tracker-based knapsack) must produce *identical* generation and detection
+outcomes to the seed implementation preserved in
+:mod:`repro.core.reference`. These property-based tests drive both paths
+over randomized histograms and adversarial edge cases (empty data,
+all-equal frequencies, missing pair tokens) and assert exact agreement.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import detect_many
+from repro.core.config import DetectionConfig
+from repro.core.detector import WatermarkDetector
+from repro.core.eligibility import generate_eligible_pairs
+from repro.core.histogram import TokenBoundaries, TokenHistogram
+from repro.core.knapsack import select_within_budget
+from repro.core.matching import vertex_disjoint
+from repro.core.reference import detect_reference, select_within_budget_reference
+from repro.core.similarity import (
+    SimilarityTracker,
+    available_metrics,
+    histogram_similarity,
+)
+from repro.exceptions import HistogramError
+
+SECRET = 0xFEEDFACE
+Z = 61
+
+_settings = settings(
+    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_counts = st.dictionaries(
+    keys=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-", min_size=1, max_size=10
+    ),
+    values=st.integers(min_value=1, max_value=50_000),
+    min_size=2,
+    max_size=25,
+)
+
+
+class TestHistogramParity:
+    @_settings
+    @given(counts=_counts)
+    def test_ordering_matches_dict_sort(self, counts):
+        histogram = TokenHistogram.from_counts(counts)
+        expected = sorted(counts, key=lambda token: (-counts[token], token))
+        assert list(histogram.tokens) == expected
+        assert histogram.frequencies() == tuple(counts[token] for token in expected)
+        assert histogram.as_dict() == counts
+
+    @_settings
+    @given(counts=_counts)
+    def test_boundaries_match_seed_definition(self, counts):
+        histogram = TokenHistogram.from_counts(counts)
+        order = list(histogram.tokens)
+        bounds = histogram.boundaries()
+        for index, token in enumerate(order):
+            frequency = counts[token]
+            if index == 0:
+                assert math.isinf(bounds[token].upper)
+            else:
+                assert bounds[token].upper == float(counts[order[index - 1]] - frequency)
+            if index == len(order) - 1:
+                assert bounds[token].lower == frequency
+            else:
+                assert bounds[token].lower == frequency - counts[order[index + 1]]
+
+    @_settings
+    @given(counts=_counts, factor=st.floats(min_value=0.01, max_value=10.0))
+    def test_scaled_matches_dict_rounding(self, counts, factor):
+        histogram = TokenHistogram.from_counts(counts)
+        scaled = histogram.scaled(factor)
+        expected = {
+            token: max(1, int(round(count * factor))) for token, count in counts.items()
+        }
+        assert scaled.as_dict() == expected
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(HistogramError):
+            TokenHistogram({})
+        with pytest.raises(HistogramError):
+            TokenHistogram.from_tokens([])
+
+    def test_all_equal_frequencies_have_zero_slack_and_no_eligible_pairs(self):
+        histogram = TokenHistogram.from_counts({f"t{i}": 500 for i in range(8)})
+        slack = histogram.arrays().slack()
+        # Every token but the last has zero slack (equal neighbours).
+        assert list(slack[:-1]) == [0] * 7
+        assert generate_eligible_pairs(histogram, SECRET, Z) == []
+
+
+class TestSimilarityTrackerParity:
+    @_settings
+    @given(
+        counts=_counts,
+        deltas=st.lists(
+            st.tuples(st.integers(0, 24), st.integers(-30, 30)), max_size=12
+        ),
+        metric=st.sampled_from(sorted(available_metrics())),
+    )
+    def test_incremental_matches_full_recompute(self, counts, deltas, metric):
+        histogram = TokenHistogram.from_counts(counts)
+        tokens = list(histogram.tokens)
+        tracker = SimilarityTracker(histogram, metric=metric)
+        current = dict(histogram.as_dict())
+        for token_index, delta in deltas:
+            token = tokens[token_index % len(tokens)]
+            if current.get(token, 0) + delta < 0:
+                continue
+            peeked = tracker.peek({token: delta})
+            applied = tracker.apply({token: delta})
+            current[token] = current.get(token, 0) + delta
+            assert applied == peeked
+            full = histogram_similarity(histogram.as_dict(), current, metric=metric)
+            assert applied == pytest.approx(full, abs=1e-12)
+
+    def test_negative_counts_rejected_like_with_updates(self):
+        tracker = SimilarityTracker({"a": 3, "b": 1})
+        with pytest.raises(HistogramError):
+            tracker.peek({"a": -4})
+        with pytest.raises(HistogramError):
+            tracker.apply({"missing": -1})
+
+    def test_identical_state_is_exactly_one(self):
+        tracker = SimilarityTracker({"a": 7, "b": 7})
+        assert tracker.similarity() == 1.0
+        tracker.apply({"a": 2})
+        tracker.apply({"a": -2})
+        assert tracker.similarity() == 1.0
+
+    def test_custom_metric_registered_under_builtin_name_is_honoured(self):
+        from repro.core.similarity import cosine_similarity, register_metric
+
+        register_metric("cosine", lambda left, right: 0.25)
+        try:
+            tracker = SimilarityTracker({"a": 10, "b": 4}, metric="cosine")
+            tracker.apply({"a": 1})
+            # The override, not the built-in incremental formula, decides.
+            assert tracker.similarity() == 0.25
+            assert tracker.peek({"b": 1}) == 0.25
+        finally:
+            register_metric("cosine", cosine_similarity)
+        tracker = SimilarityTracker({"a": 10, "b": 4}, metric="cosine")
+        tracker.apply({"a": 1})
+        assert tracker.similarity() == pytest.approx(
+            histogram_similarity({"a": 10, "b": 4}, {"a": 11, "b": 4})
+        )
+
+
+class TestSelectionParity:
+    @_settings
+    @given(
+        counts=_counts,
+        budget=st.sampled_from([0.0, 0.05, 0.5, 2.0, 10.0, 100.0]),
+        metric=st.sampled_from(sorted(available_metrics())),
+    )
+    def test_budget_selection_matches_reference(self, counts, budget, metric):
+        histogram = TokenHistogram.from_counts(counts)
+        candidates = vertex_disjoint(generate_eligible_pairs(histogram, SECRET, Z))
+        engine = select_within_budget(histogram, candidates, budget, metric=metric)
+        reference = select_within_budget_reference(
+            histogram, candidates, budget, metric=metric
+        )
+        assert engine.selected == reference.selected
+        assert engine.adjustments == reference.adjustments
+        assert engine.rejected == reference.rejected
+        assert engine.similarity_percent == pytest.approx(
+            reference.similarity_percent, abs=1e-9
+        )
+
+    @_settings
+    @given(counts=_counts, max_pairs=st.integers(min_value=1, max_value=5))
+    def test_max_pairs_cap_matches_reference(self, counts, max_pairs):
+        histogram = TokenHistogram.from_counts(counts)
+        candidates = vertex_disjoint(generate_eligible_pairs(histogram, SECRET, Z))
+        engine = select_within_budget(histogram, candidates, 5.0, max_pairs=max_pairs)
+        reference = select_within_budget_reference(
+            histogram, candidates, 5.0, max_pairs=max_pairs
+        )
+        assert engine.selected == reference.selected
+        assert engine.rejected == reference.rejected
+
+
+class TestDetectionParity:
+    @_settings
+    @given(
+        counts=_counts,
+        noise=st.lists(st.tuples(st.integers(0, 24), st.integers(-5, 5)), max_size=8),
+        threshold=st.integers(min_value=0, max_value=3),
+        symmetric=st.booleans(),
+    )
+    def test_detect_matches_reference(self, counts, noise, threshold, symmetric):
+        histogram = TokenHistogram.from_counts(counts)
+        candidates = vertex_disjoint(generate_eligible_pairs(histogram, SECRET, Z))
+        if not candidates:
+            return
+        selection = select_within_budget(histogram, candidates, 2.0)
+        if not selection.selected:
+            return
+        from repro.core.secrets import WatermarkSecret
+
+        secret = WatermarkSecret.build(
+            [item.pair for item in selection.selected], SECRET, Z
+        )
+        # Perturb the histogram (dropping tokens is allowed) to exercise
+        # missing-pair-token and near-threshold paths.
+        deltas = {}
+        tokens = list(histogram.tokens)
+        for token_index, delta in noise:
+            token = tokens[token_index % len(tokens)]
+            deltas[token] = delta
+        try:
+            suspected = histogram.with_updates(deltas)
+        except HistogramError:
+            suspected = histogram
+        config = DetectionConfig(
+            pair_threshold=threshold, symmetric_tolerance=symmetric
+        )
+        engine = WatermarkDetector(secret, config).detect(suspected)
+        reference = detect_reference(suspected, secret, config)
+        assert engine.accepted == reference.accepted
+        assert engine.accepted_pairs == reference.accepted_pairs
+        assert engine.required_pairs == reference.required_pairs
+        assert engine.evidence == reference.evidence
+
+    def test_missing_pair_tokens_fail_that_pair(self):
+        histogram = TokenHistogram.from_counts({"a": 900, "b": 500, "c": 200, "d": 40})
+        candidates = vertex_disjoint(generate_eligible_pairs(histogram, SECRET, Z))
+        if not candidates:
+            pytest.skip("no eligible pairs for this secret")
+        from repro.core.secrets import WatermarkSecret
+
+        secret = WatermarkSecret.build([candidates[0].pair], SECRET, Z)
+        removed = {token: -histogram.frequency(token) for token in [candidates[0].pair.first]}
+        suspected = histogram.with_updates(removed)
+        engine = WatermarkDetector(secret).detect(suspected)
+        reference = detect_reference(suspected, secret)
+        assert engine.evidence == reference.evidence
+        assert not engine.evidence[0].present
+        assert engine.evidence[0].remainder is None
+
+
+class TestBatchDetectionParity:
+    @_settings
+    @given(counts=_counts, batch=st.integers(min_value=1, max_value=6))
+    def test_detect_many_matches_per_dataset_detect(self, counts, batch):
+        histogram = TokenHistogram.from_counts(counts)
+        candidates = vertex_disjoint(generate_eligible_pairs(histogram, SECRET, Z))
+        if not candidates:
+            return
+        selection = select_within_budget(histogram, candidates, 2.0)
+        if not selection.selected:
+            return
+        from repro.core.secrets import WatermarkSecret
+
+        secret = WatermarkSecret.build(
+            [item.pair for item in selection.selected], SECRET, Z
+        )
+        suspects = [histogram.scaled(1.0 + 0.1 * index) for index in range(batch)]
+        report = detect_many(suspects, secret)
+        assert len(report) == batch
+        detector = WatermarkDetector(secret)
+        for suspect, batched in zip(suspects, report):
+            single = detector.detect(suspect, collect_evidence=False)
+            assert batched.accepted == single.accepted
+            assert batched.accepted_pairs == single.accepted_pairs
+            reference = detect_reference(suspect, secret)
+            assert batched.accepted == reference.accepted
+            assert batched.accepted_pairs == reference.accepted_pairs
+
+    def test_detect_many_empty_batch(self):
+        from repro.core.secrets import WatermarkSecret
+        from repro.core.tokens import TokenPair
+
+        secret = WatermarkSecret.build([TokenPair("a", "b")], SECRET, Z)
+        report = detect_many([], secret)
+        assert len(report) == 0
+        assert report.accepted_count == 0
+
+    def test_detect_many_accepts_raw_sequences_and_histograms(self):
+        tokens = ["a"] * 300 + ["b"] * 120 + ["c"] * 50
+        histogram = TokenHistogram.from_tokens(tokens)
+        candidates = vertex_disjoint(generate_eligible_pairs(histogram, SECRET, 7))
+        if not candidates:
+            pytest.skip("no eligible pairs for this secret")
+        from repro.core.secrets import WatermarkSecret
+
+        secret = WatermarkSecret.build([candidates[0].pair], SECRET, 7)
+        report = detect_many([tokens, histogram], secret)
+        assert report.results[0].accepted_pairs == report.results[1].accepted_pairs
+
+
+class TestTokenBoundariesRegression:
+    def test_unbounded_upper_is_explicit(self):
+        top = TokenBoundaries(upper=math.inf, lower=10)
+        assert top.unbounded_upper
+        # The unbounded upper never limits a change; the lower boundary does.
+        assert top.allows_change(10)
+        assert not top.allows_change(11)
+        # Magnitudes beyond float precision must not be waved through by
+        # an implicit float comparison.
+        assert not top.allows_change(2**60)
+
+    def test_finite_boundaries_compare_as_integers(self):
+        bounds = TokenBoundaries(upper=float(2**53), lower=2**53 + 1)
+        assert not bounds.unbounded_upper
+        assert bounds.allows_change(2**53)
+        assert not bounds.allows_change(2**53 + 1)
+
+    def test_top_token_boundary_from_histogram(self):
+        histogram = TokenHistogram.from_counts({"big": 1000, "small": 10})
+        bounds = histogram.boundaries()
+        assert bounds["big"].unbounded_upper
+        assert bounds["big"].allows_change(990)
+        assert not bounds["big"].allows_change(991)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.distortion import distortion_report
 from repro.attacks.destroy import PercentageNoiseAttack

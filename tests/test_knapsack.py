@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.eligibility import generate_eligible_pairs
 from repro.core.knapsack import (
-    BudgetedSelection,
     knapsack_capacity_report,
     select_within_budget,
 )

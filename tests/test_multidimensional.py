@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import GenerationConfig
 from repro.core.multidimensional import (
     CopyRowSynthesizer,
     TabularWatermarker,
