@@ -115,8 +115,9 @@ def experiment_banner(identifier: str, description: str) -> None:
 
 #: Benchmark scripts exercised by the CI smoke job: every figure
 #: reproduction plus the engine-scaling guard (whose speedup assertions
-#: surface performance regressions per PR).
-SMOKE_PATTERNS = ("bench_fig*.py", "bench_engine_scaling.py")
+#: surface performance regressions per PR) and the streaming/sharding
+#: guard (chunked-ingestion parity + sharded screening timings).
+SMOKE_PATTERNS = ("bench_fig*.py", "bench_engine_scaling.py", "bench_streaming.py")
 
 
 def run_smoke(output, patterns=SMOKE_PATTERNS) -> dict:

@@ -25,6 +25,8 @@ from repro.core import (
     MultiWatermarker,
     ProvenanceChain,
     SelectionResult,
+    ShardedDetectionPool,
+    StreamingHistogramBuilder,
     TokenHistogram,
     TokenPair,
     WatermarkDetector,
@@ -47,6 +49,8 @@ __all__ = [
     "MultiWatermarker",
     "ProvenanceChain",
     "SelectionResult",
+    "ShardedDetectionPool",
+    "StreamingHistogramBuilder",
     "TokenHistogram",
     "TokenPair",
     "WatermarkDetector",

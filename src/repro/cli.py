@@ -4,16 +4,18 @@ The ``freqywm`` entry point mirrors the paper's two algorithms plus the
 most useful utilities:
 
 * ``freqywm generate`` — watermark a token file (token-per-line) and store
-  the watermarked file and the secret list.
+  the watermarked file and the secret list; ``--chunk-size M`` switches to
+  streaming ingestion for files too large to load at once.
 * ``freqywm detect``   — run detection of a stored secret on a suspected
-  token file.
+  token file, or screen a whole directory of suspect files as a batch
+  (``--workers N`` shards the screen across processes).
 * ``freqywm attack``   — simulate one of the Section V attacks against a
   watermarked file and report whether detection survives.
 * ``freqywm synth``    — generate a synthetic power-law token file for
   experimentation.
 
 Every subcommand prints a small plain-text report; machine-readable output
-is available with ``--json``.
+is available with ``--json`` (field-by-field schemas in ``docs/cli.md``).
 """
 
 from __future__ import annotations
@@ -35,9 +37,25 @@ from repro.core.detector import WatermarkDetector
 from repro.core.generator import WatermarkGenerator
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
-from repro.datasets.loaders import load_token_file, save_token_file
+from repro.core.sharding import ShardedDetectionPool
+from repro.core.transform import apply_deltas_streaming, histogram_deltas
+from repro.datasets.loaders import (
+    iter_tokens,
+    load_histogram_streaming,
+    load_token_file,
+    save_token_file,
+)
 from repro.datasets.synthetic import generate_power_law_tokens
-from repro.exceptions import ReproError
+from repro.exceptions import DatasetError, ReproError
+from repro.utils.rng import derive_rng
+
+
+def _positive_int(value: str) -> int:
+    """Argparse type for integer options that must be >= 1."""
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return number
 
 
 def _print_report(report: Dict[str, object], as_json: bool) -> None:
@@ -51,18 +69,40 @@ def _print_report(report: Dict[str, object], as_json: bool) -> None:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    tokens = load_token_file(args.input)
     config = GenerationConfig(
         budget_percent=args.budget,
         modulus_cap=args.modulus,
         strategy=args.strategy,
     )
     generator = WatermarkGenerator(config, rng=args.seed)
-    result = generator.generate(tokens)
-    if result.watermarked_tokens is not None:
-        save_token_file(result.watermarked_tokens, args.output)
+    if args.chunk_size is not None:
+        # Streaming mode: the input file is never loaded whole. One
+        # chunked pass builds the histogram, generation runs in
+        # histogram-only mode, and a second pass streams the edited
+        # token sequence straight to the output file.
+        histogram = load_histogram_streaming(args.input, chunk_size=args.chunk_size)
+        result = generator.generate(histogram)
+        deltas = histogram_deltas(histogram, result.watermarked_histogram)
+        save_token_file(
+            apply_deltas_streaming(
+                iter_tokens(args.input),
+                deltas,
+                histogram,
+                rng=derive_rng(args.seed, "stream-transform")
+                if args.seed is not None
+                else None,
+            ),
+            args.output,
+        )
+    else:
+        result = generator.generate(load_token_file(args.input))
+        if result.watermarked_tokens is not None:
+            save_token_file(result.watermarked_tokens, args.output)
     result.secret.save(args.secret)
     report = result.summary()
+    if args.chunk_size is not None:
+        report["streaming"] = True
+        report["chunk_size"] = args.chunk_size
     report["output"] = str(args.output)
     report["secret_file"] = str(args.secret)
     _print_report(report, args.json)
@@ -77,13 +117,52 @@ def _detection_config(args: argparse.Namespace) -> DetectionConfig:
     )
 
 
+def _suspect_files(directory: Path) -> list:
+    """The suspect token files of a batch-screening directory, sorted."""
+    files = sorted(
+        path
+        for path in directory.iterdir()
+        if path.is_file() and path.suffix in {".txt", ".tokens"}
+    )
+    if not files:
+        raise DatasetError(
+            f"directory {directory!s} contains no .txt/.tokens suspect files"
+        )
+    return files
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
-    tokens = load_token_file(args.input)
     secret = WatermarkSecret.load(args.secret)
-    detector = WatermarkDetector(secret, _detection_config(args))
-    result = detector.detect(tokens)
-    _print_report(result.summary(), args.json)
-    return 0 if result.accepted else 1
+    config = _detection_config(args)
+    if not args.input.is_dir():
+        detector = WatermarkDetector(secret, config)
+        result = detector.detect(load_token_file(args.input))
+        _print_report(result.summary(), args.json)
+        return 0 if result.accepted else 1
+    # Batch screening: every token file in the directory is one suspected
+    # dataset (even when there is just one, so the report schema is stable).
+    # Only the paths are dispatched — each worker stream-loads and screens
+    # its own chunk, so the dominant load-and-count cost parallelises and
+    # no process ever holds more than one chunk of histograms.
+    files = _suspect_files(args.input)
+    with ShardedDetectionPool(secret, config, workers=args.workers) as pool:
+        report = pool.detect_files(files)
+    payload: Dict[str, object] = report.summary()
+    payload["workers"] = args.workers
+    payload["suspects"] = {
+        str(path): result.summary() for path, result in zip(files, report.results)
+    }
+    if args.json:
+        _print_report(payload, True)
+    else:
+        for path, result in zip(files, report.results):
+            verdict = "accepted" if result.accepted else "rejected"
+            print(  # noqa: T201
+                f"{path} : {verdict} "
+                f"({result.accepted_pairs}/{result.total_pairs} pairs)"
+            )
+        _print_report(report.summary(), False)
+    return 0 if report.accepted_count == len(files) else 1
 
 
 def _build_attack(args: argparse.Namespace):
@@ -152,6 +231,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=("optimal", "greedy", "random"), default="optimal"
     )
     generate.add_argument("--seed", type=int, default=None, help="seed for reproducible runs")
+    generate.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="M",
+        help=(
+            "streaming mode: ingest the input M tokens at a time and write "
+            "the watermarked file without ever loading the dataset whole"
+        ),
+    )
     generate.set_defaults(handler=_cmd_generate)
 
     def add_detection_arguments(sub: argparse.ArgumentParser) -> None:
@@ -161,9 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
             "--min-fraction", type=float, default=0.5, help="minimum accepted pair fraction"
         )
 
-    detect = subparsers.add_parser("detect", help="detect a watermark in a token file")
-    detect.add_argument("input", type=Path, help="suspected token file")
+    detect = subparsers.add_parser(
+        "detect", help="detect a watermark in a token file (or a directory of them)"
+    )
+    detect.add_argument(
+        "input",
+        type=Path,
+        help=(
+            "suspected token file, or a directory whose .txt/.tokens files "
+            "are screened as a batch"
+        ),
+    )
     detect.add_argument("secret", type=Path, help="secret list (JSON) from generation")
+    detect.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for batch screening (directory input only)",
+    )
     add_detection_arguments(detect)
     detect.set_defaults(handler=_cmd_detect)
 

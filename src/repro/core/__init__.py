@@ -9,7 +9,13 @@ from repro.core.generator import WatermarkGenerator, WatermarkResult, generate_w
 from repro.core.histogram import TokenHistogram
 from repro.core.matching import SelectionResult, select_pairs
 from repro.core.multiwatermark import MultiWatermarker, ProvenanceChain
+from repro.core.streaming import (
+    StreamingHistogramBuilder,
+    histogram_from_chunks,
+    histogram_from_stream,
+)
 from repro.core.secrets import WatermarkSecret
+from repro.core.sharding import ShardedDetectionPool, default_worker_count
 from repro.core.similarity import (
     SimilarityTracker,
     distortion_percent,
@@ -39,6 +45,11 @@ __all__ = [
     "select_pairs",
     "MultiWatermarker",
     "ProvenanceChain",
+    "StreamingHistogramBuilder",
+    "histogram_from_chunks",
+    "histogram_from_stream",
+    "ShardedDetectionPool",
+    "default_worker_count",
     "WatermarkSecret",
     "SimilarityTracker",
     "distortion_percent",

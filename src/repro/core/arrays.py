@@ -142,12 +142,37 @@ class HistogramArrays:
     # ------------------------------------------------------------------ #
 
     def positions(self, tokens: Iterable[str]) -> np.ndarray:
-        """Rank positions of ``tokens`` (-1 for tokens not in the histogram)."""
+        """Rank positions of ``tokens``.
+
+        Parameters
+        ----------
+        tokens : Iterable[str]
+            Canonical token strings to look up.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` positions aligned with the input order; ``-1``
+            marks tokens not present in the histogram.
+        """
         lookup = self.index.get
         return np.array([lookup(token, -1) for token in tokens], dtype=np.int64)
 
     def frequencies(self, tokens: Iterable[str]) -> np.ndarray:
-        """Counts for ``tokens`` (0 for tokens not in the histogram)."""
+        """Appearance counts for ``tokens``.
+
+        Parameters
+        ----------
+        tokens : Iterable[str]
+            Canonical token strings to look up.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` counts aligned with the input order; ``0`` marks
+            tokens not present in the histogram (which is how the
+            detector encodes a missing pair member).
+        """
         positions = self.positions(tokens)
         present = positions >= 0
         values = np.zeros(positions.size, dtype=np.int64)

@@ -77,29 +77,49 @@ def detect_many(
     config: Optional[DetectionConfig] = None,
     *,
     collect_evidence: bool = False,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> BatchDetectionReport:
     """Run ``WM_Detect`` over a batch of suspected datasets at once.
 
     Parameters
     ----------
-    datasets:
+    datasets : Sequence[SuspectData]
         Suspected datasets — raw token sequences or pre-built
         :class:`~repro.core.histogram.TokenHistogram` instances, mixed
         freely.
-    secret:
+    secret : WatermarkSecret
         The owner's secret list ``L_sc``.
-    config:
+    config : DetectionConfig, optional
         Detection thresholds shared by the whole batch (defaults to the
         strict ``t = 0``, ``k = 50%`` setting).
-    collect_evidence:
+    collect_evidence : bool, optional
         When True, per-pair :class:`~repro.core.detector.PairEvidence` is
         materialised for every dataset (slower; intended for dispute /
         debugging flows, not for large screens).
+    workers : int, optional
+        When greater than 1, the batch is partitioned across that many
+        worker processes via
+        :class:`~repro.core.sharding.ShardedDetectionPool`; verdicts and
+        ordering are identical to the in-process path. ``None`` or ``1``
+        runs in-process (the default).
+    chunk_size : int, optional
+        Datasets per dispatched worker chunk (sharded mode only).
 
     Returns
     -------
-    :class:`BatchDetectionReport` with one result per dataset, in order.
+    BatchDetectionReport
+        One result per dataset, in input order.
     """
+    if workers is not None and workers > 1:
+        # Imported here: sharding imports BatchDetectionReport from this
+        # module, so the dependency must stay one-way at import time.
+        from repro.core.sharding import ShardedDetectionPool
+
+        with ShardedDetectionPool(
+            secret, config, workers=workers, chunk_size=chunk_size
+        ) as pool:
+            return pool.detect_many(datasets, collect_evidence=collect_evidence)
     detector = WatermarkDetector(secret, config)
     results = detector.detect_many(datasets, collect_evidence=collect_evidence)
     return BatchDetectionReport(results=tuple(results))

@@ -201,9 +201,20 @@ class WatermarkDetector:
     ) -> DetectionResult:
         """Run detection against a suspected dataset or its histogram.
 
-        ``collect_evidence=False`` skips building the per-pair
-        :class:`PairEvidence` objects (the verdict and counts are
-        unaffected), which large sweeps use to stay allocation-free.
+        Parameters
+        ----------
+        data : SuspectData
+            A raw token sequence or a pre-built
+            :class:`~repro.core.histogram.TokenHistogram`.
+        collect_evidence : bool, optional
+            When False, skips building the per-pair
+            :class:`PairEvidence` objects (the verdict and counts are
+            unaffected), which large sweeps use to stay allocation-free.
+
+        Returns
+        -------
+        DetectionResult
+            The verdict with accepted/required/total pair counts.
         """
         histogram = (
             data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
@@ -229,6 +240,22 @@ class WatermarkDetector:
         and verified with a single vectorized modulo pass — the per-pair
         Python loop of the seed implementation disappears entirely, and
         the moduli hashes are shared across the whole batch.
+
+        Parameters
+        ----------
+        datasets : Sequence[SuspectData]
+            Suspected datasets (raw token sequences and/or pre-built
+            histograms, mixed freely).
+        collect_evidence : bool, optional
+            When True, per-pair :class:`PairEvidence` is materialised
+            for every dataset.
+
+        Returns
+        -------
+        List[DetectionResult]
+            One result per dataset, in input order. To shard this call
+            across processes, see
+            :class:`repro.core.sharding.ShardedDetectionPool`.
         """
         if not datasets:
             return []

@@ -129,13 +129,43 @@ class TokenHistogram:
         instance._init_sorted(order, array)
         return instance
 
+    def __getstate__(self) -> Tuple[List[str], np.ndarray]:
+        # Pickle only the sorted (tokens, counts) pair: the rank lookup and
+        # the array/dict caches are derived state, and dropping them keeps
+        # the payload shipped to sharded detection workers minimal.
+        return (self._order, self._array)
+
+    def __setstate__(self, state: Tuple[List[str], np.ndarray]) -> None:
+        order, array = state
+        self._init_sorted(list(order), np.asarray(array, dtype=np.int64))
+
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
 
     @classmethod
     def from_tokens(cls, tokens: Iterable[TokenValue]) -> "TokenHistogram":
-        """Count token occurrences from a raw sequence of values."""
+        """Count token occurrences from a raw sequence of values.
+
+        Parameters
+        ----------
+        tokens : Iterable[TokenValue]
+            Token occurrences in any order; values are canonicalised via
+            :func:`repro.core.tokens.canonical_token`. For chunked or
+            lazy data sources, prefer
+            :class:`repro.core.streaming.StreamingHistogramBuilder`,
+            whose result is bit-identical.
+
+        Returns
+        -------
+        TokenHistogram
+            The descending-frequency histogram.
+
+        Raises
+        ------
+        HistogramError
+            If the sequence is empty.
+        """
         counts: Dict[str, int] = {}
         for value in tokens:
             token = canonical_token(value)
@@ -146,7 +176,19 @@ class TokenHistogram:
 
     @classmethod
     def from_counts(cls, counts: Mapping[TokenValue, int]) -> "TokenHistogram":
-        """Build a histogram from an existing token->count mapping."""
+        """Build a histogram from an existing token->count mapping.
+
+        Parameters
+        ----------
+        counts : Mapping[TokenValue, int]
+            Token -> non-negative appearance count; keys are
+            canonicalised and zero counts dropped.
+
+        Returns
+        -------
+        TokenHistogram
+            The descending-frequency histogram.
+        """
         return cls({canonical_token(token): count for token, count in counts.items()})
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,322 @@
+"""Sharded batch detection across multiprocessing workers.
+
+The vectorized :meth:`~repro.core.detector.WatermarkDetector.detect_many`
+screens a whole batch in one matrix pass, but the pass is still bound to
+one core — and for raw token sequences the per-dataset histogram build
+dominates, which is embarrassingly parallel. This module partitions a
+``detect_many`` workload across worker processes:
+
+* the detector state travels as its *serializable inputs* (the
+  :class:`~repro.core.secrets.WatermarkSecret` and
+  :class:`~repro.core.config.DetectionConfig` dataclasses); every worker
+  rebuilds its :class:`~repro.core.detector.WatermarkDetector` **once**
+  in the pool initializer, so the SHA-256 moduli derivation is paid once
+  per worker, not once per chunk;
+* datasets are dispatched in contiguous chunks (each chunk is one
+  vectorized ``detect_many`` call in a worker) and results are collected
+  **in input order** regardless of worker scheduling;
+* ``workers=1`` — and any environment where worker processes cannot be
+  spawned at all — falls back to plain in-process ``detect_many``, so
+  callers can hardcode the sharded entry point and still run in
+  restricted sandboxes.
+
+Verdict parity with the in-process path is exact (the workers run the
+very same vectorized pass); ``tests/test_sharding.py`` asserts it,
+including result ordering, and ``benchmarks/bench_streaming.py`` tracks
+the multi-core speedup on the 100-dataset screening benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.batch import BatchDetectionReport
+from repro.core.config import DetectionConfig
+from repro.core.detector import DetectionResult, SuspectData, WatermarkDetector
+from repro.core.secrets import WatermarkSecret
+from repro.exceptions import DetectionError
+
+#: Chunks dispatched per worker when ``chunk_size`` is not given: small
+#: enough to load-balance uneven datasets, large enough that each chunk
+#: amortises the worker round-trip over one vectorized matrix pass.
+_CHUNKS_PER_WORKER = 4
+#: Cap on the derived chunk size: bounds how many suspects are resident
+#: per dispatch (and per in-process fallback step) for huge batches.
+_MAX_CHUNK = 64
+
+# Per-worker detector, built once by _initialize_worker. Module-level so
+# the dispatched chunk function stays picklable by reference.
+_WORKER_DETECTOR: Optional[WatermarkDetector] = None
+
+
+def _initialize_worker(secret: WatermarkSecret, config: Optional[DetectionConfig]) -> None:
+    """Pool initializer: rebuild the detector once inside each worker."""
+    global _WORKER_DETECTOR
+    _WORKER_DETECTOR = WatermarkDetector(secret, config)
+
+
+def _detect_chunk(
+    payload: Tuple[List[SuspectData], bool],
+) -> List[DetectionResult]:
+    """Run one vectorized ``detect_many`` pass over a dispatched chunk."""
+    chunk, collect_evidence = payload
+    if _WORKER_DETECTOR is None:  # pragma: no cover - defensive
+        raise DetectionError("sharded detection worker was not initialized")
+    return _WORKER_DETECTOR.detect_many(chunk, collect_evidence=collect_evidence)
+
+
+def _load_suspect_files(paths: List) -> List[SuspectData]:
+    """Stream-load token files into histograms (runs inside workers)."""
+    # Imported lazily: repro.datasets depends on repro.core, so the
+    # dependency must stay one-way at module-import time.
+    from repro.datasets.loaders import load_histogram_streaming
+
+    return [load_histogram_streaming(path) for path in paths]
+
+
+def _detect_file_chunk(payload: Tuple[List, bool]) -> List[DetectionResult]:
+    """Stream-load one chunk of token files and screen it in the worker."""
+    paths, collect_evidence = payload
+    if _WORKER_DETECTOR is None:  # pragma: no cover - defensive
+        raise DetectionError("sharded detection worker was not initialized")
+    return _WORKER_DETECTOR.detect_many(
+        _load_suspect_files(paths), collect_evidence=collect_evidence
+    )
+
+
+def default_worker_count() -> int:
+    """Worker count used when ``workers`` is not given: the visible cores.
+
+    Honours CPU affinity masks (cgroup-limited containers) where the
+    platform exposes them; never less than 1.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return max(1, os.cpu_count() or 1)
+
+
+class ShardedDetectionPool:
+    """Partition ``detect_many`` workloads across worker processes.
+
+    The pool owns one :class:`~repro.core.detector.WatermarkDetector`
+    per worker (built once in the pool initializer from the pickled
+    secret/config) and screens batches of suspected datasets by
+    dispatching contiguous chunks to the workers. Results come back in
+    input order with verdicts identical to the in-process path.
+
+    Parameters
+    ----------
+    secret : WatermarkSecret
+        The owner's secret list ``L_sc`` shared by every worker.
+    config : DetectionConfig, optional
+        Detection thresholds shared by the whole pool (defaults to the
+        strict ``t = 0``, ``k = 50%`` setting).
+    workers : int, optional
+        Worker process count. ``None`` uses
+        :func:`default_worker_count`; ``1`` (or a single-core machine)
+        short-circuits to plain in-process detection — no processes are
+        ever spawned.
+    chunk_size : int, optional
+        Datasets per dispatched chunk. ``None`` splits each batch into
+        about four chunks per worker, balancing scheduling slack against
+        per-chunk dispatch overhead.
+    start_method : str, optional
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``). ``None`` uses the platform default.
+
+    Examples
+    --------
+    >>> pool = ShardedDetectionPool(secret, workers=4)   # doctest: +SKIP
+    >>> report = pool.detect_many(suspects)              # doctest: +SKIP
+    >>> pool.close()                                     # doctest: +SKIP
+
+    The pool is also a context manager (``with ShardedDetectionPool(...)
+    as pool: ...``), which guarantees worker shutdown.
+    """
+
+    def __init__(
+        self,
+        secret: WatermarkSecret,
+        config: Optional[DetectionConfig] = None,
+        *,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise DetectionError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise DetectionError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.secret = secret
+        self.config = config
+        self.workers = workers if workers is not None else default_worker_count()
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self._pool = None
+        # The in-process detector doubles as the workers=1 fast path and
+        # the fallback when worker processes cannot be spawned.
+        self._local = WatermarkDetector(secret, config)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "ShardedDetectionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self):
+        """Create the worker pool lazily; None when unavailable."""
+        if self._pool is None:
+            import multiprocessing
+
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method
+                else multiprocessing.get_context()
+            )
+            try:
+                self._pool = context.Pool(
+                    processes=self.workers,
+                    initializer=_initialize_worker,
+                    initargs=(self.secret, self.config),
+                )
+            except (OSError, ValueError) as error:
+                # Restricted sandboxes (no /dev/shm, seccomp'd fork, ...):
+                # degrade to in-process screening rather than failing the
+                # whole batch.
+                warnings.warn(
+                    f"cannot start detection workers ({error}); "
+                    "falling back to in-process detection",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self.workers = 1
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _chunks(self, datasets: List[SuspectData]) -> Iterator[List[SuspectData]]:
+        """Contiguous chunks in input order (ordered collection relies on it)."""
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(datasets) // (self.workers * _CHUNKS_PER_WORKER)))
+            size = min(size, _MAX_CHUNK)
+        for start in range(0, len(datasets), size):
+            yield datasets[start : start + size]
+
+    def _run(
+        self, items: List, chunk_function, local_function, collect_evidence: bool
+    ) -> BatchDetectionReport:
+        """Shared dispatch: shard ``items`` or fall back to ``local_function``."""
+        if not items:
+            return BatchDetectionReport(results=())
+        pool = None
+        if self.workers > 1 and len(items) > 1:
+            pool = self._ensure_pool()  # None when spawning failed
+        collected: List[DetectionResult] = []
+        if pool is None:
+            # In-process fallback walks the same chunks as the sharded
+            # path, so at most one chunk's datasets/histograms are
+            # resident at a time (this is what keeps detect_files
+            # memory-bounded at workers=1 too).
+            for chunk in self._chunks(items):
+                collected.extend(local_function(chunk, collect_evidence))
+            return BatchDetectionReport(results=tuple(collected))
+        payloads = [(chunk, collect_evidence) for chunk in self._chunks(items)]
+        # imap yields chunk results in dispatch order, so concatenating
+        # preserves the input order exactly.
+        for chunk_results in pool.imap(chunk_function, payloads):
+            collected.extend(chunk_results)
+        return BatchDetectionReport(results=tuple(collected))
+
+    def detect_many(
+        self,
+        datasets: Sequence[SuspectData],
+        *,
+        collect_evidence: bool = False,
+    ) -> BatchDetectionReport:
+        """Screen a batch of suspected datasets across the workers.
+
+        Parameters
+        ----------
+        datasets : Sequence[SuspectData]
+            Suspected datasets — raw token sequences or pre-built
+            :class:`~repro.core.histogram.TokenHistogram` instances,
+            mixed freely. Everything dispatched must be picklable.
+        collect_evidence : bool, optional
+            When True, per-pair evidence objects are materialised for
+            every dataset (slower, larger result payloads).
+
+        Returns
+        -------
+        BatchDetectionReport
+            One result per dataset, **in input order**, with verdicts
+            identical to in-process
+            :func:`repro.core.batch.detect_many`.
+        """
+        return self._run(
+            list(datasets),
+            _detect_chunk,
+            lambda items, evidence: self._local.detect_many(
+                items, collect_evidence=evidence
+            ),
+            collect_evidence,
+        )
+
+    def detect_files(
+        self,
+        paths: Sequence,
+        *,
+        collect_evidence: bool = False,
+    ) -> BatchDetectionReport:
+        """Screen token-per-line files, loading each inside its worker.
+
+        Unlike :meth:`detect_many` over pre-loaded data, only the *file
+        paths* are dispatched: each worker stream-loads its chunk's
+        histograms (:func:`repro.datasets.loaders.load_histogram_streaming`)
+        and screens them, so the dominant per-suspect cost — reading and
+        counting the tokens — parallelises too, and the parent holds
+        nothing heavier than the verdicts (in the ``workers=1``
+        fallback: at most one chunk of histograms at a time).
+
+        Parameters
+        ----------
+        paths : Sequence
+            Token-per-line file paths (anything ``open``-able and
+            picklable).
+        collect_evidence : bool, optional
+            When True, per-pair evidence objects are materialised for
+            every file.
+
+        Returns
+        -------
+        BatchDetectionReport
+            One result per file, in input order, with verdicts identical
+            to loading each file and running the in-process path.
+        """
+        return self._run(
+            list(paths),
+            _detect_file_chunk,
+            lambda items, evidence: self._local.detect_many(
+                _load_suspect_files(items), collect_evidence=evidence
+            ),
+            collect_evidence,
+        )
+
+
+__all__ = ["ShardedDetectionPool", "default_worker_count"]

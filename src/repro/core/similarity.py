@@ -253,7 +253,19 @@ class SimilarityTracker:
     # ------------------------------------------------------------------ #
 
     def current_count(self, token: str) -> int:
-        """Current (adjusted) count of ``token`` (0 if absent)."""
+        """Current (adjusted) count of one token.
+
+        Parameters
+        ----------
+        token : str
+            Canonical token string.
+
+        Returns
+        -------
+        int
+            The count after every applied adjustment; ``0`` if the token
+            never appeared.
+        """
         return self._current.get(token, 0)
 
     def current_counts(self) -> Dict[str, int]:
@@ -285,7 +297,24 @@ class SimilarityTracker:
     # ------------------------------------------------------------------ #
 
     def peek(self, deltas: Mapping[str, int]) -> float:
-        """Similarity if ``deltas`` were applied, without applying them."""
+        """Similarity if ``deltas`` were applied, without applying them.
+
+        Parameters
+        ----------
+        deltas : Mapping[str, int]
+            Token -> signed count change of one candidate adjustment.
+
+        Returns
+        -------
+        float
+            The similarity the tracker would report after ``apply(deltas)``,
+            in ``[0, 1]``. O(1) per touched token for built-in metrics.
+
+        Raises
+        ------
+        HistogramError
+            If any delta would drive a token count negative.
+        """
         if not self._exact:
             trial = dict(self._current)
             for token, delta in deltas.items():
@@ -304,6 +333,22 @@ class SimilarityTracker:
 
         Atomic: a negative-count violation anywhere in ``deltas`` raises
         before any state is mutated.
+
+        Parameters
+        ----------
+        deltas : Mapping[str, int]
+            Token -> signed count change to commit.
+
+        Returns
+        -------
+        float
+            The similarity of the updated state, in ``[0, 1]``.
+
+        Raises
+        ------
+        HistogramError
+            If any delta would drive a token count negative (state is
+            left untouched).
         """
         if self._exact:
             (

@@ -17,7 +17,7 @@ transformation lives in :mod:`repro.core.multidimensional`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
 
 from repro.core.histogram import TokenHistogram
 from repro.core.tokens import TokenValue, canonical_token
@@ -81,6 +81,32 @@ def apply_deltas_to_tokens(
     return result
 
 
+def histogram_deltas(
+    original: TokenHistogram, watermarked: TokenHistogram
+) -> Dict[str, int]:
+    """Signed per-token count changes turning ``original`` into ``watermarked``.
+
+    Parameters
+    ----------
+    original, watermarked : TokenHistogram
+        The before/after histograms; tokens present in only one side
+        contribute their full count.
+
+    Returns
+    -------
+    Dict[str, int]
+        Token -> non-zero signed delta, ready for
+        :func:`apply_deltas_to_tokens` or :func:`apply_deltas_streaming`.
+    """
+    deltas: Dict[str, int] = {}
+    all_tokens = set(original.as_dict()) | set(watermarked.as_dict())
+    for token in all_tokens:
+        delta = watermarked.frequency(token) - original.frequency(token)
+        if delta != 0:
+            deltas[token] = delta
+    return deltas
+
+
 def transform_dataset(
     tokens: Sequence[TokenValue],
     original: TokenHistogram,
@@ -90,17 +116,141 @@ def transform_dataset(
 ) -> List[str]:
     """Edit ``tokens`` so its histogram matches ``watermarked``.
 
-    The deltas are derived by diffing the two histograms, so this function
-    also serves the multi-watermarking and attack modules, which produce a
-    target histogram first and then need a consistent dataset.
+    The deltas are derived by diffing the two histograms
+    (:func:`histogram_deltas`), so this function also serves the
+    multi-watermarking and attack modules, which produce a target
+    histogram first and then need a consistent dataset.
     """
-    deltas: Dict[str, int] = {}
-    all_tokens = set(original.as_dict()) | set(watermarked.as_dict())
-    for token in all_tokens:
-        delta = watermarked.frequency(token) - original.frequency(token)
-        if delta != 0:
-            deltas[token] = delta
-    return apply_deltas_to_tokens(tokens, deltas, rng=rng)
+    return apply_deltas_to_tokens(
+        tokens, histogram_deltas(original, watermarked), rng=rng
+    )
+
+
+def apply_deltas_streaming(
+    tokens: Iterable[TokenValue],
+    deltas: Mapping[str, int],
+    original_counts: Mapping[str, int],
+    *,
+    rng: RngLike = None,
+) -> Iterator[str]:
+    """Apply token-count ``deltas`` to a lazy token stream, yielding the edit.
+
+    The streaming counterpart of :func:`apply_deltas_to_tokens` for
+    datasets too large to materialise: the input is consumed once, the
+    edited sequence is yielded incrementally, and memory stays bounded by
+    the number of *edited* appearances (plus one counter per removed
+    token), never by the stream length. Both edit kinds keep the paper's
+    positional-secrecy requirement:
+
+    * removal victims are uniformly random occurrences of each token,
+      chosen by sampling occurrence ordinals against the known original
+      counts before the stream is consumed;
+    * insertions land at uniformly random positions of the *final*
+      sequence, chosen by sampling slots of the output stream up front
+      and interleaving the (shuffled) new appearances while writing.
+
+    Parameters
+    ----------
+    tokens : Iterable[TokenValue]
+        The original dataset as a lazy stream of token occurrences (e.g.
+        :func:`repro.datasets.loaders.iter_tokens`).
+    deltas : Mapping[str, int]
+        Canonical token -> signed appearance change, as produced by
+        diffing the original and watermarked histograms.
+    original_counts : Mapping[str, int]
+        Appearance counts of the original stream (a token->count mapping
+        or anything with ``as_dict()``, e.g. a ``TokenHistogram`` built
+        by one streaming ingestion pass). Needed to sample removal
+        ordinals without buffering the stream.
+    rng : RngLike, optional
+        Randomness source for victim and position choices.
+
+    Yields
+    ------
+    str
+        Canonical tokens of the edited sequence, whose histogram equals
+        the original counts with ``deltas`` applied.
+
+    Raises
+    ------
+    GenerationError
+        If a removal exceeds the recorded count of its token, or —
+        detected at end of stream, before the trailing insertions are
+        yielded — the stream disagrees with ``original_counts`` (total
+        occurrences, or the occurrence count of any removed token).
+    """
+    generator = ensure_rng(rng)
+    if hasattr(original_counts, "as_dict"):
+        original_counts = original_counts.as_dict()
+
+    # Removals: pre-sample which occurrence ordinals of each token vanish.
+    removal_ordinals: Dict[str, frozenset] = {}
+    removed_total = 0
+    for token, delta in deltas.items():
+        if delta >= 0:
+            continue
+        count = int(original_counts.get(token, 0))
+        if count < -delta:
+            raise GenerationError(
+                f"cannot remove {-delta} appearances of {token!r}: only "
+                f"{count} present"
+            )
+        chosen = generator.choice(count, size=-delta, replace=False)
+        removal_ordinals[token] = frozenset(int(i) for i in chosen)
+        removed_total += -delta
+
+    # Insertions: pre-sample slots of the final output stream.
+    additions: List[str] = []
+    for token, delta in deltas.items():
+        if delta > 0:
+            additions.extend([token] * delta)
+    original_total = sum(int(count) for count in original_counts.values())
+    final_length = original_total - removed_total + len(additions)
+    insert_at: Dict[int, List[str]] = {}
+    if additions:
+        generator.shuffle(additions)
+        slots = generator.choice(final_length, size=len(additions), replace=False)
+        for slot, token in zip(sorted(int(s) for s in slots), additions):
+            insert_at.setdefault(slot, []).append(token)
+
+    seen: Dict[str, int] = dict.fromkeys(removal_ordinals, 0)
+    position = 0
+    consumed = 0
+    for value in tokens:
+        token = canonical_token(value)
+        consumed += 1
+        ordinals = removal_ordinals.get(token)
+        if ordinals is not None:
+            ordinal = seen[token]
+            seen[token] = ordinal + 1
+            if ordinal in ordinals:
+                continue
+        while position in insert_at:
+            for inserted in insert_at.pop(position):
+                yield inserted
+                position += 1
+        yield token
+        position += 1
+    # The removal/insertion plan was sampled against ``original_counts``;
+    # a stream that disagrees with it (the file changed between the
+    # histogram pass and this pass) would silently realise the wrong
+    # histogram, so fail loudly instead.
+    if consumed != original_total:
+        raise GenerationError(
+            f"token stream disagrees with original_counts: consumed {consumed} "
+            f"occurrences, expected {original_total}"
+        )
+    for token, ordinals in removal_ordinals.items():
+        expected = int(original_counts.get(token, 0))
+        if seen[token] != expected:
+            raise GenerationError(
+                f"token stream disagrees with original_counts: saw "
+                f"{seen[token]} occurrences of {token!r}, expected {expected}"
+            )
+    # Insertion slots past the last kept token flush in slot order.
+    for slot in sorted(insert_at):
+        for inserted in insert_at[slot]:
+            yield inserted
 
 
 def verify_transformation(
@@ -111,4 +261,10 @@ def verify_transformation(
     return TokenHistogram.from_tokens(transformed).as_dict() == expected.as_dict()
 
 
-__all__ = ["apply_deltas_to_tokens", "transform_dataset", "verify_transformation"]
+__all__ = [
+    "apply_deltas_to_tokens",
+    "apply_deltas_streaming",
+    "histogram_deltas",
+    "transform_dataset",
+    "verify_transformation",
+]

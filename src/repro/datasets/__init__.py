@@ -9,7 +9,10 @@ from repro.datasets.clickstream import (
     url_sequences_by_user,
 )
 from repro.datasets.loaders import (
+    iter_token_chunks,
+    iter_tokens,
     load_histogram_json,
+    load_histogram_streaming,
     load_table_csv,
     load_token_file,
     save_histogram_json,
@@ -36,7 +39,10 @@ __all__ = [
     "daily_visit_series",
     "generate_clickstream",
     "url_sequences_by_user",
+    "iter_token_chunks",
+    "iter_tokens",
     "load_histogram_json",
+    "load_histogram_streaming",
     "load_table_csv",
     "load_token_file",
     "save_histogram_json",

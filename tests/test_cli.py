@@ -89,6 +89,123 @@ class TestGenerateDetect:
         assert payload["selected_pairs"] >= 1
 
 
+class TestStreamingGenerate:
+    def test_chunked_generate_verifies(self, token_file, tmp_path, capsys):
+        watermarked = tmp_path / "watermarked.txt"
+        secret = tmp_path / "secret.json"
+        exit_code = main(
+            [
+                "--json",
+                "generate",
+                str(token_file),
+                str(watermarked),
+                str(secret),
+                "--modulus",
+                "31",
+                "--seed",
+                "7",
+                "--chunk-size",
+                "500",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["streaming"] is True and payload["chunk_size"] == 500
+        # The streamed output realises the watermarked histogram: detection
+        # must verify on the written file.
+        assert main(["detect", str(watermarked), str(secret)]) == 0
+
+    def test_chunked_generate_same_histogram_as_one_shot(self, token_file, tmp_path):
+        from repro.core.histogram import TokenHistogram
+
+        streamed_out = tmp_path / "streamed.txt"
+        one_shot_out = tmp_path / "one_shot.txt"
+        for output, extra in (
+            (streamed_out, ["--chunk-size", "777"]),
+            (one_shot_out, []),
+        ):
+            assert (
+                main(
+                    [
+                        "generate",
+                        str(token_file),
+                        str(output),
+                        str(tmp_path / f"{output.stem}.secret.json"),
+                        "--modulus",
+                        "31",
+                        "--seed",
+                        "7",
+                        *extra,
+                    ]
+                )
+                == 0
+            )
+        streamed = TokenHistogram.from_tokens(load_token_file(streamed_out))
+        one_shot = TokenHistogram.from_tokens(load_token_file(one_shot_out))
+        assert streamed == one_shot
+
+
+class TestBatchDetect:
+    def test_directory_screening(self, token_file, tmp_path, capsys):
+        watermarked = tmp_path / "watermarked.txt"
+        secret = tmp_path / "secret.json"
+        main(["generate", str(token_file), str(watermarked), str(secret), "--modulus", "31", "--seed", "7"])
+        suspects = tmp_path / "suspects"
+        suspects.mkdir()
+        watermarked_tokens = load_token_file(watermarked)
+        save_token_file(watermarked_tokens, suspects / "copy.txt")
+        save_token_file([f"noise-{i % 11}" for i in range(2_000)], suspects / "decoy.txt")
+        capsys.readouterr()
+        exit_code = main(
+            ["--json", "detect", str(suspects), str(secret), "--workers", "2"]
+        )
+        assert exit_code == 1  # the decoy is rejected
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["datasets"] == 2
+        assert payload["accepted_datasets"] == 1
+        suspect_reports = payload["suspects"]
+        assert suspect_reports[str(suspects / "copy.txt")]["accepted"] is True
+        assert suspect_reports[str(suspects / "decoy.txt")]["accepted"] is False
+
+    def test_directory_all_accepted_exit_zero(self, token_file, tmp_path, capsys):
+        watermarked = tmp_path / "watermarked.txt"
+        secret = tmp_path / "secret.json"
+        main(["generate", str(token_file), str(watermarked), str(secret), "--modulus", "31", "--seed", "7"])
+        suspects = tmp_path / "suspects"
+        suspects.mkdir()
+        tokens = load_token_file(watermarked)
+        save_token_file(tokens, suspects / "a.txt")
+        save_token_file(tokens, suspects / "b.tokens")
+        assert main(["detect", str(suspects), str(secret)]) == 0
+        assert "accepted" in capsys.readouterr().out
+
+    def test_single_file_directory_keeps_batch_schema(
+        self, token_file, tmp_path, capsys
+    ):
+        watermarked = tmp_path / "watermarked.txt"
+        secret = tmp_path / "secret.json"
+        main(["generate", str(token_file), str(watermarked), str(secret), "--modulus", "31", "--seed", "7"])
+        suspects = tmp_path / "suspects"
+        suspects.mkdir()
+        save_token_file(load_token_file(watermarked), suspects / "only.txt")
+        capsys.readouterr()
+        exit_code = main(
+            ["--json", "detect", str(suspects), str(secret), "--workers", "2"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["datasets"] == 1 and payload["workers"] == 2
+        assert list(payload["suspects"]) == [str(suspects / "only.txt")]
+
+    def test_empty_directory_errors(self, tmp_path, token_file):
+        watermarked = tmp_path / "watermarked.txt"
+        secret = tmp_path / "secret.json"
+        main(["generate", str(token_file), str(watermarked), str(secret), "--modulus", "31", "--seed", "7"])
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["detect", str(empty), str(secret)]) == 2
+
+
 class TestAttackAndSynth:
     def test_sampling_attack_command(self, token_file, tmp_path, capsys):
         watermarked = tmp_path / "watermarked.txt"

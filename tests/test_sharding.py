@@ -1,0 +1,162 @@
+"""Sharded batch detection: parity and ordering versus in-process."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.batch import detect_many
+from repro.core.config import DetectionConfig
+from repro.core.detector import WatermarkDetector
+from repro.core.generator import generate_watermark
+from repro.core.histogram import TokenHistogram
+from repro.core.sharding import ShardedDetectionPool, default_worker_count
+from repro.datasets.synthetic import generate_power_law_tokens
+from repro.exceptions import DetectionError
+
+
+@pytest.fixture(scope="module")
+def watermark():
+    tokens = generate_power_law_tokens(0.7, n_tokens=60, sample_size=8_000, rng=5)
+    return generate_watermark(tokens, budget_percent=2.0, modulus_cap=31, rng=7)
+
+
+@pytest.fixture(scope="module")
+def suspects(watermark):
+    """Mixed batch: watermarked copies, decoys, raw token lists."""
+    decoy = TokenHistogram.from_tokens(
+        [f"decoy-{i % 9}" for i in range(4_000)]
+    )
+    raw = generate_power_law_tokens(0.7, n_tokens=60, sample_size=2_000, rng=6)
+    return [
+        watermark.watermarked_histogram,
+        decoy,
+        list(raw),
+        watermark.watermarked_histogram,
+        decoy,
+    ]
+
+
+def _signatures(report):
+    return [
+        (result.accepted, result.accepted_pairs, result.total_pairs)
+        for result in report.results
+    ]
+
+
+class TestParity:
+    def test_sharded_matches_in_process_exactly(self, watermark, suspects):
+        """ISSUE 2 property: identical results, identically ordered."""
+        baseline = detect_many(suspects, watermark.secret)
+        with ShardedDetectionPool(watermark.secret, workers=2, chunk_size=2) as pool:
+            sharded = pool.detect_many(suspects)
+        assert _signatures(sharded) == _signatures(baseline)
+
+    def test_chunk_size_one_preserves_order(self, watermark, suspects):
+        baseline = detect_many(suspects, watermark.secret)
+        with ShardedDetectionPool(watermark.secret, workers=2, chunk_size=1) as pool:
+            sharded = pool.detect_many(suspects)
+        assert _signatures(sharded) == _signatures(baseline)
+
+    def test_evidence_parity(self, watermark, suspects):
+        config = DetectionConfig(pair_threshold=1)
+        baseline = detect_many(
+            suspects, watermark.secret, config, collect_evidence=True
+        )
+        with ShardedDetectionPool(watermark.secret, config, workers=2) as pool:
+            sharded = pool.detect_many(suspects, collect_evidence=True)
+        for ours, theirs in zip(sharded.results, baseline.results):
+            assert ours.evidence == theirs.evidence
+
+    def test_detect_files_matches_preloaded_path(self, watermark, tmp_path):
+        from repro.datasets.loaders import load_histogram_streaming, save_token_file
+        from repro.datasets.synthetic import generate_power_law_tokens
+
+        wm_tokens = generate_power_law_tokens(0.7, n_tokens=60, sample_size=8_000, rng=5)
+        paths = []
+        for name, tokens in (
+            ("copy.txt", wm_tokens),
+            ("decoy.txt", [f"decoy-{i % 9}" for i in range(4_000)]),
+            ("copy2.txt", wm_tokens),
+        ):
+            path = tmp_path / name
+            save_token_file(tokens, path)
+            paths.append(path)
+        preloaded = detect_many(
+            [load_histogram_streaming(path) for path in paths], watermark.secret
+        )
+        for workers in (1, 2):
+            with ShardedDetectionPool(
+                watermark.secret, workers=workers, chunk_size=1
+            ) as pool:
+                assert _signatures(pool.detect_files(paths)) == _signatures(preloaded)
+
+    def test_batch_detect_many_workers_parameter(self, watermark, suspects):
+        baseline = detect_many(suspects, watermark.secret)
+        sharded = detect_many(suspects, watermark.secret, workers=2, chunk_size=2)
+        assert _signatures(sharded) == _signatures(baseline)
+
+
+class TestFallbacksAndLifecycle:
+    def test_workers_one_never_spawns_processes(self, watermark, suspects):
+        pool = ShardedDetectionPool(watermark.secret, workers=1)
+        report = pool.detect_many(suspects)
+        assert pool._pool is None  # in-process fast path
+        assert _signatures(report) == _signatures(detect_many(suspects, watermark.secret))
+        pool.close()
+
+    def test_single_dataset_short_circuits(self, watermark):
+        with ShardedDetectionPool(watermark.secret, workers=2) as pool:
+            report = pool.detect_many([watermark.watermarked_histogram])
+            assert pool._pool is None
+            assert report[0].accepted
+
+    def test_empty_batch(self, watermark):
+        with ShardedDetectionPool(watermark.secret, workers=2) as pool:
+            report = pool.detect_many([])
+        assert len(report) == 0
+
+    def test_close_is_idempotent(self, watermark, suspects):
+        pool = ShardedDetectionPool(watermark.secret, workers=2)
+        pool.detect_many(suspects)
+        pool.close()
+        pool.close()
+        # After close a new pool is created lazily on the next call.
+        assert _signatures(pool.detect_many(suspects)) == _signatures(
+            detect_many(suspects, watermark.secret)
+        )
+        pool.close()
+
+    def test_invalid_parameters_rejected(self, watermark):
+        with pytest.raises(DetectionError):
+            ShardedDetectionPool(watermark.secret, workers=0)
+        with pytest.raises(DetectionError):
+            ShardedDetectionPool(watermark.secret, chunk_size=0)
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+
+class TestSerialisation:
+    def test_histogram_pickle_roundtrip_is_lean_and_exact(self, watermark):
+        histogram = watermark.watermarked_histogram
+        arrays = histogram.arrays()  # populate caches
+        assert arrays is histogram.arrays()
+        clone = pickle.loads(pickle.dumps(histogram))
+        assert clone == histogram
+        assert clone.tokens == histogram.tokens
+        assert clone.boundaries() == histogram.boundaries()
+        # Detection through a pickled histogram matches the original.
+        detector = WatermarkDetector(watermark.secret)
+        assert (
+            detector.detect(clone).accepted_pairs
+            == detector.detect(histogram).accepted_pairs
+        )
+
+    def test_detection_results_pickle(self, watermark, suspects):
+        report = detect_many(
+            suspects, watermark.secret, collect_evidence=True
+        )
+        clone = pickle.loads(pickle.dumps(report.results))
+        assert [r.accepted for r in clone] == [r.accepted for r in report.results]

@@ -1,0 +1,245 @@
+"""Streaming ingestion: chunking/merge parity with one-shot histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import TokenHistogram
+from repro.core.streaming import (
+    StreamingHistogramBuilder,
+    histogram_from_chunks,
+    histogram_from_stream,
+)
+from repro.core.transform import apply_deltas_streaming
+from repro.datasets.loaders import (
+    iter_token_chunks,
+    iter_tokens,
+    load_histogram_streaming,
+    load_token_file,
+    save_token_file,
+)
+from repro.exceptions import DatasetError, HistogramError
+
+_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: Token streams: modest alphabets so repeats (the interesting case) occur.
+_tokens = st.lists(
+    st.text(alphabet="abcdef.-", min_size=1, max_size=6), min_size=1, max_size=200
+)
+
+
+def _chunkings(tokens):
+    """Strategy producing (tokens, list-of-chunks) with arbitrary cut points."""
+    return st.lists(
+        st.integers(min_value=0, max_value=len(tokens)), max_size=8
+    ).map(lambda cuts: [
+        tokens[start:stop]
+        for start, stop in zip([0] + sorted(cuts), sorted(cuts) + [len(tokens)])
+    ])
+
+
+def _assert_bit_identical(left: TokenHistogram, right: TokenHistogram) -> None:
+    assert left == right
+    assert left.tokens == right.tokens
+    assert np.array_equal(left.counts_array(), right.counts_array())
+
+
+class TestChunkingParity:
+    @_settings
+    @given(data=st.data(), tokens=_tokens)
+    def test_any_chunking_matches_one_shot(self, data, tokens):
+        """ISSUE 2 property: every chunking equals the one-shot histogram."""
+        chunks = data.draw(_chunkings(tokens))
+        one_shot = TokenHistogram.from_tokens(tokens)
+        _assert_bit_identical(histogram_from_chunks(chunks), one_shot)
+
+    @_settings
+    @given(data=st.data(), tokens=_tokens)
+    def test_merge_of_partial_builders_matches_one_shot(self, data, tokens):
+        """Map-reduce: per-chunk builders merged in any order still match."""
+        chunks = data.draw(_chunkings(tokens))
+        builders = []
+        for chunk in chunks:
+            builder = StreamingHistogramBuilder()
+            builder.add_tokens(chunk)
+            builders.append(builder)
+        order = data.draw(st.permutations(builders))
+        merged = StreamingHistogramBuilder.merge_all(order)
+        _assert_bit_identical(merged.build(), TokenHistogram.from_tokens(tokens))
+
+    @_settings
+    @given(tokens=_tokens, chunk_size=st.integers(min_value=1, max_value=64))
+    def test_internal_batching_granularity_is_invisible(self, tokens, chunk_size):
+        streamed = histogram_from_stream(iter(tokens), chunk_size=chunk_size)
+        _assert_bit_identical(streamed, TokenHistogram.from_tokens(tokens))
+
+
+class TestBuilderApi:
+    def test_add_counts_matches_token_ingestion(self):
+        by_tokens = StreamingHistogramBuilder()
+        by_tokens.add_tokens(["a", "b", "a", "c", "a"])
+        by_counts = StreamingHistogramBuilder()
+        by_counts.add_counts({"a": 3, "b": 1})
+        by_counts.add_counts({"c": 1, "zero": 0})
+        _assert_bit_identical(by_tokens.build(), by_counts.build())
+
+    def test_non_string_tokens_are_canonicalised(self):
+        builder = StreamingHistogramBuilder()
+        builder.add_tokens([1, "1", 2.0, ("a", "b")])
+        one_shot = TokenHistogram.from_tokens([1, "1", 2.0, ("a", "b")])
+        _assert_bit_identical(builder.build(), one_shot)
+
+    def test_state_accessors(self):
+        builder = StreamingHistogramBuilder()
+        assert not builder and len(builder) == 0
+        builder.add_tokens(["x", "y", "x"])
+        builder.add("y", 2)
+        assert builder and builder.distinct_tokens == 2
+        assert builder.total_count == 5
+        assert builder.chunks_ingested == 1
+        assert builder.partial_counts() == {"x": 2, "y": 3}
+        # build() does not exhaust the builder
+        first = builder.build()
+        builder.add_tokens(["z"])
+        assert builder.build().frequency("z") == 1
+        assert first.frequency("z") == 0
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(HistogramError):
+            StreamingHistogramBuilder().build()
+
+    def test_negative_inputs_rejected(self):
+        builder = StreamingHistogramBuilder()
+        with pytest.raises(HistogramError):
+            builder.add("a", -1)
+        with pytest.raises(HistogramError):
+            builder.add_counts({"a": -2})
+        with pytest.raises(HistogramError):
+            StreamingHistogramBuilder(chunk_size=0)
+
+
+class TestFileStreaming:
+    def test_iter_tokens_matches_load(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        path.write_text("a\n\n b \nc\na\n", encoding="utf-8")
+        assert list(iter_tokens(path)) == load_token_file(path) == ["a", "b", "c", "a"]
+
+    def test_iter_token_chunks_bounds_and_order(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        save_token_file([f"t{i}" for i in range(10)], path)
+        chunks = list(iter_token_chunks(path, chunk_size=3))
+        assert [len(chunk) for chunk in chunks] == [3, 3, 3, 1]
+        assert [token for chunk in chunks for token in chunk] == [
+            f"t{i}" for i in range(10)
+        ]
+        with pytest.raises(DatasetError):
+            list(iter_token_chunks(path, chunk_size=0))
+
+    def test_load_histogram_streaming_parity(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        tokens = ["a"] * 5 + ["b"] * 3 + ["c"]
+        save_token_file(tokens, path)
+        _assert_bit_identical(
+            load_histogram_streaming(path, chunk_size=2),
+            TokenHistogram.from_tokens(tokens),
+        )
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("\n\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_histogram_streaming(path)
+        with pytest.raises(DatasetError):
+            save_token_file([], tmp_path / "out.txt")
+
+    def test_save_is_atomic_on_failing_stream(self, tmp_path):
+        path = tmp_path / "out.txt"
+        save_token_file(["keep", "me"], path)
+
+        def exploding():
+            yield "partial"
+            raise RuntimeError("stream died")
+
+        with pytest.raises(RuntimeError):
+            save_token_file(exploding(), path)
+        # The pre-existing file survives untouched; no scratch file remains.
+        assert load_token_file(path) == ["keep", "me"]
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_save_is_atomic_on_empty_stream(self, tmp_path):
+        path = tmp_path / "out.txt"
+        save_token_file(["keep"], path)
+        with pytest.raises(DatasetError):
+            save_token_file([], path)
+        assert load_token_file(path) == ["keep"]
+
+
+class TestStreamingTransform:
+    @_settings
+    @given(
+        tokens=st.lists(
+            st.sampled_from(["a", "b", "c", "d", "e"]), min_size=5, max_size=80
+        ),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_streamed_edit_realises_target_histogram(self, tokens, seed):
+        original = TokenHistogram.from_tokens(tokens)
+        deltas = {}
+        counts = original.as_dict()
+        if counts.get("a"):
+            deltas["a"] = -min(2, counts["a"])
+        deltas["new"] = 3
+        if counts.get("b"):
+            deltas["b"] = 1
+        edited = list(
+            apply_deltas_streaming(iter(tokens), deltas, original, rng=seed)
+        )
+        expected = original.with_updates(deltas)
+        assert TokenHistogram.from_tokens(edited) == expected
+        assert len(edited) == expected.total_count()
+
+    def test_removal_beyond_count_rejected(self):
+        from repro.exceptions import GenerationError
+
+        with pytest.raises(GenerationError):
+            list(
+                apply_deltas_streaming(
+                    iter(["a", "a"]), {"a": -3}, {"a": 2}, rng=0
+                )
+            )
+
+    def test_stream_disagreeing_with_counts_rejected(self):
+        from repro.exceptions import GenerationError
+
+        # Total length drift (file changed between the two passes).
+        with pytest.raises(GenerationError, match="disagrees"):
+            list(
+                apply_deltas_streaming(
+                    iter(["a", "a", "b", "b", "b"]), {"a": -1}, {"a": 2, "b": 2}, rng=0
+                )
+            )
+        # Same total, but a removed token's occurrences shifted.
+        with pytest.raises(GenerationError, match="disagrees"):
+            list(
+                apply_deltas_streaming(
+                    iter(["a", "b", "b", "b"]), {"a": -1}, {"a": 2, "b": 2}, rng=0
+                )
+            )
+
+    def test_insertions_not_clustered_at_end(self):
+        tokens = ["x"] * 200
+        edited = list(
+            apply_deltas_streaming(
+                iter(tokens), {"y": 20}, {"x": 200}, rng=123
+            )
+        )
+        positions = [index for index, token in enumerate(edited) if token == "y"]
+        assert len(positions) == 20
+        # With 20 uniform insertions into 220 slots, at least one must land
+        # in the first half (probability of failure ~ 2^-20).
+        assert positions[0] < len(edited) // 2
