@@ -115,9 +115,15 @@ def experiment_banner(identifier: str, description: str) -> None:
 
 #: Benchmark scripts exercised by the CI smoke job: every figure
 #: reproduction plus the engine-scaling guard (whose speedup assertions
-#: surface performance regressions per PR) and the streaming/sharding
-#: guard (chunked-ingestion parity + sharded screening timings).
-SMOKE_PATTERNS = ("bench_fig*.py", "bench_engine_scaling.py", "bench_streaming.py")
+#: surface performance regressions per PR), the streaming/sharding
+#: guard (chunked-ingestion parity + sharded screening timings), and the
+#: detection-service guard (cached+coalesced throughput vs one-shot).
+SMOKE_PATTERNS = (
+    "bench_fig*.py",
+    "bench_engine_scaling.py",
+    "bench_streaming.py",
+    "bench_service.py",
+)
 
 
 def run_smoke(output, patterns=SMOKE_PATTERNS) -> dict:

@@ -38,8 +38,13 @@ from repro.core import (
     generate_watermark,
 )
 from repro.exceptions import ReproError
+from repro.service import (
+    DetectionService,
+    ServiceConfig,
+    SyncDetectionService,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BatchDetectionReport",
@@ -60,6 +65,9 @@ __all__ = [
     "detect_many",
     "detect_watermark",
     "generate_watermark",
+    "DetectionService",
+    "ServiceConfig",
+    "SyncDetectionService",
     "ReproError",
     "__version__",
 ]

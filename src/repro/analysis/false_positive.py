@@ -77,13 +77,18 @@ def poisson_binomial_pmf(probabilities: Sequence[float]) -> np.ndarray:
 
 
 def poisson_binomial_survival(probabilities: Sequence[float], k: int) -> float:
-    """Exact ``P(S_n >= k)`` for a Poisson-Binomial with the given ``p_m``."""
+    """Exact ``P(S_n >= k)`` for a Poisson-Binomial with the given ``p_m``.
+
+    The tail sum is clamped into ``[0, 1]``: accumulated rounding in the
+    convolution can push it a few ulp past 1, and callers treat the
+    value as a probability.
+    """
     pmf = poisson_binomial_pmf(probabilities)
     if k <= 0:
         return 1.0
     if k >= pmf.size:
         return 0.0
-    return float(pmf[k:].sum())
+    return min(1.0, max(0.0, float(pmf[k:].sum())))
 
 
 def survival_curve(probabilities: Sequence[float]) -> np.ndarray:

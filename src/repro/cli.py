@@ -13,6 +13,11 @@ most useful utilities:
   watermarked file and report whether detection survives.
 * ``freqywm synth``    — generate a synthetic power-law token file for
   experimentation.
+* ``freqywm serve``    — run the resident detection service (cached
+  detectors + request coalescing) speaking JSON-lines on stdio or a Unix
+  socket.
+* ``freqywm client``   — screen suspect files through a running
+  ``serve`` instance (``--socket``), or through a private spawned one.
 
 Every subcommand prints a small plain-text report; machine-readable output
 is available with ``--json`` (field-by-field schemas in ``docs/cli.md``).
@@ -194,6 +199,103 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0 if result.accepted else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import DetectionService, ServiceConfig, serve_stdio, serve_unix
+
+    service_config = ServiceConfig(
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        cache_capacity=args.cache_capacity,
+        shard_workers=args.workers if args.workers > 1 else None,
+    )
+    detection_config = _detection_config(args)
+
+    async def run() -> int:
+        async with DetectionService(service_config) as service:
+            for path in args.secret:
+                fingerprint = service.register_secret(
+                    WatermarkSecret.load(path), detection_config
+                )
+                # stderr keeps stdout protocol-only in stdio mode.
+                print(f"registered {path}: {fingerprint}", file=sys.stderr)  # noqa: T201
+            if args.socket is not None:
+                await serve_unix(service, args.socket)
+            else:
+                await serve_stdio(service)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        return 0
+
+
+#: Suspect files per pipelined client burst: one burst's histograms are
+#: resident at a time (mirroring the sharded path's chunked dispatch)
+#: while still giving the server a window worth coalescing.
+_CLIENT_BURST = 64
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service import DetectRequest, ServiceClient
+
+    secret_payload = WatermarkSecret.load(args.secret).to_dict()
+    config_payload: Dict[str, object] = {
+        "pair_threshold": args.threshold,
+        "min_accepted_fraction": args.min_fraction,
+    }
+    if args.min_pairs is not None:
+        config_payload["min_accepted_pairs"] = args.min_pairs
+    if args.socket is not None:
+        client = ServiceClient.connect_unix(args.socket)
+    else:
+        client = ServiceClient.spawn()
+    responses = []
+    with client:
+        for start in range(0, len(args.suspects), _CLIENT_BURST):
+            burst = [
+                DetectRequest(
+                    request_id=f"{start + offset}:{path.name}",
+                    counts=load_histogram_streaming(path).as_dict(),
+                    secret=secret_payload,
+                    config=config_payload,
+                )
+                for offset, path in enumerate(
+                    args.suspects[start : start + _CLIENT_BURST]
+                )
+            ]
+            responses.extend(client.request(burst))
+    all_accepted = all(response.ok and response.accepted for response in responses)
+    if args.json:
+        # A list, not a path-keyed map: the same file may legitimately be
+        # listed twice (overlapping globs) and every verdict must survive.
+        payload: Dict[str, object] = {
+            "suspects": [
+                {"path": str(path), **response.to_dict()}
+                for path, response in zip(args.suspects, responses)
+            ],
+            "accepted_datasets": sum(
+                1 for response in responses if response.ok and response.accepted
+            ),
+            "datasets": len(responses),
+        }
+        _print_report(payload, True)
+    else:
+        for path, response in zip(args.suspects, responses):
+            if not response.ok:
+                print(f"{path} : error ({response.error})")  # noqa: T201
+                continue
+            verdict = "accepted" if response.accepted else "rejected"
+            print(  # noqa: T201
+                f"{path} : {verdict} "
+                f"({response.accepted_pairs}/{response.total_pairs} pairs, "
+                f"batch={response.batch_size})"
+            )
+    return 0 if all_accepted else 1
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     tokens = generate_power_law_tokens(
         args.alpha,
@@ -285,6 +387,77 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--seed", type=int, default=None, help="seed for reproducible runs")
     add_detection_arguments(attack)
     attack.set_defaults(handler=_cmd_attack)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the resident detection service (JSON-lines on stdio or a Unix socket)",
+    )
+    serve.add_argument(
+        "--secret",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="FILE",
+        help=(
+            "secret list (JSON) to pre-register; repeatable. The fingerprint "
+            "printed on stderr is the secret_fingerprint clients may reference."
+        ),
+    )
+    serve.add_argument(
+        "--socket",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="listen on a Unix domain socket instead of stdio",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=64,
+        help="most requests coalesced into one vectorized pass (default 64)",
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="coalescing window in milliseconds (default 2)",
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=_positive_int,
+        default=8,
+        help="detectors kept resident in the LRU cache (default 8)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="shard coalesced batches across N worker processes when large",
+    )
+    add_detection_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = subparsers.add_parser(
+        "client",
+        help="screen suspect token files through a detection server",
+    )
+    client.add_argument("secret", type=Path, help="secret list (JSON) from generation")
+    client.add_argument(
+        "suspects", type=Path, nargs="+", help="suspected token files to screen"
+    )
+    client.add_argument(
+        "--socket",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "connect to a running `freqywm serve --socket PATH`; when omitted "
+            "a private stdio server is spawned for this invocation"
+        ),
+    )
+    add_detection_arguments(client)
+    client.set_defaults(handler=_cmd_client)
 
     synth = subparsers.add_parser("synth", help="generate a synthetic power-law token file")
     synth.add_argument("output", type=Path, help="token file to write")

@@ -3,7 +3,12 @@
 from repro.core.arrays import HistogramArrays
 from repro.core.batch import BatchDetectionReport, detect_many
 from repro.core.config import DetectionConfig, GenerationConfig
-from repro.core.detector import DetectionResult, WatermarkDetector, detect_watermark
+from repro.core.detector import (
+    DetectionResult,
+    WatermarkDetector,
+    detect_watermark,
+    detector_fingerprint,
+)
 from repro.core.eligibility import EligiblePair, generate_eligible_pairs
 from repro.core.generator import WatermarkGenerator, WatermarkResult, generate_watermark
 from repro.core.histogram import TokenHistogram
@@ -35,6 +40,7 @@ __all__ = [
     "DetectionResult",
     "WatermarkDetector",
     "detect_watermark",
+    "detector_fingerprint",
     "EligiblePair",
     "generate_eligible_pairs",
     "WatermarkGenerator",

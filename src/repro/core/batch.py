@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.core.config import DetectionConfig
 from repro.core.detector import DetectionResult, SuspectData, WatermarkDetector
 from repro.core.secrets import WatermarkSecret
+from repro.exceptions import DetectionError
 
 
 @dataclass(frozen=True)
@@ -73,9 +74,10 @@ class BatchDetectionReport:
 
 def detect_many(
     datasets: Sequence[SuspectData],
-    secret: WatermarkSecret,
+    secret: Optional[WatermarkSecret] = None,
     config: Optional[DetectionConfig] = None,
     *,
+    detector: Optional[WatermarkDetector] = None,
     collect_evidence: bool = False,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
@@ -88,11 +90,17 @@ def detect_many(
         Suspected datasets — raw token sequences or pre-built
         :class:`~repro.core.histogram.TokenHistogram` instances, mixed
         freely.
-    secret : WatermarkSecret
-        The owner's secret list ``L_sc``.
+    secret : WatermarkSecret, optional
+        The owner's secret list ``L_sc``. May be omitted when a prebuilt
+        ``detector`` is supplied.
     config : DetectionConfig, optional
         Detection thresholds shared by the whole batch (defaults to the
         strict ``t = 0``, ``k = 50%`` setting).
+    detector : WatermarkDetector, optional
+        A prebuilt detector to reuse — the moduli precomputation is then
+        skipped entirely, which is what the detector-caching service
+        layer (:mod:`repro.service`) relies on. When both ``secret`` and
+        ``detector`` are given they must commit to the same watermark.
     collect_evidence : bool, optional
         When True, per-pair :class:`~repro.core.detector.PairEvidence` is
         materialised for every dataset (slower; intended for dispute /
@@ -111,16 +119,33 @@ def detect_many(
     BatchDetectionReport
         One result per dataset, in input order.
     """
+    if detector is None:
+        if secret is None:
+            raise DetectionError("detect_many needs a secret or a prebuilt detector")
+        detector = WatermarkDetector(secret, config)
+    else:
+        if secret is not None and secret.fingerprint() != detector.secret.fingerprint():
+            raise DetectionError(
+                "detect_many was given a detector built for a different secret"
+            )
+        if config is not None and config.fingerprint() != detector.config.fingerprint():
+            raise DetectionError(
+                "detect_many was given a config that differs from the prebuilt "
+                "detector's thresholds"
+            )
     if workers is not None and workers > 1:
         # Imported here: sharding imports BatchDetectionReport from this
         # module, so the dependency must stay one-way at import time.
         from repro.core.sharding import ShardedDetectionPool
 
         with ShardedDetectionPool(
-            secret, config, workers=workers, chunk_size=chunk_size
+            detector.secret,
+            detector.config,
+            workers=workers,
+            chunk_size=chunk_size,
+            local_detector=detector,
         ) as pool:
             return pool.detect_many(datasets, collect_evidence=collect_evidence)
-    detector = WatermarkDetector(secret, config)
     results = detector.detect_many(datasets, collect_evidence=collect_evidence)
     return BatchDetectionReport(results=tuple(results))
 

@@ -139,6 +139,20 @@ class DetectionConfig:
             )
         require_in_range("min_accepted_fraction", self.min_accepted_fraction, 0.0, 1.0)
 
+    def fingerprint(self) -> str:
+        """Stable key of the threshold knobs, for detector caching.
+
+        Two configurations resolve every pair threshold and the required
+        pair count identically iff their fingerprints are equal, so
+        :class:`repro.service.cache.DetectorCache` can key constructed
+        detectors on ``(secret fingerprint, config fingerprint)``.
+        """
+        return (
+            f"t={self.pair_threshold};tf={self.pair_threshold_fraction};"
+            f"k={self.min_accepted_pairs};kf={self.min_accepted_fraction};"
+            f"sym={int(self.symmetric_tolerance)}"
+        )
+
     def threshold_for(self, modulus: int) -> int:
         """Resolve the per-pair threshold ``t`` for a pair with ``modulus``."""
         if self.pair_threshold_fraction is not None:

@@ -43,6 +43,22 @@ from repro.exceptions import DetectionError
 SuspectData = Union[Sequence[TokenValue], TokenHistogram]
 
 
+def detector_fingerprint(
+    secret: WatermarkSecret, config: Optional[DetectionConfig] = None
+) -> str:
+    """Cache key of the detector a ``(secret, config)`` pair constructs.
+
+    Equal fingerprints guarantee identical moduli, thresholds and
+    required-pair counts — i.e. a detector built from one input can
+    serve requests for the other verbatim. The secret half is the keyed
+    commitment from :meth:`~repro.core.secrets.WatermarkSecret.fingerprint`,
+    so the key reveals nothing about the pairs; the config half is the
+    plain-text knob listing from
+    :meth:`~repro.core.config.DetectionConfig.fingerprint`.
+    """
+    return f"{secret.fingerprint()}|{(config or DetectionConfig()).fingerprint()}"
+
+
 @dataclass(frozen=True)
 class PairEvidence:
     """Per-pair detection outcome.
@@ -139,6 +155,18 @@ class WatermarkDetector:
         self._first_tokens = [pair.first for pair in secret.pairs]
         self._second_tokens = [pair.second for pair in secret.pairs]
         self._required = self.config.required_pairs(len(secret.pairs))
+        self._fingerprint: Optional[str] = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Cache key of this detector (see :func:`detector_fingerprint`).
+
+        Computed lazily and memoised: the service-layer caches hash a
+        detector once, not per request.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = detector_fingerprint(self.secret, self.config)
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # Vectorized verification core
@@ -314,4 +342,5 @@ __all__ = [
     "SuspectData",
     "WatermarkDetector",
     "detect_watermark",
+    "detector_fingerprint",
 ]

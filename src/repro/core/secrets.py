@@ -78,13 +78,19 @@ class WatermarkSecret:
         Two different watermarks (different pairs, secret, or modulus cap)
         produce different fingerprints except with negligible probability,
         while the fingerprint reveals nothing about the pairs to a party
-        that does not hold ``R``.
+        that does not hold ``R``. Memoised per instance: the detection
+        service computes it on every cache lookup.
         """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
         fields: List[Union[str, int]] = [self.modulus_cap, len(self.pairs)]
         for pair in self.pairs:
             fields.append(pair.first)
             fields.append(pair.second)
-        return keyed_fingerprint(self.secret, *fields)
+        value = keyed_fingerprint(self.secret, *fields)
+        object.__setattr__(self, "_fingerprint", value)
+        return value
 
     # ------------------------------------------------------------------ #
     # Serialisation

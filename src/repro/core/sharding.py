@@ -28,6 +28,7 @@ the multi-core speedup on the 100-dataset screening benchmark.
 
 from __future__ import annotations
 
+import logging
 import os
 import warnings
 from typing import Iterator, List, Optional, Sequence, Tuple
@@ -45,6 +46,8 @@ _CHUNKS_PER_WORKER = 4
 #: Cap on the derived chunk size: bounds how many suspects are resident
 #: per dispatch (and per in-process fallback step) for huge batches.
 _MAX_CHUNK = 64
+
+logger = logging.getLogger(__name__)
 
 # Per-worker detector, built once by _initialize_worker. Module-level so
 # the dispatched chunk function stays picklable by reference.
@@ -126,6 +129,12 @@ class ShardedDetectionPool:
     start_method : str, optional
         ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``). ``None`` uses the platform default.
+    local_detector : WatermarkDetector, optional
+        A prebuilt in-process detector to reuse for the ``workers=1``
+        fast path and the spawn-failure fallback, skipping one moduli
+        precomputation. Must have been built from the same ``secret``
+        and ``config`` (the detector-caching service layer guarantees
+        this by construction); when omitted a fresh detector is built.
 
     Examples
     --------
@@ -145,6 +154,7 @@ class ShardedDetectionPool:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
+        local_detector: Optional[WatermarkDetector] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise DetectionError(f"workers must be >= 1, got {workers}")
@@ -158,7 +168,11 @@ class ShardedDetectionPool:
         self._pool = None
         # The in-process detector doubles as the workers=1 fast path and
         # the fallback when worker processes cannot be spawned.
-        self._local = WatermarkDetector(secret, config)
+        self._local = (
+            local_detector
+            if local_detector is not None
+            else WatermarkDetector(secret, config)
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -196,7 +210,15 @@ class ShardedDetectionPool:
             except (OSError, ValueError) as error:
                 # Restricted sandboxes (no /dev/shm, seccomp'd fork, ...):
                 # degrade to in-process screening rather than failing the
-                # whole batch.
+                # whole batch — but never silently: the reason lands both
+                # in the logging stream (for resident services) and as a
+                # RuntimeWarning (for interactive/CLI runs).
+                logger.warning(
+                    "cannot start detection workers (%s: %s); "
+                    "falling back to in-process detection",
+                    type(error).__name__,
+                    error,
+                )
                 warnings.warn(
                     f"cannot start detection workers ({error}); "
                     "falling back to in-process detection",

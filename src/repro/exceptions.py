@@ -61,3 +61,11 @@ class DisputeError(ReproError):
 
 class BaselineError(ReproError):
     """Raised by the WM-OBT / WM-RVS baseline implementations."""
+
+
+class ServiceError(ReproError):
+    """Raised by the resident detection service layer.
+
+    Covers malformed wire requests, references to unregistered secrets,
+    and submissions against a service that is not running.
+    """

@@ -1,0 +1,59 @@
+"""Resident detection service: cached detectors, coalescing, transports.
+
+The third scale-out leg after the vectorized engine (``repro.core``
+arrays/batch) and the streaming + sharding layer: a long-lived service
+that amortises detector construction across requests (LRU cache keyed by
+secret/config fingerprint), coalesces concurrent single-dataset requests
+into shared vectorized ``detect_many`` passes, and optionally fans large
+coalesced batches out through a sharded worker pool.
+
+Layers, bottom up:
+
+* :mod:`repro.service.cache` — :class:`DetectorCache`, the fingerprint-
+  keyed LRU of constructed detectors;
+* :mod:`repro.service.service` — :class:`DetectionService` (asyncio
+  queue + batcher) and :class:`SyncDetectionService` (blocking facade);
+* :mod:`repro.service.wire` — the typed :class:`DetectRequest` /
+  :class:`DetectResponse` JSON-lines format;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — stdio and
+  Unix-socket transports, exposed as ``freqywm serve`` / ``freqywm
+  client``.
+
+See ``docs/service.md`` for the wire schema, cache semantics, and the
+coalescing-window knobs.
+"""
+
+from repro.service.cache import DEFAULT_CACHE_CAPACITY, CacheStats, DetectorCache
+from repro.service.client import ServiceClient
+from repro.service.server import serve_stdio, serve_unix
+from repro.service.service import (
+    DetectionService,
+    ServiceConfig,
+    ServiceStats,
+    SyncDetectionService,
+)
+from repro.service.wire import (
+    DetectRequest,
+    DetectResponse,
+    decode_request,
+    decode_response,
+    encode_line,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_CAPACITY",
+    "CacheStats",
+    "DetectorCache",
+    "ServiceClient",
+    "serve_stdio",
+    "serve_unix",
+    "DetectionService",
+    "ServiceConfig",
+    "ServiceStats",
+    "SyncDetectionService",
+    "DetectRequest",
+    "DetectResponse",
+    "decode_request",
+    "decode_response",
+    "encode_line",
+]

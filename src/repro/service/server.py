@@ -1,0 +1,158 @@
+"""JSON-lines transports for the detection service.
+
+Two transports expose one :class:`~repro.service.service.DetectionService`
+to out-of-process clients, both speaking the
+:mod:`repro.service.wire` format (one JSON object per line):
+
+* **stdio** (:func:`serve_stdio`) — requests on stdin, responses on
+  stdout; this is what ``freqywm serve`` runs by default and what
+  ``freqywm client`` spawns as a subprocess when no socket is given.
+* **Unix socket** (:func:`serve_unix`) — ``freqywm serve --socket PATH``;
+  many clients may connect concurrently and their requests coalesce
+  *across connections* into shared vectorized passes.
+
+Requests are answered as their coalesced batches complete, so responses
+can arrive out of order; clients must match on the echoed ``id``. A
+malformed line never kills the transport — it is answered with a
+failure response carrying the best-effort request id.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from repro.exceptions import ReproError
+from repro.service.service import DetectionService
+from repro.service.wire import DetectResponse, decode_request, encode_line
+
+
+def _failure_for_line(line: str, error: Exception) -> DetectResponse:
+    """A failure response for an undecodable line, best-effort id."""
+    request_id = "?"
+    try:
+        payload = json.loads(line)
+        if isinstance(payload, dict) and isinstance(payload.get("id"), str):
+            request_id = payload["id"]
+    except json.JSONDecodeError:
+        pass
+    return DetectResponse.failure(request_id, str(error))
+
+
+async def _respond(service: DetectionService, line: str) -> DetectResponse:
+    """Decode and answer one request line (never raises for bad input)."""
+    try:
+        request = decode_request(line)
+    except ReproError as error:
+        service.stats.failures += 1
+        return _failure_for_line(line, error)
+    return await service.submit(request)
+
+
+async def serve_stdio(
+    service: DetectionService,
+    in_stream: Optional[IO[str]] = None,
+    out_stream: Optional[IO[str]] = None,
+) -> int:
+    """Serve JSON-lines requests from a text stream until EOF.
+
+    Each line is answered as a task, so pipelined requests coalesce;
+    responses are written (one JSON line each) as they complete. Returns
+    the number of lines served.
+    """
+    import sys
+
+    reader = in_stream if in_stream is not None else sys.stdin
+    writer = out_stream if out_stream is not None else sys.stdout
+    loop = asyncio.get_running_loop()
+    write_lock = asyncio.Lock()
+    # Finished tasks remove themselves, so a long-lived session holds
+    # only the in-flight requests, not everything it ever served.
+    tasks: set = set()
+
+    async def handle(line: str) -> None:
+        response = await _respond(service, line)
+        async with write_lock:
+            writer.write(encode_line(response) + "\n")
+            writer.flush()
+
+    served = 0
+    while True:
+        # stdin is a blocking file object; readline in the default
+        # executor keeps the loop (and thus the coalescing batcher) live.
+        line = await loop.run_in_executor(None, reader.readline)
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        served += 1
+        task = asyncio.ensure_future(handle(line))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*list(tasks))
+    return served
+
+
+async def serve_unix(
+    service: DetectionService,
+    socket_path: Union[str, Path],
+    *,
+    ready: Optional[asyncio.Event] = None,
+) -> None:
+    """Serve JSON-lines requests on a Unix domain socket until cancelled.
+
+    Every connection is handled concurrently and each connection's lines
+    are answered as tasks, so requests coalesce across all connected
+    clients. ``ready`` (when given) is set once the socket is listening —
+    tests and the spawning client use it to avoid connect races. The
+    socket file is removed on shutdown.
+    """
+    path = Path(socket_path)
+
+    async def handle_connection(
+        conn_reader: asyncio.StreamReader, conn_writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        # Self-pruning like serve_stdio: memory stays O(in-flight), not
+        # O(total served), on persistent connections.
+        tasks: set = set()
+
+        async def handle(line: str) -> None:
+            response = await _respond(service, line)
+            async with write_lock:
+                conn_writer.write((encode_line(response) + "\n").encode("utf-8"))
+                await conn_writer.drain()
+
+        try:
+            while True:
+                raw = await conn_reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8").strip()
+                if not line:
+                    continue
+                task = asyncio.ensure_future(handle(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*list(tasks))
+        finally:
+            conn_writer.close()
+
+    server = await asyncio.start_unix_server(handle_connection, path=str(path))
+    try:
+        if ready is not None:
+            ready.set()
+        async with server:
+            await server.serve_forever()
+    finally:
+        if path.exists():
+            os.unlink(path)
+
+
+__all__ = ["serve_stdio", "serve_unix"]

@@ -1,0 +1,569 @@
+"""Resident detection service: cached detectors + request coalescing.
+
+One-shot detection pays the detector construction (SHA-256 moduli for
+every stored pair) per verdict and verifies one dataset per vectorized
+pass. A resident service amortises both:
+
+* **Detector cache** — constructed detectors live in a
+  :class:`~repro.service.cache.DetectorCache` keyed by the secret/config
+  fingerprint, so repeated verdicts against the same watermark skip
+  moduli precomputation entirely.
+* **Request coalescing** — single-dataset requests land on an asyncio
+  queue; a batcher drains it in small time/size windows
+  (:attr:`ServiceConfig.max_delay` / :attr:`ServiceConfig.max_batch`),
+  groups the window by detector, and answers each group with **one**
+  vectorized :meth:`~repro.core.detector.WatermarkDetector.detect_many`
+  pass. Concurrent callers therefore share matrix passes without
+  coordinating with each other.
+* **Shard fan-out** — when a coalesced group is large
+  (:attr:`ServiceConfig.shard_min_batch`) and the service was configured
+  with ``shard_workers``, the group is fanned out through a pooled
+  :class:`~repro.core.sharding.ShardedDetectionPool` (one pool per
+  cached detector, reusing it as the pool's in-process fallback).
+
+Verdicts are identical to direct :meth:`WatermarkDetector.detect` — the
+coalescing only changes *when* the vectorized pass runs, never its
+inputs — and ``tests/test_service_properties.py`` asserts this for
+arbitrary request interleavings across distinct secrets.
+
+:class:`DetectionService` is the asyncio core; :class:`SyncDetectionService`
+wraps it for synchronous library callers (the facade owns a background
+event-loop thread). The JSON-lines transport on top lives in
+:mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import DetectionConfig
+from repro.core.detector import DetectionResult, SuspectData, WatermarkDetector
+from repro.core.secrets import WatermarkSecret
+from repro.core.sharding import ShardedDetectionPool
+from repro.exceptions import ReproError, ServiceError
+from repro.service.cache import DEFAULT_CACHE_CAPACITY, CacheStats, DetectorCache
+from repro.service.wire import DetectRequest, DetectResponse
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the resident detection service.
+
+    Attributes
+    ----------
+    max_batch:
+        Most requests coalesced into one ``detect_many`` window.
+    max_delay:
+        Seconds the batcher waits for more requests after the first one
+        of a window arrives. ``0`` coalesces only what is already queued
+        (pure opportunistic batching, minimum latency).
+    cache_capacity:
+        Detectors kept resident in the LRU cache.
+    shard_workers:
+        When set (> 1), coalesced groups of at least ``shard_min_batch``
+        datasets are fanned out across that many worker processes.
+    shard_min_batch:
+        Minimum group size worth the multiprocessing dispatch overhead.
+    """
+
+    max_batch: int = 64
+    max_delay: float = 0.002
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    shard_workers: Optional[int] = None
+    shard_min_batch: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay < 0:
+            raise ServiceError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.cache_capacity < 1:
+            raise ServiceError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ServiceError(
+                f"shard_workers must be >= 1, got {self.shard_workers}"
+            )
+        if self.shard_min_batch < 2:
+            raise ServiceError(
+                f"shard_min_batch must be >= 2, got {self.shard_min_batch}"
+            )
+
+
+@dataclass
+class ServiceStats:
+    """Mutable execution counters of one service instance."""
+
+    requests: int = 0
+    batches: int = 0
+    coalesced_requests: int = 0
+    largest_batch: int = 0
+    sharded_batches: int = 0
+    failures: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average coalesced window size (0 when nothing ran yet)."""
+        return self.requests / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for reports and ``--json`` output."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "coalesced_requests": self.coalesced_requests,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": self.mean_batch_size,
+            "sharded_batches": self.sharded_batches,
+            "failures": self.failures,
+        }
+
+
+@dataclass
+class _Pending:
+    """One queued request: its dataset, resolved detector, and future."""
+
+    suspect: SuspectData
+    detector: WatermarkDetector
+    cache_hit: bool
+    future: "asyncio.Future[Tuple[DetectionResult, int]]" = field(repr=False)
+
+
+class DetectionService:
+    """Asyncio detection service with cached detectors and coalescing.
+
+    Examples
+    --------
+    >>> async def screen(datasets, secret):                # doctest: +SKIP
+    ...     async with DetectionService() as service:
+    ...         verdicts = await asyncio.gather(
+    ...             *(service.detect(data, secret) for data in datasets)
+    ...         )
+    ...     return [verdict.accepted for verdict in verdicts]
+
+    All ``detect`` coroutines awaited concurrently share coalesced
+    ``detect_many`` passes; see :class:`SyncDetectionService` for the
+    blocking facade.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache = DetectorCache(self.config.cache_capacity)
+        self.stats = ServiceStats()
+        self._registry: Dict[str, Tuple[WatermarkSecret, Optional[DetectionConfig]]] = {}
+        self._queue: "Optional[asyncio.Queue[Optional[_Pending]]]" = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._closing = False
+        # Shard pools are bounded like the detector cache: at most
+        # cache_capacity pools stay resident, LRU-evicted (and closed, so
+        # their worker processes die) beyond that.
+        self._pools: "OrderedDict[str, ShardedDetectionPool]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def running(self) -> bool:
+        """Whether the batcher task is accepting requests."""
+        return self._batcher is not None and not self._batcher.done()
+
+    async def start(self) -> None:
+        """Spawn the batcher task (idempotent)."""
+        if self.running:
+            return
+        self._closing = False
+        self._queue = asyncio.Queue()
+        self._batcher = asyncio.get_running_loop().create_task(
+            self._run_batcher(), name="repro-detection-batcher"
+        )
+
+    async def stop(self) -> None:
+        """Drain the queue, stop the batcher, release shard pools."""
+        if self._batcher is None:
+            return
+        assert self._queue is not None
+        # New submissions raise immediately from here on; anything that
+        # still slips past the sentinel is failed below rather than left
+        # with a forever-pending future.
+        self._closing = True
+        await self._queue.put(None)  # sentinel: drain then exit
+        await self._batcher
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is not None and not item.future.done():
+                item.future.set_exception(
+                    ServiceError("the detection service is shutting down")
+                )
+        self._batcher = None
+        self._queue = None
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+
+    async def __aenter__(self) -> "DetectionService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Secret registry
+    # ------------------------------------------------------------------ #
+
+    def register_secret(
+        self,
+        secret: WatermarkSecret,
+        config: Optional[DetectionConfig] = None,
+    ) -> str:
+        """Register a secret for fingerprint-referenced requests.
+
+        Returns the secret's fingerprint — the key wire clients put in
+        ``secret_fingerprint`` so the secret material itself never has
+        to travel per request. The optional ``config`` becomes the
+        default thresholds for those requests. The detector is built
+        (and cached) eagerly so the first request is already warm.
+        """
+        fingerprint = secret.fingerprint()
+        self._registry[fingerprint] = (secret, config)
+        self.cache.lookup(secret, config)
+        return fingerprint
+
+    def registered_secret(
+        self, fingerprint: str
+    ) -> Tuple[WatermarkSecret, Optional[DetectionConfig]]:
+        """Resolve a registered fingerprint (raises ServiceError if unknown)."""
+        try:
+            return self._registry[fingerprint]
+        except KeyError:
+            raise ServiceError(
+                f"no secret registered under fingerprint {fingerprint!r}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    async def detect(
+        self,
+        data: SuspectData,
+        secret: Optional[WatermarkSecret] = None,
+        config: Optional[DetectionConfig] = None,
+        *,
+        secret_fingerprint: Optional[str] = None,
+    ) -> DetectionResult:
+        """Queue one detection request and await its verdict.
+
+        The verdict is identical to
+        ``WatermarkDetector(secret, config).detect(data)`` (without the
+        per-pair evidence objects); concurrent callers are coalesced
+        into shared vectorized passes. Exactly one of ``secret`` /
+        ``secret_fingerprint`` must be given.
+        """
+        result, _batch_size = await self._enqueue(
+            data, secret, config, secret_fingerprint
+        )
+        return result
+
+    async def submit(self, request: DetectRequest) -> DetectResponse:
+        """Answer one wire request; failures become failure responses."""
+        try:
+            pending_input = request.suspect()
+            (result, batch_size), cache_hit = await self._enqueue_with_hit(
+                pending_input,
+                request.inline_secret(),
+                request.detection_config(),
+                request.secret_fingerprint,
+            )
+        except ReproError as error:
+            self.stats.failures += 1
+            return DetectResponse.failure(request.request_id, str(error))
+        except Exception as error:  # noqa: BLE001 - wire contract: a failure
+            # response, never an unanswered id or a dead transport (e.g. a
+            # broken worker pool surfacing through the sharded path).
+            self.stats.failures += 1
+            return DetectResponse.failure(
+                request.request_id,
+                f"internal error: {type(error).__name__}: {error}",
+            )
+        return DetectResponse.from_result(
+            request.request_id, result, batch_size=batch_size, cache_hit=cache_hit
+        )
+
+    async def _enqueue(
+        self,
+        data: SuspectData,
+        secret: Optional[WatermarkSecret],
+        config: Optional[DetectionConfig],
+        secret_fingerprint: Optional[str],
+    ) -> Tuple[DetectionResult, int]:
+        outcome, _hit = await self._enqueue_with_hit(
+            data, secret, config, secret_fingerprint
+        )
+        return outcome
+
+    async def _enqueue_with_hit(
+        self,
+        data: SuspectData,
+        secret: Optional[WatermarkSecret],
+        config: Optional[DetectionConfig],
+        secret_fingerprint: Optional[str],
+    ) -> Tuple[Tuple[DetectionResult, int], bool]:
+        if not self.running or self._closing or self._queue is None:
+            raise ServiceError("the detection service is not running")
+        if (secret is None) == (secret_fingerprint is None):
+            raise ServiceError(
+                "exactly one of secret / secret_fingerprint must be given"
+            )
+        if secret is None:
+            assert secret_fingerprint is not None
+            secret, registered_config = self.registered_secret(secret_fingerprint)
+            config = config if config is not None else registered_config
+        detector, cache_hit = self.cache.lookup(secret, config)
+        future: "asyncio.Future[Tuple[DetectionResult, int]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        await self._queue.put(
+            _Pending(suspect=data, detector=detector, cache_hit=cache_hit, future=future)
+        )
+        return await future, cache_hit
+
+    # ------------------------------------------------------------------ #
+    # Batcher
+    # ------------------------------------------------------------------ #
+
+    async def _run_batcher(self) -> None:
+        assert self._queue is not None
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await queue.get()
+            if first is None:
+                return
+            window = [first]
+            stopping = False
+            deadline = loop.time() + self.config.max_delay
+            while len(window) < self.config.max_batch and not stopping:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    # Window expired: opportunistically drain whatever is
+                    # already queued (this is the whole behaviour when
+                    # max_delay is 0) without waiting further.
+                    while len(window) < self.config.max_batch and not queue.empty():
+                        item = queue.get_nowait()
+                        if item is None:
+                            stopping = True
+                            break
+                        window.append(item)
+                    break
+                try:
+                    item = await asyncio.wait_for(queue.get(), timeout=timeout)
+                except asyncio.TimeoutError:
+                    break
+                if item is None:
+                    stopping = True
+                    break
+                window.append(item)
+            await self._execute_window(window, loop)
+            if stopping:
+                return
+
+    async def _execute_window(
+        self, window: List[_Pending], loop: asyncio.AbstractEventLoop
+    ) -> None:
+        """Group one coalesced window by detector and run each group."""
+        self.stats.requests += len(window)
+        if len(window) > 1:
+            self.stats.coalesced_requests += len(window)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(window))
+        groups: Dict[str, List[_Pending]] = {}
+        detectors: Dict[str, WatermarkDetector] = {}
+        for pending in window:
+            key = pending.detector.fingerprint
+            groups.setdefault(key, []).append(pending)
+            detectors[key] = pending.detector
+        for key, group in groups.items():
+            self.stats.batches += 1
+            suspects = [pending.suspect for pending in group]
+            try:
+                results = await loop.run_in_executor(
+                    None, self._detect_group, detectors[key], suspects
+                )
+            except Exception as error:  # propagate to every caller of the group
+                self.stats.failures += len(group)
+                for pending in group:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                continue
+            for pending, result in zip(group, results):
+                if not pending.future.done():
+                    pending.future.set_result((result, len(group)))
+
+    def _detect_group(
+        self, detector: WatermarkDetector, suspects: Sequence[SuspectData]
+    ) -> List[DetectionResult]:
+        """One vectorized pass (optionally sharded) over a detector group."""
+        workers = self.config.shard_workers
+        if (
+            workers is not None
+            and workers > 1
+            and len(suspects) >= self.config.shard_min_batch
+        ):
+            pool = self._pools.get(detector.fingerprint)
+            if pool is None:
+                pool = ShardedDetectionPool(
+                    detector.secret,
+                    detector.config,
+                    workers=workers,
+                    local_detector=detector,
+                )
+                self._pools[detector.fingerprint] = pool
+                while len(self._pools) > self.config.cache_capacity:
+                    _key, evicted = self._pools.popitem(last=False)
+                    evicted.close()
+            else:
+                self._pools.move_to_end(detector.fingerprint)
+            self.stats.sharded_batches += 1
+            return list(pool.detect_many(suspects).results)
+        return detector.detect_many(suspects)
+
+    def cache_stats(self) -> CacheStats:
+        """Snapshot of the detector cache counters."""
+        return self.cache.stats()
+
+
+class SyncDetectionService:
+    """Blocking facade over :class:`DetectionService`.
+
+    Owns a daemon thread running a private event loop, so synchronous
+    library code (and threads) can share one resident service. Requests
+    issued from multiple threads — or fired with :meth:`detect_all` —
+    coalesce exactly like concurrent asyncio callers.
+
+    Examples
+    --------
+    >>> with SyncDetectionService() as service:           # doctest: +SKIP
+    ...     verdict = service.detect(tokens, secret)
+    ...     verdicts = service.detect_all(datasets, secret)
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self._service = DetectionService(config)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-detection-service", daemon=True
+        )
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def start(self) -> "SyncDetectionService":
+        """Start the loop thread and the service (idempotent)."""
+        if not self._started:
+            self._thread.start()
+            self._call(self._service.start())
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        """Stop the service and tear down the loop thread (idempotent)."""
+        if not self._started:
+            return
+        self._call(self._service.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+        self._started = False
+
+    def __enter__(self) -> "SyncDetectionService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _call(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    # -- delegation ----------------------------------------------------- #
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The service's knobs."""
+        return self._service.config
+
+    @property
+    def stats(self) -> ServiceStats:
+        """The service's execution counters."""
+        return self._service.stats
+
+    def cache_stats(self) -> CacheStats:
+        """Snapshot of the detector cache counters."""
+        return self._service.cache_stats()
+
+    def register_secret(
+        self, secret: WatermarkSecret, config: Optional[DetectionConfig] = None
+    ) -> str:
+        """Register a secret for fingerprint-referenced requests."""
+        return self._service.register_secret(secret, config)
+
+    def detect(
+        self,
+        data: SuspectData,
+        secret: Optional[WatermarkSecret] = None,
+        config: Optional[DetectionConfig] = None,
+        *,
+        secret_fingerprint: Optional[str] = None,
+    ) -> DetectionResult:
+        """Blocking single verdict (coalesces with concurrent callers)."""
+        return self._call(
+            self._service.detect(
+                data, secret, config, secret_fingerprint=secret_fingerprint
+            )
+        )
+
+    def detect_all(
+        self,
+        datasets: Sequence[SuspectData],
+        secret: Optional[WatermarkSecret] = None,
+        config: Optional[DetectionConfig] = None,
+        *,
+        secret_fingerprint: Optional[str] = None,
+    ) -> List[DetectionResult]:
+        """Fire many single-dataset requests at once and await them all.
+
+        Every request goes through the normal coalescing queue — this is
+        the synchronous way to hand the service a concurrent burst — and
+        verdicts come back in input order.
+        """
+
+        async def _gather() -> List[DetectionResult]:
+            return list(
+                await asyncio.gather(
+                    *(
+                        self._service.detect(
+                            data, secret, config, secret_fingerprint=secret_fingerprint
+                        )
+                        for data in datasets
+                    )
+                )
+            )
+
+        return self._call(_gather())
+
+    def submit(self, request: DetectRequest) -> DetectResponse:
+        """Blocking wire-level submission."""
+        return self._call(self._service.submit(request))
+
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceStats",
+    "DetectionService",
+    "SyncDetectionService",
+]

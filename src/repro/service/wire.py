@@ -1,0 +1,322 @@
+"""Typed request/response wire format of the detection service.
+
+One request asks for one verdict: *is this dataset watermarked with that
+secret?* The dataset travels either as a raw token list (``tokens``) or —
+far more compactly — as its frequency histogram (``counts``); the secret
+travels either inline (``secret``, the JSON payload of
+:meth:`~repro.core.secrets.WatermarkSecret.to_dict`) or as a fingerprint
+reference (``secret_fingerprint``) to a secret registered with the
+service ahead of time, so the secret material crosses the wire once, not
+per request.
+
+On the transport, each request and each response is **one JSON object per
+line** (JSON-lines). Responses carry the request's ``id`` so they may be
+delivered out of order; ``batch_size`` and ``cache_hit`` expose what the
+coalescing layer actually did, which the benchmarks and the property
+tests use to assert the batching happened. The field-by-field schema is
+documented in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import DetectionConfig
+from repro.core.detector import DetectionResult, SuspectData
+from repro.core.histogram import TokenHistogram
+from repro.core.secrets import WatermarkSecret
+from repro.exceptions import ConfigurationError, HistogramError, ServiceError
+
+#: Keys accepted in a request's ``config`` object (DetectionConfig kwargs).
+_CONFIG_KEYS = frozenset(
+    {
+        "pair_threshold",
+        "pair_threshold_fraction",
+        "min_accepted_pairs",
+        "min_accepted_fraction",
+        "symmetric_tolerance",
+    }
+)
+
+
+@dataclass(frozen=True)
+class DetectRequest:
+    """One detection request on the service wire.
+
+    Attributes
+    ----------
+    request_id:
+        Caller-chosen correlation id echoed back on the response.
+    tokens:
+        The suspected dataset as a raw token sequence. Mutually
+        exclusive with ``counts``.
+    counts:
+        The suspected dataset as a token→frequency histogram (compact
+        form; detection only ever consumes the histogram).
+    secret:
+        Inline secret payload (:meth:`WatermarkSecret.to_dict` shape).
+        Mutually exclusive with ``secret_fingerprint``.
+    secret_fingerprint:
+        Reference to a secret previously registered with the service
+        (:meth:`repro.service.service.DetectionService.register_secret`).
+    config:
+        Optional detection-threshold overrides
+        (:class:`~repro.core.config.DetectionConfig` keyword arguments).
+    """
+
+    request_id: str
+    tokens: Optional[Tuple[str, ...]] = None
+    counts: Optional[Dict[str, int]] = None
+    secret: Optional[Dict[str, object]] = None
+    secret_fingerprint: Optional[str] = None
+    config: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("request id must be a non-empty string")
+        if (self.tokens is None) == (self.counts is None):
+            raise ServiceError(
+                f"request {self.request_id!r} must carry exactly one of "
+                "tokens/counts"
+            )
+        if (self.secret is None) == (self.secret_fingerprint is None):
+            raise ServiceError(
+                f"request {self.request_id!r} must carry exactly one of "
+                "secret/secret_fingerprint"
+            )
+        if self.config is not None:
+            unknown = set(self.config) - _CONFIG_KEYS
+            if unknown:
+                raise ServiceError(
+                    f"request {self.request_id!r} has unknown config keys: "
+                    f"{sorted(unknown)}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Decoding into pipeline objects
+    # ------------------------------------------------------------------ #
+
+    def suspect(self) -> SuspectData:
+        """The suspected dataset as detector input."""
+        if self.counts is not None:
+            try:
+                return TokenHistogram.from_counts(self.counts)
+            except (HistogramError, TypeError, ValueError) as exc:
+                raise ServiceError(
+                    f"request {self.request_id!r} has malformed counts: {exc}"
+                ) from exc
+        return list(self.tokens or ())
+
+    def inline_secret(self) -> Optional[WatermarkSecret]:
+        """The inline secret, decoded — None for fingerprint references."""
+        if self.secret is None:
+            return None
+        try:
+            return WatermarkSecret.from_dict(self.secret)
+        except ConfigurationError as exc:
+            raise ServiceError(
+                f"request {self.request_id!r} has a malformed secret: {exc}"
+            ) from exc
+
+    def detection_config(self) -> Optional[DetectionConfig]:
+        """The per-request threshold overrides, decoded — None when absent."""
+        if self.config is None:
+            return None
+        try:
+            return DetectionConfig(**self.config)  # type: ignore[arg-type]
+        except (ConfigurationError, TypeError) as exc:
+            raise ServiceError(
+                f"request {self.request_id!r} has a malformed config: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # JSON codec
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (None fields omitted)."""
+        payload: Dict[str, object] = {"id": self.request_id}
+        if self.tokens is not None:
+            payload["tokens"] = list(self.tokens)
+        if self.counts is not None:
+            payload["counts"] = dict(self.counts)
+        if self.secret is not None:
+            payload["secret"] = dict(self.secret)
+        if self.secret_fingerprint is not None:
+            payload["secret_fingerprint"] = self.secret_fingerprint
+        if self.config is not None:
+            payload["config"] = dict(self.config)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DetectRequest":
+        """Rebuild a request from :meth:`to_dict` output (validating)."""
+        if not isinstance(payload, dict):
+            raise ServiceError("request payload must be a JSON object")
+        request_id = payload.get("id")
+        if not isinstance(request_id, str) or not request_id:
+            raise ServiceError("request payload is missing a string 'id'")
+        tokens = payload.get("tokens")
+        counts = payload.get("counts")
+        if counts is not None:
+            if not isinstance(counts, dict):
+                raise ServiceError(
+                    f"request {request_id!r} counts must be an object"
+                )
+            for token, count in counts.items():
+                # Strict: a float count would be silently truncated by
+                # int() and the verdict computed on an altered histogram.
+                if isinstance(count, bool) or not isinstance(count, int):
+                    raise ServiceError(
+                        f"request {request_id!r} count for {token!r} must be "
+                        f"an integer, got {count!r}"
+                    )
+        try:
+            return cls(
+                request_id=request_id,
+                tokens=tuple(str(token) for token in tokens)
+                if tokens is not None
+                else None,
+                counts={str(k): int(v) for k, v in counts.items()}
+                if counts is not None
+                else None,
+                secret=payload.get("secret"),  # type: ignore[arg-type]
+                secret_fingerprint=payload.get("secret_fingerprint"),  # type: ignore[arg-type]
+                config=payload.get("config"),  # type: ignore[arg-type]
+            )
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise ServiceError(
+                f"request {request_id!r} payload is malformed: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class DetectResponse:
+    """One verdict (or failure) on the service wire.
+
+    ``ok`` distinguishes verdicts from failures: a failure carries only
+    ``error``; a verdict mirrors the
+    :class:`~repro.core.detector.DetectionResult` counters and annotates
+    how the request was executed — ``batch_size`` is the size of the
+    coalesced ``detect_many`` batch it rode in, ``cache_hit`` whether the
+    detector came from the LRU cache.
+    """
+
+    request_id: str
+    ok: bool
+    accepted: Optional[bool] = None
+    accepted_pairs: Optional[int] = None
+    required_pairs: Optional[int] = None
+    total_pairs: Optional[int] = None
+    batch_size: int = 0
+    cache_hit: bool = False
+    error: Optional[str] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(
+        cls,
+        request_id: str,
+        result: DetectionResult,
+        *,
+        batch_size: int,
+        cache_hit: bool,
+    ) -> "DetectResponse":
+        """Wrap a detection result into a wire response."""
+        return cls(
+            request_id=request_id,
+            ok=True,
+            accepted=result.accepted,
+            accepted_pairs=result.accepted_pairs,
+            required_pairs=result.required_pairs,
+            total_pairs=result.total_pairs,
+            batch_size=batch_size,
+            cache_hit=cache_hit,
+        )
+
+    @classmethod
+    def failure(cls, request_id: str, message: str) -> "DetectResponse":
+        """A failure response carrying only the error message."""
+        return cls(request_id=request_id, ok=False, error=message)
+
+    @property
+    def accepted_fraction(self) -> float:
+        """Fraction of stored pairs that verified (0 for failures)."""
+        if not self.ok or not self.total_pairs:
+            return 0.0
+        return (self.accepted_pairs or 0) / self.total_pairs
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (failure fields omitted on success)."""
+        payload: Dict[str, object] = {"id": self.request_id, "ok": self.ok}
+        if self.ok:
+            payload.update(
+                {
+                    "accepted": self.accepted,
+                    "accepted_pairs": self.accepted_pairs,
+                    "required_pairs": self.required_pairs,
+                    "total_pairs": self.total_pairs,
+                    "batch_size": self.batch_size,
+                    "cache_hit": self.cache_hit,
+                }
+            )
+        else:
+            payload["error"] = self.error
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DetectResponse":
+        """Rebuild a response from :meth:`to_dict` output."""
+        if not isinstance(payload, dict) or "id" not in payload:
+            raise ServiceError("response payload must be a JSON object with 'id'")
+        if not payload.get("ok"):
+            return cls.failure(
+                str(payload["id"]), str(payload.get("error", "unknown error"))
+            )
+        return cls(
+            request_id=str(payload["id"]),
+            ok=True,
+            accepted=bool(payload.get("accepted")),
+            accepted_pairs=int(payload.get("accepted_pairs", 0)),  # type: ignore[arg-type]
+            required_pairs=int(payload.get("required_pairs", 0)),  # type: ignore[arg-type]
+            total_pairs=int(payload.get("total_pairs", 0)),  # type: ignore[arg-type]
+            batch_size=int(payload.get("batch_size", 0)),  # type: ignore[arg-type]
+            cache_hit=bool(payload.get("cache_hit")),
+            extra=dict(payload.get("extra", {})),  # type: ignore[arg-type]
+        )
+
+
+def encode_line(message) -> str:
+    """Encode a request/response as one JSON line (no trailing newline)."""
+    return json.dumps(message.to_dict(), separators=(",", ":"), sort_keys=True)
+
+
+def decode_request(line: str) -> DetectRequest:
+    """Decode one JSON line into a validated :class:`DetectRequest`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"request line is not valid JSON: {exc}") from exc
+    return DetectRequest.from_dict(payload)
+
+
+def decode_response(line: str) -> DetectResponse:
+    """Decode one JSON line into a :class:`DetectResponse`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"response line is not valid JSON: {exc}") from exc
+    return DetectResponse.from_dict(payload)
+
+
+__all__ = [
+    "DetectRequest",
+    "DetectResponse",
+    "encode_line",
+    "decode_request",
+    "decode_response",
+]

@@ -1,0 +1,82 @@
+"""Benchmark baseline comparison: the CI regression gate's logic."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from compare_bench import compare, load_report, main  # noqa: E402
+
+
+def _report(path: Path, timings: dict) -> Path:
+    path.write_text(
+        json.dumps(
+            {
+                "scale": "smoke",
+                "results": [
+                    {"benchmark": name, "passed": True, "seconds": seconds}
+                    for name, seconds in timings.items()
+                ],
+            }
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestCompare:
+    def test_flags_only_regressions_beyond_ratio(self):
+        baseline = {"a": 1.0, "b": 1.0, "c": 1.0}
+        current = {"a": 1.5, "b": 2.5, "c": 0.9}
+        messages = compare(baseline, current, max_ratio=2.0)
+        assert len(messages) == 1 and messages[0].startswith("b:")
+
+    def test_ignores_noise_floor_and_new_benchmarks(self):
+        baseline = {"tiny": 0.01}
+        current = {"tiny": 0.09, "brand_new": 50.0}  # 9x but sub-floor; new: no baseline
+        assert compare(baseline, current, max_ratio=2.0, min_seconds=0.5) == []
+
+    def test_small_baseline_grace_uses_absolute_floor(self):
+        # 0.1s -> 0.4s is 4x but still under the absolute floor: tolerated.
+        assert compare({"x": 0.1}, {"x": 0.4}, max_ratio=2.0, min_seconds=0.5) == []
+        # 0.4s -> 30s blows both the ratio and the floor: flagged.
+        assert compare({"x": 0.4}, {"x": 30.0}, max_ratio=2.0, min_seconds=0.5)
+
+
+class TestCli:
+    def test_missing_baseline_is_tolerated(self, tmp_path, capsys):
+        current = _report(tmp_path / "current.json", {"a": 1.0})
+        assert main([str(tmp_path / "absent.json"), str(current)]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_corrupt_baseline_is_tolerated(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        current = _report(tmp_path / "current.json", {"a": 1.0})
+        assert main([str(bad), str(current)]) == 0
+        assert "unreadable baseline" in capsys.readouterr().out
+
+    def test_regression_fails_with_message(self, tmp_path, capsys):
+        baseline = _report(tmp_path / "base.json", {"a": 1.0, "b": 2.0})
+        current = _report(tmp_path / "current.json", {"a": 1.1, "b": 9.0})
+        assert main([str(baseline), str(current), "--max-ratio", "2.0"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION b:" in captured.err
+
+    def test_clean_run_reports_count(self, tmp_path, capsys):
+        baseline = _report(tmp_path / "base.json", {"a": 1.0})
+        current = _report(tmp_path / "current.json", {"a": 1.2})
+        assert main([str(baseline), str(current)]) == 0
+        assert "no regressions across 1 benchmark(s)" in capsys.readouterr().out
+
+    def test_load_report_rejects_non_reports(self, tmp_path):
+        import pytest
+
+        not_report = tmp_path / "x.json"
+        not_report.write_text('{"foo": 1}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_report(not_report)

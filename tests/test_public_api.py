@@ -55,6 +55,12 @@ PUBLIC_MODULES = [
     "repro.dispute",
     "repro.dispute.judge",
     "repro.dispute.registry",
+    "repro.service",
+    "repro.service.cache",
+    "repro.service.client",
+    "repro.service.server",
+    "repro.service.service",
+    "repro.service.wire",
     "repro.utils",
     "repro.utils.rng",
     "repro.utils.timing",

@@ -1,0 +1,480 @@
+"""Detection service layer: cache, wire format, coalescing, transports."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+import pytest
+
+from repro.core.config import DetectionConfig
+from repro.core.detector import WatermarkDetector, detector_fingerprint
+from repro.core.batch import detect_many
+from repro.core.generator import generate_watermark
+from repro.core.histogram import TokenHistogram
+from repro.datasets.synthetic import generate_power_law_tokens
+from repro.exceptions import DetectionError, ServiceError
+from repro.service import (
+    DetectionService,
+    DetectorCache,
+    DetectRequest,
+    DetectResponse,
+    ServiceConfig,
+    SyncDetectionService,
+    decode_request,
+    decode_response,
+    encode_line,
+    serve_stdio,
+)
+
+
+@pytest.fixture(scope="module")
+def watermark():
+    tokens = generate_power_law_tokens(0.7, n_tokens=60, sample_size=8_000, rng=5)
+    return generate_watermark(tokens, budget_percent=2.0, modulus_cap=31, rng=7)
+
+
+@pytest.fixture(scope="module")
+def other_watermark():
+    tokens = generate_power_law_tokens(0.6, n_tokens=50, sample_size=6_000, rng=11)
+    return generate_watermark(tokens, budget_percent=2.0, modulus_cap=23, rng=13)
+
+
+@pytest.fixture(scope="module")
+def decoy():
+    return TokenHistogram.from_tokens([f"decoy-{i % 9}" for i in range(4_000)])
+
+
+def _verdict(result):
+    return (
+        result.accepted,
+        result.accepted_pairs,
+        result.required_pairs,
+        result.total_pairs,
+    )
+
+
+class TestFingerprints:
+    def test_fingerprint_distinguishes_secret_and_config(self, watermark, other_watermark):
+        base = detector_fingerprint(watermark.secret)
+        assert base == detector_fingerprint(watermark.secret, DetectionConfig())
+        assert base != detector_fingerprint(other_watermark.secret)
+        assert base != detector_fingerprint(
+            watermark.secret, DetectionConfig(pair_threshold=1)
+        )
+
+    def test_detector_property_memoises(self, watermark):
+        detector = WatermarkDetector(watermark.secret)
+        assert detector.fingerprint == detector_fingerprint(watermark.secret)
+        assert detector.fingerprint is detector.fingerprint  # cached str
+
+    def test_detect_many_reuses_prebuilt_detector(self, watermark, decoy):
+        detector = WatermarkDetector(watermark.secret)
+        reused = detect_many(
+            [watermark.watermarked_histogram, decoy], detector=detector
+        )
+        fresh = detect_many([watermark.watermarked_histogram, decoy], watermark.secret)
+        assert [_verdict(r) for r in reused] == [_verdict(r) for r in fresh]
+
+    def test_detect_many_rejects_mismatched_detector(self, watermark, other_watermark):
+        detector = WatermarkDetector(other_watermark.secret)
+        with pytest.raises(DetectionError):
+            detect_many(
+                [watermark.watermarked_histogram], watermark.secret, detector=detector
+            )
+
+    def test_detect_many_rejects_mismatched_config(self, watermark):
+        detector = WatermarkDetector(watermark.secret)  # strict t=0 thresholds
+        with pytest.raises(DetectionError):
+            detect_many(
+                [watermark.watermarked_histogram],
+                config=DetectionConfig(pair_threshold=5),
+                detector=detector,
+            )
+        # An equal (even if separately constructed) config is accepted.
+        report = detect_many(
+            [watermark.watermarked_histogram],
+            config=DetectionConfig(),
+            detector=detector,
+        )
+        assert report[0].accepted
+
+    def test_detect_many_requires_secret_or_detector(self, decoy):
+        with pytest.raises(DetectionError):
+            detect_many([decoy])
+
+
+class TestDetectorCache:
+    def test_hit_miss_and_reuse(self, watermark):
+        cache = DetectorCache(capacity=2)
+        first, hit1 = cache.lookup(watermark.secret)
+        second, hit2 = cache.lookup(watermark.secret)
+        assert (hit1, hit2) == (False, True)
+        assert first is second
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+
+    def test_distinct_configs_are_distinct_entries(self, watermark):
+        cache = DetectorCache(capacity=4)
+        loose = DetectionConfig(pair_threshold=2)
+        a = cache.get(watermark.secret)
+        b = cache.get(watermark.secret, loose)
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_lru_eviction(self, watermark, other_watermark):
+        cache = DetectorCache(capacity=2)
+        a = cache.get(watermark.secret)
+        cache.get(other_watermark.secret)
+        cache.get(watermark.secret)  # refresh a
+        cache.get(watermark.secret, DetectionConfig(pair_threshold=1))  # evicts other
+        assert cache.stats().evictions == 1
+        again, hit = cache.lookup(watermark.secret)
+        assert hit and again is a
+        _, other_hit = cache.lookup(other_watermark.secret)
+        assert not other_hit  # was the LRU victim
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ServiceError):
+            DetectorCache(capacity=0)
+
+
+class TestWireFormat:
+    def test_request_roundtrip(self, watermark):
+        request = DetectRequest(
+            request_id="r-1",
+            counts={"a": 3, "b": 1},
+            secret=watermark.secret.to_dict(),
+            config={"pair_threshold": 1},
+        )
+        clone = decode_request(encode_line(request))
+        assert clone == request
+        assert clone.inline_secret() == watermark.secret
+        assert clone.detection_config() == DetectionConfig(pair_threshold=1)
+
+    def test_response_roundtrip(self, watermark):
+        detector = WatermarkDetector(watermark.secret)
+        result = detector.detect(watermark.watermarked_histogram)
+        response = DetectResponse.from_result(
+            "r-2", result, batch_size=5, cache_hit=True
+        )
+        clone = decode_response(encode_line(response))
+        assert clone == response
+        assert clone.accepted_fraction == result.accepted_fraction
+
+    def test_request_validation(self):
+        with pytest.raises(ServiceError):
+            DetectRequest(request_id="x")  # neither tokens nor counts
+        with pytest.raises(ServiceError):
+            DetectRequest(request_id="x", tokens=("a",), counts={"a": 1},
+                          secret_fingerprint="f")
+        with pytest.raises(ServiceError):
+            DetectRequest(request_id="x", tokens=("a",))  # no secret reference
+        with pytest.raises(ServiceError):
+            DetectRequest(
+                request_id="x",
+                tokens=("a",),
+                secret_fingerprint="f",
+                config={"bogus_knob": 1},
+            )
+        with pytest.raises(ServiceError):
+            decode_request("this is not json")
+        with pytest.raises(ServiceError):
+            decode_request('{"tokens": ["a"]}')  # missing id
+        # Float counts would be silently truncated by int(): rejected.
+        with pytest.raises(ServiceError):
+            decode_request(
+                '{"id": "x", "counts": {"tok": 5.9}, "secret_fingerprint": "f"}'
+            )
+        with pytest.raises(ServiceError):
+            decode_request(
+                '{"id": "x", "counts": {"tok": true}, "secret_fingerprint": "f"}'
+            )
+
+
+class TestServiceConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_delay": -0.1},
+            {"cache_capacity": 0},
+            {"shard_workers": 0},
+            {"shard_min_batch": 1},
+        ],
+    )
+    def test_rejects_invalid_knobs(self, kwargs):
+        with pytest.raises(ServiceError):
+            ServiceConfig(**kwargs)
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_batches(self, watermark, decoy):
+        async def run():
+            async with DetectionService(ServiceConfig(max_delay=0.01)) as service:
+                suspects = [watermark.watermarked_histogram, decoy] * 15
+                results = await asyncio.gather(
+                    *(service.detect(data, watermark.secret) for data in suspects)
+                )
+                return results, service.stats, service.cache_stats()
+
+        results, stats, cache_stats = asyncio.run(run())
+        detector = WatermarkDetector(watermark.secret)
+        for data, result in zip(
+            [watermark.watermarked_histogram, decoy] * 15, results
+        ):
+            assert _verdict(result) == _verdict(detector.detect(data))
+        assert stats.requests == 30
+        assert stats.batches < 30  # coalescing actually happened
+        assert stats.largest_batch > 1
+        assert cache_stats.misses == 1  # one detector construction total
+
+    def test_max_batch_bounds_window(self, watermark):
+        async def run():
+            config = ServiceConfig(max_batch=4, max_delay=0.05)
+            async with DetectionService(config) as service:
+                await asyncio.gather(
+                    *(
+                        service.detect(watermark.watermarked_histogram, watermark.secret)
+                        for _ in range(10)
+                    )
+                )
+                return service.stats.largest_batch
+
+        assert asyncio.run(run()) <= 4
+
+    def test_groups_by_secret_within_window(self, watermark, other_watermark):
+        async def run():
+            async with DetectionService(ServiceConfig(max_delay=0.02)) as service:
+                first = service.detect(
+                    watermark.watermarked_histogram, watermark.secret
+                )
+                second = service.detect(
+                    other_watermark.watermarked_histogram, other_watermark.secret
+                )
+                results = await asyncio.gather(first, second)
+                return results, service.stats
+
+        results, stats = asyncio.run(run())
+        assert results[0].accepted and results[1].accepted
+        assert results[0].total_pairs == len(watermark.secret.pairs)
+        assert results[1].total_pairs == len(other_watermark.secret.pairs)
+        # One window, two per-detector groups -> two vectorized passes.
+        assert stats.batches >= 2
+
+    def test_submit_not_running_raises(self, watermark):
+        async def run():
+            service = DetectionService()
+            with pytest.raises(ServiceError):
+                await service.detect(["a"], watermark.secret)
+
+        asyncio.run(run())
+
+    def test_requires_exactly_one_secret_form(self, watermark):
+        async def run():
+            async with DetectionService() as service:
+                with pytest.raises(ServiceError):
+                    await service.detect(["a"])
+                with pytest.raises(ServiceError):
+                    await service.detect(
+                        ["a"], watermark.secret, secret_fingerprint="also"
+                    )
+
+        asyncio.run(run())
+
+    def test_shard_pools_are_lru_bounded(self, watermark, other_watermark):
+        config = ServiceConfig(
+            cache_capacity=1,
+            shard_workers=2,
+            shard_min_batch=2,
+            max_delay=0.05,
+        )
+
+        async def run():
+            async with DetectionService(config) as service:
+                await asyncio.gather(
+                    *(
+                        service.detect(watermark.watermarked_histogram, watermark.secret)
+                        for _ in range(3)
+                    )
+                )
+                first_pools = len(service._pools)
+                await asyncio.gather(
+                    *(
+                        service.detect(
+                            other_watermark.watermarked_histogram, other_watermark.secret
+                        )
+                        for _ in range(3)
+                    )
+                )
+                return first_pools, len(service._pools), service.stats.sharded_batches
+
+        first_pools, final_pools, sharded = asyncio.run(run())
+        assert sharded >= 2
+        assert first_pools == 1
+        assert final_pools == 1  # the first secret's pool was evicted and closed
+
+    def test_unknown_fingerprint_is_service_error(self):
+        async def run():
+            async with DetectionService() as service:
+                with pytest.raises(ServiceError):
+                    await service.detect(["a"], secret_fingerprint="nope")
+
+        asyncio.run(run())
+
+
+class TestRegistryAndWire:
+    def test_registered_secret_answers_wire_requests(self, watermark, decoy):
+        async def run():
+            async with DetectionService() as service:
+                fingerprint = service.register_secret(watermark.secret)
+                accepted = await service.submit(
+                    DetectRequest(
+                        request_id="wm",
+                        counts=watermark.watermarked_histogram.as_dict(),
+                        secret_fingerprint=fingerprint,
+                    )
+                )
+                rejected = await service.submit(
+                    DetectRequest(
+                        request_id="decoy",
+                        counts=decoy.as_dict(),
+                        secret_fingerprint=fingerprint,
+                    )
+                )
+                return accepted, rejected
+
+        accepted, rejected = asyncio.run(run())
+        assert accepted.ok and accepted.accepted and accepted.cache_hit
+        assert rejected.ok and not rejected.accepted
+        detector = WatermarkDetector(watermark.secret)
+        direct = detector.detect(watermark.watermarked_histogram)
+        assert accepted.accepted_pairs == direct.accepted_pairs
+        assert accepted.total_pairs == direct.total_pairs
+
+    def test_registry_default_config_applies(self, watermark):
+        loose = DetectionConfig(pair_threshold=3, min_accepted_fraction=0.1)
+        async def run():
+            async with DetectionService() as service:
+                fingerprint = service.register_secret(watermark.secret, loose)
+                response = await service.submit(
+                    DetectRequest(
+                        request_id="r",
+                        counts=watermark.watermarked_histogram.as_dict(),
+                        secret_fingerprint=fingerprint,
+                    )
+                )
+                return response
+
+        response = asyncio.run(run())
+        direct = WatermarkDetector(watermark.secret, loose).detect(
+            watermark.watermarked_histogram
+        )
+        assert response.required_pairs == direct.required_pairs
+
+    def test_wire_failure_is_a_failure_response(self, watermark):
+        async def run():
+            async with DetectionService() as service:
+                return await service.submit(
+                    DetectRequest(
+                        request_id="bad",
+                        tokens=("a", "b"),
+                        secret_fingerprint="unregistered",
+                    )
+                )
+
+        response = asyncio.run(run())
+        assert not response.ok
+        assert "unregistered" in (response.error or "")
+
+    def test_unexpected_detect_error_becomes_failure_response(
+        self, watermark, monkeypatch
+    ):
+        """The wire contract: no exception may leave a request unanswered."""
+        monkeypatch.setattr(
+            WatermarkDetector,
+            "detect_many",
+            lambda self, *a, **k: (_ for _ in ()).throw(RuntimeError("worker died")),
+        )
+
+        async def run():
+            async with DetectionService() as service:
+                return await service.submit(
+                    DetectRequest(
+                        request_id="boom",
+                        tokens=("a", "b"),
+                        secret=watermark.secret.to_dict(),
+                    )
+                )
+
+        response = asyncio.run(run())
+        assert not response.ok
+        assert "RuntimeError" in (response.error or "")
+        assert "worker died" in (response.error or "")
+
+
+class TestSyncFacade:
+    def test_detect_and_detect_all_match_direct(self, watermark, decoy):
+        detector = WatermarkDetector(watermark.secret)
+        with SyncDetectionService() as service:
+            single = service.detect(watermark.watermarked_histogram, watermark.secret)
+            burst = service.detect_all(
+                [watermark.watermarked_histogram, decoy] * 5, watermark.secret
+            )
+            stats = service.stats
+        assert _verdict(single) == _verdict(
+            detector.detect(watermark.watermarked_histogram)
+        )
+        for data, result in zip([watermark.watermarked_histogram, decoy] * 5, burst):
+            assert _verdict(result) == _verdict(detector.detect(data))
+        assert stats.requests == 11
+        assert stats.largest_batch > 1  # the burst coalesced
+
+    def test_start_and_close_are_idempotent(self, watermark):
+        service = SyncDetectionService()
+        service.start()
+        service.start()
+        fingerprint = service.register_secret(watermark.secret)
+        result = service.detect(
+            watermark.watermarked_histogram, secret_fingerprint=fingerprint
+        )
+        assert result.accepted
+        service.close()
+        service.close()
+
+
+class TestStdioTransport:
+    def test_serve_stdio_roundtrip_out_of_order_safe(self, watermark, decoy):
+        requests = [
+            DetectRequest(
+                request_id=f"req-{index}",
+                counts=data.as_dict(),
+                secret=watermark.secret.to_dict(),
+            )
+            for index, data in enumerate(
+                [watermark.watermarked_histogram, decoy, watermark.watermarked_histogram]
+            )
+        ]
+        in_stream = io.StringIO(
+            "".join(encode_line(request) + "\n" for request in requests)
+            + "\nnot-json\n"  # blank + malformed lines must not kill the server
+        )
+        out_stream = io.StringIO()
+
+        async def run():
+            async with DetectionService(ServiceConfig(max_delay=0.01)) as service:
+                return await serve_stdio(service, in_stream, out_stream)
+
+        served = asyncio.run(run())
+        assert served == 4  # 3 requests + 1 malformed line
+        responses = {
+            response.request_id: response
+            for response in map(
+                decode_response, out_stream.getvalue().strip().splitlines()
+            )
+        }
+        assert len(responses) == 4
+        assert responses["req-0"].accepted and responses["req-2"].accepted
+        assert not responses["req-1"].accepted
+        assert not responses["?"].ok  # the malformed line's failure response
+        assert responses["req-0"].batch_size >= 2  # pipelined lines coalesced

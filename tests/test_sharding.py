@@ -138,6 +138,48 @@ class TestFallbacksAndLifecycle:
         assert default_worker_count() >= 1
 
 
+class TestSpawnFailureFallback:
+    def test_spawn_failure_is_warned_and_logged_with_reason(
+        self, watermark, suspects, monkeypatch, caplog
+    ):
+        """ISSUE 3 regression: the fallback must surface *why* it fell back."""
+        import logging
+        import multiprocessing
+
+        class FailingContext:
+            def Pool(self, *args, **kwargs):
+                raise OSError("no /dev/shm in this sandbox")
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", lambda method=None: FailingContext()
+        )
+        pool = ShardedDetectionPool(watermark.secret, workers=2)
+        with caplog.at_level(logging.WARNING, logger="repro.core.sharding"):
+            with pytest.warns(RuntimeWarning, match="no /dev/shm in this sandbox"):
+                report = pool.detect_many(suspects)
+        # The logging stream carries the exception type and message.
+        assert "no /dev/shm in this sandbox" in caplog.text
+        assert "OSError" in caplog.text
+        assert "falling back to in-process detection" in caplog.text
+        # The batch still completes, in-process, with identical verdicts.
+        assert pool.workers == 1
+        assert _signatures(report) == _signatures(
+            detect_many(suspects, watermark.secret)
+        )
+        pool.close()
+
+    def test_local_detector_reuse_hook(self, watermark, suspects):
+        detector = WatermarkDetector(watermark.secret)
+        with ShardedDetectionPool(
+            watermark.secret, workers=1, local_detector=detector
+        ) as pool:
+            assert pool._local is detector
+            report = pool.detect_many(suspects)
+        assert _signatures(report) == _signatures(
+            detect_many(suspects, watermark.secret)
+        )
+
+
 class TestSerialisation:
     def test_histogram_pickle_roundtrip_is_lean_and_exact(self, watermark):
         histogram = watermark.watermarked_histogram

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two benchmark smoke reports and fail on wall-clock regressions.
+
+CI calls this after the smoke sweep with the previous run's
+``BENCH_smoke.json`` (restored from the baseline cache) as the baseline
+and the fresh report as the current run::
+
+    python tools/compare_bench.py BASELINE.json CURRENT.json --max-ratio 2.0
+
+The tracked metric is each benchmark's ``seconds`` wall clock. The check
+fails (exit 1) when any benchmark present in both reports got slower
+than ``max-ratio`` times its baseline; benchmarks new in the current
+report are listed informationally, and sub-floor timings (both runs
+under ``--min-seconds``) are ignored as timer noise. The comparison is
+**tolerant by design** when no baseline exists — first runs, expired
+caches and renamed artifacts exit 0 with a notice — so the gate can
+never brick a fresh repository.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+#: Below this wall clock (seconds) a ratio is timer noise, not a signal.
+DEFAULT_MIN_SECONDS = 0.5
+
+
+def load_report(path: Path) -> Dict[str, float]:
+    """Map benchmark name -> seconds from a ``BENCH_smoke.json`` report.
+
+    Raises ``ValueError`` for files that exist but are not smoke reports
+    (corrupt cache entries must not masquerade as regressions).
+    """
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    results = payload.get("results")
+    if not isinstance(results, list):
+        raise ValueError(f"{path}: not a smoke report (no results list)")
+    timings: Dict[str, float] = {}
+    for entry in results:
+        timings[str(entry["benchmark"])] = float(entry["seconds"])
+    return timings
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    *,
+    max_ratio: float,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> List[str]:
+    """Regression messages for every tracked metric exceeding the ratio."""
+    regressions: List[str] = []
+    for name in sorted(current):
+        if name not in baseline:
+            continue
+        before, after = baseline[name], current[name]
+        if before < min_seconds and after < min_seconds:
+            continue  # both under the noise floor
+        allowed = max(before * max_ratio, min_seconds)
+        if after > allowed:
+            regressions.append(
+                f"{name}: {before:.3f}s -> {after:.3f}s "
+                f"({after / before if before else float('inf'):.2f}x, "
+                f"allowed {max_ratio:.1f}x)"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="previous BENCH_smoke.json")
+    parser.add_argument("current", type=Path, help="fresh BENCH_smoke.json")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when a benchmark exceeds this multiple of its baseline",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="ignore benchmarks where both runs are under this wall clock",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}: skipping regression check")
+        return 0
+    try:
+        baseline = load_report(args.baseline)
+    except (ValueError, KeyError, json.JSONDecodeError) as error:
+        print(f"unreadable baseline ({error}): skipping regression check")
+        return 0
+    current = load_report(args.current)
+
+    fresh = sorted(set(current) - set(baseline))
+    if fresh:
+        print(f"new benchmarks (no baseline): {', '.join(fresh)}")
+    regressions = compare(
+        baseline, current, max_ratio=args.max_ratio, min_seconds=args.min_seconds
+    )
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        print(f"{len(regressions)} benchmark regression(s)", file=sys.stderr)
+        return 1
+    shared = len(set(current) & set(baseline))
+    print(f"no regressions across {shared} benchmark(s) (max {args.max_ratio:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
