@@ -116,13 +116,16 @@ def experiment_banner(identifier: str, description: str) -> None:
 #: Benchmark scripts exercised by the CI smoke job: every figure
 #: reproduction plus the engine-scaling guard (whose speedup assertions
 #: surface performance regressions per PR), the streaming/sharding
-#: guard (chunked-ingestion parity + sharded screening timings), and the
-#: detection-service guard (cached+coalesced throughput vs one-shot).
+#: guard (chunked-ingestion parity + sharded screening timings), the
+#: detection-service guard (cached+coalesced throughput vs one-shot),
+#: and the batch-embedding guard (embed_many parity + >=3x amortisation
+#: over the sequential generator loop).
 SMOKE_PATTERNS = (
     "bench_fig*.py",
     "bench_engine_scaling.py",
     "bench_streaming.py",
     "bench_service.py",
+    "bench_embed_many.py",
 )
 
 

@@ -19,13 +19,16 @@ True
 
 from repro.core import (
     BatchDetectionReport,
+    BatchEmbeddingReport,
     DetectionConfig,
     DetectionResult,
+    DetectorCache,
     GenerationConfig,
     MultiWatermarker,
     ProvenanceChain,
     SelectionResult,
     ShardedDetectionPool,
+    ShardedEmbeddingPool,
     StreamingHistogramBuilder,
     TokenHistogram,
     TokenPair,
@@ -34,7 +37,9 @@ from repro.core import (
     WatermarkResult,
     WatermarkSecret,
     detect_many,
+    detect_many_secrets,
     detect_watermark,
+    embed_many,
     generate_watermark,
 )
 from repro.exceptions import ReproError
@@ -44,17 +49,20 @@ from repro.service import (
     SyncDetectionService,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchDetectionReport",
+    "BatchEmbeddingReport",
     "DetectionConfig",
     "DetectionResult",
+    "DetectorCache",
     "GenerationConfig",
     "MultiWatermarker",
     "ProvenanceChain",
     "SelectionResult",
     "ShardedDetectionPool",
+    "ShardedEmbeddingPool",
     "StreamingHistogramBuilder",
     "TokenHistogram",
     "TokenPair",
@@ -63,7 +71,9 @@ __all__ = [
     "WatermarkResult",
     "WatermarkSecret",
     "detect_many",
+    "detect_many_secrets",
     "detect_watermark",
+    "embed_many",
     "generate_watermark",
     "DetectionService",
     "ServiceConfig",

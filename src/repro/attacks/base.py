@@ -14,6 +14,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.core.cache import DetectorCache
 from repro.core.config import DetectionConfig
 from repro.core.detector import DetectionResult, WatermarkDetector
 from repro.core.histogram import TokenHistogram
@@ -88,12 +89,30 @@ class Attack(abc.ABC):
         histogram: TokenHistogram,
         secret: Optional[WatermarkSecret] = None,
         detection: Optional[DetectionConfig] = None,
+        *,
+        detector: Optional[WatermarkDetector] = None,
+        detector_cache: Optional[DetectorCache] = None,
     ) -> AttackOutcome:
-        """Tamper with ``histogram`` and (optionally) re-run detection."""
+        """Tamper with ``histogram`` and (optionally) re-run detection.
+
+        Robustness sweeps call this in tight loops, so the owner's
+        detector need not be rebuilt per call: pass a prebuilt
+        ``detector`` (it then takes precedence and ``secret`` /
+        ``detection`` may be omitted), or a shared ``detector_cache``
+        from which the ``(secret, detection)`` detector is resolved.
+        Verdicts are identical either way — the detector is a pure
+        function of the secret and the thresholds.
+        """
         attacked = self.tamper(histogram)
         result: Optional[DetectionResult] = None
-        if secret is not None:
-            result = WatermarkDetector(secret, detection).detect(attacked)
+        if detector is None and secret is not None:
+            detector = (
+                detector_cache.get(secret, detection)
+                if detector_cache is not None
+                else WatermarkDetector(secret, detection)
+            )
+        if detector is not None:
+            result = detector.detect(attacked)
         return AttackOutcome(
             attack_name=self.name,
             attacked_histogram=attacked,

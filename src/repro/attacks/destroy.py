@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.attacks.base import Attack
+from repro.core.cache import DetectorCache
 from repro.core.config import DetectionConfig
 from repro.core.detector import WatermarkDetector
 from repro.core.histogram import TokenHistogram
@@ -176,15 +177,18 @@ def verified_pair_fraction(
     pair_threshold: int,
     *,
     min_accepted_fraction: float = 0.5,
+    detector_cache: Optional[DetectorCache] = None,
 ) -> float:
     """Fraction of the secret's pairs that verify on ``histogram`` at ``t``."""
-    detection = WatermarkDetector(
-        secret,
-        DetectionConfig(
-            pair_threshold=pair_threshold, min_accepted_fraction=min_accepted_fraction
-        ),
-    ).detect(histogram)
-    return detection.accepted_fraction
+    config = DetectionConfig(
+        pair_threshold=pair_threshold, min_accepted_fraction=min_accepted_fraction
+    )
+    detector = (
+        detector_cache.get(secret, config)
+        if detector_cache is not None
+        else WatermarkDetector(secret, config)
+    )
+    return detector.detect(histogram).accepted_fraction
 
 
 def sweep_thresholds(
@@ -194,17 +198,21 @@ def sweep_thresholds(
     *,
     attack: Optional[Attack] = None,
     repetitions: int = 3,
+    detector_cache: Optional[DetectorCache] = None,
 ) -> List[DestroySweepPoint]:
     """Verified-pair fraction versus ``t`` for an (optionally attacked) dataset.
 
     With ``attack=None`` the sweep is run on ``histogram`` itself — used
     for the un-attacked watermarked curve and for the non-watermarked
     false-positive curve of Figure 5. Randomness comes entirely from the
-    ``attack`` instance's own generator.
+    ``attack`` instance's own generator. Detectors are resolved through
+    ``detector_cache`` (a private one when not given), so repeated sweeps
+    over the same secret and thresholds skip the moduli precomputation.
     """
+    cache = detector_cache if detector_cache is not None else DetectorCache()
     points: List[DestroySweepPoint] = []
     for threshold in thresholds:
-        detector = WatermarkDetector(secret, DetectionConfig(pair_threshold=threshold))
+        detector = cache.get(secret, DetectionConfig(pair_threshold=threshold))
         targets = [
             attack.tamper(histogram) if attack is not None else histogram
             for _ in range(max(1, repetitions if attack is not None else 1))
@@ -232,6 +240,7 @@ def reordering_success_rates(
     pair_threshold: int = 4,
     repetitions: int = 5,
     rng: RngLike = None,
+    detector_cache: Optional[DetectorCache] = None,
 ) -> Dict[float, float]:
     """Detection success rate under re-ordering noise of varying strength.
 
@@ -239,7 +248,12 @@ def reordering_success_rates(
     [94, 88, 82, 79, 78, 76] % for noise levels [10..90] % at ``t = 4``.
     """
     generator = ensure_rng(rng)
-    detector = WatermarkDetector(secret, DetectionConfig(pair_threshold=pair_threshold))
+    detection = DetectionConfig(pair_threshold=pair_threshold)
+    detector = (
+        detector_cache.get(secret, detection)
+        if detector_cache is not None
+        else WatermarkDetector(secret, detection)
+    )
     rates: Dict[float, float] = {}
     for percent in percents:
         attacked_batch = [

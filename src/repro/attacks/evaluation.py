@@ -20,6 +20,7 @@ from repro.attacks.destroy import (
 )
 from repro.attacks.rewatermark import RewatermarkAttack, RewatermarkOutcome
 from repro.attacks.sampling import SamplingDetectionPoint, evaluate_sampling_attack
+from repro.core.cache import DetectorCache
 from repro.core.config import GenerationConfig
 from repro.core.generator import WatermarkGenerator, WatermarkResult
 from repro.core.histogram import TokenHistogram
@@ -38,16 +39,29 @@ class RobustnessReport:
 
 
 class RobustnessEvaluator:
-    """Run the paper's attack suite against one watermarked dataset."""
+    """Run the paper's attack suite against one watermarked dataset.
+
+    One :class:`~repro.core.cache.DetectorCache` is shared across every
+    attack family, so the owner's detector (per threshold setting) is
+    constructed once for the whole evaluation instead of once per sweep
+    point — verdicts are unchanged, only the redundant SHA-256 moduli
+    derivations disappear.
+    """
 
     def __init__(
         self,
         generation: Optional[GenerationConfig] = None,
         *,
         rng: RngLike = None,
+        detector_cache: Optional[DetectorCache] = None,
     ) -> None:
         self.generation = generation or GenerationConfig()
         self._rng_source = rng
+        # Unbounded: the working set is one secret times a handful of
+        # threshold settings, already bounded by the sweep parameters.
+        self.detector_cache = (
+            detector_cache if detector_cache is not None else DetectorCache(capacity=None)
+        )
 
     def _rng(self, label: str):
         if self._rng_source is None:
@@ -83,10 +97,15 @@ class RobustnessEvaluator:
             thresholds=sampling_thresholds,
             repetitions=repetitions,
             rng=self._rng("sampling"),
+            detector_cache=self.detector_cache,
         )
 
         report.destroy_threshold_sweeps["no-attack"] = sweep_thresholds(
-            watermarked, secret, destroy_thresholds, attack=None
+            watermarked,
+            secret,
+            destroy_thresholds,
+            attack=None,
+            detector_cache=self.detector_cache,
         )
         report.destroy_threshold_sweeps["random-within-bounds"] = sweep_thresholds(
             watermarked,
@@ -94,6 +113,7 @@ class RobustnessEvaluator:
             destroy_thresholds,
             attack=BoundaryNoiseAttack(rng=self._rng("destroy-random")),
             repetitions=repetitions,
+            detector_cache=self.detector_cache,
         )
         report.destroy_threshold_sweeps["percentage-within-bounds"] = sweep_thresholds(
             watermarked,
@@ -101,6 +121,7 @@ class RobustnessEvaluator:
             destroy_thresholds,
             attack=PercentageNoiseAttack(1.0, rng=self._rng("destroy-percent")),
             repetitions=repetitions,
+            detector_cache=self.detector_cache,
         )
 
         report.reordering_success = reordering_success_rates(
@@ -109,10 +130,15 @@ class RobustnessEvaluator:
             percents=reordering_percents,
             repetitions=repetitions,
             rng=self._rng("destroy-reorder"),
+            detector_cache=self.detector_cache,
         )
 
         if include_rewatermark:
-            attack = RewatermarkAttack(self.generation, rng=self._rng("rewatermark"))
+            attack = RewatermarkAttack(
+                self.generation,
+                rng=self._rng("rewatermark"),
+                detector_cache=self.detector_cache,
+            )
             report.rewatermark = attack.run(watermarked, secret)
         return report
 

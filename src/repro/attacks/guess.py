@@ -29,8 +29,8 @@ from typing import Dict, List, Optional
 
 from scipy import stats
 
+from repro.core.batch import detect_many_secrets
 from repro.core.config import DetectionConfig
-from repro.core.detector import WatermarkDetector
 from repro.core.hashing import generate_secret
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
@@ -119,10 +119,8 @@ class GuessAttack:
         self.secret_bits = secret_bits
         self._rng_source = rng
 
-    def attempt(
-        self, histogram: TokenHistogram, detection: DetectionConfig
-    ) -> bool:
-        """Run a single guess; True when the forged secret is accepted."""
+    def forge_candidate(self, histogram: TokenHistogram) -> WatermarkSecret:
+        """Sample one forged candidate secret (fresh ``R*`` and pair set)."""
         rng = ensure_rng(self._rng_source)
         tokens = histogram.tokens
         if len(tokens) < 2 * self.guessed_pairs:
@@ -139,13 +137,19 @@ class GuessAttack:
                     token_a, token_b, histogram.frequency(token_a), histogram.frequency(token_b)
                 )
             )
-        forged = WatermarkSecret.build(
+        return WatermarkSecret.build(
             pairs,
             generate_secret(self.secret_bits, rng=rng),
             self.modulus_cap,
             forged=True,
         )
-        return WatermarkDetector(forged, detection).detect(histogram).accepted
+
+    def attempt(
+        self, histogram: TokenHistogram, detection: DetectionConfig
+    ) -> bool:
+        """Run a single guess; True when the forged secret is accepted."""
+        forged = self.forge_candidate(histogram)
+        return detect_many_secrets(histogram, [forged], detection)[0].accepted
 
     def run(
         self,
@@ -154,12 +158,18 @@ class GuessAttack:
         attempts: int = 200,
         detection: Optional[DetectionConfig] = None,
     ) -> GuessAttackReport:
-        """Run ``attempts`` independent guesses and summarise the outcome."""
+        """Run ``attempts`` independent guesses and summarise the outcome.
+
+        Candidates are sampled exactly as :meth:`attempt` would (same RNG
+        draws in the same order) but evaluated through **one** batched
+        :func:`~repro.core.batch.detect_many_secrets` pass — no
+        per-attempt detector construction, one frequency lookup for the
+        union of guessed pair members, one vectorized modulo pass.
+        """
         detection_config = detection or DetectionConfig(pair_threshold=0)
-        successes = 0
-        for _ in range(attempts):
-            if self.attempt(histogram, detection_config):
-                successes += 1
+        candidates = [self.forge_candidate(histogram) for _ in range(attempts)]
+        verdicts = detect_many_secrets(histogram, candidates, detection_config)
+        successes = sum(1 for verdict in verdicts if verdict.accepted)
         required = detection_config.required_pairs(self.guessed_pairs)
         analytical = guess_success_probability(
             self.guessed_pairs,

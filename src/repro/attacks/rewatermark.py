@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.cache import DetectorCache
 from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.detector import DetectionResult, WatermarkDetector
 from repro.core.generator import WatermarkGenerator, WatermarkResult
@@ -90,7 +91,18 @@ class RewatermarkOutcome:
 
 
 class RewatermarkAttack:
-    """Simulate a pirate watermarking the owner's watermarked dataset."""
+    """Simulate a pirate watermarking the owner's watermarked dataset.
+
+    Parameters
+    ----------
+    config:
+        The attacker's generation parameters.
+    detector_cache:
+        Shared :class:`~repro.core.cache.DetectorCache` resolving the
+        cross-detection detectors. Repeated simulations against the same
+        owner secret (robustness sweeps, parameter studies) then pay the
+        owner-side moduli precomputation once; verdicts are unchanged.
+    """
 
     name = "rewatermark"
 
@@ -99,9 +111,13 @@ class RewatermarkAttack:
         config: Optional[GenerationConfig] = None,
         *,
         rng: RngLike = None,
+        detector_cache: Optional[DetectorCache] = None,
     ) -> None:
         self.config = config or GenerationConfig()
         self._rng_source = rng
+        self.detector_cache = (
+            detector_cache if detector_cache is not None else DetectorCache()
+        )
 
     def run(
         self,
@@ -109,13 +125,25 @@ class RewatermarkAttack:
         owner_secret: WatermarkSecret,
         *,
         detection: Optional[DetectionConfig] = None,
+        owner_detector: Optional[WatermarkDetector] = None,
     ) -> RewatermarkOutcome:
-        """Run the attack and the cross-detections that arbitrate it."""
+        """Run the attack and the cross-detections that arbitrate it.
+
+        A prebuilt ``owner_detector`` (matching ``owner_secret`` and
+        ``detection``) takes precedence over the cache; the attacker's
+        own detector is always freshly resolved, since its secret is
+        sampled inside this call.
+        """
         detection_config = detection or DetectionConfig(pair_threshold=0)
         attacker = WatermarkGenerator(self.config, rng=self._rng_source)
         attacker_result = attacker.generate(owner_watermarked)
 
-        owner_detector = WatermarkDetector(owner_secret, detection_config)
+        if owner_detector is None:
+            owner_detector = self.detector_cache.get(owner_secret, detection_config)
+        # The attacker's secret is freshly sampled inside this call, so
+        # its detector can never be reused — construct it directly
+        # rather than depositing a dead entry in the shared cache on
+        # every simulation of a parameter study.
         attacker_detector = WatermarkDetector(attacker_result.secret, detection_config)
 
         owner_on_attacker = owner_detector.detect(attacker_result.watermarked_histogram)

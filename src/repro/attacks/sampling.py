@@ -22,13 +22,13 @@ Two granularities are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.attacks.base import Attack
+from repro.core.cache import DetectorCache
 from repro.core.config import DetectionConfig
-from repro.core.detector import WatermarkDetector
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
 from repro.exceptions import AttackError
@@ -125,6 +125,7 @@ def evaluate_sampling_attack(
     min_accepted_fraction: float = 0.5,
     repetitions: int = 3,
     rng: RngLike = None,
+    detector_cache: Optional[DetectorCache] = None,
 ) -> List[SamplingDetectionPoint]:
     """Sweep sample fractions and thresholds, averaging over repetitions.
 
@@ -135,11 +136,17 @@ def evaluate_sampling_attack(
     generator = ensure_rng(rng)
     original_size = watermarked.total_count()
     points: List[SamplingDetectionPoint] = []
-    # One detector per threshold, shared across the whole sweep: the
-    # SHA-256 modulus derivation happens once instead of once per
+    # One detector per threshold, shared across the whole sweep (and,
+    # through a shared cache, across repeated sweeps): the SHA-256
+    # modulus derivation happens once instead of once per
     # (fraction, threshold, repetition) triple.
+    cache = (
+        detector_cache
+        if detector_cache is not None
+        else DetectorCache(capacity=max(len(tuple(thresholds)), 1))
+    )
     detectors = {
-        threshold: WatermarkDetector(
+        threshold: cache.get(
             secret,
             DetectionConfig(
                 pair_threshold=threshold,

@@ -5,7 +5,9 @@ most useful utilities:
 
 * ``freqywm generate`` — watermark a token file (token-per-line) and store
   the watermarked file and the secret list; ``--chunk-size M`` switches to
-  streaming ingestion for files too large to load at once.
+  streaming ingestion for files too large to load at once, and a
+  *directory* input watermarks every token file in it as a batch
+  (``--workers N`` shards the embedding across processes).
 * ``freqywm detect``   — run detection of a stored secret on a suspected
   token file, or screen a whole directory of suspect files as a batch
   (``--workers N`` shards the screen across processes).
@@ -39,6 +41,7 @@ from repro.attacks.destroy import (
 from repro.attacks.sampling import SamplingAttack, rescale_suspect
 from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.detector import WatermarkDetector
+from repro.core.embedding import ShardedEmbeddingPool
 from repro.core.generator import WatermarkGenerator
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
@@ -79,6 +82,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         modulus_cap=args.modulus,
         strategy=args.strategy,
     )
+    if args.input.is_dir():
+        return _generate_directory(args, config)
     generator = WatermarkGenerator(config, rng=args.seed)
     if args.chunk_size is not None:
         # Streaming mode: the input file is never loaded whole. One
@@ -114,6 +119,51 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _generate_directory(args: argparse.Namespace, config: GenerationConfig) -> int:
+    """Directory-scale embedding: watermark every token file in ``input``.
+
+    Mirrors ``detect DIR``: ``output`` and ``secret`` become directories
+    (created as needed) receiving one watermarked file and one secret
+    list per input file; ``--workers N`` shards the embedding so each
+    worker loads, watermarks and writes its own chunk of files.
+    """
+    if args.chunk_size is not None:
+        raise ReproError(
+            "--chunk-size applies to single-file streaming mode, not to "
+            "directory embedding (each file is loaded whole inside its worker)"
+        )
+    files = _token_files(args.input)
+    with ShardedEmbeddingPool(config, seed=args.seed, workers=args.workers) as pool:
+        summaries = pool.embed_files(files, args.output, args.secret)
+    total = len(summaries)
+    payload: Dict[str, object] = {
+        "datasets": total,
+        "workers": args.workers,
+        "selected_pairs_total": sum(
+            int(summary["selected_pairs"]) for summary in summaries
+        ),
+        "mean_distortion_percent": (
+            sum(float(summary["distortion_percent"]) for summary in summaries) / total
+            if total
+            else 0.0
+        ),
+        "output_dir": str(args.output),
+        "secret_dir": str(args.secret),
+    }
+    if args.json:
+        payload["files"] = summaries
+        _print_report(payload, True)
+    else:
+        for summary in summaries:
+            print(  # noqa: T201
+                f"{summary['input']} : {summary['selected_pairs']} pairs, "
+                f"{float(summary['distortion_percent']):.4f}% distortion "
+                f"-> {summary['output']}"
+            )
+        _print_report(payload, False)
+    return 0
+
+
 def _detection_config(args: argparse.Namespace) -> DetectionConfig:
     return DetectionConfig(
         pair_threshold=args.threshold,
@@ -122,8 +172,8 @@ def _detection_config(args: argparse.Namespace) -> DetectionConfig:
     )
 
 
-def _suspect_files(directory: Path) -> list:
-    """The suspect token files of a batch-screening directory, sorted."""
+def _token_files(directory: Path) -> list:
+    """The token files of a batch directory (screening or embedding), sorted."""
     files = sorted(
         path
         for path in directory.iterdir()
@@ -131,7 +181,7 @@ def _suspect_files(directory: Path) -> list:
     )
     if not files:
         raise DatasetError(
-            f"directory {directory!s} contains no .txt/.tokens suspect files"
+            f"directory {directory!s} contains no .txt/.tokens token files"
         )
     return files
 
@@ -149,7 +199,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     # Only the paths are dispatched — each worker stream-loads and screens
     # its own chunk, so the dominant load-and-count cost parallelises and
     # no process ever holds more than one chunk of histograms.
-    files = _suspect_files(args.input)
+    files = _token_files(args.input)
     with ShardedDetectionPool(secret, config, workers=args.workers) as pool:
         report = pool.detect_files(files)
     payload: Dict[str, object] = report.summary()
@@ -323,10 +373,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true", help="emit JSON reports")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    generate = subparsers.add_parser("generate", help="watermark a token file")
-    generate.add_argument("input", type=Path, help="token-per-line input file")
-    generate.add_argument("output", type=Path, help="watermarked token file to write")
-    generate.add_argument("secret", type=Path, help="secret list (JSON) to write")
+    generate = subparsers.add_parser(
+        "generate", help="watermark a token file (or a directory of them)"
+    )
+    generate.add_argument(
+        "input",
+        type=Path,
+        help=(
+            "token-per-line input file, or a directory whose .txt/.tokens "
+            "files are watermarked as a batch"
+        ),
+    )
+    generate.add_argument(
+        "output",
+        type=Path,
+        help="watermarked token file to write (a directory for directory input)",
+    )
+    generate.add_argument(
+        "secret",
+        type=Path,
+        help="secret list (JSON) to write (a directory for directory input)",
+    )
     generate.add_argument("--budget", type=float, default=2.0, help="distortion budget b in percent")
     generate.add_argument("--modulus", type=int, default=131, help="modulus cap z")
     generate.add_argument(
@@ -342,6 +409,13 @@ def build_parser() -> argparse.ArgumentParser:
             "streaming mode: ingest the input M tokens at a time and write "
             "the watermarked file without ever loading the dataset whole"
         ),
+    )
+    generate.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for batch embedding (directory input only)",
     )
     generate.set_defaults(handler=_cmd_generate)
 

@@ -1,7 +1,14 @@
 """FreqyWM core: watermark generation, detection, and supporting stages."""
 
 from repro.core.arrays import HistogramArrays
-from repro.core.batch import BatchDetectionReport, detect_many
+from repro.core.batch import (
+    BatchDetectionReport,
+    BatchEmbeddingReport,
+    detect_many,
+    detect_many_secrets,
+    embed_many,
+)
+from repro.core.cache import DEFAULT_CACHE_CAPACITY, CacheStats, DetectorCache
 from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.detector import (
     DetectionResult,
@@ -9,8 +16,14 @@ from repro.core.detector import (
     detect_watermark,
     detector_fingerprint,
 )
-from repro.core.eligibility import EligiblePair, generate_eligible_pairs
+from repro.core.eligibility import (
+    EligiblePair,
+    EligibilityContext,
+    generate_eligible_pairs,
+)
+from repro.core.embedding import ShardedEmbeddingPool
 from repro.core.generator import WatermarkGenerator, WatermarkResult, generate_watermark
+from repro.core.hashing import PairModulusCache
 from repro.core.histogram import TokenHistogram
 from repro.core.matching import SelectionResult, select_pairs
 from repro.core.multiwatermark import MultiWatermarker, ProvenanceChain
@@ -34,7 +47,13 @@ from repro.core.tokens import TokenPair, canonical_token, compose_token
 __all__ = [
     "HistogramArrays",
     "BatchDetectionReport",
+    "BatchEmbeddingReport",
     "detect_many",
+    "detect_many_secrets",
+    "embed_many",
+    "DEFAULT_CACHE_CAPACITY",
+    "CacheStats",
+    "DetectorCache",
     "DetectionConfig",
     "GenerationConfig",
     "DetectionResult",
@@ -42,7 +61,10 @@ __all__ = [
     "detect_watermark",
     "detector_fingerprint",
     "EligiblePair",
+    "EligibilityContext",
     "generate_eligible_pairs",
+    "PairModulusCache",
+    "ShardedEmbeddingPool",
     "WatermarkGenerator",
     "WatermarkResult",
     "generate_watermark",

@@ -1,25 +1,44 @@
-"""Batch detection over many suspected datasets.
+"""Batch execution: many datasets, many secrets, both directions.
 
-Marketplace-scale operation means screening *fleets* of suspected
-datasets against one secret list — every buyer's copy, every scraped
-re-publication, every version in a provenance chain. Running the
-single-dataset detector in a loop repays the SHA-256 modulus derivation
-and the per-pair Python loop for every dataset; this module exposes the
-batched path instead: the moduli are derived once and all stored pairs of
-all datasets are verified with a single vectorized
-``(f_i - f_j) mod s_ij <= t`` matrix pass (see
-:meth:`repro.core.detector.WatermarkDetector.detect_many`).
+Marketplace-scale operation means running the two algorithms over
+*fleets*, not single inputs:
+
+* :func:`detect_many` — one secret against many suspected datasets
+  (screening every buyer's copy) with a single vectorized
+  ``(f_i - f_j) mod s_ij <= t`` matrix pass (see
+  :meth:`repro.core.detector.WatermarkDetector.detect_many`);
+* :func:`detect_many_secrets` — many secrets against one dataset
+  (Monte-Carlo forged candidates, per-buyer leak attribution,
+  provenance-chain stages) with one stacked vectorized pass instead of
+  constructing a detector per secret;
+* :func:`embed_many` — ``WM_Generate`` over many datasets, amortising
+  secret derivation, pair-modulus hashing and eligibility
+  precomputation across the batch (and across worker processes), with
+  outputs bit-identical to the sequential generator loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.config import DetectionConfig
-from repro.core.detector import DetectionResult, SuspectData, WatermarkDetector
+import numpy as np
+
+from repro.core.config import DetectionConfig, GenerationConfig
+from repro.core.detector import (
+    DetectionResult,
+    PairEvidence,
+    SuspectData,
+    WatermarkDetector,
+    build_pair_evidence,
+    verify_pair_arrays,
+)
+from repro.core.embedding import BatchEmbeddingReport, EmbedData, ShardedEmbeddingPool
+from repro.core.hashing import PairModulusCache
+from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
 from repro.exceptions import DetectionError
+from repro.utils.rng import RngLike
 
 
 @dataclass(frozen=True)
@@ -150,4 +169,196 @@ def detect_many(
     return BatchDetectionReport(results=tuple(results))
 
 
-__all__ = ["BatchDetectionReport", "detect_many"]
+def detect_many_secrets(
+    data: SuspectData,
+    secrets: Sequence[WatermarkSecret],
+    config: Optional[DetectionConfig] = None,
+    *,
+    collect_evidence: bool = False,
+) -> List[DetectionResult]:
+    """Run ``WM_Detect`` for many secrets against one dataset at once.
+
+    This is the transpose of :func:`detect_many`: the stored pairs of
+    *all* secrets are stacked into one flat array, the dataset's
+    frequencies are looked up once for the union of pair members, and a
+    single vectorized modulo pass verifies everything — no
+    per-secret :class:`~repro.core.detector.WatermarkDetector`
+    construction. Verdicts are identical to building one detector per
+    secret and calling :meth:`~repro.core.detector.WatermarkDetector.detect`.
+
+    The callers this serves all evaluate candidate-secret fleets against
+    one histogram: the Monte-Carlo guess attack (hundreds of forged
+    secrets), per-buyer leak attribution, and provenance-chain stage
+    reports.
+
+    Parameters
+    ----------
+    data : SuspectData
+        The suspected dataset — a raw token sequence or a pre-built
+        :class:`~repro.core.histogram.TokenHistogram`.
+    secrets : Sequence[WatermarkSecret]
+        The candidate secret lists; every one must store at least one
+        pair (as :class:`WatermarkDetector` requires).
+    config : DetectionConfig, optional
+        Detection thresholds shared by all candidates (defaults to the
+        strict ``t = 0``, ``k = 50%`` setting).
+    collect_evidence : bool, optional
+        When True, per-pair :class:`~repro.core.detector.PairEvidence`
+        is materialised for every secret.
+
+    Returns
+    -------
+    List[DetectionResult]
+        One result per secret, in input order.
+    """
+    if not secrets:
+        return []
+    detection = config or DetectionConfig()
+    histogram = (
+        data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
+    )
+    arrays = histogram.arrays()
+    first_tokens: List[str] = []
+    second_tokens: List[str] = []
+    moduli_list: List[int] = []
+    offsets: List[int] = [0]
+    for secret in secrets:
+        if len(secret.pairs) == 0:
+            raise DetectionError("a secret list contains no watermarked pairs")
+        cache = PairModulusCache(secret.secret, secret.modulus_cap)
+        for pair in secret.pairs:
+            first_tokens.append(pair.first)
+            second_tokens.append(pair.second)
+            moduli_list.append(cache.modulus(pair.first, pair.second))
+        offsets.append(len(first_tokens))
+    moduli = np.asarray(moduli_list, dtype=np.int64)
+    thresholds = np.fromiter(
+        (detection.threshold_for(int(modulus)) for modulus in moduli_list),
+        dtype=np.int64,
+        count=len(moduli_list),
+    )
+    # Same guard as the detector: a modulus of 0 or 1 carries no
+    # information, so such pairs are unverifiable by construction.
+    valid = moduli >= 2
+    safe_moduli = np.where(valid, moduli, 1)
+    accepted, present, remainder = verify_pair_arrays(
+        arrays.frequencies(first_tokens),
+        arrays.frequencies(second_tokens),
+        safe_moduli=safe_moduli,
+        valid=valid,
+        thresholds=thresholds,
+        symmetric_tolerance=detection.symmetric_tolerance,
+    )
+    results: List[DetectionResult] = []
+    for index, secret in enumerate(secrets):
+        low, high = offsets[index], offsets[index + 1]
+        accepted_pairs = int(accepted[low:high].sum())
+        required = detection.required_pairs(high - low)
+        evidence: Tuple[PairEvidence, ...] = ()
+        if collect_evidence:
+            evidence = build_pair_evidence(
+                secret.pairs,
+                accepted[low:high],
+                present[low:high],
+                remainder[low:high],
+                moduli[low:high],
+                thresholds[low:high],
+                valid[low:high],
+            )
+        results.append(
+            DetectionResult(
+                accepted=accepted_pairs >= required,
+                accepted_pairs=accepted_pairs,
+                required_pairs=required,
+                total_pairs=high - low,
+                evidence=evidence,
+            )
+        )
+    return results
+
+
+def embed_many(
+    datasets: Sequence[EmbedData],
+    config: Optional[GenerationConfig] = None,
+    *,
+    rng: RngLike = None,
+    secret_value: Optional[int] = None,
+    secret_values: Optional[Sequence[Optional[int]]] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> BatchEmbeddingReport:
+    """Run ``WM_Generate`` over a batch of datasets at once.
+
+    The batched path amortises what the sequential generator loop
+    re-derives per dataset — pair-modulus hashing per owner secret,
+    eligibility precomputation per histogram — and optionally shards the
+    batch across worker processes; outputs are bit-identical to calling
+    :meth:`~repro.core.generator.WatermarkGenerator.generate` per
+    dataset (``tests/test_embedding.py`` holds the golden parity).
+
+    Parameters
+    ----------
+    datasets : Sequence[EmbedData]
+        Datasets to watermark — raw token sequences or pre-built
+        :class:`~repro.core.histogram.TokenHistogram` instances, mixed
+        freely. Passing the same histogram object several times (with
+        different ``secret_values``) is the candidate-secrets mode.
+    config : GenerationConfig, optional
+        Generation parameters shared by the whole batch.
+    rng :
+        Seed (or generator) for every random choice, as for
+        :class:`~repro.core.generator.WatermarkGenerator`. Sharded mode
+        (``workers > 1``) accepts only a plain seed or ``None``.
+    secret_value : int, optional
+        One explicit secret ``R`` shared by every dataset — the
+        one-owner-many-datasets mode that maximises cross-dataset
+        modulus reuse. Mutually exclusive with ``secret_values``.
+    secret_values : Sequence[int | None], optional
+        Per-dataset explicit secrets, aligned with ``datasets``.
+    workers : int, optional
+        When greater than 1, the batch is partitioned across that many
+        worker processes via :class:`~repro.core.embedding.ShardedEmbeddingPool`;
+        results and ordering are identical to the in-process path.
+    chunk_size : int, optional
+        Datasets per dispatched worker chunk (sharded mode only).
+
+    Returns
+    -------
+    BatchEmbeddingReport
+        One :class:`~repro.core.generator.WatermarkResult` per dataset,
+        in input order.
+    """
+    from repro.core.generator import WatermarkGenerator
+    from repro.exceptions import GenerationError
+
+    if secret_value is not None and secret_values is not None:
+        raise GenerationError(
+            "pass either one shared secret_value or per-dataset secret_values, "
+            "not both"
+        )
+    values: Optional[List[Optional[int]]] = None
+    if secret_value is not None:
+        values = [secret_value] * len(datasets)
+    elif secret_values is not None:
+        values = list(secret_values)
+    if workers is not None and workers > 1:
+        with ShardedEmbeddingPool(
+            config,
+            seed=rng,  # validated by the pool: plain seed or None
+            workers=workers,
+            chunk_size=chunk_size,
+        ) as pool:
+            return pool.embed_many(datasets, secret_values=values)
+    generator = WatermarkGenerator(config, rng=rng)
+    return BatchEmbeddingReport(
+        results=tuple(generator.generate_many(datasets, secret_values=values))
+    )
+
+
+__all__ = [
+    "BatchDetectionReport",
+    "BatchEmbeddingReport",
+    "detect_many",
+    "detect_many_secrets",
+    "embed_many",
+]

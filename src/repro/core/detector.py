@@ -59,6 +59,62 @@ def detector_fingerprint(
     return f"{secret.fingerprint()}|{(config or DetectionConfig()).fingerprint()}"
 
 
+def verify_pair_arrays(
+    first: np.ndarray,
+    second: np.ndarray,
+    *,
+    safe_moduli: np.ndarray,
+    valid: np.ndarray,
+    thresholds: np.ndarray,
+    symmetric_tolerance: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The vectorized ``(f_i - f_j) mod s_ij <= t`` acceptance rule.
+
+    This is the single implementation of the paper's pair-verification
+    arithmetic, shared by :class:`WatermarkDetector` (one secret, one or
+    many datasets) and :func:`repro.core.batch.detect_many_secrets`
+    (many secrets, one dataset) so the two paths cannot diverge.
+
+    ``first``/``second`` hold the pair-member frequencies (0 marks a
+    missing token), broadcastable against the per-pair ``safe_moduli`` /
+    ``valid`` / ``thresholds`` arrays. Returns ``(accepted, present,
+    remainder)`` arrays of the broadcast shape.
+    """
+    present = (first > 0) & (second > 0)
+    remainder = (first - second) % safe_moduli
+    if symmetric_tolerance:
+        residue = np.minimum(remainder, safe_moduli - remainder)
+    else:
+        residue = remainder
+    accepted = present & valid & (residue <= thresholds)
+    return accepted, present, remainder
+
+
+def build_pair_evidence(
+    pairs: Sequence["TokenPair"],
+    accepted: np.ndarray,
+    present: np.ndarray,
+    remainder: np.ndarray,
+    moduli: np.ndarray,
+    thresholds: np.ndarray,
+    valid: np.ndarray,
+) -> Tuple["PairEvidence", ...]:
+    """Materialise per-pair evidence objects from one vector pass."""
+    return tuple(
+        PairEvidence(
+            pair=pair,
+            present=bool(present[index]),
+            modulus=int(moduli[index]),
+            remainder=(
+                int(remainder[index]) if present[index] and valid[index] else None
+            ),
+            threshold=int(thresholds[index]),
+            accepted=bool(accepted[index]),
+        )
+        for index, pair in enumerate(pairs)
+    )
+
+
 @dataclass(frozen=True)
 class PairEvidence:
     """Per-pair detection outcome.
@@ -182,14 +238,14 @@ class WatermarkDetector:
         dataset). Returns ``(accepted, present, remainder)`` arrays of the
         same shape.
         """
-        present = (first > 0) & (second > 0)
-        remainder = (first - second) % self._safe_moduli
-        if self.config.symmetric_tolerance:
-            residue = np.minimum(remainder, self._safe_moduli - remainder)
-        else:
-            residue = remainder
-        accepted = present & self._valid & (residue <= self._thresholds)
-        return accepted, present, remainder
+        return verify_pair_arrays(
+            first,
+            second,
+            safe_moduli=self._safe_moduli,
+            valid=self._valid,
+            thresholds=self._thresholds,
+            symmetric_tolerance=self.config.symmetric_tolerance,
+        )
 
     def _result(self, accepted_pairs: int, evidence: Tuple[PairEvidence, ...]) -> DetectionResult:
         return DetectionResult(
@@ -204,20 +260,14 @@ class WatermarkDetector:
         self, accepted: np.ndarray, present: np.ndarray, remainder: np.ndarray
     ) -> Tuple[PairEvidence, ...]:
         """Materialise per-pair evidence objects from the vector pass."""
-        return tuple(
-            PairEvidence(
-                pair=pair,
-                present=bool(present[index]),
-                modulus=int(self._moduli[index]),
-                remainder=(
-                    int(remainder[index])
-                    if present[index] and self._valid[index]
-                    else None
-                ),
-                threshold=int(self._thresholds[index]),
-                accepted=bool(accepted[index]),
-            )
-            for index, pair in enumerate(self.secret.pairs)
+        return build_pair_evidence(
+            self.secret.pairs,
+            accepted,
+            present,
+            remainder,
+            self._moduli,
+            self._thresholds,
+            self._valid,
         )
 
     # ------------------------------------------------------------------ #
@@ -341,6 +391,8 @@ __all__ = [
     "DetectionResult",
     "SuspectData",
     "WatermarkDetector",
+    "build_pair_evidence",
     "detect_watermark",
     "detector_fingerprint",
+    "verify_pair_arrays",
 ]

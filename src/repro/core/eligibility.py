@@ -26,7 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.hashing import pair_modulus
+from repro.core.hashing import PairModulusCache, pair_modulus
 from repro.core.histogram import TokenHistogram
 from repro.core.tokens import TokenPair
 from repro.exceptions import EligibilityError
@@ -125,6 +125,171 @@ def iter_candidate_pairs(
             yield tokens[i], tokens[j]
 
 
+@dataclass(frozen=True)
+class EligibilityContext:
+    """Secret-independent precomputation of one histogram's pair scan.
+
+    Everything the eligibility scan reads about the *histogram* — the
+    descending token order, counts, boundary slacks and the candidate
+    index set after the slack / ``max_candidates`` / ``excluded_tokens``
+    filters — depends only on the histogram and the generation knobs,
+    never on the secret ``R``. Batch embedding over many candidate
+    secrets for one dataset therefore builds this once
+    (:meth:`build`) and re-runs only the secret-dependent part
+    (moduli and remainders) per secret.
+
+    Instances are plain captured state; reusing a context with a
+    histogram it was not built from produces garbage, so only
+    :func:`generate_eligible_pairs` and the batch generator pass them
+    around.
+    """
+
+    tokens: Tuple[str, ...]
+    counts: Tuple[int, ...]
+    slack: Tuple[int, ...]
+    candidate_indices: Tuple[int, ...]
+
+    @classmethod
+    def build(
+        cls,
+        histogram: TokenHistogram,
+        *,
+        max_candidates: Optional[int] = None,
+        excluded_tokens: Optional[Sequence[str]] = None,
+    ) -> "EligibilityContext":
+        """Capture the histogram-side scan state for the given knobs."""
+        arrays = histogram.arrays()
+        slack = arrays.slack()
+        keep = _candidate_token_mask(histogram, max_candidates)
+        # Boundary pre-filter: every valid modulus needs ceil(s_ij / 2) >= 1
+        # slack on both tokens, so tokens whose binding boundary is zero (an
+        # equal-frequency neighbour on the tight side) can never take part in
+        # an eligible pair — drop them before the quadratic scan instead of
+        # hashing their pairs. On flat histograms this removes almost all
+        # candidates; on the paper's power-law data it is a no-op.
+        keep &= slack >= 1
+        tokens_all = histogram.tokens
+        if excluded_tokens:
+            excluded = set(excluded_tokens)
+            for index in np.nonzero(keep)[0]:
+                if tokens_all[int(index)] in excluded:
+                    keep[index] = False
+        return cls(
+            tokens=tuple(tokens_all),
+            counts=tuple(arrays.counts.tolist()),
+            slack=tuple(slack.tolist()),
+            candidate_indices=tuple(int(i) for i in np.nonzero(keep)[0]),
+        )
+
+
+#: Largest candidate-pair count the vectorized scan materialises index
+#: arrays for; wider histograms fall back to the streaming loop, which
+#: allocates only for survivors (values are identical either way).
+VECTOR_SCAN_MAX_PAIRS = 2_000_000
+
+#: Total pairs a plan store may retain across its cached vocabularies
+#: (~160 MB of plan arrays at worst). One shared owner secret applied to
+#: a stream of *different* vocabularies would otherwise accumulate one
+#: unreusable plan per dataset for the whole batch; past the budget the
+#: oldest plans are evicted, so a repeating vocabulary stays hot while a
+#: never-repeating stream runs in bounded memory.
+PLAN_STORE_PAIR_BUDGET = 4_000_000
+
+
+@dataclass(frozen=True)
+class PairScanPlan:
+    """Vectorized scan state for one ``(secret, cap, candidate vocabulary)``.
+
+    The pair enumeration order and every modulus depend only on the
+    candidate token list and the secret — not on the frequencies — so a
+    batch embedding run that revisits the same vocabulary (snapshots or
+    per-buyer copies of one corpus) reuses this plan and runs each
+    dataset's eligibility scan as a handful of NumPy operations instead
+    of a quadratic Python loop. :meth:`scan` produces exactly the list
+    the reference loop produces: pairs are enumerated in the same
+    row-major ``(i, j > i)`` order and every value comes from the same
+    integer arithmetic.
+    """
+
+    candidate_tokens: Tuple[str, ...]
+    first_index: "np.ndarray"
+    second_index: "np.ndarray"
+    moduli: "np.ndarray"
+    #: ``ceil(s_ij / 2)`` per pair — the slack both members must cover.
+    need: "np.ndarray"
+    safe_moduli: "np.ndarray"
+    valid: "np.ndarray"
+
+    @classmethod
+    def build(
+        cls,
+        candidate_tokens: Sequence[str],
+        modulus_cache: PairModulusCache,
+    ) -> "PairScanPlan":
+        """Derive (or look up) every candidate pair's modulus once."""
+        count = len(candidate_tokens)
+        first_index, second_index = np.triu_indices(count, k=1)
+        modulus_of = modulus_cache.modulus
+        moduli = np.fromiter(
+            (
+                modulus_of(candidate_tokens[int(i)], candidate_tokens[int(j)])
+                for i, j in zip(first_index, second_index)
+            ),
+            dtype=np.int64,
+            count=len(first_index),
+        )
+        valid = moduli >= 2
+        return cls(
+            candidate_tokens=tuple(candidate_tokens),
+            first_index=first_index,
+            second_index=second_index,
+            moduli=moduli,
+            need=(moduli + 1) // 2,
+            safe_moduli=np.where(valid, moduli, 1),
+            valid=valid,
+        )
+
+    def scan(
+        self,
+        counts: "np.ndarray",
+        slack: "np.ndarray",
+        *,
+        require_modification: bool = False,
+    ) -> List[EligiblePair]:
+        """One dataset's eligibility scan over the cached pair plan.
+
+        ``counts`` / ``slack`` are the candidate tokens' frequencies and
+        binding boundaries (aligned with :attr:`candidate_tokens`).
+        """
+        first = counts[self.first_index]
+        second = counts[self.second_index]
+        keep = (
+            self.valid
+            & (slack[self.first_index] >= self.need)
+            & (slack[self.second_index] >= self.need)
+        )
+        difference = first - second
+        remainder = difference % self.safe_moduli
+        if require_modification:
+            keep &= remainder != 0
+        survivors = np.nonzero(keep)[0]
+        tokens = self.candidate_tokens
+        eligible = [
+            EligiblePair(
+                pair=TokenPair(
+                    tokens[int(self.first_index[index])],
+                    tokens[int(self.second_index[index])],
+                ),
+                modulus=int(self.moduli[index]),
+                remainder=int(remainder[index]),
+                frequency_difference=int(difference[index]),
+            )
+            for index in survivors
+        ]
+        eligible.sort(key=lambda item: (item.cost, item.pair))
+        return eligible
+
+
 def generate_eligible_pairs(
     histogram: TokenHistogram,
     secret: int,
@@ -133,6 +298,9 @@ def generate_eligible_pairs(
     max_candidates: Optional[int] = None,
     excluded_tokens: Optional[Sequence[str]] = None,
     require_modification: bool = False,
+    context: Optional[EligibilityContext] = None,
+    modulus_cache: Optional[PairModulusCache] = None,
+    plan_store: Optional[Dict[Tuple[str, ...], PairScanPlan]] = None,
 ) -> List[EligiblePair]:
     """Compute the eligible pair list ``L_e`` for a histogram.
 
@@ -157,6 +325,21 @@ def generate_eligible_pairs(
         well — so owners who need the watermark to discriminate versions
         (dispute arbitration, provenance chains, per-buyer tracing) should
         enable this.
+    context:
+        A prebuilt :class:`EligibilityContext` for this histogram and
+        these knobs, skipping the histogram-side precomputation. Batch
+        embedding reuses one context across many candidate secrets.
+    modulus_cache:
+        A :class:`~repro.core.hashing.PairModulusCache` for ``(secret,
+        modulus_cap)``; pair moduli already derived (by an earlier
+        dataset of the same batch, say) are then looked up instead of
+        re-hashed. Must match the secret and cap exactly.
+    plan_store:
+        Candidate-vocabulary -> :class:`PairScanPlan` map for this
+        ``(secret, modulus_cap)`` (requires ``modulus_cache``). When the
+        candidate token list repeats across a batch, the scan runs
+        vectorized over the cached plan instead of looping; results are
+        identical.
 
     Returns
     -------
@@ -167,26 +350,59 @@ def generate_eligible_pairs(
         raise EligibilityError(f"modulus cap z must be >= 2, got {modulus_cap}")
     if len(histogram) < 2:
         return []
-    arrays = histogram.arrays()
-    slack = arrays.slack()
-    keep = _candidate_token_mask(histogram, max_candidates)
-    # Boundary pre-filter: every valid modulus needs ceil(s_ij / 2) >= 1
-    # slack on both tokens, so tokens whose binding boundary is zero (an
-    # equal-frequency neighbour on the tight side) can never take part in
-    # an eligible pair — drop them before the quadratic scan instead of
-    # hashing their pairs. On flat histograms this removes almost all
-    # candidates; on the paper's power-law data it is a no-op.
-    keep &= slack >= 1
-    if excluded_tokens:
-        excluded = set(excluded_tokens)
-        tokens_all = histogram.tokens
-        for index in np.nonzero(keep)[0]:
-            if tokens_all[int(index)] in excluded:
-                keep[index] = False
-    candidate_indices = np.nonzero(keep)[0]
-    tokens = histogram.tokens
-    counts_list = arrays.counts.tolist()
-    slack_list = slack.tolist()
+    if modulus_cache is not None and not modulus_cache.matches(secret, modulus_cap):
+        raise EligibilityError(
+            "modulus cache was built for a different secret or modulus cap"
+        )
+    if context is None:
+        context = EligibilityContext.build(
+            histogram,
+            max_candidates=max_candidates,
+            excluded_tokens=excluded_tokens,
+        )
+    candidate_indices = context.candidate_indices
+    tokens = context.tokens
+    counts_list = context.counts
+    slack_list = context.slack
+    pair_count = len(candidate_indices) * (len(candidate_indices) - 1) // 2
+    if (
+        plan_store is not None
+        and modulus_cache is not None
+        and pair_count <= VECTOR_SCAN_MAX_PAIRS
+    ):
+        candidate_tokens = tuple(tokens[i] for i in candidate_indices)
+        plan = plan_store.get(candidate_tokens)
+        if plan is None:
+            plan = PairScanPlan.build(candidate_tokens, modulus_cache)
+            plan_store[candidate_tokens] = plan
+            # Bound the store by retained pairs. Hits below re-insert
+            # their key, so dict order is least-recently-used-first and
+            # eviction drops the coldest plan.
+            while (
+                len(plan_store) > 1
+                and sum(len(entry.moduli) for entry in plan_store.values())
+                > PLAN_STORE_PAIR_BUDGET
+            ):
+                plan_store.pop(next(iter(plan_store)))
+        else:
+            # Move-to-end so a repeating vocabulary survives eviction.
+            plan_store[candidate_tokens] = plan_store.pop(candidate_tokens)
+        counts = np.fromiter(
+            (counts_list[i] for i in candidate_indices),
+            dtype=np.int64,
+            count=len(candidate_indices),
+        )
+        slack = np.fromiter(
+            (slack_list[i] for i in candidate_indices),
+            dtype=np.int64,
+            count=len(candidate_indices),
+        )
+        return plan.scan(counts, slack, require_modification=require_modification)
+    modulus_of = (
+        modulus_cache.modulus
+        if modulus_cache is not None
+        else lambda a, b: pair_modulus(a, b, secret, modulus_cap)
+    )
     eligible: List[EligiblePair] = []
     for position, i in enumerate(candidate_indices):
         token_i = tokens[i]
@@ -194,7 +410,7 @@ def generate_eligible_pairs(
         frequency_i = counts_list[i]
         for j in candidate_indices[position + 1 :]:
             token_j = tokens[j]
-            modulus = pair_modulus(token_i, token_j, secret, modulus_cap)
+            modulus = modulus_of(token_i, token_j)
             if not _boundary_allows(modulus, slack_i, slack_list[j]):
                 continue
             difference = frequency_i - counts_list[j]
@@ -220,6 +436,10 @@ def eligible_pair_index(pairs: Sequence[EligiblePair]) -> Dict[TokenPair, Eligib
 
 __all__ = [
     "EligiblePair",
+    "EligibilityContext",
+    "PairScanPlan",
+    "PLAN_STORE_PAIR_BUDGET",
+    "VECTOR_SCAN_MAX_PAIRS",
     "iter_candidate_pairs",
     "generate_eligible_pairs",
     "eligible_pair_index",

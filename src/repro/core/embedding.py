@@ -1,0 +1,414 @@
+"""Batch embedding: ``WM_Generate`` over many datasets at scale.
+
+PRs 1–3 made *detection* batched, sharded and serveable; this module does
+the same for the embedding side. Two independent levers compose:
+
+* **In-process amortisation** —
+  :meth:`repro.core.generator.WatermarkGenerator.generate_many` shares
+  the SHA-256 pair-modulus derivations (per owner secret) and the
+  histogram-side eligibility precomputation (per dataset) across a whole
+  batch, with outputs bit-identical to the sequential loop;
+* **Process sharding** — :class:`ShardedEmbeddingPool` partitions a
+  batch across worker processes the way
+  :class:`~repro.core.sharding.ShardedDetectionPool` does for detection:
+  every worker builds its :class:`~repro.core.generator.WatermarkGenerator`
+  once from the pickled configuration, chunks are dispatched in input
+  order, and results come back in input order. ``workers=1`` — and any
+  environment where processes cannot be spawned — falls back in-process.
+
+Sharded embedding requires the generator's randomness source to be a
+plain seed (or ``None``): an ``int`` seed reproduces per dataset rather
+than threading one mutable stream through the batch, so the outcome is
+independent of which worker embeds which dataset — exactly the property
+that makes the sharded results equal to the sequential ones. A live
+:class:`numpy.random.Generator` cannot give that guarantee and is
+rejected for ``workers > 1``.
+
+``tests/test_embedding.py`` asserts batched/sharded parity (including a
+hypothesis sweep over arbitrary dataset lists) and
+``benchmarks/bench_embed_many.py`` tracks the amortisation speedup.
+"""
+
+from __future__ import annotations
+
+import logging
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import GenerationConfig
+from repro.core.generator import WatermarkGenerator, WatermarkResult
+from repro.core.histogram import TokenHistogram
+from repro.core.tokens import TokenValue
+from repro.exceptions import GenerationError
+
+#: A dataset to embed: a raw token sequence or a pre-built histogram.
+EmbedData = Union[Sequence[TokenValue], TokenHistogram]
+
+logger = logging.getLogger(__name__)
+
+# Per-worker generator, built once by _initialize_worker. Module-level so
+# the dispatched chunk functions stay picklable by reference.
+_WORKER_GENERATOR: Optional[WatermarkGenerator] = None
+
+
+def _initialize_worker(config: Optional[GenerationConfig], seed: Optional[int]) -> None:
+    """Pool initializer: build the generator once inside each worker."""
+    global _WORKER_GENERATOR
+    _WORKER_GENERATOR = WatermarkGenerator(config, rng=seed)
+
+
+def _embed_chunk(
+    payload: Tuple[List[EmbedData], Optional[List[Optional[int]]]],
+) -> List[WatermarkResult]:
+    """Run one ``generate_many`` pass over a dispatched chunk."""
+    chunk, secret_values = payload
+    if _WORKER_GENERATOR is None:  # pragma: no cover - defensive
+        raise GenerationError("sharded embedding worker was not initialized")
+    return _WORKER_GENERATOR.generate_many(chunk, secret_values=secret_values)
+
+
+def _embed_one_file(
+    generator: WatermarkGenerator,
+    path: Path,
+    output_dir: Path,
+    secret_dir: Path,
+) -> Dict[str, object]:
+    """Watermark one token file, writing the edited file and its secret.
+
+    With a seeded generator the per-file randomness is re-derived from
+    ``(seed, file name)``: a constant seed re-applied verbatim would
+    hand every file the *same* secret ``R``, and the per-buyer tracing
+    workflow collapses the moment one recipient's secret list reveals
+    the ``R`` behind everyone else's watermark. Deriving per file keeps
+    the run reproducible (same seed + same file -> same watermark)
+    while every file still gets an independent secret.
+    """
+    # Imported lazily: repro.datasets depends on repro.core, so the
+    # dependency must stay one-way at module-import time.
+    from repro.datasets.loaders import load_token_file, save_token_file
+    from repro.utils.rng import derive_rng
+
+    if generator._rng_source is not None:
+        generator = WatermarkGenerator(
+            generator.config,
+            rng=derive_rng(generator._rng_source, "embed-file", path.name),
+        )
+    tokens = load_token_file(path)
+    result = generator.generate(tokens)
+    output_path = output_dir / path.name
+    secret_path = secret_dir / (path.name + ".json")
+    assert result.watermarked_tokens is not None  # raw-token mode
+    save_token_file(result.watermarked_tokens, output_path)
+    result.secret.save(secret_path)
+    summary = result.summary()
+    summary["input"] = str(path)
+    summary["output"] = str(output_path)
+    summary["secret_file"] = str(secret_path)
+    return summary
+
+
+def _embed_file_chunk(
+    payload: Tuple[List[Path], Path, Path],
+) -> List[Dict[str, object]]:
+    """Watermark one chunk of token files inside a worker."""
+    paths, output_dir, secret_dir = payload
+    if _WORKER_GENERATOR is None:  # pragma: no cover - defensive
+        raise GenerationError("sharded embedding worker was not initialized")
+    return [
+        _embed_one_file(_WORKER_GENERATOR, path, output_dir, secret_dir)
+        for path in paths
+    ]
+
+
+@dataclass(frozen=True)
+class BatchEmbeddingReport:
+    """Outcome of embedding a batch of datasets.
+
+    Attributes
+    ----------
+    results:
+        One :class:`~repro.core.generator.WatermarkResult` per input
+        dataset, in input order.
+    """
+
+    results: Tuple[WatermarkResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> WatermarkResult:
+        return self.results[index]
+
+    @property
+    def secrets(self) -> Tuple[object, ...]:
+        """Per-dataset secret lists ``L_sc``, aligned with the input order."""
+        return tuple(result.secret for result in self.results)
+
+    @property
+    def watermarked_histograms(self) -> Tuple[TokenHistogram, ...]:
+        """Per-dataset watermarked histograms, aligned with the input order."""
+        return tuple(result.watermarked_histogram for result in self.results)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary used by the CLI and benchmarks."""
+        total = len(self.results)
+        return {
+            "datasets": total,
+            "selected_pairs_total": sum(result.pair_count for result in self.results),
+            "mean_selected_pairs": (
+                sum(result.pair_count for result in self.results) / total
+                if total
+                else 0.0
+            ),
+            "mean_distortion_percent": (
+                sum(result.distortion_percent for result in self.results) / total
+                if total
+                else 0.0
+            ),
+            "total_changes": sum(result.total_changes for result in self.results),
+        }
+
+
+class ShardedEmbeddingPool:
+    """Partition batch embedding workloads across worker processes.
+
+    The pool owns one :class:`~repro.core.generator.WatermarkGenerator`
+    per worker (built once in the pool initializer from the pickled
+    configuration and seed) and embeds batches by dispatching contiguous
+    chunks. Results come back in input order and are bit-identical to
+    the in-process sequential loop.
+
+    Parameters
+    ----------
+    config : GenerationConfig, optional
+        Generation parameters shared by every worker.
+    seed : int, optional
+        Seed for the per-worker randomness source. ``None`` uses the OS
+        CSPRNG for secret sampling (the secure default; results are then
+        not reproducible, sequentially or sharded). A live
+        :class:`numpy.random.Generator` is *not* accepted: its mutable
+        state cannot be split across processes deterministically.
+    workers : int, optional
+        Worker process count. ``None`` uses
+        :func:`~repro.core.sharding.default_worker_count`; ``1``
+        short-circuits in-process — no processes are ever spawned.
+    chunk_size : int, optional
+        Datasets per dispatched chunk. ``None`` splits each batch into
+        one chunk per worker — embedding chunks should be as large as
+        possible so the per-chunk modulus cache amortises across many
+        datasets.
+    start_method : str, optional
+        ``multiprocessing`` start method; ``None`` uses the platform
+        default.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GenerationConfig] = None,
+        *,
+        seed: Optional[int] = None,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise GenerationError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise GenerationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if isinstance(seed, np.random.Generator):
+            raise GenerationError(
+                "sharded embedding needs a plain integer seed (or None): a "
+                "live Generator cannot reproduce deterministically across "
+                "worker processes"
+            )
+        from repro.core.sharding import default_worker_count
+
+        self.config = config or GenerationConfig()
+        self.seed = seed
+        self.workers = workers if workers is not None else default_worker_count()
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self._pool = None
+        self._local = WatermarkGenerator(self.config, rng=seed)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "ShardedEmbeddingPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self):
+        """Create the worker pool lazily; None when unavailable."""
+        if self._pool is None:
+            import multiprocessing
+
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method
+                else multiprocessing.get_context()
+            )
+            try:
+                self._pool = context.Pool(
+                    processes=self.workers,
+                    initializer=_initialize_worker,
+                    initargs=(self.config, self.seed),
+                )
+            except (OSError, ValueError) as error:
+                # Same degradation contract as ShardedDetectionPool:
+                # restricted sandboxes fall back in-process, loudly.
+                logger.warning(
+                    "cannot start embedding workers (%s: %s); "
+                    "falling back to in-process embedding",
+                    type(error).__name__,
+                    error,
+                )
+                warnings.warn(
+                    f"cannot start embedding workers ({error}); "
+                    "falling back to in-process embedding",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self.workers = 1
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _chunks(self, items: List) -> Iterator[List]:
+        """Contiguous chunks in input order (ordered collection relies on it).
+
+        Unlike detection's many-small-chunks default, embedding defaults
+        to one chunk per worker: each chunk shares one modulus cache, so
+        bigger chunks amortise more (and per-dataset embedding cost is
+        far more uniform than suspect-file sizes).
+        """
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(items) // self.workers))
+        for start in range(0, len(items), size):
+            yield items[start : start + size]
+
+    def embed_many(
+        self,
+        datasets: Sequence[EmbedData],
+        *,
+        secret_values: Optional[Sequence[Optional[int]]] = None,
+    ) -> BatchEmbeddingReport:
+        """Embed a batch of datasets across the workers.
+
+        Parameters
+        ----------
+        datasets : Sequence[EmbedData]
+            Raw token sequences and/or pre-built histograms, mixed
+            freely. Everything dispatched must be picklable.
+        secret_values : Sequence[int | None], optional
+            Per-dataset explicit secrets, aligned with ``datasets``
+            (see :meth:`WatermarkGenerator.generate_many`).
+
+        Returns
+        -------
+        BatchEmbeddingReport
+            One result per dataset, **in input order**, bit-identical to
+            the sequential in-process loop.
+        """
+        if secret_values is not None and len(secret_values) != len(datasets):
+            raise GenerationError(
+                f"secret_values has {len(secret_values)} entries for "
+                f"{len(datasets)} datasets"
+            )
+        items = list(datasets)
+        if not items:
+            return BatchEmbeddingReport(results=())
+        values = list(secret_values) if secret_values is not None else None
+        pool = None
+        if self.workers > 1 and len(items) > 1:
+            pool = self._ensure_pool()  # None when spawning failed
+        if pool is None:
+            return BatchEmbeddingReport(
+                results=tuple(self._local.generate_many(items, secret_values=values))
+            )
+        payloads = []
+        start = 0
+        for chunk in self._chunks(items):
+            chunk_values = values[start : start + len(chunk)] if values else None
+            payloads.append((chunk, chunk_values))
+            start += len(chunk)
+        collected: List[WatermarkResult] = []
+        # imap yields chunk results in dispatch order, so concatenating
+        # preserves the input order exactly.
+        for chunk_results in pool.imap(_embed_chunk, payloads):
+            collected.extend(chunk_results)
+        return BatchEmbeddingReport(results=tuple(collected))
+
+    def embed_files(
+        self,
+        paths: Sequence[Union[str, Path]],
+        output_dir: Union[str, Path],
+        secret_dir: Union[str, Path],
+    ) -> List[Dict[str, object]]:
+        """Watermark token-per-line files, each loaded inside its worker.
+
+        Only the file *paths* are dispatched: each worker loads its
+        chunk's token sequences, embeds them, and writes the watermarked
+        file (same name under ``output_dir``) and the secret list
+        (``<name>.json`` under ``secret_dir``) itself — so the dominant
+        read/embed/write cost parallelises and the parent only collects
+        flat per-file summaries.
+
+        Every file receives its **own** secret ``R``. With a seeded pool
+        the per-file randomness is derived from ``(seed, file name)`` —
+        reproducible, but never shared between files, so one recipient's
+        secret list reveals nothing about another file's watermark.
+
+        Returns
+        -------
+        list of dict
+            One :meth:`WatermarkResult.summary` per file (plus
+            ``input`` / ``output`` / ``secret_file`` paths), in input
+            order.
+        """
+        items = [Path(path) for path in paths]
+        if not items:
+            return []
+        out_dir = Path(output_dir)
+        sec_dir = Path(secret_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        sec_dir.mkdir(parents=True, exist_ok=True)
+        pool = None
+        if self.workers > 1 and len(items) > 1:
+            pool = self._ensure_pool()
+        if pool is None:
+            return [
+                _embed_one_file(self._local, path, out_dir, sec_dir) for path in items
+            ]
+        payloads = [(chunk, out_dir, sec_dir) for chunk in self._chunks(items)]
+        collected: List[Dict[str, object]] = []
+        for chunk_results in pool.imap(_embed_file_chunk, payloads):
+            collected.extend(chunk_results)
+        return collected
+
+
+__all__ = [
+    "EmbedData",
+    "BatchEmbeddingReport",
+    "ShardedEmbeddingPool",
+]

@@ -20,12 +20,18 @@ token sequence was supplied, the edited sequence), the secret list
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import GenerationConfig
-from repro.core.eligibility import EligiblePair, generate_eligible_pairs
-from repro.core.hashing import generate_secret
+from repro.core.eligibility import (
+    EligiblePair,
+    EligibilityContext,
+    PairScanPlan,
+    generate_eligible_pairs,
+)
+from repro.core.hashing import PairModulusCache, generate_secret
 from repro.core.histogram import TokenHistogram
 from repro.core.matching import SelectionResult, select_pairs
 from repro.core.modification import (
@@ -113,6 +119,123 @@ class WatermarkResult:
             "generation_seconds": sum(self.timings.values()),
         }
 
+    # ------------------------------------------------------------------ #
+    # Lean pickling
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle exactly the dataclass fields — the lean-payload contract.
+
+        Embedding results cross the sharded-pool process boundary (one
+        per dataset). The heavy lifting is done by the nested objects —
+        histograms serialise through their own lean ``__getstate__``
+        (token order + count vector, no derived arrays) and the secret
+        drops its memoised fingerprint. Today this matches default
+        pickling byte for byte; it exists to *pin* the contract, so a
+        future memoised attribute set via ``object.__setattr__`` (the
+        ``WatermarkSecret._fingerprint`` pattern) is excluded
+        automatically instead of silently bloating every worker payload.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
+
+class _BatchScratch:
+    """Shared derivation state of one batch embedding run.
+
+    Holds the :class:`~repro.core.hashing.PairModulusCache` per distinct
+    ``(R, z)`` (shared when many datasets are watermarked under one owner
+    secret) and the :class:`~repro.core.eligibility.EligibilityContext`
+    per distinct histogram object (shared when many candidate secrets are
+    tried against one dataset). Both caches are value-transparent — they
+    only skip recomputation — so batched outputs stay bit-identical to
+    the sequential path.
+    """
+
+    #: Most-recent (R, z) derivation sets kept alive. Shared-secret
+    #: batches only ever populate one; batches that sample a fresh
+    #: secret per dataset (the secure default) would otherwise grow the
+    #: scratch by O(candidate pairs) per dataset — each retired secret's
+    #: moduli and scan plans can never hit again, so they are dropped.
+    MAX_SECRETS = 4
+    #: Most-recent histogram eligibility contexts kept alive. Only a
+    #: repeated histogram *object* (the candidate-secrets mode) can ever
+    #: hit, so a batch of distinct datasets must not pin every histogram
+    #: it has already embedded.
+    MAX_CONTEXTS = 8
+
+    __slots__ = ("moduli", "contexts", "plans")
+
+    def __init__(self) -> None:
+        self.moduli: "OrderedDict[Tuple[int, int], PairModulusCache]" = OrderedDict()
+        # Keyed by id(histogram); the histogram itself is kept in the
+        # value so the id cannot be recycled while the entry lives.
+        self.contexts: "OrderedDict[int, Tuple[TokenHistogram, EligibilityContext]]" = (
+            OrderedDict()
+        )
+        # Per-(R, z) vectorized scan plans, keyed inside by the
+        # candidate-token vocabulary (see PairScanPlan).
+        self.plans: "OrderedDict[Tuple[int, int], Dict[Tuple[str, ...], PairScanPlan]]" = (
+            OrderedDict()
+        )
+
+    def modulus_cache(self, secret_value: int, modulus_cap: int) -> PairModulusCache:
+        key = (secret_value, modulus_cap)
+        cache = self.moduli.get(key)
+        if cache is None:
+            cache = PairModulusCache(secret_value, modulus_cap)
+            self.moduli[key] = cache
+        else:
+            self.moduli.move_to_end(key)
+        return cache
+
+    def plan_store(
+        self, secret_value: int, modulus_cap: int
+    ) -> Dict[Tuple[str, ...], PairScanPlan]:
+        key = (secret_value, modulus_cap)
+        store = self.plans.get(key)
+        if store is None:
+            store = {}
+            self.plans[key] = store
+        else:
+            self.plans.move_to_end(key)
+        return store
+
+    def trim(self) -> None:
+        """Drop all but the most recently *used* derivation state.
+
+        Every accessor moves its key to the end (true LRU), so a shared
+        secret that keeps hitting — even interleaved with freshly
+        sampled ones — stays resident, while retired sampled secrets and
+        the contexts of histograms that will never repeat are evicted
+        first.
+        """
+        while len(self.moduli) > self.MAX_SECRETS:
+            self.moduli.popitem(last=False)
+        while len(self.plans) > self.MAX_SECRETS:
+            self.plans.popitem(last=False)
+        while len(self.contexts) > self.MAX_CONTEXTS:
+            self.contexts.popitem(last=False)
+
+    def context_for(
+        self, histogram: TokenHistogram, config: GenerationConfig
+    ) -> EligibilityContext:
+        key = id(histogram)
+        entry = self.contexts.get(key)
+        if entry is None:
+            context = EligibilityContext.build(
+                histogram,
+                max_candidates=config.max_candidates,
+                excluded_tokens=config.excluded_tokens,
+            )
+            self.contexts[key] = (histogram, context)
+            return context
+        self.contexts.move_to_end(key)
+        return entry[1]
+
 
 class WatermarkGenerator:
     """Reusable ``WM_Generate`` engine configured once, applied many times.
@@ -149,6 +272,74 @@ class WatermarkGenerator:
         explicit ``secret_value`` overrides secret sampling, which the
         multi-watermarking and test code rely on.
         """
+        return self._generate_one(data, secret_value, _BatchScratch())
+
+    def generate_many(
+        self,
+        datasets: Sequence[Union[Sequence[TokenValue], TokenHistogram]],
+        *,
+        secret_values: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[WatermarkResult]:
+        """Embed watermarks into many datasets, amortising shared work.
+
+        Semantically this is exactly the sequential loop
+        ``[self.generate(data, secret_value=sv) for data, sv in ...]`` —
+        outputs are bit-identical, including every RNG-derived tie-break,
+        because the same code runs per dataset in the same order. What
+        the batch amortises is *derivation*, never decisions:
+
+        * pair moduli (two SHA-256 hashes each) are cached per
+          ``(R, z)`` across the whole batch, so datasets embedded under
+          one owner secret re-derive nothing for vocabulary they share;
+        * the inner digests ``H(R || tk_j)`` are shared even within one
+          dataset (halving the hash count of a cold scan);
+        * the histogram-side eligibility precomputation is cached per
+          histogram object, so trying many candidate secrets against one
+          dataset pays it once.
+
+        Parameters
+        ----------
+        datasets:
+            Raw token sequences and/or pre-built histograms, mixed
+            freely. Passing the *same histogram object* several times is
+            the many-candidate-secrets mode.
+        secret_values:
+            Optional per-dataset explicit secrets (``None`` entries fall
+            back to sampling, exactly like :meth:`generate`). Must match
+            ``datasets`` in length when given. A single shared secret is
+            what enables cross-dataset modulus reuse.
+
+        Returns
+        -------
+        list of :class:`WatermarkResult`, one per dataset, in input order.
+        """
+        if secret_values is not None and len(secret_values) != len(datasets):
+            raise GenerationError(
+                f"secret_values has {len(secret_values)} entries for "
+                f"{len(datasets)} datasets"
+            )
+        scratch = _BatchScratch()
+        results: List[WatermarkResult] = []
+        for index, data in enumerate(datasets):
+            secret_value = secret_values[index] if secret_values is not None else None
+            results.append(self._generate_one(data, secret_value, scratch))
+            # Bound the scratch: a batch that samples a fresh secret per
+            # dataset retires each derivation set immediately, and
+            # keeping them all would grow memory with the batch size.
+            scratch.trim()
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Pipeline internals
+    # ------------------------------------------------------------------ #
+
+    def _generate_one(
+        self,
+        data: Union[Sequence[TokenValue], TokenHistogram],
+        secret_value: Optional[int],
+        scratch: _BatchScratch,
+    ) -> WatermarkResult:
+        """One ``WM_Generate`` run, drawing shared derivations from ``scratch``."""
         stopwatch = Stopwatch()
         tokens: Optional[Sequence[TokenValue]]
         with stopwatch.measure("histogram"):
@@ -176,6 +367,11 @@ class WatermarkGenerator:
                 max_candidates=self.config.max_candidates,
                 excluded_tokens=self.config.excluded_tokens,
                 require_modification=self.config.require_modification,
+                context=scratch.context_for(histogram, self.config),
+                modulus_cache=scratch.modulus_cache(
+                    secret_value, self.config.modulus_cap
+                ),
+                plan_store=scratch.plan_store(secret_value, self.config.modulus_cap),
             )
 
         with stopwatch.measure("selection"):

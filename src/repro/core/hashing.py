@@ -87,6 +87,107 @@ def pair_modulus(
     return digest_to_int(outer) % z
 
 
+class PairModulusCache:
+    """Memoised ``s_ij`` derivation for one ``(R, z)`` pair.
+
+    The nested construction ``H(tk_i || H(R || tk_j))`` repeats the inner
+    hash for every pair sharing the same second member, and repeats both
+    hashes entirely when the same pair is scanned again — which is exactly
+    what happens when many datasets are watermarked under one owner secret
+    (per-buyer copies, corpus snapshots, shards). The cache memoises the
+    inner digests per second token and the final modulus per ordered pair,
+    so a batch embedding run pays each SHA-256 derivation once.
+
+    Values are bit-identical to :func:`pair_modulus` by construction — the
+    cache only skips *recomputation*, never changes the arithmetic — which
+    is what lets :meth:`repro.core.generator.WatermarkGenerator.generate_many`
+    share one cache across a whole batch while staying exactly equal to
+    the sequential path.
+
+    Memory stays bounded even when one owner secret is applied to an
+    endless stream of *different* vocabularies: past ``max_entries``
+    memoised pairs the cache resets (epoch-style — cheaper and simpler
+    than per-entry LRU, and a workload that overflows it has little
+    cross-dataset overlap to lose anyway).
+
+    Parameters
+    ----------
+    secret:
+        The high-entropy watermarking secret ``R``.
+    z:
+        The modulus cap (must be >= 2, as for :func:`pair_modulus`).
+    hash_function:
+        Alternative hash, mainly for testing; defaults to SHA-256.
+    max_entries:
+        Pair memo count that triggers a reset (``None`` disables).
+    """
+
+    #: Default pair-memo bound (~100 MB of dict at worst).
+    DEFAULT_MAX_ENTRIES = 1_000_000
+
+    __slots__ = (
+        "secret",
+        "z",
+        "max_entries",
+        "_hash",
+        "_inner",
+        "_moduli",
+        "hits",
+        "misses",
+        "resets",
+    )
+
+    def __init__(
+        self,
+        secret: int,
+        z: int,
+        *,
+        hash_function: HashFunction = sha256_hash,
+        max_entries: "int | None" = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if z < 2:
+            raise ValueError(f"modulus cap z must be at least 2, got {z}")
+        self.secret = secret
+        self.z = z
+        self.max_entries = max_entries
+        self._hash = hash_function
+        self._inner: dict = {}
+        self._moduli: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.resets = 0
+
+    def __len__(self) -> int:
+        return len(self._moduli)
+
+    def modulus(self, token_i: str, token_j: str) -> int:
+        """``pair_modulus(token_i, token_j, R, z)``, memoised."""
+        key = (token_i, token_j)
+        value = self._moduli.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        self.misses += 1
+        inner = self._inner.get(token_j)
+        if inner is None:
+            inner = self._hash(
+                _encode(self.secret) + _FIELD_SEPARATOR + _encode(token_j)
+            )
+            self._inner[token_j] = inner
+        outer = self._hash(_encode(token_i) + _FIELD_SEPARATOR + inner)
+        value = digest_to_int(outer) % self.z
+        if self.max_entries is not None and len(self._moduli) >= self.max_entries:
+            self._moduli.clear()
+            self._inner.clear()
+            self.resets += 1
+        self._moduli[key] = value
+        return value
+
+    def matches(self, secret: int, z: int) -> bool:
+        """Whether this cache was built for exactly ``(secret, z)``."""
+        return self.secret == secret and self.z == z
+
+
 def keyed_fingerprint(secret: int, *fields: "str | bytes | int") -> str:
     """HMAC-SHA256 fingerprint of ``fields`` under ``secret``.
 
@@ -123,6 +224,7 @@ __all__ = [
     "sha256_hash",
     "digest_to_int",
     "pair_modulus",
+    "PairModulusCache",
     "keyed_fingerprint",
     "generate_secret",
 ]

@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.batch import detect_many_secrets
+from repro.core.cache import DetectorCache
 from repro.core.config import DetectionConfig, GenerationConfig
-from repro.core.detector import WatermarkDetector
 from repro.core.generator import WatermarkGenerator, WatermarkResult
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
@@ -51,6 +52,13 @@ class MultiWatermarkResult:
 
     original_histogram: TokenHistogram
     rounds: List[WatermarkRound] = field(default_factory=list)
+    #: Shared cache of per-round detectors (one stage = one secret);
+    #: unbounded because the working set is exactly the chain length.
+    detector_cache: DetectorCache = field(
+        default_factory=lambda: DetectorCache(capacity=None),
+        repr=False,
+        compare=False,
+    )
 
     @property
     def final_histogram(self) -> TokenHistogram:
@@ -78,9 +86,14 @@ class MultiWatermarkResult:
         *,
         config: Optional[DetectionConfig] = None,
     ):
-        """Run detection for the watermark embedded at ``round_index``."""
+        """Run detection for the watermark embedded at ``round_index``.
+
+        The per-round detector comes from the shared cache, so sweeping
+        detection across rounds and dataset versions pays each round's
+        moduli precomputation once.
+        """
         secret = self.rounds[round_index].result.secret
-        return WatermarkDetector(secret, config).detect(data)
+        return self.detector_cache.get(secret, config).detect(data)
 
 
 class MultiWatermarker:
@@ -177,6 +190,13 @@ class ProvenanceChain:
     """
 
     secrets: List[WatermarkSecret] = field(default_factory=list)
+    #: Shared cache of per-stage detectors; unbounded because the
+    #: working set is exactly the chain length (times threshold configs).
+    detector_cache: DetectorCache = field(
+        default_factory=lambda: DetectorCache(capacity=None),
+        repr=False,
+        compare=False,
+    )
 
     def append(self, secret: WatermarkSecret) -> None:
         """Record a new watermarking stage at the end of the chain."""
@@ -203,7 +223,7 @@ class ProvenanceChain:
         )
         prefix = 0
         for secret in self.secrets:
-            result = WatermarkDetector(secret, detection_config).detect(histogram)
+            result = self.detector_cache.get(secret, detection_config).detect(histogram)
             if not result.accepted:
                 break
             prefix += 1
@@ -215,14 +235,21 @@ class ProvenanceChain:
         *,
         config: Optional[DetectionConfig] = None,
     ) -> List[Dict[str, object]]:
-        """Per-stage detection summaries for a suspected dataset version."""
+        """Per-stage detection summaries for a suspected dataset version.
+
+        All stages are verified in **one** batched vectorized pass
+        (:func:`repro.core.batch.detect_many_secrets`) — the dataset's
+        frequencies are looked up once for the union of every stage's
+        pair members; summaries are identical to per-stage detection.
+        """
         detection_config = config or DetectionConfig(pair_threshold=1)
         histogram = (
             data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
         )
         report: List[Dict[str, object]] = []
-        for index, secret in enumerate(self.secrets):
-            result = WatermarkDetector(secret, detection_config).detect(histogram)
+        for index, result in enumerate(
+            detect_many_secrets(histogram, self.secrets, detection_config)
+        ):
             entry = result.summary()
             entry["round"] = index
             report.append(entry)

@@ -96,6 +96,25 @@ class WatermarkSecret:
     # Serialisation
     # ------------------------------------------------------------------ #
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle only the secret material, dropping the fingerprint memo.
+
+        The memoised HMAC fingerprint is pure derived state; shipping it
+        across the sharded-embedding process boundary would bloat every
+        :class:`~repro.core.generator.WatermarkResult` payload for a
+        value the receiver can recompute lazily.
+        """
+        return {
+            "pairs": self.pairs,
+            "secret": self.secret,
+            "modulus_cap": self.modulus_cap,
+            "metadata": self.metadata,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable representation of the secret list."""
         return {

@@ -16,8 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+from repro.core.cache import DetectorCache
 from repro.core.config import DetectionConfig
-from repro.core.detector import DetectionResult, WatermarkDetector
+from repro.core.detector import DetectionResult
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
 from repro.core.tokens import TokenValue
@@ -88,12 +89,19 @@ class Judge:
         *,
         margin: float = 0.15,
         registry: Optional["WatermarkRegistry"] = None,
+        detector_cache: Optional[DetectorCache] = None,
     ) -> None:
         self.detection = detection or DetectionConfig(pair_threshold=0)
         if not 0.0 <= margin < 1.0:
             raise DisputeError("margin must lie in [0, 1)")
         self.margin = margin
         self.registry = registry
+        # Unbounded by default: a judge's working set is the claimants of
+        # the disputes it arbitrates, and re-arbitrating (with amended
+        # claims, say) must not re-derive any claimant's moduli.
+        self.detector_cache = (
+            detector_cache if detector_cache is not None else DetectorCache(capacity=None)
+        )
 
     def arbitrate(self, claims: Sequence[OwnershipClaim]) -> Verdict:
         """Run cross-detections for every claim pair and decide the owner."""
@@ -105,7 +113,7 @@ class Judge:
 
         detections: Dict[str, Dict[str, DetectionResult]] = {}
         for claimant in claims:
-            detector = WatermarkDetector(claimant.secret, self.detection)
+            detector = self.detector_cache.get(claimant.secret, self.detection)
             detections[claimant.claimant] = {
                 other.claimant: detector.detect(other.claimed_data) for other in claims
             }

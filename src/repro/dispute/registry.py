@@ -23,8 +23,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.cache import CacheStats, DetectorCache
 from repro.core.config import DetectionConfig
-from repro.core.detector import WatermarkDetector
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
 from repro.core.tokens import TokenValue
@@ -79,6 +79,11 @@ class WatermarkRegistry:
     def __init__(self) -> None:
         self._entries: List[RegistryEntry] = []
         self._vault: Dict[str, WatermarkSecret] = {}
+        # Unbounded like the vault itself: leak attribution re-runs
+        # detection with every registered secret, and each detector must
+        # be constructed once per (secret, thresholds), not once per
+        # leaked copy screened.
+        self._detectors = DetectorCache(capacity=None)
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -159,7 +164,10 @@ class WatermarkRegistry:
 
         Runs detection with every registered secret and returns the buyers
         whose watermark verifies, sorted by decreasing accepted-pair
-        fraction (the strongest match first).
+        fraction (the strongest match first). Detectors are resolved
+        through the registry's cache — hoisted out of the claimant loop —
+        so screening the next leaked copy constructs nothing
+        (:meth:`detector_cache_stats` exposes the counters).
         """
         detection_config = detection or DetectionConfig(pair_threshold=1)
         histogram = (
@@ -167,11 +175,16 @@ class WatermarkRegistry:
         )
         matches: List[Tuple[str, float]] = []
         for buyer_id, secret in self._vault.items():
-            result = WatermarkDetector(secret, detection_config).detect(histogram)
+            detector = self._detectors.get(secret, detection_config)
+            result = detector.detect(histogram)
             if result.accepted:
                 matches.append((buyer_id, result.accepted_fraction))
         matches.sort(key=lambda item: (-item[1], item[0]))
         return matches
+
+    def detector_cache_stats(self) -> CacheStats:
+        """Construction/hit counters of the registry's detector cache."""
+        return self._detectors.stats()
 
     # ------------------------------------------------------------------ #
     # Persistence

@@ -23,7 +23,7 @@ See ``docs/service.md`` for the wire schema, cache semantics, and the
 coalescing-window knobs.
 """
 
-from repro.service.cache import DEFAULT_CACHE_CAPACITY, CacheStats, DetectorCache
+from repro.core.cache import DEFAULT_CACHE_CAPACITY, CacheStats, DetectorCache
 from repro.service.client import ServiceClient
 from repro.service.server import serve_stdio, serve_unix
 from repro.service.service import (
@@ -35,6 +35,10 @@ from repro.service.service import (
 from repro.service.wire import (
     DetectRequest,
     DetectResponse,
+    EmbedRequest,
+    EmbedResponse,
+    WireRequest,
+    WireResponse,
     decode_request,
     decode_response,
     encode_line,
@@ -53,6 +57,10 @@ __all__ = [
     "SyncDetectionService",
     "DetectRequest",
     "DetectResponse",
+    "EmbedRequest",
+    "EmbedResponse",
+    "WireRequest",
+    "WireResponse",
     "decode_request",
     "decode_response",
     "encode_line",

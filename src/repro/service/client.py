@@ -28,8 +28,8 @@ from typing import Dict, IO, List, Optional, Sequence, Union
 
 from repro.exceptions import ServiceError
 from repro.service.wire import (
-    DetectRequest,
-    DetectResponse,
+    WireRequest,
+    WireResponse,
     decode_response,
     encode_line,
 )
@@ -131,19 +131,21 @@ class ServiceClient:
     # Requests
     # ------------------------------------------------------------------ #
 
-    def request(self, requests: Sequence[DetectRequest]) -> List[DetectResponse]:
+    def request(self, requests: Sequence[WireRequest]) -> List[WireResponse]:
         """Send a pipelined burst and return responses in request order.
 
-        All request lines are written up front (so the server coalesces
-        the burst) while a reader thread drains responses concurrently;
-        the call returns once every request has been answered.
+        Detect and embed requests mix freely within one burst. All
+        request lines are written up front (so the server coalesces the
+        burst's detections) while a reader thread drains responses
+        concurrently; the call returns once every request has been
+        answered.
         """
         if not requests:
             return []
         expected = [request.request_id for request in requests]
         if len(set(expected)) != len(expected):
             raise ServiceError("request ids within one burst must be unique")
-        by_id: Dict[str, DetectResponse] = {}
+        by_id: Dict[str, WireResponse] = {}
         failure: List[Exception] = []
 
         def drain() -> None:

@@ -27,22 +27,33 @@ from typing import IO, Optional, Union
 
 from repro.exceptions import ReproError
 from repro.service.service import DetectionService
-from repro.service.wire import DetectResponse, decode_request, encode_line
+from repro.service.wire import (
+    DetectResponse,
+    EmbedResponse,
+    WireResponse,
+    decode_request,
+    encode_line,
+)
 
 
-def _failure_for_line(line: str, error: Exception) -> DetectResponse:
-    """A failure response for an undecodable line, best-effort id."""
+def _failure_for_line(line: str, error: Exception) -> WireResponse:
+    """A failure response for an undecodable line, best-effort id/verb."""
     request_id = "?"
+    operation = "detect"
     try:
         payload = json.loads(line)
-        if isinstance(payload, dict) and isinstance(payload.get("id"), str):
-            request_id = payload["id"]
+        if isinstance(payload, dict):
+            if isinstance(payload.get("id"), str):
+                request_id = payload["id"]
+            operation = payload.get("op", "detect")
     except json.JSONDecodeError:
         pass
+    if operation == "embed":
+        return EmbedResponse.failure(request_id, str(error))
     return DetectResponse.failure(request_id, str(error))
 
 
-async def _respond(service: DetectionService, line: str) -> DetectResponse:
+async def _respond(service: DetectionService, line: str) -> WireResponse:
     """Decode and answer one request line (never raises for bad input)."""
     try:
         request = decode_request(line)

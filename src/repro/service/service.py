@@ -40,13 +40,20 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.cache import DEFAULT_CACHE_CAPACITY, CacheStats, DetectorCache
 from repro.core.config import DetectionConfig
 from repro.core.detector import DetectionResult, SuspectData, WatermarkDetector
+from repro.core.generator import WatermarkGenerator
 from repro.core.secrets import WatermarkSecret
 from repro.core.sharding import ShardedDetectionPool
 from repro.exceptions import ReproError, ServiceError
-from repro.service.cache import DEFAULT_CACHE_CAPACITY, CacheStats, DetectorCache
-from repro.service.wire import DetectRequest, DetectResponse
+from repro.service.wire import (
+    DetectResponse,
+    EmbedRequest,
+    EmbedResponse,
+    WireRequest,
+    WireResponse,
+)
 
 
 @dataclass(frozen=True)
@@ -105,6 +112,7 @@ class ServiceStats:
     largest_batch: int = 0
     sharded_batches: int = 0
     failures: int = 0
+    embeds: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -121,6 +129,7 @@ class ServiceStats:
             "mean_batch_size": self.mean_batch_size,
             "sharded_batches": self.sharded_batches,
             "failures": self.failures,
+            "embeds": self.embeds,
         }
 
 
@@ -271,8 +280,11 @@ class DetectionService:
         )
         return result
 
-    async def submit(self, request: DetectRequest) -> DetectResponse:
-        """Answer one wire request; failures become failure responses."""
+    async def submit(self, request: WireRequest) -> WireResponse:
+        """Answer one wire request (either verb); failures become failure
+        responses of the matching type."""
+        if isinstance(request, EmbedRequest):
+            return await self._submit_embed(request)
         try:
             pending_input = request.suspect()
             (result, batch_size), cache_hit = await self._enqueue_with_hit(
@@ -294,6 +306,44 @@ class DetectionService:
             )
         return DetectResponse.from_result(
             request.request_id, result, batch_size=batch_size, cache_hit=cache_hit
+        )
+
+    async def _submit_embed(self, request: EmbedRequest) -> EmbedResponse:
+        """Answer one embed request; generation runs in the executor.
+
+        Embedding is CPU-heavy (eligibility scan + selection) and has no
+        cross-request state to coalesce when every request samples its
+        own secret, so each request becomes one executor job — the event
+        loop (and the detection batcher) stays responsive throughout.
+        """
+        if not self.running or self._closing:
+            self.stats.failures += 1
+            return EmbedResponse.failure(
+                request.request_id, "the detection service is not running"
+            )
+        try:
+            response = await asyncio.get_running_loop().run_in_executor(
+                None, self._embed_sync, request
+            )
+        except ReproError as error:
+            self.stats.failures += 1
+            return EmbedResponse.failure(request.request_id, str(error))
+        except Exception as error:  # noqa: BLE001 - wire contract: a failure
+            # response, never an unanswered id or a dead transport.
+            self.stats.failures += 1
+            return EmbedResponse.failure(
+                request.request_id,
+                f"internal error: {type(error).__name__}: {error}",
+            )
+        self.stats.embeds += 1
+        return response
+
+    def _embed_sync(self, request: EmbedRequest) -> EmbedResponse:
+        """Decode, run ``WM_Generate`` and wrap the result (worker thread)."""
+        generator = WatermarkGenerator(request.generation_config(), rng=request.seed)
+        result = generator.generate(request.data(), secret_value=request.secret_value)
+        return EmbedResponse.from_result(
+            request.request_id, result, include_tokens=request.return_tokens
         )
 
     async def _enqueue(
@@ -556,8 +606,8 @@ class SyncDetectionService:
 
         return self._call(_gather())
 
-    def submit(self, request: DetectRequest) -> DetectResponse:
-        """Blocking wire-level submission."""
+    def submit(self, request: WireRequest) -> WireResponse:
+        """Blocking wire-level submission (either verb)."""
         return self._call(self._service.submit(request))
 
 

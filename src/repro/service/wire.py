@@ -1,30 +1,38 @@
-"""Typed request/response wire format of the detection service.
+"""Typed request/response wire format of the watermarking service.
 
-One request asks for one verdict: *is this dataset watermarked with that
-secret?* The dataset travels either as a raw token list (``tokens``) or —
-far more compactly — as its frequency histogram (``counts``); the secret
-travels either inline (``secret``, the JSON payload of
-:meth:`~repro.core.secrets.WatermarkSecret.to_dict`) or as a fingerprint
-reference (``secret_fingerprint``) to a secret registered with the
-service ahead of time, so the secret material crosses the wire once, not
-per request.
+Two verbs share the JSON-lines transport, discriminated by the optional
+``op`` field:
+
+* **detect** (the default when ``op`` is absent) — *is this dataset
+  watermarked with that secret?* The dataset travels either as a raw
+  token list (``tokens``) or — far more compactly — as its frequency
+  histogram (``counts``); the secret travels either inline (``secret``,
+  the JSON payload of :meth:`~repro.core.secrets.WatermarkSecret.to_dict`)
+  or as a fingerprint reference (``secret_fingerprint``) to a secret
+  registered with the service ahead of time, so the secret material
+  crosses the wire once, not per request.
+* **embed** (``op: "embed"``) — *watermark this dataset for me*: the
+  service runs ``WM_Generate`` and answers with the watermarked
+  histogram (or edited token sequence) plus the freshly produced secret
+  list, which the owner must store.
 
 On the transport, each request and each response is **one JSON object per
 line** (JSON-lines). Responses carry the request's ``id`` so they may be
-delivered out of order; ``batch_size`` and ``cache_hit`` expose what the
-coalescing layer actually did, which the benchmarks and the property
-tests use to assert the batching happened. The field-by-field schema is
-documented in ``docs/service.md``.
+delivered out of order; detect responses' ``batch_size`` and
+``cache_hit`` expose what the coalescing layer actually did, which the
+benchmarks and the property tests use to assert the batching happened.
+The field-by-field schema is documented in ``docs/service.md``.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.core.config import DetectionConfig
+from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.detector import DetectionResult, SuspectData
+from repro.core.generator import WatermarkResult
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
 from repro.exceptions import ConfigurationError, HistogramError, ServiceError
@@ -37,6 +45,22 @@ _CONFIG_KEYS = frozenset(
         "min_accepted_pairs",
         "min_accepted_fraction",
         "symmetric_tolerance",
+    }
+)
+
+#: Keys accepted in an embed request's ``config`` object
+#: (GenerationConfig kwargs).
+_GENERATION_CONFIG_KEYS = frozenset(
+    {
+        "budget_percent",
+        "modulus_cap",
+        "strategy",
+        "metric",
+        "secret_bits",
+        "max_candidates",
+        "excluded_tokens",
+        "require_modification",
+        "max_pairs",
     }
 )
 
@@ -290,32 +314,316 @@ class DetectResponse:
         )
 
 
+@dataclass(frozen=True)
+class EmbedRequest:
+    """One embedding (generation) request on the service wire.
+
+    Attributes
+    ----------
+    request_id:
+        Caller-chosen correlation id echoed back on the response.
+    tokens:
+        The dataset to watermark as a raw token sequence. Mutually
+        exclusive with ``counts``; required when ``return_tokens``.
+    counts:
+        The dataset as a token→frequency histogram (histogram-only
+        embedding: the caller applies the frequency changes itself).
+    config:
+        Optional generation-parameter overrides
+        (:class:`~repro.core.config.GenerationConfig` keyword arguments).
+    seed:
+        Optional integer seed for reproducible embedding. ``None`` (the
+        secure default) samples the secret from the OS CSPRNG.
+    secret_value:
+        Optional explicit secret ``R``. Each embed request runs
+        independently on the service (no cross-request derivation
+        sharing); for fleet-scale embedding under one owner secret use
+        the batch engine (:func:`repro.core.batch.embed_many`), which
+        does amortise the moduli derivations across the batch.
+    return_tokens:
+        When True (``tokens`` input only), the response carries the
+        edited token sequence, not just the watermarked histogram.
+    """
+
+    request_id: str
+    tokens: Optional[Tuple[str, ...]] = None
+    counts: Optional[Dict[str, int]] = None
+    config: Optional[Dict[str, object]] = None
+    seed: Optional[int] = None
+    secret_value: Optional[int] = None
+    return_tokens: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("request id must be a non-empty string")
+        if (self.tokens is None) == (self.counts is None):
+            raise ServiceError(
+                f"embed request {self.request_id!r} must carry exactly one of "
+                "tokens/counts"
+            )
+        if self.return_tokens and self.tokens is None:
+            raise ServiceError(
+                f"embed request {self.request_id!r} asks for tokens back but "
+                "sent only counts"
+            )
+        if self.config is not None:
+            unknown = set(self.config) - _GENERATION_CONFIG_KEYS
+            if unknown:
+                raise ServiceError(
+                    f"embed request {self.request_id!r} has unknown config "
+                    f"keys: {sorted(unknown)}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Decoding into pipeline objects
+    # ------------------------------------------------------------------ #
+
+    def data(self) -> Union[List[str], TokenHistogram]:
+        """The dataset as generator input."""
+        if self.counts is not None:
+            try:
+                return TokenHistogram.from_counts(self.counts)
+            except (HistogramError, TypeError, ValueError) as exc:
+                raise ServiceError(
+                    f"embed request {self.request_id!r} has malformed counts: {exc}"
+                ) from exc
+        return list(self.tokens or ())
+
+    def generation_config(self) -> GenerationConfig:
+        """The generation parameters, decoded (defaults when absent)."""
+        if self.config is None:
+            return GenerationConfig()
+        arguments = dict(self.config)
+        if "excluded_tokens" in arguments:
+            arguments["excluded_tokens"] = tuple(
+                str(token) for token in arguments["excluded_tokens"]  # type: ignore[union-attr]
+            )
+        try:
+            return GenerationConfig(**arguments)  # type: ignore[arg-type]
+        except (ConfigurationError, TypeError) as exc:
+            raise ServiceError(
+                f"embed request {self.request_id!r} has a malformed config: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # JSON codec
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (None fields omitted)."""
+        payload: Dict[str, object] = {"op": "embed", "id": self.request_id}
+        if self.tokens is not None:
+            payload["tokens"] = list(self.tokens)
+        if self.counts is not None:
+            payload["counts"] = dict(self.counts)
+        if self.config is not None:
+            payload["config"] = dict(self.config)
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        if self.secret_value is not None:
+            # Decimal string, mirroring WatermarkSecret.to_dict: R may
+            # exceed what non-Python JSON consumers keep exact.
+            payload["secret_value"] = str(self.secret_value)
+        if self.return_tokens:
+            payload["return_tokens"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EmbedRequest":
+        """Rebuild an embed request from :meth:`to_dict` output (validating)."""
+        if not isinstance(payload, dict):
+            raise ServiceError("request payload must be a JSON object")
+        request_id = payload.get("id")
+        if not isinstance(request_id, str) or not request_id:
+            raise ServiceError("request payload is missing a string 'id'")
+        tokens = payload.get("tokens")
+        counts = payload.get("counts")
+        if counts is not None:
+            if not isinstance(counts, dict):
+                raise ServiceError(
+                    f"embed request {request_id!r} counts must be an object"
+                )
+            for token, count in counts.items():
+                if isinstance(count, bool) or not isinstance(count, int):
+                    raise ServiceError(
+                        f"embed request {request_id!r} count for {token!r} must "
+                        f"be an integer, got {count!r}"
+                    )
+        seed = payload.get("seed")
+        if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+            raise ServiceError(
+                f"embed request {request_id!r} seed must be an integer, got {seed!r}"
+            )
+        secret_value = payload.get("secret_value")
+        try:
+            return cls(
+                request_id=request_id,
+                tokens=tuple(str(token) for token in tokens)
+                if tokens is not None
+                else None,
+                counts={str(k): int(v) for k, v in counts.items()}
+                if counts is not None
+                else None,
+                config=payload.get("config"),  # type: ignore[arg-type]
+                seed=seed,
+                secret_value=int(str(secret_value))
+                if secret_value is not None
+                else None,
+                return_tokens=bool(payload.get("return_tokens", False)),
+            )
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise ServiceError(
+                f"embed request {request_id!r} payload is malformed: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class EmbedResponse:
+    """One embedding outcome (or failure) on the service wire.
+
+    A success carries the watermarked histogram (``counts``), optionally
+    the edited token sequence, the freshly produced secret list payload
+    — which the owner must store; it never enters any registry — and the
+    generation summary counters.
+    """
+
+    request_id: str
+    ok: bool
+    counts: Optional[Dict[str, int]] = None
+    tokens: Optional[Tuple[str, ...]] = None
+    secret: Optional[Dict[str, object]] = None
+    selected_pairs: Optional[int] = None
+    similarity_percent: Optional[float] = None
+    total_changes: Optional[int] = None
+    error: Optional[str] = None
+
+    @classmethod
+    def from_result(
+        cls,
+        request_id: str,
+        result: WatermarkResult,
+        *,
+        include_tokens: bool = False,
+    ) -> "EmbedResponse":
+        """Wrap a generation result into a wire response."""
+        return cls(
+            request_id=request_id,
+            ok=True,
+            counts=result.watermarked_histogram.as_dict(),
+            tokens=tuple(result.watermarked_tokens)
+            if include_tokens and result.watermarked_tokens is not None
+            else None,
+            secret=result.secret.to_dict(),
+            selected_pairs=result.pair_count,
+            similarity_percent=result.similarity_percent,
+            total_changes=result.total_changes,
+        )
+
+    @classmethod
+    def failure(cls, request_id: str, message: str) -> "EmbedResponse":
+        """A failure response carrying only the error message."""
+        return cls(request_id=request_id, ok=False, error=message)
+
+    def watermark_secret(self) -> WatermarkSecret:
+        """The produced secret list, decoded (raises for failures)."""
+        if not self.ok or self.secret is None:
+            raise ServiceError(
+                f"embed response {self.request_id!r} carries no secret"
+            )
+        return WatermarkSecret.from_dict(self.secret)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (failure fields omitted on success)."""
+        payload: Dict[str, object] = {
+            "op": "embed",
+            "id": self.request_id,
+            "ok": self.ok,
+        }
+        if self.ok:
+            payload.update(
+                {
+                    "counts": dict(self.counts or {}),
+                    "secret": dict(self.secret or {}),
+                    "selected_pairs": self.selected_pairs,
+                    "similarity_percent": self.similarity_percent,
+                    "total_changes": self.total_changes,
+                }
+            )
+            if self.tokens is not None:
+                payload["tokens"] = list(self.tokens)
+        else:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EmbedResponse":
+        """Rebuild a response from :meth:`to_dict` output."""
+        if not isinstance(payload, dict) or "id" not in payload:
+            raise ServiceError("response payload must be a JSON object with 'id'")
+        if not payload.get("ok"):
+            return cls.failure(
+                str(payload["id"]), str(payload.get("error", "unknown error"))
+            )
+        tokens = payload.get("tokens")
+        return cls(
+            request_id=str(payload["id"]),
+            ok=True,
+            counts={str(k): int(v) for k, v in dict(payload.get("counts", {})).items()},  # type: ignore[arg-type]
+            tokens=tuple(str(token) for token in tokens) if tokens is not None else None,
+            secret=dict(payload.get("secret", {})),  # type: ignore[arg-type]
+            selected_pairs=int(payload.get("selected_pairs", 0)),  # type: ignore[arg-type]
+            similarity_percent=float(payload.get("similarity_percent", 0.0)),  # type: ignore[arg-type]
+            total_changes=int(payload.get("total_changes", 0)),  # type: ignore[arg-type]
+        )
+
+
+#: Either verb's request / response, as produced by the line decoders.
+WireRequest = Union[DetectRequest, EmbedRequest]
+WireResponse = Union[DetectResponse, EmbedResponse]
+
+
 def encode_line(message) -> str:
     """Encode a request/response as one JSON line (no trailing newline)."""
     return json.dumps(message.to_dict(), separators=(",", ":"), sort_keys=True)
 
 
-def decode_request(line: str) -> DetectRequest:
-    """Decode one JSON line into a validated :class:`DetectRequest`."""
+def decode_request(line: str) -> WireRequest:
+    """Decode one JSON line into a validated request (either verb).
+
+    The ``op`` field discriminates: absent or ``"detect"`` decodes a
+    :class:`DetectRequest`, ``"embed"`` an :class:`EmbedRequest`.
+    """
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ServiceError(f"request line is not valid JSON: {exc}") from exc
+    if isinstance(payload, dict):
+        operation = payload.get("op", "detect")
+        if operation == "embed":
+            return EmbedRequest.from_dict(payload)
+        if operation != "detect":
+            raise ServiceError(f"unknown request op {operation!r}")
     return DetectRequest.from_dict(payload)
 
 
-def decode_response(line: str) -> DetectResponse:
-    """Decode one JSON line into a :class:`DetectResponse`."""
+def decode_response(line: str) -> WireResponse:
+    """Decode one JSON line into a response (either verb, op-discriminated)."""
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ServiceError(f"response line is not valid JSON: {exc}") from exc
+    if isinstance(payload, dict) and payload.get("op") == "embed":
+        return EmbedResponse.from_dict(payload)
     return DetectResponse.from_dict(payload)
 
 
 __all__ = [
     "DetectRequest",
     "DetectResponse",
+    "EmbedRequest",
+    "EmbedResponse",
+    "WireRequest",
+    "WireResponse",
     "encode_line",
     "decode_request",
     "decode_response",

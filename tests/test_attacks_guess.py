@@ -95,3 +95,35 @@ class TestMonteCarloAttack:
         report = attack.run(result.watermarked_histogram, attempts=3)
         assert report.parameters["guessed_pairs"] == 4
         assert report.parameters["modulus_cap"] == 61
+
+
+class TestBatchedMonteCarlo:
+    """run() samples like attempt() but verifies via one batched pass."""
+
+    def test_run_matches_sequential_attempts(self, watermarked_bundle):
+        import numpy as np
+
+        result, _ = watermarked_bundle
+        detection = DetectionConfig(pair_threshold=131, min_accepted_fraction=1.0)
+        histogram = result.watermarked_histogram
+        # Identically seeded live generators: the batched run must draw
+        # the same candidates in the same order as the sequential loop.
+        sequential_attack = GuessAttack(
+            guessed_pairs=4, modulus_cap=31, rng=np.random.default_rng(99)
+        )
+        sequential = sum(
+            sequential_attack.attempt(histogram, detection) for _ in range(10)
+        )
+        batched_attack = GuessAttack(
+            guessed_pairs=4, modulus_cap=31, rng=np.random.default_rng(99)
+        )
+        report = batched_attack.run(histogram, attempts=10, detection=detection)
+        assert report.successes == sequential
+
+    def test_forge_candidate_shape(self, watermarked_bundle):
+        result, _ = watermarked_bundle
+        attack = GuessAttack(guessed_pairs=5, modulus_cap=31, rng=1)
+        forged = attack.forge_candidate(result.watermarked_histogram)
+        assert len(forged.pairs) == 5
+        assert forged.modulus_cap == 31
+        assert forged.metadata.get("forged") is True

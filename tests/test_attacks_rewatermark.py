@@ -122,3 +122,79 @@ class TestRobustnessEvaluator:
             repetitions=1,
         )
         assert report.rewatermark is None
+
+
+class TestDetectorReuse:
+    """Satellite regression: cached/prebuilt detectors change no verdict."""
+
+    def test_shared_cache_run_matches_default_run(self, watermarked_bundle):
+        from repro.core.cache import DetectorCache
+
+        result, _ = watermarked_bundle
+        config = GenerationConfig(budget_percent=2.0, modulus_cap=131)
+        detection = DetectionConfig(pair_threshold=0)
+        baseline = RewatermarkAttack(config, rng=777).run(
+            result.watermarked_histogram, result.secret, detection=detection
+        )
+        cache = DetectorCache(capacity=None)
+        cached = RewatermarkAttack(config, rng=777, detector_cache=cache).run(
+            result.watermarked_histogram, result.secret, detection=detection
+        )
+        assert cached.owner_on_attacker_data == baseline.owner_on_attacker_data
+        assert cached.attacker_on_owner_data == baseline.attacker_on_owner_data
+        assert cached.owner_pair_survival == baseline.owner_pair_survival
+        # Only the owner's detector goes through the shared cache; the
+        # attacker's freshly sampled secret is constructed directly so
+        # repeated simulations never accumulate dead cache entries.
+        assert cache.stats().misses == 1
+        assert len(cache) == 1
+
+    def test_prebuilt_owner_detector_matches(self, watermarked_bundle):
+        from repro.core.detector import WatermarkDetector
+
+        result, _ = watermarked_bundle
+        config = GenerationConfig(budget_percent=2.0, modulus_cap=131)
+        detection = DetectionConfig(pair_threshold=0)
+        baseline = RewatermarkAttack(config, rng=778).run(
+            result.watermarked_histogram, result.secret, detection=detection
+        )
+        prebuilt = WatermarkDetector(result.secret, detection)
+        with_detector = RewatermarkAttack(config, rng=778).run(
+            result.watermarked_histogram,
+            result.secret,
+            detection=detection,
+            owner_detector=prebuilt,
+        )
+        assert (
+            with_detector.owner_on_attacker_data == baseline.owner_on_attacker_data
+        )
+        assert (
+            with_detector.attacker_on_owner_data == baseline.attacker_on_owner_data
+        )
+
+
+class TestAttackRunDetectorReuse:
+    def test_base_attack_accepts_prebuilt_and_cached_detector(self, watermarked_bundle):
+        from repro.attacks.sampling import SamplingAttack
+        from repro.core.cache import DetectorCache
+        from repro.core.detector import WatermarkDetector
+
+        result, _ = watermarked_bundle
+        detection = DetectionConfig(pair_threshold=2)
+        baseline = SamplingAttack(0.5, rng=9).run(
+            result.watermarked_histogram, result.secret, detection
+        )
+        prebuilt = WatermarkDetector(result.secret, detection)
+        via_detector = SamplingAttack(0.5, rng=9).run(
+            result.watermarked_histogram, detector=prebuilt
+        )
+        cache = DetectorCache()
+        via_cache = SamplingAttack(0.5, rng=9).run(
+            result.watermarked_histogram,
+            result.secret,
+            detection,
+            detector_cache=cache,
+        )
+        assert via_detector.detection == baseline.detection
+        assert via_cache.detection == baseline.detection
+        assert cache.stats().misses == 1

@@ -261,3 +261,117 @@ class TestAttackAndSynth:
         tokens = load_token_file(output_path)
         assert len(tokens) == 2000
         assert "alpha" in capsys.readouterr().out
+
+
+class TestBatchGenerate:
+    def _make_inputs(self, tmp_path: Path, count: int = 3) -> Path:
+        directory = tmp_path / "inputs"
+        directory.mkdir()
+        for index in range(count):
+            save_token_file(
+                generate_power_law_tokens(
+                    0.7, n_tokens=40, sample_size=4_000, rng=10 + index
+                ),
+                directory / f"dataset{index}.txt",
+            )
+        return directory
+
+    def test_directory_embedding_round_trip(self, tmp_path, capsys):
+        inputs = self._make_inputs(tmp_path)
+        out_dir = tmp_path / "out"
+        secret_dir = tmp_path / "secrets"
+        exit_code = main(
+            [
+                "--json",
+                "generate",
+                str(inputs),
+                str(out_dir),
+                str(secret_dir),
+                "--seed",
+                "5",
+                "--workers",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["datasets"] == 3
+        assert len(payload["files"]) == 3
+        # Every watermarked file must verify against its own secret file.
+        for index in range(3):
+            name = f"dataset{index}.txt"
+            assert (out_dir / name).exists()
+            secret = WatermarkSecret.load(secret_dir / (name + ".json"))
+            exit_code = main(
+                ["detect", str(out_dir / name), str(secret_dir / (name + ".json"))]
+            )
+            assert exit_code == 0
+            assert len(secret.pairs) > 0
+        capsys.readouterr()
+
+    def test_directory_embedding_plain_report(self, tmp_path, capsys):
+        inputs = self._make_inputs(tmp_path, count=2)
+        exit_code = main(
+            [
+                "generate",
+                str(inputs),
+                str(tmp_path / "out"),
+                str(tmp_path / "secrets"),
+                "--seed",
+                "5",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "datasets" in output and "pairs" in output
+
+    def test_directory_with_chunk_size_errors(self, tmp_path, capsys):
+        inputs = self._make_inputs(tmp_path, count=1)
+        exit_code = main(
+            [
+                "generate",
+                str(inputs),
+                str(tmp_path / "out"),
+                str(tmp_path / "secrets"),
+                "--chunk-size",
+                "100",
+            ]
+        )
+        assert exit_code == 2  # ReproError -> CLI error exit
+
+    def test_empty_directory_errors(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        exit_code = main(
+            ["generate", str(empty), str(tmp_path / "out"), str(tmp_path / "secrets")]
+        )
+        assert exit_code == 2
+
+    def test_directory_embedding_uses_distinct_secrets(self, tmp_path):
+        # Security regression guard: a seeded batch run must NOT hand
+        # every file the same secret R (one recipient's secret list
+        # would expose everyone else's watermark), while staying
+        # reproducible per (seed, file name).
+        inputs = self._make_inputs(tmp_path)
+        for run in ("first", "second"):
+            exit_code = main(
+                [
+                    "generate",
+                    str(inputs),
+                    str(tmp_path / run / "out"),
+                    str(tmp_path / run / "secrets"),
+                    "--seed",
+                    "5",
+                ]
+            )
+            assert exit_code == 0
+        first = [
+            WatermarkSecret.load(path)
+            for path in sorted((tmp_path / "first" / "secrets").iterdir())
+        ]
+        second = [
+            WatermarkSecret.load(path)
+            for path in sorted((tmp_path / "second" / "secrets").iterdir())
+        ]
+        assert len({secret.secret for secret in first}) == len(first)
+        assert [s.secret for s in first] == [s.secret for s in second]

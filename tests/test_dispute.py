@@ -175,3 +175,55 @@ class TestRegistry:
         assert not WatermarkRegistry.verify_exported_ledger(exported)
         # Secrets never appear in the public ledger.
         assert "secret" not in json.dumps(exported)
+
+
+class TestDetectorCaching:
+    """The dispute layer constructs each detector once, not per screen."""
+
+    @pytest.fixture()
+    def per_buyer_watermarks(self, skewed_histogram):
+        config = GenerationConfig(budget_percent=2.0, modulus_cap=131)
+        return {
+            buyer: WatermarkGenerator(config, rng=100 + index).generate(
+                skewed_histogram
+            )
+            for index, buyer in enumerate(("buyer-a", "buyer-b", "buyer-c"))
+        }
+
+    def test_attribution_constructs_each_detector_once(self, per_buyer_watermarks):
+        registry = WatermarkRegistry()
+        for buyer, result in per_buyer_watermarks.items():
+            registry.register(buyer, result.secret)
+        detection = DetectionConfig(pair_threshold=0)
+        leaked = per_buyer_watermarks["buyer-b"].watermarked_histogram
+        first = registry.attribute_leak(leaked, detection=detection)
+        stats = registry.detector_cache_stats()
+        buyers = len(per_buyer_watermarks)
+        # First screen: one construction (miss) per registered buyer.
+        assert stats.misses == buyers
+        assert stats.hits == 0
+        # Second screen (another leaked copy, same thresholds): pure hits.
+        other = per_buyer_watermarks["buyer-a"].watermarked_histogram
+        second = registry.attribute_leak(other, detection=detection)
+        stats = registry.detector_cache_stats()
+        assert stats.misses == buyers
+        assert stats.hits == buyers
+        assert stats.evictions == 0  # the registry cache is unbounded
+        # Caching never changes verdicts.
+        assert first == registry.attribute_leak(leaked, detection=detection)
+        assert second == registry.attribute_leak(other, detection=detection)
+
+    def test_judge_reuses_claimant_detectors_across_arbitrations(self, dispute_setup):
+        owner_result, outcome = dispute_setup
+        judge = Judge(DetectionConfig(pair_threshold=0))
+        claims = [
+            OwnershipClaim("owner", owner_result.secret, outcome.attacker_result.watermarked_histogram),
+            OwnershipClaim("pirate", outcome.attacker_result.secret, outcome.attacker_result.watermarked_histogram),
+        ]
+        first = judge.arbitrate(claims)
+        stats = judge.detector_cache.stats()
+        assert stats.misses == 2 and stats.hits == 0
+        second = judge.arbitrate(claims)
+        stats = judge.detector_cache.stats()
+        assert stats.misses == 2 and stats.hits == 2
+        assert first.winner == second.winner and first.reason == second.reason

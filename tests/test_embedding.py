@@ -1,0 +1,421 @@
+"""Batch embedding engine: parity, sharding, caches, lean pickling.
+
+The contract under test is the PR's golden rule: everything
+``embed_many`` / ``generate_many`` / ``ShardedEmbeddingPool`` amortise —
+pair-modulus hashing, eligibility precomputation, vectorized scan plans,
+process sharding — is *value-transparent*. Batched outputs must be
+element-wise identical to the sequential ``WatermarkGenerator.generate``
+loop, including every RNG-derived tie-break.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import embed_many
+from repro.core.config import GenerationConfig
+from repro.core.detector import WatermarkDetector
+from repro.core.eligibility import (
+    EligibilityContext,
+    generate_eligible_pairs,
+)
+from repro.core.embedding import BatchEmbeddingReport, ShardedEmbeddingPool
+from repro.core.generator import WatermarkGenerator
+from repro.core.hashing import PairModulusCache, pair_modulus
+from repro.core.histogram import TokenHistogram
+from repro.datasets.loaders import load_token_file, save_token_file
+from repro.datasets.synthetic import generate_power_law_tokens
+from repro.exceptions import EligibilityError, GenerationError
+
+
+def _histogram(seed: int, tokens: int = 40, size: int = 8_000) -> TokenHistogram:
+    return TokenHistogram.from_tokens(
+        generate_power_law_tokens(0.6, n_tokens=tokens, sample_size=size, rng=seed)
+    )
+
+
+def assert_results_identical(left, right) -> None:
+    """Field-by-field equality of two WatermarkResults (timings excluded)."""
+    assert left.original_histogram == right.original_histogram
+    assert left.watermarked_histogram == right.watermarked_histogram
+    assert left.watermarked_tokens == right.watermarked_tokens
+    assert left.secret == right.secret
+    assert left.selection == right.selection
+    assert left.adjustments == right.adjustments
+    assert left.eligible_pairs == right.eligible_pairs
+
+
+class TestGenerateManyParity:
+    def test_shared_secret_batch_is_bit_identical(self):
+        datasets = [_histogram(seed) for seed in range(8)]
+        config = GenerationConfig()
+        sequential = [
+            WatermarkGenerator(config, rng=7).generate(data, secret_value=0xBEEF)
+            for data in datasets
+        ]
+        batched = WatermarkGenerator(config, rng=7).generate_many(
+            datasets, secret_values=[0xBEEF] * len(datasets)
+        )
+        assert len(batched) == len(sequential)
+        for left, right in zip(sequential, batched):
+            assert_results_identical(left, right)
+
+    def test_sampled_secrets_with_int_seed_match_sequential(self):
+        datasets = [_histogram(seed) for seed in range(4)]
+        config = GenerationConfig(strategy="random")
+        generator = WatermarkGenerator(config, rng=123)
+        sequential = [generator.generate(data) for data in datasets]
+        batched = WatermarkGenerator(config, rng=123).generate_many(datasets)
+        for left, right in zip(sequential, batched):
+            assert_results_identical(left, right)
+
+    def test_candidate_secrets_over_one_histogram(self):
+        histogram = _histogram(3)
+        secrets = [1000 + index for index in range(6)]
+        config = GenerationConfig()
+        sequential = [
+            WatermarkGenerator(config, rng=1).generate(histogram, secret_value=value)
+            for value in secrets
+        ]
+        batched = WatermarkGenerator(config, rng=1).generate_many(
+            [histogram] * len(secrets), secret_values=secrets
+        )
+        for left, right in zip(sequential, batched):
+            assert_results_identical(left, right)
+
+    def test_raw_token_sequences_round_trip(self):
+        tokens = generate_power_law_tokens(0.6, n_tokens=30, sample_size=4_000, rng=9)
+        config = GenerationConfig()
+        sequential = WatermarkGenerator(config, rng=11).generate(
+            tokens, secret_value=77
+        )
+        (batched,) = WatermarkGenerator(config, rng=11).generate_many(
+            [tokens], secret_values=[77]
+        )
+        assert_results_identical(sequential, batched)
+        assert batched.watermarked_tokens is not None
+
+    def test_secret_values_length_mismatch_rejected(self):
+        with pytest.raises(GenerationError):
+            WatermarkGenerator().generate_many([_histogram(1)], secret_values=[1, 2])
+
+
+class TestEmbedManyFunction:
+    def test_report_accessors_and_summary(self):
+        datasets = [_histogram(seed) for seed in range(3)]
+        report = embed_many(datasets, rng=5, secret_value=42)
+        assert isinstance(report, BatchEmbeddingReport)
+        assert len(report) == 3
+        assert list(iter(report)) == list(report.results)
+        assert report[1] is report.results[1]
+        assert len(report.secrets) == 3
+        assert len(report.watermarked_histograms) == 3
+        summary = report.summary()
+        assert summary["datasets"] == 3
+        assert summary["selected_pairs_total"] == sum(
+            result.pair_count for result in report
+        )
+
+    def test_every_embedding_verifies(self):
+        datasets = [_histogram(seed) for seed in range(3)]
+        report = embed_many(datasets, rng=5, secret_value=42)
+        for result in report:
+            detection = WatermarkDetector(result.secret).detect(
+                result.watermarked_histogram
+            )
+            assert detection.accepted
+
+    def test_empty_batch(self):
+        assert len(embed_many([], rng=1)) == 0
+
+    def test_secret_value_and_values_mutually_exclusive(self):
+        with pytest.raises(GenerationError):
+            embed_many([_histogram(1)], secret_value=1, secret_values=[1])
+
+
+class TestShardedEmbeddingPool:
+    def test_sharded_matches_sequential(self):
+        datasets = [_histogram(seed) for seed in range(6)]
+        config = GenerationConfig()
+        baseline = embed_many(datasets, config, rng=3, secret_value=0xACE)
+        with warnings.catch_warnings():
+            # Restricted sandboxes fall back in-process with a warning;
+            # parity must hold either way.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            sharded = embed_many(
+                datasets, config, rng=3, secret_value=0xACE, workers=2, chunk_size=2
+            )
+        assert len(sharded) == len(baseline)
+        for left, right in zip(baseline, sharded):
+            assert_results_identical(left, right)
+
+    def test_rejects_live_generator_source(self):
+        with pytest.raises(GenerationError):
+            ShardedEmbeddingPool(seed=np.random.default_rng(1), workers=2)
+
+    def test_rejects_invalid_workers_and_chunks(self):
+        with pytest.raises(GenerationError):
+            ShardedEmbeddingPool(workers=0)
+        with pytest.raises(GenerationError):
+            ShardedEmbeddingPool(chunk_size=0)
+
+    def test_embed_files_round_trip(self, tmp_path):
+        inputs = []
+        for index in range(3):
+            path = tmp_path / f"data{index}.txt"
+            save_token_file(
+                generate_power_law_tokens(
+                    0.6, n_tokens=25, sample_size=2_000, rng=index
+                ),
+                path,
+            )
+            inputs.append(path)
+        out_dir = tmp_path / "out"
+        secret_dir = tmp_path / "secrets"
+        with ShardedEmbeddingPool(GenerationConfig(), seed=4, workers=1) as pool:
+            summaries = pool.embed_files(inputs, out_dir, secret_dir)
+        assert [summary["input"] for summary in summaries] == [
+            str(path) for path in inputs
+        ]
+        for path, summary in zip(inputs, summaries):
+            watermarked = load_token_file(out_dir / path.name)
+            from repro.core.secrets import WatermarkSecret
+
+            secret = WatermarkSecret.load(secret_dir / (path.name + ".json"))
+            detection = WatermarkDetector(secret).detect(watermarked)
+            assert detection.accepted
+            assert summary["selected_pairs"] == detection.total_pairs
+
+
+# Hypothesis sweep: arbitrary dataset lists, element-wise identical to the
+# sequential loop (the satellite-task property test).
+_token_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-", min_size=1, max_size=8
+)
+_counts = st.dictionaries(
+    keys=_token_names,
+    values=st.integers(min_value=1, max_value=50_000),
+    min_size=2,
+    max_size=16,
+)
+_batches = st.lists(_counts, min_size=1, max_size=5)
+_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestEmbedManyProperty:
+    @_settings
+    @given(
+        batch=_batches,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        strategy=st.sampled_from(["optimal", "greedy", "random"]),
+        shared_secret=st.booleans(),
+    )
+    def test_embed_many_equals_sequential_generate(
+        self, batch, seed, strategy, shared_secret
+    ):
+        datasets = [TokenHistogram.from_counts(counts) for counts in batch]
+        config = GenerationConfig(strategy=strategy, modulus_cap=13)
+        secret_values = (
+            [0xC0FFEE] * len(datasets)
+            if shared_secret
+            else [100 + index for index in range(len(datasets))]
+        )
+        sequential = [
+            WatermarkGenerator(config, rng=seed).generate(data, secret_value=value)
+            for data, value in zip(datasets, secret_values)
+        ]
+        batched = WatermarkGenerator(config, rng=seed).generate_many(
+            datasets, secret_values=secret_values
+        )
+        for left, right in zip(sequential, batched):
+            assert_results_identical(left, right)
+
+
+class TestPairModulusCache:
+    def test_values_match_direct_derivation(self):
+        cache = PairModulusCache(12345, 131)
+        for left, right in [("a", "b"), ("b", "a"), ("a", "c"), ("a", "b")]:
+            assert cache.modulus(left, right) == pair_modulus(left, right, 12345, 131)
+        assert cache.hits == 1  # the repeated ("a", "b")
+        assert cache.misses == 3
+        assert len(cache) == 3
+
+    def test_matches_and_validation(self):
+        cache = PairModulusCache(1, 31)
+        assert cache.matches(1, 31)
+        assert not cache.matches(2, 31)
+        assert not cache.matches(1, 32)
+        with pytest.raises(ValueError):
+            PairModulusCache(1, 1)
+
+    def test_eligibility_rejects_mismatched_cache(self):
+        histogram = _histogram(1)
+        with pytest.raises(EligibilityError):
+            generate_eligible_pairs(
+                histogram, 5, 131, modulus_cache=PairModulusCache(6, 131)
+            )
+
+
+class TestEligibilityReuse:
+    def test_context_reuse_is_value_transparent(self):
+        histogram = _histogram(2)
+        context = EligibilityContext.build(histogram)
+        direct = generate_eligible_pairs(histogram, 99, 131)
+        via_context = generate_eligible_pairs(histogram, 99, 131, context=context)
+        assert direct == via_context
+
+    def test_vectorized_plan_matches_loop(self):
+        histogram = _histogram(4, tokens=60, size=12_000)
+        cache = PairModulusCache(0xFEED, 131)
+        loop = generate_eligible_pairs(histogram, 0xFEED, 131, modulus_cache=cache)
+        store = {}
+        vectorized = generate_eligible_pairs(
+            histogram, 0xFEED, 131, modulus_cache=cache, plan_store=store
+        )
+        assert loop == vectorized
+        assert store  # the plan was built and cached
+        # Second scan through the now-warm plan store: same values again.
+        assert (
+            generate_eligible_pairs(
+                histogram, 0xFEED, 131, modulus_cache=cache, plan_store=store
+            )
+            == loop
+        )
+
+    def test_require_modification_respected_by_plan(self):
+        histogram = _histogram(5)
+        cache = PairModulusCache(7, 31)
+        store = {}
+        vectorized = generate_eligible_pairs(
+            histogram,
+            7,
+            31,
+            require_modification=True,
+            modulus_cache=cache,
+            plan_store=store,
+        )
+        assert all(pair.remainder != 0 for pair in vectorized)
+        assert vectorized == generate_eligible_pairs(
+            histogram, 7, 31, require_modification=True
+        )
+
+
+class TestLeanPickle:
+    def test_result_pickle_round_trips_and_drops_caches(self):
+        result = WatermarkGenerator(GenerationConfig(), rng=2).generate(
+            _histogram(6), secret_value=31337
+        )
+        # Warm every memoised derivation the result transitively holds.
+        _ = result.secret.fingerprint()
+        _ = result.original_histogram.arrays()
+        _ = result.watermarked_histogram.as_dict()
+        warm_payload = pickle.dumps(result)
+        restored = pickle.loads(warm_payload)
+        assert_results_identical(result, restored)
+        assert restored.timings == result.timings
+        # The memoised fingerprint must not travel: the secret's pickled
+        # state carries exactly the dataclass fields.
+        assert b"_fingerprint" not in warm_payload
+        # Warm caches add nothing to the payload versus a cold result.
+        cold = WatermarkGenerator(GenerationConfig(), rng=2).generate(
+            _histogram(6), secret_value=31337
+        )
+        assert len(warm_payload) == len(pickle.dumps(cold))
+
+    def test_restored_secret_recomputes_fingerprint(self):
+        result = WatermarkGenerator(GenerationConfig(), rng=2).generate(
+            _histogram(6), secret_value=31337
+        )
+        fingerprint = result.secret.fingerprint()
+        restored = pickle.loads(pickle.dumps(result))
+        assert restored.secret.fingerprint() == fingerprint
+
+
+class TestScratchBounds:
+    def test_fresh_secret_batches_do_not_accumulate_derivations(self):
+        from repro.core.generator import _BatchScratch
+
+        datasets = [_histogram(seed) for seed in range(10)]
+        generator = WatermarkGenerator(GenerationConfig(), rng=2)
+        scratch = _BatchScratch()
+        for index, data in enumerate(datasets):
+            generator._generate_one(data, 5000 + index, scratch)
+            scratch.trim()
+        # One fresh secret per dataset: retired derivation sets must be
+        # dropped, not retained for the whole batch.
+        assert len(scratch.moduli) <= _BatchScratch.MAX_SECRETS
+        assert len(scratch.plans) <= _BatchScratch.MAX_SECRETS
+
+    def test_shared_secret_survives_trimming(self):
+        datasets = [_histogram(seed) for seed in range(6)]
+        generator = WatermarkGenerator(GenerationConfig(), rng=2)
+        sequential = [
+            WatermarkGenerator(GenerationConfig(), rng=2).generate(
+                data, secret_value=77
+            )
+            for data in datasets
+        ]
+        batched = generator.generate_many(datasets, secret_values=[77] * 6)
+        for left, right in zip(sequential, batched):
+            assert_results_identical(left, right)
+
+    def test_shared_secret_cache_survives_interleaved_sampled_secrets(self):
+        from repro.core.generator import _BatchScratch
+
+        shared = 0xABCD
+        datasets = [_histogram(seed) for seed in range(12)]
+        # Shared secret interleaved with fresh per-dataset secrets: the
+        # shared entry must stay resident (true LRU), so its modulus
+        # cache keeps accumulating hits instead of being rebuilt.
+        values = [
+            shared if index % 2 == 0 else 90_000 + index
+            for index in range(len(datasets))
+        ]
+        generator = WatermarkGenerator(GenerationConfig(), rng=2)
+        scratch = _BatchScratch()
+        shared_caches = set()
+        for data, value in zip(datasets, values):
+            generator._generate_one(data, value, scratch)
+            scratch.trim()
+            shared_caches.add(id(scratch.moduli[(shared, 131)]))
+        assert len(shared_caches) == 1, "shared-secret cache was evicted mid-batch"
+        assert len(scratch.contexts) <= _BatchScratch.MAX_CONTEXTS
+
+    def test_plan_store_bounded_by_pair_budget(self, monkeypatch):
+        import repro.core.eligibility as eligibility
+
+        # Tiny budget so a handful of small vocabularies overflows it.
+        monkeypatch.setattr(eligibility, "PLAN_STORE_PAIR_BUDGET", 2_000)
+        store = {}
+        cache = PairModulusCache(0xB0B, 131)
+        for seed in range(8):
+            histogram = _histogram(seed, tokens=30, size=5_000)
+            direct = generate_eligible_pairs(histogram, 0xB0B, 131)
+            via_store = generate_eligible_pairs(
+                histogram, 0xB0B, 131, modulus_cache=cache, plan_store=store
+            )
+            assert via_store == direct  # eviction never changes values
+        from repro.core.eligibility import PairScanPlan  # noqa: F401
+
+        retained = sum(len(plan.moduli) for plan in store.values())
+        assert len(store) >= 1
+        assert retained <= 2_000 or len(store) == 1
+
+    def test_modulus_cache_resets_past_max_entries(self):
+        cache = PairModulusCache(7, 131, max_entries=10)
+        values = {}
+        for i in range(30):
+            values[i] = cache.modulus(f"a{i}", f"b{i}")
+        assert len(cache) <= 10
+        assert cache.resets >= 1
+        # Values after a reset still match the direct derivation.
+        for i in range(30):
+            assert values[i] == pair_modulus(f"a{i}", f"b{i}", 7, 131)

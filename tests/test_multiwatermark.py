@@ -106,3 +106,28 @@ class TestProvenanceChain:
         for secret in multi_result.secrets:
             chain.append(secret)
         assert len(chain) == len(multi_result.secrets)
+
+
+class TestChainPickling:
+    def test_provenance_chain_and_multi_result_pickle(self, multi_result):
+        import copy
+        import pickle
+
+        from repro.core.multiwatermark import ProvenanceChain
+
+        chain = ProvenanceChain(secrets=list(multi_result.secrets))
+        # Warm the embedded detector cache: the resident detectors (and
+        # the cache lock) must not block pickling or deepcopy.
+        chain.detectable_prefix(multi_result.final_histogram)
+        restored = pickle.loads(pickle.dumps(chain))
+        assert restored.secrets == chain.secrets
+        assert restored.detectable_prefix(
+            multi_result.final_histogram
+        ) == chain.detectable_prefix(multi_result.final_histogram)
+        copied = copy.deepcopy(chain)
+        assert copied.secrets == chain.secrets
+
+        multi_result.detect_round(0, multi_result.final_histogram)
+        restored_result = pickle.loads(pickle.dumps(multi_result))
+        assert restored_result.secrets == multi_result.secrets
+        assert restored_result.final_histogram == multi_result.final_histogram

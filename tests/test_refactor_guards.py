@@ -1,0 +1,78 @@
+"""Structural guards for the cached-detector refactor.
+
+The multi-layer refactor moved every upper layer (attacks, dispute,
+multi-watermarking) off ad-hoc ``WatermarkDetector(...)`` construction
+and onto the shared :class:`~repro.core.cache.DetectorCache` / batched
+primitives. These guards keep it that way: constructing a detector
+inside a loop (or comprehension) in those layers is the regression the
+PR eliminated, so the test suite fails if one reappears.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro
+
+_SRC = Path(repro.__file__).resolve().parent
+
+#: Modules that must never construct a WatermarkDetector inside a loop.
+GUARDED_MODULES = sorted(
+    [
+        *(_SRC / "attacks").glob("*.py"),
+        *(_SRC / "dispute").glob("*.py"),
+        _SRC / "core" / "multiwatermark.py",
+    ]
+)
+
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _is_detector_construction(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    function = node.func
+    if isinstance(function, ast.Name):
+        return function.id == "WatermarkDetector"
+    if isinstance(function, ast.Attribute):
+        return function.attr == "WatermarkDetector"
+    return False
+
+
+def _loop_constructions(tree: ast.AST) -> list:
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, _LOOP_NODES):
+            for child in ast.walk(node):
+                if _is_detector_construction(child):
+                    offenders.append(child.lineno)
+    return offenders
+
+
+class TestNoDetectorConstructionInLoops:
+    def test_guarded_modules_exist(self):
+        # The guard must actually cover the refactored layers.
+        names = {path.name for path in GUARDED_MODULES}
+        assert {"guess.py", "rewatermark.py", "judge.py", "registry.py"} <= names
+        assert "multiwatermark.py" in names
+
+    def test_no_watermark_detector_constructed_inside_loops(self):
+        failures = {}
+        for path in GUARDED_MODULES:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            offenders = _loop_constructions(tree)
+            if offenders:
+                failures[str(path.relative_to(_SRC))] = offenders
+        assert not failures, (
+            "WatermarkDetector constructed inside a loop/comprehension — use "
+            f"DetectorCache or a batched primitive instead: {failures}"
+        )

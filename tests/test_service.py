@@ -478,3 +478,131 @@ class TestStdioTransport:
         assert not responses["req-1"].accepted
         assert not responses["?"].ok  # the malformed line's failure response
         assert responses["req-0"].batch_size >= 2  # pipelined lines coalesced
+
+
+class TestEmbedVerb:
+    """The embed wire verb: generation requests through the same service."""
+
+    def _counts(self):
+        return {f"tok{i:03d}": 700 - 5 * i for i in range(50)}
+
+    def test_embed_request_validation(self):
+        from repro.service import EmbedRequest
+
+        with pytest.raises(ServiceError):
+            EmbedRequest(request_id="")  # no id
+        with pytest.raises(ServiceError):
+            EmbedRequest(request_id="x")  # neither tokens nor counts
+        with pytest.raises(ServiceError):
+            EmbedRequest(request_id="x", tokens=("a",), counts={"a": 1})
+        with pytest.raises(ServiceError):
+            EmbedRequest(request_id="x", counts={"a": 1}, return_tokens=True)
+        with pytest.raises(ServiceError):
+            EmbedRequest(
+                request_id="x", counts={"a": 1}, config={"no_such_knob": 1}
+            )
+
+    def test_embed_codec_round_trip(self):
+        from repro.service import EmbedRequest
+
+        request = EmbedRequest(
+            request_id="e-1",
+            counts=self._counts(),
+            config={"budget_percent": 1.5, "strategy": "greedy"},
+            seed=9,
+            secret_value=123456789,
+        )
+        decoded = decode_request(encode_line(request))
+        assert decoded == request
+
+    def test_embed_then_detect_round_trip(self):
+        from repro.service import EmbedRequest
+
+        with SyncDetectionService() as service:
+            response = service.submit(
+                EmbedRequest(request_id="e-2", counts=self._counts(), seed=3)
+            )
+            assert response.ok, response.error
+            secret = response.watermark_secret()
+            assert response.selected_pairs == len(secret.pairs) > 0
+            verdict = service.detect(
+                TokenHistogram.from_counts(response.counts), secret
+            )
+            assert verdict.accepted
+            assert service.stats.embeds == 1
+
+    def test_embed_is_reproducible_with_seed(self):
+        from repro.service import EmbedRequest
+
+        with SyncDetectionService() as service:
+            first = service.submit(
+                EmbedRequest(request_id="a", counts=self._counts(), seed=21)
+            )
+            second = service.submit(
+                EmbedRequest(request_id="b", counts=self._counts(), seed=21)
+            )
+        assert first.ok and second.ok
+        assert first.counts == second.counts
+        assert first.secret == second.secret
+
+    def test_embed_with_tokens_returns_edited_sequence(self):
+        from repro.service import EmbedRequest
+
+        tokens = tuple(
+            generate_power_law_tokens(0.7, n_tokens=40, sample_size=3_000, rng=2)
+        )
+        with SyncDetectionService() as service:
+            response = service.submit(
+                EmbedRequest(
+                    request_id="t-1", tokens=tokens, seed=5, return_tokens=True
+                )
+            )
+        assert response.ok, response.error
+        assert response.tokens is not None
+        edited = TokenHistogram.from_tokens(list(response.tokens))
+        assert edited.as_dict() == response.counts
+
+    def test_embed_failure_is_embed_failure_response(self):
+        from repro.service import EmbedRequest, EmbedResponse
+
+        with SyncDetectionService() as service:
+            response = service.submit(
+                EmbedRequest(request_id="bad", counts={"only-one-token": 5}, seed=1)
+            )
+        assert isinstance(response, EmbedResponse)
+        assert not response.ok
+        assert "two distinct tokens" in (response.error or "")
+
+    def test_mixed_burst_through_stdio_transport(self, watermark):
+        from repro.service import EmbedRequest
+
+        embed = EmbedRequest(request_id="embed-1", counts=self._counts(), seed=4)
+        detect = DetectRequest(
+            request_id="detect-1",
+            counts=watermark.watermarked_histogram.as_dict(),
+            secret=watermark.secret.to_dict(),
+        )
+        in_stream = io.StringIO(
+            encode_line(embed) + "\n" + encode_line(detect) + "\n"
+        )
+        out_stream = io.StringIO()
+
+        async def run():
+            async with DetectionService(ServiceConfig(max_delay=0.01)) as service:
+                return await serve_stdio(service, in_stream, out_stream)
+
+        served = asyncio.run(run())
+        assert served == 2
+        responses = {
+            response.request_id: response
+            for response in map(
+                decode_response, out_stream.getvalue().strip().splitlines()
+            )
+        }
+        assert responses["detect-1"].ok and responses["detect-1"].accepted
+        embed_response = responses["embed-1"]
+        assert embed_response.ok
+        verdict = WatermarkDetector(embed_response.watermark_secret()).detect(
+            TokenHistogram.from_counts(embed_response.counts)
+        )
+        assert verdict.accepted
