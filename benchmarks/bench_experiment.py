@@ -1,0 +1,102 @@
+"""Experiment orchestration engine — cache-hit and parity guard.
+
+Not a paper figure: this benchmark guards the experiment subsystem
+(PR 5) against functional and performance regression. It drives the
+bundled ``experiments/specs/smoke.json`` spec — the same one the CI
+``experiment-smoke`` job runs through the CLI — end to end, twice:
+
+* the **first run** executes the full DAG (dataset → embed → attack →
+  detect → analyses) and renders the Markdown/JSON report;
+* the **second run** must be served *entirely* from the
+  content-addressed cache — zero task executions of any kind — and must
+  re-render byte-identical reports;
+* the cached rerun must also be dramatically cheaper than the first run
+  (it only stats artifact files), which guards the cache path against
+  accidental recomputation.
+
+Run directly (``python benchmarks/bench_experiment.py [--smoke]``) or
+via pytest; the CI smoke job includes the timings in
+``BENCH_smoke.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import ExperimentSpec, run_experiment, write_report
+
+from bench_utils import experiment_banner
+
+SPEC_PATH = (
+    Path(__file__).resolve().parent.parent / "experiments" / "specs" / "smoke.json"
+)
+#: The cached rerun touches no task at all; requiring 5x headroom keeps
+#: the guard robust on slow CI filesystems while still catching any
+#: accidental recomputation (which would cost the full first-run time).
+MIN_CACHE_SPEEDUP = 5.0
+
+
+def _time(function, *args, **kwargs):
+    start = time.perf_counter()
+    value = function(*args, **kwargs)
+    return time.perf_counter() - start, value
+
+
+def test_experiment_smoke_spec_caches_and_reproduces():
+    """Second run: zero executions, byte-identical reports, >=5x faster."""
+    spec = ExperimentSpec.load(SPEC_PATH)
+    with tempfile.TemporaryDirectory(prefix="bench-experiment-") as scratch:
+        run_dir = Path(scratch) / "run"
+        first_seconds, first = _time(run_experiment, spec, run_dir, workers=2)
+        json_path, md_path = write_report(run_dir)
+        first_report = (json_path.read_bytes(), md_path.read_bytes())
+
+        second_seconds, second = _time(run_experiment, spec, run_dir, workers=2)
+        json_path, md_path = write_report(run_dir)
+        second_report = (json_path.read_bytes(), md_path.read_bytes())
+
+    assert first.executed_total > 0 and first.cached_total == 0
+    assert second.executed_total == 0, (
+        f"cached rerun executed tasks: {second.executed}"
+    )
+    assert second.cached_total == first.executed_total
+    assert second_report == first_report, "report rendering is not deterministic"
+
+    speedup = first_seconds / max(second_seconds, 1e-9)
+    experiment_banner(
+        "Experiment orchestration cache",
+        f"bundled smoke spec, {first.executed_total} DAG tasks, workers=2",
+    )
+    print(  # noqa: T201
+        f"  first run: {first_seconds * 1000:.1f} ms   "
+        f"cached rerun: {second_seconds * 1000:.1f} ms   "
+        f"speedup: {speedup:.1f}x"
+    )
+    assert speedup >= MIN_CACHE_SPEEDUP, (
+        f"cache rerun regressed: {speedup:.2f}x < {MIN_CACHE_SPEEDUP}x "
+        f"({first_seconds:.3f}s first vs {second_seconds:.3f}s rerun)"
+    )
+
+
+def main(argv=None) -> int:
+    """CLI entry point: ``python benchmarks/bench_experiment.py [--smoke]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the reduced smoke workload (sets REPRO_BENCH_SCALE=smoke)",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.smoke:
+        os.environ["REPRO_BENCH_SCALE"] = "smoke"
+    test_experiment_smoke_spec_caches_and_reproduces()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -118,14 +118,16 @@ def experiment_banner(identifier: str, description: str) -> None:
 #: surface performance regressions per PR), the streaming/sharding
 #: guard (chunked-ingestion parity + sharded screening timings), the
 #: detection-service guard (cached+coalesced throughput vs one-shot),
-#: and the batch-embedding guard (embed_many parity + >=3x amortisation
-#: over the sequential generator loop).
+#: the batch-embedding guard (embed_many parity + >=3x amortisation
+#: over the sequential generator loop), and the experiment-orchestration
+#: guard (bundled smoke spec: cache-hit rerun + deterministic reports).
 SMOKE_PATTERNS = (
     "bench_fig*.py",
     "bench_engine_scaling.py",
     "bench_streaming.py",
     "bench_service.py",
     "bench_embed_many.py",
+    "bench_experiment.py",
 )
 
 

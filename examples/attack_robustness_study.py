@@ -23,6 +23,7 @@ from repro.attacks.evaluation import RobustnessEvaluator
 from repro.attacks.guess import GuessAttack
 from repro.core.config import DetectionConfig, GenerationConfig
 from repro.datasets.synthetic import generate_power_law_histogram
+from repro.experiments.report import render_evaluator_records
 
 
 def main() -> None:
@@ -79,6 +80,11 @@ def main() -> None:
               f"{outcome.owner_pair_survival:.0%}")
         print(f"  pirate's *modified* pairs verified on the owner's version: "
               f"{outcome.attacker_modified_pair_survival_on_owner:.0%}")
+
+    print("\n--- evaluation profile (per-attack timing + detector cache) ---")
+    print(render_evaluator_records(report.records()))
+    if report.detector_cache is not None:
+        print(f"  detector cache overall: {report.detector_cache.as_dict()}")
 
     print("\n--- guess attack (forged secrets) ---")
     guess = GuessAttack(guessed_pairs=20, modulus_cap=131, rng=9)

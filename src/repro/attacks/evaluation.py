@@ -9,6 +9,7 @@ benchmarks, examples and tests stay short and consistent.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -20,22 +21,56 @@ from repro.attacks.destroy import (
 )
 from repro.attacks.rewatermark import RewatermarkAttack, RewatermarkOutcome
 from repro.attacks.sampling import SamplingDetectionPoint, evaluate_sampling_attack
-from repro.core.cache import DetectorCache
+from repro.core.cache import CacheStats, DetectorCache
 from repro.core.config import GenerationConfig
 from repro.core.generator import WatermarkGenerator, WatermarkResult
 from repro.core.histogram import TokenHistogram
 from repro.utils.rng import RngLike, derive_rng
+from repro.utils.timing import Stopwatch
 
 
 @dataclass
 class RobustnessReport:
-    """Aggregated output of a full robustness evaluation run."""
+    """Aggregated output of a full robustness evaluation run.
+
+    Beyond the attack outcomes themselves the report keeps the run's
+    execution profile: wall-clock seconds per attack family
+    (``attack_seconds``), the per-family detector-cache hit/miss deltas
+    (``attack_cache_deltas``) and the final cache counters
+    (``detector_cache``). The experiment report layer renders these via
+    :func:`repro.experiments.report.render_evaluator_records`.
+    """
 
     watermark: WatermarkResult
     sampling: List[SamplingDetectionPoint] = field(default_factory=list)
     destroy_threshold_sweeps: Dict[str, list] = field(default_factory=dict)
     reordering_success: Dict[float, float] = field(default_factory=dict)
     rewatermark: Optional[RewatermarkOutcome] = None
+    attack_seconds: Dict[str, float] = field(default_factory=dict)
+    attack_cache_deltas: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    detector_cache: Optional[CacheStats] = None
+
+    def records(self) -> List[Dict[str, object]]:
+        """One flat row per attack family (timing + cache behaviour).
+
+        Consumed by the experiment report layer; row order follows the
+        evaluation order of :meth:`RobustnessEvaluator.evaluate`.
+        """
+        rows: List[Dict[str, object]] = []
+        for family, seconds in self.attack_seconds.items():
+            delta = self.attack_cache_deltas.get(family, {})
+            hits = int(delta.get("hits", 0))
+            misses = int(delta.get("misses", 0))
+            rows.append(
+                {
+                    "attack_family": family,
+                    "seconds": seconds,
+                    "cache_hits": hits,
+                    "cache_misses": misses,
+                    "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                }
+            )
+        return rows
 
 
 class RobustnessEvaluator:
@@ -84,63 +119,95 @@ class RobustnessEvaluator:
         include_rewatermark: bool = True,
         repetitions: int = 3,
     ) -> RobustnessReport:
-        """Watermark ``histogram`` and run every attack family against it."""
+        """Watermark ``histogram`` and run every attack family against it.
+
+        Each attack family's wall-clock time and detector-cache hit/miss
+        delta land in the report's ``attack_seconds`` /
+        ``attack_cache_deltas`` records rather than being discarded, so
+        report layers can show where evaluation time goes and that
+        detectors are constructed once per threshold setting.
+        """
         result = self.watermark(histogram)
         report = RobustnessReport(watermark=result)
         watermarked = result.watermarked_histogram
         secret = result.secret
+        stopwatch = Stopwatch()
 
-        report.sampling = evaluate_sampling_attack(
-            watermarked,
-            secret,
-            fractions=sampling_fractions,
-            thresholds=sampling_thresholds,
-            repetitions=repetitions,
-            rng=self._rng("sampling"),
-            detector_cache=self.detector_cache,
-        )
-
-        report.destroy_threshold_sweeps["no-attack"] = sweep_thresholds(
-            watermarked,
-            secret,
-            destroy_thresholds,
-            attack=None,
-            detector_cache=self.detector_cache,
-        )
-        report.destroy_threshold_sweeps["random-within-bounds"] = sweep_thresholds(
-            watermarked,
-            secret,
-            destroy_thresholds,
-            attack=BoundaryNoiseAttack(rng=self._rng("destroy-random")),
-            repetitions=repetitions,
-            detector_cache=self.detector_cache,
-        )
-        report.destroy_threshold_sweeps["percentage-within-bounds"] = sweep_thresholds(
-            watermarked,
-            secret,
-            destroy_thresholds,
-            attack=PercentageNoiseAttack(1.0, rng=self._rng("destroy-percent")),
-            repetitions=repetitions,
-            detector_cache=self.detector_cache,
-        )
-
-        report.reordering_success = reordering_success_rates(
-            watermarked,
-            secret,
-            percents=reordering_percents,
-            repetitions=repetitions,
-            rng=self._rng("destroy-reorder"),
-            detector_cache=self.detector_cache,
-        )
-
-        if include_rewatermark:
-            attack = RewatermarkAttack(
-                self.generation,
-                rng=self._rng("rewatermark"),
+        with self._measured(report, stopwatch, "sampling"):
+            report.sampling = evaluate_sampling_attack(
+                watermarked,
+                secret,
+                fractions=sampling_fractions,
+                thresholds=sampling_thresholds,
+                repetitions=repetitions,
+                rng=self._rng("sampling"),
                 detector_cache=self.detector_cache,
             )
-            report.rewatermark = attack.run(watermarked, secret)
+
+        with self._measured(report, stopwatch, "destroy-no-attack"):
+            report.destroy_threshold_sweeps["no-attack"] = sweep_thresholds(
+                watermarked,
+                secret,
+                destroy_thresholds,
+                attack=None,
+                detector_cache=self.detector_cache,
+            )
+        with self._measured(report, stopwatch, "destroy-random-within-bounds"):
+            report.destroy_threshold_sweeps["random-within-bounds"] = sweep_thresholds(
+                watermarked,
+                secret,
+                destroy_thresholds,
+                attack=BoundaryNoiseAttack(rng=self._rng("destroy-random")),
+                repetitions=repetitions,
+                detector_cache=self.detector_cache,
+            )
+        with self._measured(report, stopwatch, "destroy-percentage-within-bounds"):
+            report.destroy_threshold_sweeps["percentage-within-bounds"] = (
+                sweep_thresholds(
+                    watermarked,
+                    secret,
+                    destroy_thresholds,
+                    attack=PercentageNoiseAttack(1.0, rng=self._rng("destroy-percent")),
+                    repetitions=repetitions,
+                    detector_cache=self.detector_cache,
+                )
+            )
+
+        with self._measured(report, stopwatch, "destroy-reordering"):
+            report.reordering_success = reordering_success_rates(
+                watermarked,
+                secret,
+                percents=reordering_percents,
+                repetitions=repetitions,
+                rng=self._rng("destroy-reorder"),
+                detector_cache=self.detector_cache,
+            )
+
+        if include_rewatermark:
+            with self._measured(report, stopwatch, "rewatermark"):
+                attack = RewatermarkAttack(
+                    self.generation,
+                    rng=self._rng("rewatermark"),
+                    detector_cache=self.detector_cache,
+                )
+                report.rewatermark = attack.run(watermarked, secret)
+        report.attack_seconds = stopwatch.as_dict()
+        report.detector_cache = self.detector_cache.stats()
         return report
+
+    @contextmanager
+    def _measured(
+        self, report: RobustnessReport, stopwatch: Stopwatch, family: str
+    ):
+        """Time one attack family and record its cache hit/miss delta."""
+        before = self.detector_cache.stats()
+        with stopwatch.measure(family):
+            yield
+        after = self.detector_cache.stats()
+        report.attack_cache_deltas[family] = {
+            "hits": after.hits - before.hits,
+            "misses": after.misses - before.misses,
+        }
 
 
 __all__ = ["RobustnessReport", "RobustnessEvaluator"]

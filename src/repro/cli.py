@@ -20,6 +20,10 @@ most useful utilities:
   socket.
 * ``freqywm client``   — screen suspect files through a running
   ``serve`` instance (``--socket``), or through a private spawned one.
+* ``freqywm experiment`` — run a declarative experiment spec (grid sweep
+  over datasets × secrets × attacks × thresholds) against the
+  content-addressed run cache, or re-render a finished run's
+  paper-mapped Markdown/JSON report (``docs/experiments.md``).
 
 Every subcommand prints a small plain-text report; machine-readable output
 is available with ``--json`` (field-by-field schemas in ``docs/cli.md``).
@@ -346,6 +350,33 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0 if all_accepted else 1
 
 
+def _cmd_experiment_run(args: argparse.Namespace) -> int:
+    from repro.experiments import load_spec, run_experiment, write_report
+
+    spec = load_spec(args.spec)
+    run_dir = args.out if args.out is not None else Path("experiment-runs") / spec.name
+    outcome = run_experiment(spec, run_dir, workers=args.workers)
+    json_path, md_path = write_report(run_dir)
+    report: Dict[str, object] = outcome.summary()
+    report["report_json"] = str(json_path)
+    report["report_md"] = str(md_path)
+    _print_report(report, args.json)
+    return 0
+
+
+def _cmd_experiment_report(args: argparse.Namespace) -> int:
+    from repro.experiments import build_report, render_markdown, write_report
+
+    report = build_report(args.run_dir)
+    json_path, md_path = write_report(args.run_dir, report)
+    if args.json:
+        _print_report(report, True)
+    else:
+        print(render_markdown(report))  # noqa: T201
+        print(f"\nwritten: {json_path} {md_path}")  # noqa: T201
+    return 0
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     tokens = generate_power_law_tokens(
         args.alpha,
@@ -532,6 +563,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_detection_arguments(client)
     client.set_defaults(handler=_cmd_client)
+
+    experiment = subparsers.add_parser(
+        "experiment",
+        help="run / report declarative experiment specs (paper reproduction)",
+    )
+    experiment_sub = experiment.add_subparsers(dest="experiment_command", required=True)
+
+    experiment_run = experiment_sub.add_parser(
+        "run", help="execute (or resume) an experiment spec against its run cache"
+    )
+    experiment_run.add_argument(
+        "spec", type=Path, help="experiment spec file (.json or .toml)"
+    )
+    experiment_run.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="run directory (default: experiment-runs/<spec name>)",
+    )
+    experiment_run.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes per DAG level (results identical to --workers 1)",
+    )
+    experiment_run.set_defaults(handler=_cmd_experiment_run)
+
+    experiment_report = experiment_sub.add_parser(
+        "report", help="re-render the Markdown/JSON report of a finished run"
+    )
+    experiment_report.add_argument(
+        "run_dir", type=Path, help="run directory written by `experiment run`"
+    )
+    experiment_report.set_defaults(handler=_cmd_experiment_report)
 
     synth = subparsers.add_parser("synth", help="generate a synthetic power-law token file")
     synth.add_argument("output", type=Path, help="token file to write")

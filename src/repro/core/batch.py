@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.cache import DetectorCache
 from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.detector import (
     DetectionResult,
@@ -175,6 +176,7 @@ def detect_many_secrets(
     config: Optional[DetectionConfig] = None,
     *,
     collect_evidence: bool = False,
+    detector_cache: Optional[DetectorCache] = None,
 ) -> List[DetectionResult]:
     """Run ``WM_Detect`` for many secrets against one dataset at once.
 
@@ -205,6 +207,14 @@ def detect_many_secrets(
     collect_evidence : bool, optional
         When True, per-pair :class:`~repro.core.detector.PairEvidence`
         is materialised for every secret.
+    detector_cache : DetectorCache, optional
+        When given, each secret's moduli/threshold arrays are taken from
+        the cached :class:`WatermarkDetector` (constructed once per
+        ``(secret, config)``, reused across calls) instead of re-deriving
+        the SHA-256 moduli on every invocation. This is how recurring
+        many-secrets screens — leak attribution over a registry's vault,
+        provenance-chain reports — make repeated calls construction-free;
+        verdicts are identical either way.
 
     Returns
     -------
@@ -220,23 +230,41 @@ def detect_many_secrets(
     arrays = histogram.arrays()
     first_tokens: List[str] = []
     second_tokens: List[str] = []
-    moduli_list: List[int] = []
     offsets: List[int] = [0]
-    for secret in secrets:
-        if len(secret.pairs) == 0:
-            raise DetectionError("a secret list contains no watermarked pairs")
-        cache = PairModulusCache(secret.secret, secret.modulus_cap)
-        for pair in secret.pairs:
-            first_tokens.append(pair.first)
-            second_tokens.append(pair.second)
-            moduli_list.append(cache.modulus(pair.first, pair.second))
-        offsets.append(len(first_tokens))
-    moduli = np.asarray(moduli_list, dtype=np.int64)
-    thresholds = np.fromiter(
-        (detection.threshold_for(int(modulus)) for modulus in moduli_list),
-        dtype=np.int64,
-        count=len(moduli_list),
-    )
+    if detector_cache is not None:
+        moduli_arrays: List[np.ndarray] = []
+        threshold_arrays: List[np.ndarray] = []
+        for secret in secrets:
+            if len(secret.pairs) == 0:
+                raise DetectionError("a secret list contains no watermarked pairs")
+            detector = detector_cache.get(secret, detection)
+            firsts, seconds, secret_moduli, secret_thresholds = (
+                detector.pair_components()
+            )
+            first_tokens.extend(firsts)
+            second_tokens.extend(seconds)
+            moduli_arrays.append(secret_moduli)
+            threshold_arrays.append(secret_thresholds)
+            offsets.append(len(first_tokens))
+        moduli = np.concatenate(moduli_arrays)
+        thresholds = np.concatenate(threshold_arrays)
+    else:
+        moduli_list: List[int] = []
+        for secret in secrets:
+            if len(secret.pairs) == 0:
+                raise DetectionError("a secret list contains no watermarked pairs")
+            cache = PairModulusCache(secret.secret, secret.modulus_cap)
+            for pair in secret.pairs:
+                first_tokens.append(pair.first)
+                second_tokens.append(pair.second)
+                moduli_list.append(cache.modulus(pair.first, pair.second))
+            offsets.append(len(first_tokens))
+        moduli = np.asarray(moduli_list, dtype=np.int64)
+        thresholds = np.fromiter(
+            (detection.threshold_for(int(modulus)) for modulus in moduli_list),
+            dtype=np.int64,
+            count=len(moduli_list),
+        )
     # Same guard as the detector: a modulus of 0 or 1 carries no
     # information, so such pairs are unverifiable by construction.
     valid = moduli >= 2

@@ -224,6 +224,46 @@ class WatermarkDetector:
             self._fingerprint = detector_fingerprint(self.secret, self.config)
         return self._fingerprint
 
+    def reconfigured(self, config: Optional[DetectionConfig] = None) -> "WatermarkDetector":
+        """A detector for the same secret under different thresholds.
+
+        The per-pair moduli depend only on the secret, so the clone
+        reuses this detector's precomputed modulus arrays and re-resolves
+        just the thresholds and the required pair count — no SHA-256
+        re-derivation. Threshold sweeps (one detector per ``t``) pay the
+        moduli once instead of once per sweep point; verdicts are
+        identical to constructing ``WatermarkDetector(secret, config)``
+        from scratch.
+        """
+        clone = object.__new__(WatermarkDetector)
+        clone.secret = self.secret
+        clone.config = config or DetectionConfig()
+        clone._moduli = self._moduli
+        clone._thresholds = np.fromiter(
+            (clone.config.threshold_for(int(modulus)) for modulus in self._moduli),
+            dtype=np.int64,
+            count=len(self.secret.pairs),
+        )
+        clone._valid = self._valid
+        clone._safe_moduli = self._safe_moduli
+        clone._first_tokens = self._first_tokens
+        clone._second_tokens = self._second_tokens
+        clone._required = clone.config.required_pairs(len(self.secret.pairs))
+        clone._fingerprint = None
+        return clone
+
+    def pair_components(self) -> Tuple[List[str], List[str], np.ndarray, np.ndarray]:
+        """The precomputed per-pair verification inputs of this detector.
+
+        Returns ``(first_tokens, second_tokens, moduli, thresholds)`` in
+        stored-pair order. Stacked many-secrets passes
+        (:func:`repro.core.batch.detect_many_secrets`) concatenate these
+        across cached detectors instead of re-deriving the SHA-256 moduli
+        per call. The arrays are the detector's own working state — treat
+        them as read-only.
+        """
+        return self._first_tokens, self._second_tokens, self._moduli, self._thresholds
+
     # ------------------------------------------------------------------ #
     # Vectorized verification core
     # ------------------------------------------------------------------ #

@@ -1,0 +1,173 @@
+"""Content-addressed on-disk run cache.
+
+A run directory looks like::
+
+    RUN_DIR/
+      manifest.json            # spec + spec fingerprint + task table
+      run_log.json             # executed/cached counters of the last run
+      report.md / report.json  # rendered by repro.experiments.report
+      artifacts/
+        <task fingerprint>.json
+
+Artifacts are keyed purely by the task fingerprint (kind + params + seed
++ dependency fingerprints), so:
+
+* an interrupted run resumes exactly where it stopped — finished tasks
+  are found by fingerprint and never recomputed;
+* an immediately repeated run performs zero task executions;
+* editing a spec invalidates only the downstream subtree of the change —
+  untouched datasets/embeddings are reused byte-for-byte.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-write never
+leaves a corrupt artifact that would poison a resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from repro.exceptions import ReproError
+from repro.experiments.plan import ExperimentPlan, Task
+
+
+class CacheError(ReproError):
+    """A run-cache artifact is missing or unreadable."""
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically within its directory."""
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(text, encoding="utf-8")
+    os.replace(temp, path)
+
+
+class RunCache:
+    """Artifact store of one experiment run directory."""
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        # No directories are created here: read-only operations (report
+        # rendering, artifact loading) must not leave stray directories
+        # behind a mistyped path. The write paths mkdir on demand.
+        self.run_dir = Path(run_dir)
+        self.artifact_dir = self.run_dir / "artifacts"
+
+    # ------------------------------------------------------------------ #
+    # Artifacts
+    # ------------------------------------------------------------------ #
+
+    def _artifact_path(self, fingerprint: str) -> Path:
+        return self.artifact_dir / f"{fingerprint}.json"
+
+    def has(self, fingerprint: str) -> bool:
+        """Whether a finished artifact exists for ``fingerprint``."""
+        return self._artifact_path(fingerprint).exists()
+
+    def store(
+        self,
+        task: Task,
+        result: Mapping[str, object],
+        *,
+        seconds: float = 0.0,
+    ) -> None:
+        """Persist one finished task's record (atomic)."""
+        record = {
+            "task_id": task.task_id,
+            "kind": task.kind,
+            "fingerprint": task.fingerprint,
+            "params": dict(task.params),
+            "seconds": round(seconds, 6),
+            "result": dict(result),
+        }
+        self.artifact_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            self._artifact_path(task.fingerprint),
+            json.dumps(record, sort_keys=True) + "\n",
+        )
+
+    def load(self, fingerprint: str) -> Dict[str, object]:
+        """Load one artifact record; raises :class:`CacheError` if absent."""
+        path = self._artifact_path(fingerprint)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CacheError(f"no cached artifact for fingerprint {fingerprint}") from None
+        except json.JSONDecodeError as error:
+            raise CacheError(f"corrupt artifact {path.name}: {error}") from None
+        if record.get("fingerprint") != fingerprint:
+            raise CacheError(
+                f"artifact {path.name} does not match its fingerprint key"
+            )
+        return record
+
+    def load_result(self, fingerprint: str) -> Dict[str, object]:
+        """The ``result`` payload of one artifact."""
+        return dict(self.load(fingerprint)["result"])  # type: ignore[arg-type]
+
+    def fingerprints(self) -> Iterable[str]:
+        """Fingerprints of every stored artifact."""
+        if not self.artifact_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.artifact_dir.glob("*.json"))
+
+    # ------------------------------------------------------------------ #
+    # Manifest / run log
+    # ------------------------------------------------------------------ #
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / "manifest.json"
+
+    @property
+    def run_log_path(self) -> Path:
+        return self.run_dir / "run_log.json"
+
+    def write_manifest(
+        self, plan: ExperimentPlan, spec_payload: Mapping[str, object]
+    ) -> None:
+        """Record the spec and the task table of the latest run."""
+        manifest = {
+            "spec": dict(spec_payload),
+            "spec_fingerprint": plan.spec_fingerprint,
+            "seed": plan.seed,
+            "tasks": [
+                {
+                    "task_id": task.task_id,
+                    "kind": task.kind,
+                    "fingerprint": task.fingerprint,
+                    "deps": list(task.deps),
+                    "params": dict(task.params),
+                }
+                for task in plan.tasks
+            ],
+        }
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            self.manifest_path, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+
+    def read_manifest(self) -> Dict[str, object]:
+        try:
+            return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CacheError(
+                f"{self.run_dir} has no manifest.json — not an experiment run "
+                "directory (run `freqywm experiment run` first)"
+            ) from None
+
+    def write_run_log(self, log: Mapping[str, object]) -> None:
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            self.run_log_path, json.dumps(dict(log), indent=2, sort_keys=True) + "\n"
+        )
+
+    def read_run_log(self) -> Optional[Dict[str, object]]:
+        try:
+            return json.loads(self.run_log_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+
+
+__all__ = ["CacheError", "RunCache"]

@@ -1,0 +1,229 @@
+"""Resumable, sharded execution of an experiment DAG.
+
+The executor walks the plan level by level (every level only depends on
+earlier levels), skipping tasks whose fingerprint already has an artifact
+in the run cache and fanning the remainder out across worker processes.
+Because every task draws its randomness from a stream keyed by its own
+fingerprint (:func:`repro.experiments.tasks.task_rng`), the artifacts —
+and therefore the rendered reports — are bit-identical regardless of
+worker count or scheduling order.
+
+Process pools mirror the library's sharding layers: ``workers=1`` never
+spawns anything, and a pool that fails to start (restricted sandboxes)
+falls back to in-process execution with a logged warning rather than
+failing the run.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.experiments.cache import RunCache
+from repro.experiments.plan import Task, build_plan, validate_plan
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.tasks import execute_task
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one ``run_experiment`` invocation.
+
+    ``executed`` / ``cached`` count tasks per kind; a repeated run of an
+    unchanged spec has ``executed == {}`` — every artifact is served from
+    the content-addressed cache.
+    """
+
+    run_dir: Path
+    spec_fingerprint: str
+    workers: int
+    executed: Dict[str, int] = field(default_factory=dict)
+    cached: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def executed_total(self) -> int:
+        return sum(self.executed.values())
+
+    @property
+    def cached_total(self) -> int:
+        return sum(self.cached.values())
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary for the CLI and the run log."""
+        return {
+            "run_dir": str(self.run_dir),
+            "spec_fingerprint": self.spec_fingerprint,
+            "workers": self.workers,
+            "executed": dict(self.executed),
+            "cached": dict(self.cached),
+            "executed_total": self.executed_total,
+            "cached_total": self.cached_total,
+            "seconds": round(self.seconds, 3),
+        }
+
+
+def _run_one(args: Tuple[Task, Dict[str, Dict[str, object]], int]):
+    """Pool worker: execute one task and time it."""
+    task, deps, seed = args
+    start = time.perf_counter()
+    result = execute_task(task, deps, seed)
+    return task.task_id, result, time.perf_counter() - start
+
+
+class ExperimentRunner:
+    """Drives one experiment plan to completion against a run cache."""
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        run_dir: Union[str, Path],
+        *,
+        workers: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        self.start_method = start_method
+        self.plan = build_plan(spec)
+        validate_plan(self.plan)
+        self.cache = RunCache(run_dir)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> RunResult:
+        """Execute (or resume) the plan; returns executed/cached counters."""
+        started = time.perf_counter()
+        self.cache.write_manifest(self.plan, self.spec.to_dict())
+        results: Dict[str, Dict[str, object]] = {}
+        executed: Dict[str, int] = {}
+        cached: Dict[str, int] = {}
+
+        for level in self.plan.levels():
+            pending: List[Task] = []
+            for task in level:
+                if self.cache.has(task.fingerprint):
+                    cached[task.kind] = cached.get(task.kind, 0) + 1
+                    results[task.task_id] = self.cache.load_result(task.fingerprint)
+                else:
+                    pending.append(task)
+            if not pending:
+                continue
+            jobs = [
+                (
+                    task,
+                    {dep: results[dep] for dep in task.deps},
+                    self.plan.seed,
+                )
+                for task in pending
+            ]
+            for task, result, seconds in self._execute(jobs):
+                self.cache.store(task, result, seconds=seconds)
+                results[task.task_id] = dict(result)
+                executed[task.kind] = executed.get(task.kind, 0) + 1
+
+        outcome = RunResult(
+            run_dir=self.cache.run_dir,
+            spec_fingerprint=self.plan.spec_fingerprint,
+            workers=self.workers,
+            executed=executed,
+            cached=cached,
+            seconds=time.perf_counter() - started,
+        )
+        self.cache.write_run_log(outcome.summary())
+        return outcome
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, jobs):
+        """Run one level's pending jobs, sharded when workers > 1.
+
+        Yields ``(task, result, seconds)`` tuples. Output order within a
+        level does not matter for correctness (tasks in a level are
+        independent) but is kept deterministic anyway by mapping in job
+        order.
+        """
+        by_id = {task.task_id: task for task, _deps, _seed in jobs}
+        if self.workers > 1 and len(jobs) > 1:
+            # Only pool *startup* is allowed to fall back to in-process
+            # execution (restricted sandboxes, mirroring the sharding
+            # pools); a task failing inside a worker propagates as-is so
+            # it is never misdiagnosed as an environment problem.
+            pool = None
+            try:
+                context = (
+                    multiprocessing.get_context(self.start_method)
+                    if self.start_method
+                    else multiprocessing.get_context()
+                )
+                pool = context.Pool(processes=min(self.workers, len(jobs)))
+            except (OSError, RuntimeError, PermissionError) as error:
+                logger.warning(
+                    "experiment worker pool unavailable (%s); running level "
+                    "in-process",
+                    error,
+                )
+                warnings.warn(
+                    f"experiment worker pool unavailable ({error}); "
+                    "running in-process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            if pool is not None:
+                with pool:
+                    # imap_unordered so finished tasks reach the caller —
+                    # and the on-disk cache — as they complete, not at the
+                    # level barrier: an interrupted sharded run then
+                    # resumes at task granularity, as cache.py documents.
+                    for task_id, result, seconds in pool.imap_unordered(
+                        _run_one, jobs
+                    ):
+                        yield by_id[task_id], result, seconds
+                return
+        for job in jobs:
+            task_id, result, seconds = _run_one(job)
+            yield by_id[task_id], result, seconds
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    run_dir: Union[str, Path],
+    *,
+    workers: int = 1,
+    start_method: Optional[str] = None,
+) -> RunResult:
+    """Plan, execute (or resume) and log one experiment run."""
+    runner = ExperimentRunner(
+        spec, run_dir, workers=workers, start_method=start_method
+    )
+    return runner.run()
+
+
+def load_artifacts(run_dir: Union[str, Path]) -> Dict[str, Dict[str, object]]:
+    """Artifacts of a finished run, keyed by ``task_id`` (via the manifest)."""
+    cache = RunCache(run_dir)
+    manifest = cache.read_manifest()
+    artifacts: Dict[str, Dict[str, object]] = {}
+    for entry in manifest["tasks"]:  # type: ignore[union-attr]
+        fingerprint = str(entry["fingerprint"])  # type: ignore[index]
+        if cache.has(fingerprint):
+            artifacts[str(entry["task_id"])] = cache.load(fingerprint)  # type: ignore[index]
+    return artifacts
+
+
+__all__ = [
+    "ExperimentRunner",
+    "RunResult",
+    "load_artifacts",
+    "run_experiment",
+]

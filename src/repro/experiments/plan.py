@@ -1,0 +1,364 @@
+"""Expand an :class:`ExperimentSpec` into a DAG of cacheable tasks.
+
+The planner is pure: it never touches data or randomness, it only lays
+out *what* has to run and how results flow. Each task carries a
+content-addressed fingerprint — a SHA-256 over its kind, its parameters,
+the root seed and its dependencies' fingerprints — so two plans share a
+fingerprint exactly when the task would compute the same artifact. The
+run cache keys on that fingerprint, which is what makes interrupted runs
+resumable and repeated runs free (see :mod:`repro.experiments.cache`).
+
+Task kinds and their dataflow::
+
+    dataset ──► embed ──► attack ──► detect ──► analysis:robustness
+                  │                    ▲
+                  ├────────────────────┘ (no-attack row)
+                  ├──► analysis:fpr
+                  └──► analysis:distortion ──► analysis:baselines
+    dataset ──► baseline ─────────────────────┘
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.spec import ExperimentSpec
+
+#: Bumping this invalidates every cached artifact (task semantics change).
+TASK_VERSION = 1
+
+#: Task kinds in scheduling order (informational; the DAG is authoritative).
+TASK_KINDS = (
+    "dataset",
+    "embed",
+    "attack",
+    "detect",
+    "baseline",
+    "analysis",
+)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the experiment DAG.
+
+    Attributes
+    ----------
+    task_id:
+        Human-readable unique id (``kind:...`` path), stable across runs.
+    kind:
+        One of :data:`TASK_KINDS`.
+    params:
+        JSON-able parameters fully describing the computation (together
+        with the dependency artifacts and the derived RNG stream).
+    deps:
+        ``task_id`` s of the dependencies whose artifacts this task reads.
+    fingerprint:
+        Content hash over ``(version, seed, kind, params, dep
+        fingerprints)`` — the run-cache key.
+    """
+
+    task_id: str
+    kind: str
+    params: Mapping[str, object]
+    deps: Tuple[str, ...]
+    fingerprint: str
+
+
+def task_fingerprint(
+    kind: str,
+    params: Mapping[str, object],
+    dep_fingerprints: Tuple[str, ...],
+    seed: int,
+) -> str:
+    """The content-addressed cache key of one task."""
+    payload = json.dumps(
+        {
+            "version": TASK_VERSION,
+            "seed": seed,
+            "kind": kind,
+            "params": params,
+            "deps": list(dep_fingerprints),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """The expanded DAG, in a valid topological order."""
+
+    spec_fingerprint: str
+    seed: int
+    tasks: Tuple[Task, ...]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def by_id(self) -> Dict[str, Task]:
+        return {task.task_id: task for task in self.tasks}
+
+    def of_kind(self, kind: str) -> Tuple[Task, ...]:
+        return tuple(task for task in self.tasks if task.kind == kind)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of planned tasks per kind (stable key order)."""
+        counts: Dict[str, int] = {}
+        for kind in TASK_KINDS:
+            n = sum(1 for task in self.tasks if task.kind == kind)
+            if n:
+                counts[kind] = n
+        return counts
+
+    def levels(self) -> List[List[Task]]:
+        """Tasks grouped by DAG depth — each level only depends on earlier ones.
+
+        The executor runs one level at a time, fanning its tasks out
+        across workers; within a level tasks are independent by
+        construction.
+        """
+        depth: Dict[str, int] = {}
+        for task in self.tasks:  # topological order ⇒ deps already placed
+            depth[task.task_id] = (
+                1 + max((depth[dep] for dep in task.deps), default=-1)
+            )
+        grouped: Dict[int, List[Task]] = {}
+        for task in self.tasks:
+            grouped.setdefault(depth[task.task_id], []).append(task)
+        return [grouped[level] for level in sorted(grouped)]
+
+
+class _PlanBuilder:
+    """Accumulates tasks, wiring fingerprints through dependencies."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.tasks: List[Task] = []
+        self._fingerprints: Dict[str, str] = {}
+
+    def add(
+        self,
+        task_id: str,
+        kind: str,
+        params: Mapping[str, object],
+        deps: Tuple[str, ...] = (),
+    ) -> str:
+        if task_id in self._fingerprints:
+            raise ConfigurationError(f"duplicate task id {task_id!r}")
+        missing = [dep for dep in deps if dep not in self._fingerprints]
+        if missing:
+            raise ConfigurationError(
+                f"task {task_id!r} depends on unplanned task(s) {missing}"
+            )
+        fingerprint = task_fingerprint(
+            kind,
+            params,
+            tuple(self._fingerprints[dep] for dep in deps),
+            self.seed,
+        )
+        self.tasks.append(
+            Task(
+                task_id=task_id,
+                kind=kind,
+                params=dict(params),
+                deps=tuple(deps),
+                fingerprint=fingerprint,
+            )
+        )
+        self._fingerprints[task_id] = fingerprint
+        return task_id
+
+
+def build_plan(spec: ExperimentSpec) -> ExperimentPlan:
+    """Expand ``spec`` into its full task DAG (deterministic ordering)."""
+    builder = _PlanBuilder(spec.seed)
+    generation = spec.generation_config()
+    generation_params = {
+        "budget_percent": generation.budget_percent,
+        "modulus_cap": generation.modulus_cap,
+        "strategy": generation.strategy,
+        "max_pairs": generation.max_pairs,
+    }
+    detection_params = {
+        "thresholds": list(spec.thresholds),
+        "min_accepted_fraction": spec.min_accepted_fraction,
+    }
+
+    detect_ids: List[str] = []
+    distortion_ids: List[str] = []
+    baseline_ids: List[str] = []
+
+    for dataset in spec.datasets:
+        dataset_id = builder.add(
+            f"dataset:{dataset.name}", "dataset", dataset.to_dict()
+        )
+
+        embed_id = builder.add(
+            f"embed:{dataset.name}",
+            "embed",
+            {
+                "dataset": dataset.name,
+                "secrets": spec.secrets_per_dataset,
+                "generation": generation_params,
+            },
+            deps=(dataset_id,),
+        )
+
+        for secret_index in range(spec.secrets_per_dataset):
+            # The un-attacked detection row: every robustness table needs
+            # the baseline "watermark verifies on its own output" curve.
+            detect_ids.append(
+                builder.add(
+                    f"detect:{dataset.name}:s{secret_index}:none",
+                    "detect",
+                    {
+                        "dataset": dataset.name,
+                        "secret_index": secret_index,
+                        "attack": "none",
+                        "strength": 0.0,
+                        **detection_params,
+                    },
+                    deps=(embed_id,),
+                )
+            )
+            for attack_index, attack in enumerate(spec.attacks):
+                for strength in attack.strengths:
+                    # repr(strength) (not %g) keeps ids collision-free for
+                    # any two distinct floats; the attack entry index keeps
+                    # two entries of the same kind (e.g. differing only in
+                    # repetitions) apart.
+                    cell = f"{attack.kind}.{attack_index}:{strength!r}"
+                    attack_id = builder.add(
+                        f"attack:{dataset.name}:s{secret_index}:{cell}",
+                        "attack",
+                        {
+                            "dataset": dataset.name,
+                            "secret_index": secret_index,
+                            "attack": attack.kind,
+                            "strength": strength,
+                            "repetitions": attack.repetitions,
+                        },
+                        deps=(embed_id,),
+                    )
+                    detect_ids.append(
+                        builder.add(
+                            f"detect:{dataset.name}:s{secret_index}:{cell}",
+                            "detect",
+                            {
+                                "dataset": dataset.name,
+                                "secret_index": secret_index,
+                                "attack": attack.kind,
+                                "strength": strength,
+                                **detection_params,
+                            },
+                            deps=(attack_id, embed_id),
+                        )
+                    )
+
+            if "fpr_curve" in spec.analyses:
+                # FPR tasks have no downstream summary: the report layer
+                # renders each one's rows directly.
+                builder.add(
+                    f"analysis:fpr:{dataset.name}:s{secret_index}",
+                    "analysis",
+                    {
+                        "analysis": "fpr_curve",
+                        "dataset": dataset.name,
+                        "secret_index": secret_index,
+                        "thresholds": list(spec.thresholds),
+                        "min_accepted_fraction": spec.min_accepted_fraction,
+                        "trials": spec.fpr_trials,
+                    },
+                    deps=(embed_id,),
+                )
+
+            if "distortion" in spec.analyses or "baselines" in spec.analyses:
+                distortion_ids.append(
+                    builder.add(
+                        f"analysis:distortion:{dataset.name}:s{secret_index}",
+                        "analysis",
+                        {
+                            "analysis": "distortion",
+                            "dataset": dataset.name,
+                            "secret_index": secret_index,
+                        },
+                        deps=(dataset_id, embed_id),
+                    )
+                )
+
+        if "baselines" in spec.analyses:
+            for method in spec.baselines:
+                baseline_ids.append(
+                    builder.add(
+                        f"baseline:{dataset.name}:{method}",
+                        "baseline",
+                        {"dataset": dataset.name, "method": method},
+                        deps=(dataset_id,),
+                    )
+                )
+
+    if "robustness" in spec.analyses:
+        builder.add(
+            "analysis:robustness",
+            "analysis",
+            {"analysis": "robustness"},
+            deps=tuple(detect_ids),
+        )
+    if "baselines" in spec.analyses:
+        builder.add(
+            "analysis:baselines",
+            "analysis",
+            {"analysis": "baselines"},
+            deps=tuple(distortion_ids) + tuple(baseline_ids),
+        )
+
+    return ExperimentPlan(
+        spec_fingerprint=spec.fingerprint(),
+        seed=spec.seed,
+        tasks=tuple(builder.tasks),
+    )
+
+
+def validate_plan(plan: ExperimentPlan) -> None:
+    """Sanity-check DAG invariants (used by tests and the executor)."""
+    seen: Dict[str, Task] = {}
+    for task in plan.tasks:
+        if task.task_id in seen:
+            raise ConfigurationError(f"duplicate task id {task.task_id!r}")
+        for dep in task.deps:
+            if dep not in seen:
+                raise ConfigurationError(
+                    f"task {task.task_id!r} depends on {dep!r} which is not "
+                    "planned before it"
+                )
+        expected = task_fingerprint(
+            task.kind,
+            task.params,
+            tuple(seen[dep].fingerprint for dep in task.deps),
+            plan.seed,
+        )
+        if expected != task.fingerprint:
+            raise ConfigurationError(
+                f"task {task.task_id!r} carries a stale fingerprint"
+            )
+        seen[task.task_id] = task
+
+
+__all__ = [
+    "TASK_KINDS",
+    "TASK_VERSION",
+    "ExperimentPlan",
+    "Task",
+    "build_plan",
+    "task_fingerprint",
+    "validate_plan",
+]

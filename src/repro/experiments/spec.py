@@ -1,0 +1,413 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` describes one reproduction of (a slice of) the
+paper's evaluation as a *grid sweep*: synthetic datasets × embedded
+secrets × attack families with swept strengths × detection thresholds ×
+analysis layers. Specs are plain frozen dataclasses, loadable from JSON
+or TOML files, and every spec has a stable SHA-256 fingerprint so runs
+are content-addressed end to end (see :mod:`repro.experiments.cache`).
+
+The schema is deliberately small — it only names things the rest of the
+library already knows how to do — and strictly validated at construction
+time, so a typo in a spec file fails before any task runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.core.config import DetectionConfig, GenerationConfig
+from repro.exceptions import ConfigurationError
+
+#: Known dataset generators (see :mod:`repro.datasets.synthetic`).
+DATASET_KINDS = ("power-law", "uniform")
+#: Known attack families (see :mod:`repro.attacks`). ``strength`` means a
+#: sampling fraction for ``sampling`` and a noise percentage for the
+#: ``reordering`` / ``percentage`` destroy attacks; ``boundary`` draws
+#: full-slack noise and takes no strength knob.
+ATTACK_KINDS = ("sampling", "reordering", "percentage", "boundary")
+#: Analysis layers a spec may request.
+ANALYSIS_KINDS = ("robustness", "fpr_curve", "distortion", "baselines")
+#: Baseline comparators from :mod:`repro.baselines`.
+BASELINE_METHODS = ("wm-obt", "wm-rvs")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One synthetic input dataset of the sweep.
+
+    ``power-law`` datasets follow the paper's Section V workload (skewness
+    ``alpha``, ``tokens`` distinct tokens, ``samples`` total occurrences,
+    multinomially sampled); ``uniform`` builds the degenerate flat
+    histogram where FreqyWM cannot embed (negative-control runs).
+    """
+
+    name: str
+    kind: str = "power-law"
+    alpha: float = 0.5
+    tokens: int = 120
+    samples: int = 60_000
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "dataset name must be non-empty")
+        _require(
+            self.name == _slug(self.name),
+            f"dataset name must be a slug ([a-z0-9._-]), got {self.name!r}",
+        )
+        _require(
+            self.kind in DATASET_KINDS,
+            f"dataset kind must be one of {DATASET_KINDS}, got {self.kind!r}",
+        )
+        _require(self.alpha >= 0.0, f"alpha must be >= 0, got {self.alpha}")
+        _require(self.tokens >= 2, f"tokens must be >= 2, got {self.tokens}")
+        _require(self.samples >= self.tokens, "samples must be >= tokens")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "alpha": self.alpha,
+            "tokens": self.tokens,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "DatasetSpec":
+        _check_keys("dataset", payload, {"name", "kind", "alpha", "tokens", "samples"})
+        return cls(
+            name=str(_required_key("dataset", payload, "name")),
+            kind=str(payload.get("kind", "power-law")),
+            alpha=float(payload.get("alpha", 0.5)),
+            tokens=int(payload.get("tokens", 120)),
+            samples=int(payload.get("samples", 60_000)),
+        )
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One attack family with a swept strength axis.
+
+    Every ``(strength, repetition)`` cell becomes its own cacheable attack
+    task; detection then screens all repetitions of a cell in one
+    vectorized ``detect_many`` batch.
+    """
+
+    kind: str
+    strengths: Tuple[float, ...] = (1.0,)
+    repetitions: int = 1
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ATTACK_KINDS,
+            f"attack kind must be one of {ATTACK_KINDS}, got {self.kind!r}",
+        )
+        _require(len(self.strengths) > 0, "attack strengths must be non-empty")
+        _require(self.repetitions >= 1, "attack repetitions must be >= 1")
+        for strength in self.strengths:
+            if self.kind == "sampling":
+                _require(
+                    0.0 < strength <= 1.0,
+                    f"sampling strengths are fractions in (0, 1], got {strength}",
+                )
+            else:
+                _require(
+                    strength >= 0.0,
+                    f"attack strength must be >= 0, got {strength}",
+                )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "strengths": list(self.strengths),
+            "repetitions": self.repetitions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "AttackSpec":
+        _check_keys("attack", payload, {"kind", "strengths", "repetitions"})
+        raw = payload.get("strengths", [1.0])
+        if not isinstance(raw, (list, tuple)):
+            raise ConfigurationError("attack strengths must be a list of numbers")
+        return cls(
+            kind=str(_required_key("attack", payload, "kind")),
+            strengths=tuple(float(value) for value in raw),
+            repetitions=int(payload.get("repetitions", 1)),
+        )
+
+
+_SLUG_ALLOWED = set("abcdefghijklmnopqrstuvwxyz0123456789._-")
+
+
+def _slug(value: str) -> str:
+    return "".join(char for char in value.lower() if char in _SLUG_ALLOWED)
+
+
+def _check_keys(
+    section: str, payload: Mapping[str, object], allowed: set
+) -> None:
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {section} spec field(s): {', '.join(sorted(map(str, unknown)))}"
+        )
+
+
+def _required_key(section: str, payload: Mapping[str, object], key: str) -> object:
+    try:
+        return payload[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"{section} spec is missing required field {key!r}"
+        ) from None
+
+
+def _exact_int(field_name: str, value: object) -> int:
+    """Coerce a spec number to int, rejecting fractional values.
+
+    ``int(1.5)`` would silently truncate a typo to a different sweep
+    point; integral floats (``2.0``, as JSON/TOML sometimes render
+    integers) are accepted.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"{field_name} must be an integer, got {value!r}")
+    if float(value) != int(value):
+        raise ConfigurationError(f"{field_name} must be an integer, got {value!r}")
+    return int(value)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A full declarative experiment: the grid plus its analysis layers.
+
+    Attributes
+    ----------
+    name:
+        Slug naming the experiment (also the default run-directory name).
+    seed:
+        Root seed. Every task derives its own independent RNG stream from
+        ``(seed, task fingerprint)`` via :func:`repro.utils.rng.derive_rng`,
+        so results are bit-identical regardless of worker count or
+        execution order.
+    datasets:
+        The input datasets of the sweep.
+    generation:
+        ``WM_Generate`` parameters shared by every embedding.
+    secrets_per_dataset:
+        Independent watermarks embedded per dataset (one batched
+        ``generate_many`` pass per dataset).
+    attacks:
+        Attack families swept against every embedded watermark. A
+        no-attack detection row is always included.
+    thresholds:
+        Detection threshold sweep (the paper's ``t`` axis).
+    min_accepted_fraction:
+        The ``k`` knob, as a fraction of stored pairs.
+    analyses:
+        Analysis layers to run (subset of :data:`ANALYSIS_KINDS`).
+    baselines:
+        Comparators for the ``baselines`` analysis.
+    fpr_trials:
+        Monte-Carlo trials for the empirical column of the FPR curve.
+    """
+
+    name: str
+    description: str = ""
+    seed: int = 0
+    datasets: Tuple[DatasetSpec, ...] = ()
+    generation: Mapping[str, object] = field(default_factory=dict)
+    secrets_per_dataset: int = 1
+    attacks: Tuple[AttackSpec, ...] = ()
+    thresholds: Tuple[int, ...] = (0, 1, 2, 4)
+    min_accepted_fraction: float = 0.5
+    analyses: Tuple[str, ...] = ("robustness",)
+    baselines: Tuple[str, ...] = BASELINE_METHODS
+    fpr_trials: int = 2000
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "experiment name must be non-empty")
+        _require(
+            self.name == _slug(self.name),
+            f"experiment name must be a slug ([a-z0-9._-]), got {self.name!r}",
+        )
+        _require(len(self.datasets) > 0, "spec must declare at least one dataset")
+        names = [dataset.name for dataset in self.datasets]
+        _require(len(set(names)) == len(names), "dataset names must be unique")
+        _require(
+            self.secrets_per_dataset >= 1,
+            f"secrets_per_dataset must be >= 1, got {self.secrets_per_dataset}",
+        )
+        _require(len(self.thresholds) > 0, "thresholds must be non-empty")
+        for threshold in self.thresholds:
+            _require(
+                isinstance(threshold, int) and threshold >= 0,
+                f"thresholds must be non-negative integers, got {threshold!r}",
+            )
+        _require(
+            len(set(self.thresholds)) == len(self.thresholds),
+            "thresholds must be unique",
+        )
+        _require(
+            0.0 <= self.min_accepted_fraction <= 1.0,
+            "min_accepted_fraction must lie in [0, 1]",
+        )
+        _require(len(self.analyses) > 0, "spec must request at least one analysis")
+        for analysis in self.analyses:
+            _require(
+                analysis in ANALYSIS_KINDS,
+                f"analysis must be one of {ANALYSIS_KINDS}, got {analysis!r}",
+            )
+        for method in self.baselines:
+            _require(
+                method in BASELINE_METHODS,
+                f"baseline must be one of {BASELINE_METHODS}, got {method!r}",
+            )
+        _require(self.fpr_trials >= 1, "fpr_trials must be >= 1")
+        # Fail early on bad generation parameters, not inside a worker.
+        self.generation_config()
+
+    # ------------------------------------------------------------------ #
+    # Resolved configurations
+    # ------------------------------------------------------------------ #
+
+    def generation_config(self) -> GenerationConfig:
+        """The resolved :class:`GenerationConfig` shared by every embed."""
+        payload = dict(self.generation)
+        _check_keys(
+            "generation",
+            payload,
+            {"budget_percent", "modulus_cap", "strategy", "max_pairs"},
+        )
+        kwargs: Dict[str, object] = {}
+        if "budget_percent" in payload:
+            kwargs["budget_percent"] = float(payload["budget_percent"])
+        if "modulus_cap" in payload:
+            kwargs["modulus_cap"] = int(payload["modulus_cap"])
+        if "strategy" in payload:
+            kwargs["strategy"] = str(payload["strategy"])
+        if "max_pairs" in payload and payload["max_pairs"] is not None:
+            kwargs["max_pairs"] = int(payload["max_pairs"])
+        return GenerationConfig(**kwargs)  # type: ignore[arg-type]
+
+    def detection_config(self, threshold: int) -> DetectionConfig:
+        """The resolved :class:`DetectionConfig` for one sweep threshold."""
+        return DetectionConfig(
+            pair_threshold=threshold,
+            min_accepted_fraction=self.min_accepted_fraction,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-able representation (the fingerprint input)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "datasets": [dataset.to_dict() for dataset in self.datasets],
+            "generation": dict(self.generation),
+            "secrets_per_dataset": self.secrets_per_dataset,
+            "attacks": [attack.to_dict() for attack in self.attacks],
+            "thresholds": list(self.thresholds),
+            "min_accepted_fraction": self.min_accepted_fraction,
+            "analyses": list(self.analyses),
+            "baselines": list(self.baselines),
+            "fpr_trials": self.fpr_trials,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentSpec":
+        _check_keys(
+            "experiment",
+            payload,
+            {
+                "name",
+                "description",
+                "seed",
+                "datasets",
+                "generation",
+                "secrets_per_dataset",
+                "attacks",
+                "thresholds",
+                "min_accepted_fraction",
+                "analyses",
+                "baselines",
+                "fpr_trials",
+            },
+        )
+        datasets_raw = payload.get("datasets", [])
+        attacks_raw = payload.get("attacks", [])
+        if not isinstance(datasets_raw, (list, tuple)):
+            raise ConfigurationError("datasets must be a list of dataset tables")
+        if not isinstance(attacks_raw, (list, tuple)):
+            raise ConfigurationError("attacks must be a list of attack tables")
+        return cls(
+            name=str(payload.get("name", "")),
+            description=str(payload.get("description", "")),
+            seed=int(payload.get("seed", 0)),
+            datasets=tuple(DatasetSpec.from_dict(entry) for entry in datasets_raw),
+            generation=dict(payload.get("generation", {})),  # type: ignore[arg-type]
+            secrets_per_dataset=int(payload.get("secrets_per_dataset", 1)),
+            attacks=tuple(AttackSpec.from_dict(entry) for entry in attacks_raw),
+            thresholds=tuple(
+                _exact_int("thresholds", value)
+                for value in payload.get("thresholds", (0, 1, 2, 4))  # type: ignore[union-attr]
+            ),
+            min_accepted_fraction=float(payload.get("min_accepted_fraction", 0.5)),
+            analyses=tuple(str(value) for value in payload.get("analyses", ("robustness",))),  # type: ignore[union-attr]
+            baselines=tuple(str(value) for value in payload.get("baselines", BASELINE_METHODS)),  # type: ignore[union-attr]
+            fpr_trials=int(payload.get("fpr_trials", 2000)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        """Load a spec file; the suffix picks the parser (JSON or TOML)."""
+        path = Path(path)
+        if path.suffix.lower() == ".toml":
+            import tomllib
+
+            payload = tomllib.loads(path.read_text(encoding="utf-8"))
+            return cls.from_dict(payload)
+        return cls.from_json(path.read_text(encoding="utf-8"))
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of the spec (stable across field ordering)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def load_spec(path: Union[str, Path]) -> ExperimentSpec:
+    """Module-level convenience mirroring :meth:`ExperimentSpec.load`."""
+    return ExperimentSpec.load(path)
+
+
+__all__ = [
+    "ANALYSIS_KINDS",
+    "ATTACK_KINDS",
+    "BASELINE_METHODS",
+    "DATASET_KINDS",
+    "AttackSpec",
+    "DatasetSpec",
+    "ExperimentSpec",
+    "load_spec",
+]

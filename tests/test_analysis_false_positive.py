@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 from scipy import stats
 
 from repro.analysis.false_positive import (
@@ -111,6 +113,74 @@ class TestProfiles:
         profile = uniform_probability_profile(30, rng=3)
         for k in (5, 15, 25):
             assert profile.markov_probability(k) + 1e-12 >= profile.exact_probability(k)
+
+
+#: Hypothesis sweep over the paper's (n, t, moduli) knobs: modest example
+#: counts keep the Monte-Carlo cross-checks fast while still roaming the
+#: space of pair counts, thresholds and modulus mixes.
+_fp_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_moduli_strategy = st.lists(
+    st.integers(min_value=2, max_value=131), min_size=1, max_size=40
+)
+
+
+class TestExactSurvivalCrossChecks:
+    """The DFT survival function against its two independent estimates.
+
+    Property-based over ``n`` (implied by the moduli list length), the
+    per-pair threshold ``t`` and the modulus mix — the three knobs the
+    paper sweeps in Section III-B4.
+    """
+
+    @_fp_settings
+    @given(moduli=_moduli_strategy, threshold=st.integers(min_value=0, max_value=16))
+    def test_exact_survival_within_monte_carlo_noise(self, moduli, threshold):
+        probabilities = [
+            pair_false_positive_probability(modulus, threshold) for modulus in moduli
+        ]
+        k = max(1, len(moduli) // 2)
+        exact = poisson_binomial_survival(probabilities, k)
+        trials = 1500
+        empirical = empirical_false_positive_rate(
+            moduli, threshold, k, trials=trials, rng=101
+        )
+        # Four-sigma binomial confidence band around the exact value (plus
+        # a floor for the tiny-probability regime where sigma ~ 0).
+        sigma = np.sqrt(max(exact * (1.0 - exact), 1e-12) / trials)
+        assert abs(empirical - exact) <= 4.0 * sigma + 5.0 / trials
+
+    @_fp_settings
+    @given(
+        moduli=_moduli_strategy,
+        threshold=st.integers(min_value=0, max_value=16),
+        k_fraction=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_markov_bound_dominates_exact_survival(
+        self, moduli, threshold, k_fraction
+    ):
+        probabilities = [
+            pair_false_positive_probability(modulus, threshold) for modulus in moduli
+        ]
+        k = max(1, int(round(k_fraction * len(moduli))))
+        exact = poisson_binomial_survival(probabilities, k)
+        assert markov_bound(probabilities, k) + 1e-12 >= exact
+
+    @_fp_settings
+    @given(moduli=_moduli_strategy, threshold=st.integers(min_value=0, max_value=16))
+    def test_survival_is_a_valid_decreasing_tail(self, moduli, threshold):
+        profile = profile_from_moduli(moduli, threshold)
+        values = [
+            profile.exact_probability(k) for k in range(len(moduli) + 2)
+        ]
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == 0.0
+        assert all(0.0 <= value <= 1.0 for value in values)
+        assert all(
+            later <= earlier + 1e-12 for earlier, later in zip(values, values[1:])
+        )
 
 
 class TestEmpiricalValidation:

@@ -108,6 +108,64 @@ class TestRobustnessEvaluator:
         assert report.rewatermark.owner_pair_survival > 0.6
         assert report.rewatermark.owner_on_attacker_data.accepted
 
+    def test_report_emits_timings_and_cache_stats(self, skewed_histogram):
+        evaluator = RobustnessEvaluator(
+            GenerationConfig(budget_percent=2.0, modulus_cap=61), rng=5
+        )
+        report = evaluator.evaluate(
+            skewed_histogram,
+            sampling_fractions=(0.5,),
+            sampling_thresholds=(0, 4),
+            destroy_thresholds=(0, 4),
+            reordering_percents=(10,),
+            repetitions=1,
+        )
+        families = {
+            "sampling",
+            "destroy-no-attack",
+            "destroy-random-within-bounds",
+            "destroy-percentage-within-bounds",
+            "destroy-reordering",
+            "rewatermark",
+        }
+        assert set(report.attack_seconds) == families
+        assert all(seconds >= 0.0 for seconds in report.attack_seconds.values())
+        assert set(report.attack_cache_deltas) == families
+        # The shared cache means later families run construction-free.
+        assert report.attack_cache_deltas["destroy-reordering"]["misses"] == 0
+        assert report.detector_cache is not None
+        assert report.detector_cache.hits > 0
+        records = report.records()
+        assert [row["attack_family"] for row in records] == [
+            "sampling",
+            "destroy-no-attack",
+            "destroy-random-within-bounds",
+            "destroy-percentage-within-bounds",
+            "destroy-reordering",
+            "rewatermark",
+        ]
+        total_misses = sum(row["cache_misses"] for row in records)
+        assert total_misses == report.detector_cache.misses
+
+    def test_records_render_as_markdown(self, skewed_histogram):
+        from repro.experiments.report import render_evaluator_records
+
+        evaluator = RobustnessEvaluator(
+            GenerationConfig(budget_percent=2.0, modulus_cap=61), rng=5
+        )
+        report = evaluator.evaluate(
+            skewed_histogram,
+            sampling_fractions=(0.5,),
+            sampling_thresholds=(0,),
+            destroy_thresholds=(0,),
+            reordering_percents=(10,),
+            repetitions=1,
+            include_rewatermark=False,
+        )
+        table = render_evaluator_records(report.records())
+        assert table.startswith("| attack_family |")
+        assert "destroy-reordering" in table
+
     def test_rewatermark_can_be_skipped(self, skewed_histogram):
         evaluator = RobustnessEvaluator(
             GenerationConfig(budget_percent=2.0, modulus_cap=61), rng=5

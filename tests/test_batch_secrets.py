@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.batch import detect_many_secrets
+from repro.core.cache import DetectorCache
 from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.detector import WatermarkDetector
 from repro.core.generator import WatermarkGenerator
@@ -93,3 +94,51 @@ class TestDetectManySecrets:
         empty = WatermarkSecret(pairs=(), secret=1, modulus_cap=131)
         with pytest.raises(DetectionError):
             detect_many_secrets(histogram, [empty])
+        with pytest.raises(DetectionError):
+            detect_many_secrets(histogram, [empty], detector_cache=DetectorCache())
+
+
+class TestDetectManySecretsCached:
+    """The cached-detector path: identical verdicts, zero re-derivation."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            None,
+            DetectionConfig(pair_threshold=0),
+            DetectionConfig(pair_threshold=2, min_accepted_fraction=0.7),
+            DetectionConfig(pair_threshold_fraction=0.05),
+            DetectionConfig(pair_threshold=1, symmetric_tolerance=True),
+        ],
+    )
+    def test_cached_path_matches_uncached(self, histogram, secrets, config):
+        cache = DetectorCache(capacity=None)
+        uncached = detect_many_secrets(histogram, secrets, config)
+        cached = detect_many_secrets(
+            histogram, secrets, config, detector_cache=cache
+        )
+        assert cached == uncached
+
+    def test_cached_evidence_matches_uncached(self, histogram, secrets):
+        cache = DetectorCache(capacity=None)
+        config = DetectionConfig(pair_threshold=1)
+        uncached = detect_many_secrets(
+            histogram, secrets, config, collect_evidence=True
+        )
+        cached = detect_many_secrets(
+            histogram, secrets, config, collect_evidence=True, detector_cache=cache
+        )
+        for left, right in zip(cached, uncached):
+            assert left.evidence == right.evidence
+
+    def test_repeat_calls_construct_nothing(self, histogram, secrets):
+        cache = DetectorCache(capacity=None)
+        config = DetectionConfig(pair_threshold=1)
+        detect_many_secrets(histogram, secrets, config, detector_cache=cache)
+        stats = cache.stats()
+        assert stats.misses == len(secrets)
+        assert stats.hits == 0
+        detect_many_secrets(histogram, secrets, config, detector_cache=cache)
+        stats = cache.stats()
+        assert stats.misses == len(secrets)  # unchanged: pure cache hits
+        assert stats.hits == len(secrets)

@@ -154,6 +154,36 @@ class TestRegistry:
         assert matches, "the leaked copy must match at least its own buyer"
         assert matches[0][0] == "buyer-b"
 
+    def test_attribution_matches_per_secret_detect_loop(self, per_buyer_watermarks):
+        """Verdict parity: the stacked detect_many_secrets pass must rank
+        exactly like the per-buyer detector loop it replaced."""
+        from repro.core.detector import WatermarkDetector
+
+        registry = WatermarkRegistry()
+        for buyer, result in per_buyer_watermarks.items():
+            registry.register(buyer, result.secret)
+        for detection in (
+            DetectionConfig(pair_threshold=0),
+            DetectionConfig(pair_threshold=1),
+            DetectionConfig(pair_threshold=4, min_accepted_fraction=0.3),
+        ):
+            for leaked_buyer, leaked_result in per_buyer_watermarks.items():
+                leaked = leaked_result.watermarked_histogram
+                expected = []
+                for buyer, result in per_buyer_watermarks.items():
+                    verdict = WatermarkDetector(result.secret, detection).detect(leaked)
+                    if verdict.accepted:
+                        expected.append((buyer, verdict.accepted_fraction))
+                expected.sort(key=lambda item: (-item[1], item[0]))
+                assert (
+                    registry.attribute_leak(leaked, detection=detection) == expected
+                ), f"parity broken for leak of {leaked_buyer} at {detection}"
+
+    def test_empty_registry_attributes_nothing(self, per_buyer_watermarks):
+        registry = WatermarkRegistry()
+        leaked = per_buyer_watermarks["buyer-b"].watermarked_histogram
+        assert registry.attribute_leak(leaked) == []
+
     def test_secret_vault_lookup(self, per_buyer_watermarks):
         registry = WatermarkRegistry()
         buyer, result = next(iter(per_buyer_watermarks.items()))

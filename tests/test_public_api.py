@@ -61,6 +61,13 @@ PUBLIC_MODULES = [
     "repro.service.server",
     "repro.service.service",
     "repro.service.wire",
+    "repro.experiments",
+    "repro.experiments.cache",
+    "repro.experiments.executor",
+    "repro.experiments.plan",
+    "repro.experiments.report",
+    "repro.experiments.spec",
+    "repro.experiments.tasks",
     "repro.utils",
     "repro.utils.rng",
     "repro.utils.timing",
