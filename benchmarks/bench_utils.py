@@ -119,8 +119,10 @@ def experiment_banner(identifier: str, description: str) -> None:
 #: guard (chunked-ingestion parity + sharded screening timings), the
 #: detection-service guard (cached+coalesced throughput vs one-shot),
 #: the batch-embedding guard (embed_many parity + >=3x amortisation
-#: over the sequential generator loop), and the experiment-orchestration
-#: guard (bundled smoke spec: cache-hit rerun + deterministic reports).
+#: over the sequential generator loop), the experiment-orchestration
+#: guard (bundled smoke spec: cache-hit rerun + deterministic reports),
+#: and the vault-attribution guard (candidate-index parity with the
+#: linear scan + its speedup floor).
 SMOKE_PATTERNS = (
     "bench_fig*.py",
     "bench_engine_scaling.py",
@@ -128,6 +130,7 @@ SMOKE_PATTERNS = (
     "bench_service.py",
     "bench_embed_many.py",
     "bench_experiment.py",
+    "bench_registry.py",
 )
 
 

@@ -17,9 +17,15 @@ most useful utilities:
   experimentation.
 * ``freqywm serve``    — run the resident detection service (cached
   detectors + request coalescing) speaking JSON-lines on stdio or a Unix
-  socket.
+  socket; ``--vault DIR`` additionally serves the ``register`` /
+  ``revoke`` / ``attribute`` verbs against a persistent secret vault.
 * ``freqywm client``   — screen suspect files through a running
   ``serve`` instance (``--socket``), or through a private spawned one.
+* ``freqywm registry`` — operate a persistent multi-tenant secret vault
+  directly: ``register`` / ``revoke`` buyer watermarks, ``attribute`` a
+  leaked file to the buyers whose watermarks it carries (sublinear
+  candidate-index screening, see ``docs/registry.md``), and ``show`` the
+  vault's ledger and index statistics.
 * ``freqywm experiment`` — run a declarative experiment spec (grid sweep
   over datasets × secrets × attacks × thresholds) against the
   content-addressed run cache, or re-render a finished run's
@@ -265,9 +271,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_workers=args.workers if args.workers > 1 else None,
     )
     detection_config = _detection_config(args)
+    vault = None
+    if args.vault is not None:
+        from repro.dispute import SecretVault
+
+        vault = SecretVault(args.vault)
+        print(  # noqa: T201
+            f"vault {args.vault}: {len(vault.active_buyers)} active buyers",
+            file=sys.stderr,
+        )
 
     async def run() -> int:
-        async with DetectionService(service_config) as service:
+        async with DetectionService(service_config, registry=vault) as service:
             for path in args.secret:
                 fingerprint = service.register_secret(
                     WatermarkSecret.load(path), detection_config
@@ -348,6 +363,100 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 f"batch={response.batch_size})"
             )
     return 0 if all_accepted else 1
+
+
+def _parse_metadata(pairs: Sequence[str]) -> Dict[str, str]:
+    """Parse repeated ``--meta key=value`` options into a dictionary."""
+    metadata: Dict[str, str] = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ReproError(f"--meta expects key=value, got {pair!r}")
+        metadata[key] = value
+    return metadata
+
+
+def _open_vault(args: argparse.Namespace):
+    from repro.dispute import SecretVault
+
+    return SecretVault(args.vault)
+
+
+def _cmd_registry_register(args: argparse.Namespace) -> int:
+    vault = _open_vault(args)
+    entry = vault.register(
+        args.buyer, WatermarkSecret.load(args.secret), **_parse_metadata(args.meta)
+    )
+    _print_report(
+        {
+            "buyer_id": entry.buyer_id,
+            "fingerprint": entry.fingerprint,
+            "active_buyers": len(vault.active_buyers),
+            "vault": str(args.vault),
+        },
+        args.json,
+    )
+    return 0
+
+
+def _cmd_registry_revoke(args: argparse.Namespace) -> int:
+    vault = _open_vault(args)
+    entry = vault.revoke(args.buyer, **_parse_metadata(args.meta))
+    _print_report(
+        {
+            "buyer_id": entry.buyer_id,
+            "fingerprint": entry.fingerprint,
+            "active_buyers": len(vault.active_buyers),
+            "vault": str(args.vault),
+        },
+        args.json,
+    )
+    return 0
+
+
+def _cmd_registry_attribute(args: argparse.Namespace) -> int:
+    vault = _open_vault(args)
+    histogram = load_histogram_streaming(args.suspect)
+    matches = vault.attribute_leak(histogram, detection=_detection_config(args))
+    stats = vault.last_attribution
+    payload: Dict[str, object] = {
+        "suspect": str(args.suspect),
+        "matches": [
+            {"buyer_id": buyer, "accepted_fraction": fraction}
+            for buyer, fraction in matches
+        ],
+        "mode": stats.mode if stats is not None else "empty",
+        "candidates": stats.candidates if stats is not None else 0,
+        "active_secrets": stats.active_secrets if stats is not None else 0,
+    }
+    if args.json:
+        _print_report(payload, True)
+    else:
+        for buyer, fraction in matches:
+            print(f"{buyer} : accepted fraction {fraction:.3f}")  # noqa: T201
+        report = dict(payload)
+        del report["matches"]
+        report["matched_buyers"] = len(matches)
+        _print_report(report, False)
+    return 0 if matches else 1
+
+
+def _cmd_registry_show(args: argparse.Namespace) -> int:
+    vault = _open_vault(args)
+    index = vault.index_stats()
+    _print_report(
+        {
+            "vault": str(args.vault),
+            "ledger_entries": len(vault),
+            "active_buyers": len(vault.active_buyers),
+            "chain_valid": vault.verify_chain(),
+            "index_buckets": index.buckets,
+            "index_postings": index.postings,
+            "group_test_threshold": index.group_test_threshold,
+        },
+        args.json,
+    )
+    return 0
 
 
 def _cmd_experiment_run(args: argparse.Namespace) -> int:
@@ -516,6 +625,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="listen on a Unix domain socket instead of stdio",
     )
     serve.add_argument(
+        "--vault",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "back the register/revoke/attribute verbs with a persistent "
+            "secret vault at DIR (created if absent)"
+        ),
+    )
+    serve.add_argument(
         "--max-batch",
         type=_positive_int,
         default=64,
@@ -563,6 +682,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_detection_arguments(client)
     client.set_defaults(handler=_cmd_client)
+
+    registry = subparsers.add_parser(
+        "registry",
+        help="operate a persistent multi-tenant secret vault (docs/registry.md)",
+    )
+    registry_sub = registry.add_subparsers(dest="registry_command", required=True)
+
+    registry_register = registry_sub.add_parser(
+        "register", help="durably register a buyer's watermark secret"
+    )
+    registry_register.add_argument("vault", type=Path, help="vault directory")
+    registry_register.add_argument("buyer", help="buyer identifier (unique while active)")
+    registry_register.add_argument(
+        "secret", type=Path, help="secret list (JSON) from generation"
+    )
+    registry_register.add_argument(
+        "--meta",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="metadata recorded in the ledger entry; repeatable",
+    )
+    registry_register.set_defaults(handler=_cmd_registry_register)
+
+    registry_revoke = registry_sub.add_parser(
+        "revoke", help="durably revoke a buyer's watermark (append-only)"
+    )
+    registry_revoke.add_argument("vault", type=Path, help="vault directory")
+    registry_revoke.add_argument("buyer", help="buyer identifier to revoke")
+    registry_revoke.add_argument(
+        "--meta",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="metadata recorded in the revocation entry; repeatable",
+    )
+    registry_revoke.set_defaults(handler=_cmd_registry_revoke)
+
+    registry_attribute = registry_sub.add_parser(
+        "attribute",
+        help="attribute a leaked token file to the buyers whose watermarks it carries",
+    )
+    registry_attribute.add_argument("vault", type=Path, help="vault directory")
+    registry_attribute.add_argument(
+        "suspect", type=Path, help="leaked token file to attribute"
+    )
+    add_detection_arguments(registry_attribute)
+    registry_attribute.set_defaults(handler=_cmd_registry_attribute)
+
+    registry_show = registry_sub.add_parser(
+        "show", help="show vault ledger / candidate-index statistics"
+    )
+    registry_show.add_argument("vault", type=Path, help="vault directory")
+    registry_show.set_defaults(handler=_cmd_registry_show)
 
     experiment = subparsers.add_parser(
         "experiment",

@@ -1,6 +1,35 @@
-"""Ownership dispute resolution: judge protocol and watermark registry."""
+"""Ownership dispute resolution: judge protocol, registry, vault, index.
 
+Layers, bottom up:
+
+* :mod:`repro.dispute.index` — :class:`CandidateIndex`, the coarse
+  inverted index from token-pair modulus buckets to secret rows that
+  makes leak attribution sublinear in vault size;
+* :mod:`repro.dispute.registry` — :class:`WatermarkRegistry`, the
+  hash-chained in-memory ledger with index-backed attribution and
+  append-only revocation;
+* :mod:`repro.dispute.vault` — :class:`SecretVault`, the crash-safe
+  on-disk registry (content-addressed secret files + JSON-lines ledger);
+* :mod:`repro.dispute.judge` — the ownership-dispute arbitration
+  protocol.
+
+See ``docs/registry.md`` for the vault layout and the attribution flow.
+"""
+
+from repro.dispute.index import CandidateIndex, CandidateScreen, IndexStats
 from repro.dispute.judge import Judge, OwnershipClaim, Verdict
-from repro.dispute.registry import RegistryEntry, WatermarkRegistry
+from repro.dispute.registry import AttributionStats, RegistryEntry, WatermarkRegistry
+from repro.dispute.vault import SecretVault
 
-__all__ = ["Judge", "OwnershipClaim", "Verdict", "RegistryEntry", "WatermarkRegistry"]
+__all__ = [
+    "AttributionStats",
+    "CandidateIndex",
+    "CandidateScreen",
+    "IndexStats",
+    "Judge",
+    "OwnershipClaim",
+    "RegistryEntry",
+    "SecretVault",
+    "Verdict",
+    "WatermarkRegistry",
+]

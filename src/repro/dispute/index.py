@@ -1,0 +1,347 @@
+"""Candidate-pruning index for sublinear leak attribution.
+
+The registry's leak attribution used to screen *every* registered secret
+against the leaked copy in one stacked
+:func:`repro.core.batch.detect_many_secrets` pass — correct, but linear
+in vault size: near a million buyers the per-secret Python loop (list
+stacking, result construction) dominates, not the modulo arithmetic.
+
+This module prunes first. Observe that the paper's acceptance rule
+
+    ``present(i, j)  and  (f_i - f_j) mod s_ij <= t(s_ij)``
+
+depends only on the leaked copy's frequencies and on the pair's
+``(tk_i, tk_j, s_ij)`` triple — *never* on which secret the pair belongs
+to. So all registered secrets' pairs collapse into a coarse inverted
+index from **token-pair modulus buckets** to the secrets that posted
+into them:
+
+    bucket (tk_i, tk_j, s_ij)  ->  [row ids of secrets storing that pair]
+
+One vectorized pass over the *distinct* buckets (sharing the detector's
+:func:`~repro.core.detector.verify_pair_arrays` arithmetic, so the two
+paths cannot diverge) decides every posting at once; a bucket-hit
+scatter-add then yields each secret's exact accepted-pair count, and the
+candidate set is the rows whose count reaches their
+:meth:`~repro.core.config.DetectionConfig.required_pairs` quota.
+
+**Soundness / exactness.** Acceptance of a stored pair in the full
+stacked pass is exactly the bucket-acceptance condition of its
+``(tk_i, tk_j, s_ij)`` bucket, so the scatter-added hit count *equals*
+the secret's accepted-pair count in the full pass. Candidates therefore
+contain every secret the full pass would accept (zero verdict changes),
+and the exact :func:`~repro.core.batch.detect_many_secrets` confirmation
+the registry runs on the candidate set only re-derives the rankings.
+
+**Group-testing fallback.** Tiny vaults gain nothing from bucket
+bookkeeping per secret: below :attr:`CandidateIndex.group_test_threshold`
+active secrets the screen degrades into one pooled group test — the
+union of all postings forms a single pool, and only when *some* bucket
+accepts (the pool tests positive) is the whole vault confirmed exactly;
+a negative pool proves no secret can reach its quota, so nothing is
+confirmed (and no detector is ever constructed for a clean copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import DetectionConfig
+from repro.core.detector import verify_pair_arrays
+from repro.core.hashing import PairModulusCache
+from repro.core.histogram import TokenHistogram
+from repro.core.secrets import WatermarkSecret
+from repro.exceptions import DetectionError, DisputeError
+
+#: Active-secret count below which the screen runs as one pooled group
+#: test instead of per-secret hit counting (see the module docstring).
+DEFAULT_GROUP_TEST_THRESHOLD = 64
+
+#: One inverted-index bucket: ``(first token, second token, modulus)``.
+BucketKey = Tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class CandidateScreen:
+    """Outcome of one index screen over a leaked copy.
+
+    Attributes
+    ----------
+    rows:
+        Row ids of the candidate secrets, ascending. Exact detection
+        (:func:`repro.core.batch.detect_many_secrets`) must still
+        confirm them; non-candidates are *guaranteed* rejected.
+    mode:
+        How the screen ran — ``"empty"`` (no active secrets),
+        ``"group-test"`` (pooled fallback for tiny vaults) or
+        ``"index"`` (per-secret bucket hit counting).
+    buckets_screened:
+        Distinct ``(pair, modulus)`` buckets the vectorized pass covered.
+    buckets_accepted:
+        Buckets whose acceptance condition held on the leaked copy.
+    active_secrets:
+        Registered-and-not-revoked secrets at screen time.
+    """
+
+    rows: Tuple[int, ...]
+    mode: str
+    buckets_screened: int
+    buckets_accepted: int
+    active_secrets: int
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Structural counters of a :class:`CandidateIndex`."""
+
+    active_secrets: int
+    buckets: int
+    postings: int
+    group_test_threshold: int
+
+
+class _CompactArrays:
+    """Flat array form of the inverted index (rebuilt lazily on change)."""
+
+    __slots__ = (
+        "vocab_tokens",
+        "first_ids",
+        "second_ids",
+        "moduli",
+        "offsets",
+        "member_rows",
+        "max_row",
+    )
+
+    def __init__(
+        self,
+        vocab_tokens: List[str],
+        first_ids: np.ndarray,
+        second_ids: np.ndarray,
+        moduli: np.ndarray,
+        offsets: np.ndarray,
+        member_rows: np.ndarray,
+        max_row: int,
+    ) -> None:
+        self.vocab_tokens = vocab_tokens
+        self.first_ids = first_ids
+        self.second_ids = second_ids
+        self.moduli = moduli
+        self.offsets = offsets
+        self.member_rows = member_rows
+        self.max_row = max_row
+
+
+class CandidateIndex:
+    """Inverted index from token-pair modulus buckets to secret rows.
+
+    Rows are caller-chosen non-negative integers (the registry uses a
+    monotonic issue counter, so row ids survive revocations without
+    renumbering). Mutation (:meth:`add` / :meth:`remove`) updates the
+    posting lists incrementally and marks the flat screening arrays
+    dirty; the next :meth:`screen` recompacts them once.
+    """
+
+    def __init__(
+        self, *, group_test_threshold: int = DEFAULT_GROUP_TEST_THRESHOLD
+    ) -> None:
+        if group_test_threshold < 0:
+            raise DisputeError(
+                f"group_test_threshold must be >= 0, got {group_test_threshold}"
+            )
+        self.group_test_threshold = group_test_threshold
+        self._postings: Dict[BucketKey, List[int]] = {}
+        self._row_keys: Dict[int, List[BucketKey]] = {}
+        self._pair_counts: Dict[int, int] = {}
+        self._compact: Optional[_CompactArrays] = None
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._pair_counts)
+
+    def add(self, row: int, secret: WatermarkSecret) -> None:
+        """Post every ``(pair, modulus)`` bucket of ``secret`` under ``row``.
+
+        The per-pair moduli are derived once here (memoised SHA-256 via
+        :class:`~repro.core.hashing.PairModulusCache`) — registration pays
+        the hashing so that screening never does.
+        """
+        if row < 0:
+            raise DisputeError(f"index rows must be non-negative, got {row}")
+        if row in self._pair_counts:
+            raise DisputeError(f"index row {row} is already occupied")
+        cache = PairModulusCache(secret.secret, secret.modulus_cap)
+        keys: List[BucketKey] = []
+        for pair in secret.pairs:
+            key = (pair.first, pair.second, cache.modulus(pair.first, pair.second))
+            self._postings.setdefault(key, []).append(row)
+            keys.append(key)
+        self._row_keys[row] = keys
+        self._pair_counts[row] = len(keys)
+        self._compact = None
+
+    def remove(self, row: int) -> None:
+        """Withdraw every posting of ``row`` (a revocation)."""
+        keys = self._row_keys.pop(row, None)
+        if keys is None:
+            raise DisputeError(f"index row {row} is not occupied")
+        del self._pair_counts[row]
+        for key in keys:
+            members = self._postings[key]
+            members.remove(row)
+            if not members:
+                del self._postings[key]
+        self._compact = None
+
+    # ------------------------------------------------------------------ #
+    # Screening
+    # ------------------------------------------------------------------ #
+
+    def _compacted(self) -> _CompactArrays:
+        """The flat screening arrays, rebuilding them if stale."""
+        if self._compact is not None:
+            return self._compact
+        vocab: Dict[str, int] = {}
+
+        def token_id(token: str) -> int:
+            identifier = vocab.get(token)
+            if identifier is None:
+                identifier = len(vocab)
+                vocab[token] = identifier
+            return identifier
+
+        buckets = len(self._postings)
+        first_ids = np.empty(buckets, dtype=np.int64)
+        second_ids = np.empty(buckets, dtype=np.int64)
+        moduli = np.empty(buckets, dtype=np.int64)
+        offsets = np.empty(buckets + 1, dtype=np.int64)
+        offsets[0] = 0
+        members: List[int] = []
+        for position, (key, rows) in enumerate(self._postings.items()):
+            first, second, modulus = key
+            first_ids[position] = token_id(first)
+            second_ids[position] = token_id(second)
+            moduli[position] = modulus
+            members.extend(rows)
+            offsets[position + 1] = len(members)
+        member_rows = np.asarray(members, dtype=np.int64)
+        max_row = max(self._pair_counts, default=0)
+        self._compact = _CompactArrays(
+            vocab_tokens=list(vocab),
+            first_ids=first_ids,
+            second_ids=second_ids,
+            moduli=moduli,
+            offsets=offsets,
+            member_rows=member_rows,
+            max_row=max_row,
+        )
+        return self._compact
+
+    def screen(
+        self, histogram: TokenHistogram, detection: DetectionConfig
+    ) -> CandidateScreen:
+        """One vectorized bucket pass: which rows *could* the full pass accept.
+
+        Frequencies are looked up once per distinct token of the index
+        vocabulary, the acceptance rule runs once per distinct bucket
+        (via the shared :func:`~repro.core.detector.verify_pair_arrays`),
+        and a scatter-add turns accepted buckets into per-row hit counts
+        — no per-secret Python loop anywhere.
+        """
+        active = len(self._pair_counts)
+        if active == 0:
+            return CandidateScreen(
+                rows=(),
+                mode="empty",
+                buckets_screened=0,
+                buckets_accepted=0,
+                active_secrets=0,
+            )
+        if any(count == 0 for count in self._pair_counts.values()):
+            # Same contract as the full stacked pass it prunes for.
+            raise DetectionError("a secret list contains no watermarked pairs")
+        compact = self._compacted()
+        vocab_frequencies = histogram.arrays().frequencies(compact.vocab_tokens)
+        first = vocab_frequencies[compact.first_ids]
+        second = vocab_frequencies[compact.second_ids]
+        moduli = compact.moduli
+        valid = moduli >= 2
+        safe_moduli = np.where(valid, moduli, 1)
+        # threshold_for depends only on the modulus: resolve per distinct
+        # modulus value and broadcast, keeping the single shared rule.
+        distinct_moduli, inverse = np.unique(moduli, return_inverse=True)
+        thresholds = np.asarray(
+            [detection.threshold_for(int(modulus)) for modulus in distinct_moduli],
+            dtype=np.int64,
+        )[inverse]
+        accepted, _present, _remainder = verify_pair_arrays(
+            first,
+            second,
+            safe_moduli=safe_moduli,
+            valid=valid,
+            thresholds=thresholds,
+            symmetric_tolerance=detection.symmetric_tolerance,
+        )
+        buckets_accepted = int(accepted.sum())
+        if active <= self.group_test_threshold:
+            # Pooled group test: a negative pool proves every secret's
+            # accepted-pair count is 0 < required, so nothing survives;
+            # a positive pool sends the whole (tiny) vault to exact
+            # confirmation.
+            rows = tuple(sorted(self._pair_counts)) if buckets_accepted else ()
+            return CandidateScreen(
+                rows=rows,
+                mode="group-test",
+                buckets_screened=len(moduli),
+                buckets_accepted=buckets_accepted,
+                active_secrets=active,
+            )
+        posting_counts = np.diff(compact.offsets)
+        hit_members = compact.member_rows[np.repeat(accepted, posting_counts)]
+        hits = np.bincount(hit_members, minlength=compact.max_row + 1)
+        active_rows = np.fromiter(
+            sorted(self._pair_counts), dtype=np.int64, count=active
+        )
+        pair_counts = np.fromiter(
+            (self._pair_counts[int(row)] for row in active_rows),
+            dtype=np.int64,
+            count=active,
+        )
+        # required_pairs depends only on the stored-pair count: resolve
+        # per distinct count and broadcast.
+        distinct_counts, count_inverse = np.unique(pair_counts, return_inverse=True)
+        required = np.asarray(
+            [detection.required_pairs(int(count)) for count in distinct_counts],
+            dtype=np.int64,
+        )[count_inverse]
+        chosen = active_rows[hits[active_rows] >= required]
+        return CandidateScreen(
+            rows=tuple(int(row) for row in chosen),
+            mode="index",
+            buckets_screened=len(moduli),
+            buckets_accepted=buckets_accepted,
+            active_secrets=active,
+        )
+
+    def stats(self) -> IndexStats:
+        """Structural counters (bucket and posting totals)."""
+        return IndexStats(
+            active_secrets=len(self._pair_counts),
+            buckets=len(self._postings),
+            postings=sum(self._pair_counts.values()),
+            group_test_threshold=self.group_test_threshold,
+        )
+
+
+__all__ = [
+    "DEFAULT_GROUP_TEST_THRESHOLD",
+    "CandidateIndex",
+    "CandidateScreen",
+    "IndexStats",
+]

@@ -13,6 +13,20 @@ registered secret to attribute a leaked copy. The hash chain makes
 after-the-fact tampering evident, which is the property the blockchain was
 buying; persistence is plain JSON so the registry can be shared or
 audited.
+
+Revocation stays append-only: revoking a buyer appends a chained entry
+whose metadata carries ``action: "revoke"`` (absent means register), so
+the public ledger never rewrites history while the private vault and the
+candidate index drop the secret immediately.
+
+Attribution is sublinear in vault size: a
+:class:`~repro.dispute.index.CandidateIndex` screen first prunes the
+vault to a candidate set (with a pooled group-testing fallback for tiny
+vaults), and only the candidates go through the exact stacked
+:func:`~repro.core.batch.detect_many_secrets` confirmation. Verdicts are
+identical to screening the whole vault (parity-tested); the
+million-secret scaling story lives in ``docs/registry.md``. The
+persistent on-disk variant is :class:`repro.dispute.vault.SecretVault`.
 """
 
 from __future__ import annotations
@@ -29,9 +43,20 @@ from repro.core.config import DetectionConfig
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
 from repro.core.tokens import TokenValue
+from repro.dispute.index import (
+    DEFAULT_GROUP_TEST_THRESHOLD,
+    CandidateIndex,
+    CandidateScreen,
+    IndexStats,
+)
 from repro.exceptions import DisputeError
 
 _GENESIS = "0" * 64
+
+#: Metadata key distinguishing revocation entries on the chain; register
+#: entries omit it, so pre-revocation ledgers verify unchanged.
+ACTION_KEY = "action"
+ACTION_REVOKE = "revoke"
 
 
 @dataclass(frozen=True)
@@ -44,6 +69,11 @@ class RegistryEntry:
     metadata: Dict[str, object]
     previous_hash: str
     entry_hash: str
+
+    @property
+    def action(self) -> str:
+        """``"register"`` or ``"revoke"`` (from the metadata marker)."""
+        return str(self.metadata.get(ACTION_KEY, "register"))
 
     @staticmethod
     def compute_hash(
@@ -67,6 +97,45 @@ class RegistryEntry:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+@dataclass(frozen=True)
+class AttributionStats:
+    """How the last :meth:`WatermarkRegistry.attribute_leak` call ran.
+
+    Attributes
+    ----------
+    mode:
+        The index screen mode — ``"empty"``, ``"group-test"`` or
+        ``"index"`` (see :class:`~repro.dispute.index.CandidateScreen`).
+    candidates:
+        Secrets that survived the screen and went to exact confirmation.
+    active_secrets:
+        Registered-and-not-revoked secrets at screen time.
+    buckets_screened / buckets_accepted:
+        Vectorized bucket-pass counters from the screen.
+    matches:
+        Buyers the exact confirmation accepted.
+    """
+
+    mode: str
+    candidates: int
+    active_secrets: int
+    buckets_screened: int
+    buckets_accepted: int
+    matches: int
+
+    @classmethod
+    def from_screen(cls, screen: CandidateScreen, matches: int) -> "AttributionStats":
+        """Fold an index screen plus the confirmed match count."""
+        return cls(
+            mode=screen.mode,
+            candidates=len(screen.rows),
+            active_secrets=screen.active_secrets,
+            buckets_screened=screen.buckets_screened,
+            buckets_accepted=screen.buckets_accepted,
+            matches=matches,
+        )
+
+
 class WatermarkRegistry:
     """Append-only, hash-chained index of issued watermarks.
 
@@ -75,16 +144,30 @@ class WatermarkRegistry:
     detection. Splitting the two mirrors the paper's intent: the public
     index proves *when* a watermark was issued and to whom, without
     revealing anything that helps an attacker find or remove it.
+
+    Parameters
+    ----------
+    group_test_threshold:
+        Active-secret count below which attribution screens via the
+        pooled group test instead of per-secret bucket hit counting
+        (:mod:`repro.dispute.index`).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, *, group_test_threshold: int = DEFAULT_GROUP_TEST_THRESHOLD
+    ) -> None:
         self._entries: List[RegistryEntry] = []
         self._vault: Dict[str, WatermarkSecret] = {}
+        self._rows: Dict[str, int] = {}
+        self._row_buyers: Dict[int, str] = {}
+        self._next_row = 0
+        self._index = CandidateIndex(group_test_threshold=group_test_threshold)
         # Unbounded like the vault itself: leak attribution re-runs
-        # detection with every registered secret, and each detector must
+        # detection with every candidate secret, and each detector must
         # be constructed once per (secret, thresholds), not once per
         # leaked copy screened.
         self._detectors = DetectorCache(capacity=None)
+        self.last_attribution: Optional[AttributionStats] = None
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -95,8 +178,33 @@ class WatermarkRegistry:
 
     @property
     def entries(self) -> Tuple[RegistryEntry, ...]:
-        """All registry entries in issue order."""
+        """All chained entries (registrations and revocations) in order."""
         return tuple(self._entries)
+
+    @property
+    def active_buyers(self) -> Tuple[str, ...]:
+        """Buyers currently holding a registered (unrevoked) watermark."""
+        return tuple(self._vault)
+
+    def _append_entry(
+        self, buyer_id: str, fingerprint: str, metadata: Dict[str, object]
+    ) -> RegistryEntry:
+        """Chain one entry onto the ledger."""
+        previous_hash = self._entries[-1].entry_hash if self._entries else _GENESIS
+        index = len(self._entries)
+        entry_hash = RegistryEntry.compute_hash(
+            index, buyer_id, fingerprint, metadata, previous_hash
+        )
+        entry = RegistryEntry(
+            index=index,
+            buyer_id=buyer_id,
+            fingerprint=fingerprint,
+            metadata=metadata,
+            previous_hash=previous_hash,
+            entry_hash=entry_hash,
+        )
+        self._entries.append(entry)
+        return entry
 
     def register(
         self,
@@ -106,28 +214,48 @@ class WatermarkRegistry:
     ) -> RegistryEntry:
         """Register the watermark issued to ``buyer_id``.
 
-        The secret itself goes into the private vault; only its keyed
-        fingerprint enters the chained public entry.
+        The secret itself goes into the private vault (and its pair
+        buckets into the candidate index); only its keyed fingerprint
+        enters the chained public entry. A buyer whose watermark was
+        revoked may register a fresh one.
         """
         if buyer_id in self._vault:
             raise DisputeError(f"buyer {buyer_id!r} already has a registered watermark")
-        previous_hash = self._entries[-1].entry_hash if self._entries else _GENESIS
-        index = len(self._entries)
-        fingerprint = secret.fingerprint()
-        entry_metadata = dict(metadata)
-        entry_hash = RegistryEntry.compute_hash(
-            index, buyer_id, fingerprint, entry_metadata, previous_hash
-        )
-        entry = RegistryEntry(
-            index=index,
-            buyer_id=buyer_id,
-            fingerprint=fingerprint,
-            metadata=entry_metadata,
-            previous_hash=previous_hash,
-            entry_hash=entry_hash,
-        )
-        self._entries.append(entry)
+        if ACTION_KEY in metadata:
+            raise DisputeError(
+                f"metadata key {ACTION_KEY!r} is reserved for the ledger"
+            )
+        entry = self._append_entry(buyer_id, secret.fingerprint(), dict(metadata))
+        row = self._next_row
+        self._next_row += 1
+        self._index.add(row, secret)
         self._vault[buyer_id] = secret
+        self._rows[buyer_id] = row
+        self._row_buyers[row] = buyer_id
+        return entry
+
+    def revoke(self, buyer_id: str, **metadata: object) -> RegistryEntry:
+        """Revoke ``buyer_id``'s watermark, appending a chained entry.
+
+        The ledger stays append-only (the registration entry is never
+        rewritten); the secret leaves the private vault and the candidate
+        index immediately, so attribution can never return a revoked
+        buyer again.
+        """
+        secret = self._vault.get(buyer_id)
+        if secret is None:
+            raise DisputeError(f"no watermark registered for buyer {buyer_id!r}")
+        if ACTION_KEY in metadata:
+            raise DisputeError(
+                f"metadata key {ACTION_KEY!r} is reserved for the ledger"
+            )
+        entry_metadata = dict(metadata)
+        entry_metadata[ACTION_KEY] = ACTION_REVOKE
+        entry = self._append_entry(buyer_id, secret.fingerprint(), entry_metadata)
+        row = self._rows.pop(buyer_id)
+        del self._row_buyers[row]
+        del self._vault[buyer_id]
+        self._index.remove(row)
         return entry
 
     def secret_for(self, buyer_id: str) -> WatermarkSecret:
@@ -163,23 +291,28 @@ class WatermarkRegistry:
     ) -> List[Tuple[str, float]]:
         """Identify which buyer's watermark a leaked copy carries.
 
-        Screens every registered secret against the leaked copy in one
-        stacked vectorized pass
-        (:func:`repro.core.batch.detect_many_secrets`) — the dataset's
-        frequencies are looked up once for the union of all buyers' pairs
-        instead of once per buyer — and returns the buyers whose
-        watermark verifies, sorted by decreasing accepted-pair fraction
-        (the strongest match first). Per-buyer moduli come from the
-        registry's detector cache, so screening the next leaked copy
-        constructs nothing (:meth:`detector_cache_stats` exposes the
-        counters). Verdicts are identical to the per-buyer detect loop
-        this replaces (regression-tested).
+        Runs in two stages. A :class:`~repro.dispute.index.CandidateIndex`
+        screen first prunes the vault to a candidate set — one vectorized
+        pass over the distinct token-pair modulus buckets, sublinear in
+        vault size (with a pooled group-testing fallback for tiny
+        vaults). The candidates then go through the exact stacked
+        :func:`repro.core.batch.detect_many_secrets` confirmation, whose
+        per-candidate moduli come from the registry's detector cache so
+        screening the next leaked copy constructs nothing
+        (:meth:`detector_cache_stats` exposes the counters).
+
+        Returns the buyers whose watermark verifies, sorted by decreasing
+        accepted-pair fraction (the strongest match first). Verdicts are
+        identical to screening every registered secret without the index
+        (regression-tested); :attr:`last_attribution` records how much
+        the screen pruned.
         """
         detection_config = detection or DetectionConfig(pair_threshold=1)
         histogram = (
             data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
         )
-        buyer_ids = list(self._vault)
+        screen = self._index.screen(histogram, detection_config)
+        buyer_ids = [self._row_buyers[row] for row in screen.rows]
         results = detect_many_secrets(
             histogram,
             [self._vault[buyer_id] for buyer_id in buyer_ids],
@@ -192,11 +325,16 @@ class WatermarkRegistry:
             if result.accepted
         ]
         matches.sort(key=lambda item: (-item[1], item[0]))
+        self.last_attribution = AttributionStats.from_screen(screen, len(matches))
         return matches
 
     def detector_cache_stats(self) -> CacheStats:
         """Construction/hit counters of the registry's detector cache."""
         return self._detectors.stats()
+
+    def index_stats(self) -> IndexStats:
+        """Structural counters of the candidate-pruning index."""
+        return self._index.stats()
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -242,4 +380,4 @@ class WatermarkRegistry:
         return True
 
 
-__all__ = ["RegistryEntry", "WatermarkRegistry"]
+__all__ = ["AttributionStats", "RegistryEntry", "WatermarkRegistry"]

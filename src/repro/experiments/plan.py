@@ -14,6 +14,7 @@ Task kinds and their dataflow::
                   │                    ▲
                   ├────────────────────┘ (no-attack row)
                   ├──► analysis:fpr
+                  ├──► analysis:attribution (vault-scaling sweep)
                   └──► analysis:distortion ──► analysis:baselines
     dataset ──► baseline ─────────────────────┘
 """
@@ -279,6 +280,24 @@ def build_plan(spec: ExperimentSpec) -> ExperimentPlan:
                         "trials": spec.fpr_trials,
                     },
                     deps=(embed_id,),
+                )
+
+            if "attribution" in spec.analyses and secret_index == 0:
+                # One vault-scaling sweep per dataset: all of the
+                # dataset's embedded secrets become registered buyers, so
+                # the task depends on the whole embed batch; the leaked
+                # copy is always secret 0's.
+                builder.add(
+                    f"analysis:attribution:{dataset.name}",
+                    "analysis",
+                    {
+                        "analysis": "attribution",
+                        "dataset": dataset.name,
+                        "vault_sizes": list(spec.attribution_vault_sizes),
+                        "threshold": spec.thresholds[0],
+                        "min_accepted_fraction": spec.min_accepted_fraction,
+                    },
+                    deps=(dataset_id, embed_id),
                 )
 
             if "distortion" in spec.analyses or "baselines" in spec.analyses:

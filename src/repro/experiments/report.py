@@ -55,6 +55,16 @@ _BASELINE_COLUMNS = (
     "tokens_changed",
 )
 
+_ATTRIBUTION_COLUMNS = (
+    "vault_size",
+    "mode",
+    "candidates",
+    "screened_fraction",
+    "matched_buyers",
+    "attributed",
+    "linear_parity",
+)
+
 _WATERMARK_COLUMNS = (
     "dataset",
     "secret_index",
@@ -147,6 +157,19 @@ def _fpr_sections(
     return sections
 
 
+def _attribution_sections(
+    artifacts: Mapping[str, Mapping[str, object]],
+) -> List[Tuple[str, List[Dict[str, object]]]]:
+    sections: List[Tuple[str, List[Dict[str, object]]]] = []
+    for task_id in sorted(artifacts):
+        if not task_id.startswith("analysis:attribution:"):
+            continue
+        result = dict(artifacts[task_id]["result"])  # type: ignore[arg-type]
+        label = f"{result['dataset']} (threshold {result['threshold']})"
+        sections.append((label, [dict(row) for row in result["rows"]]))  # type: ignore[union-attr]
+    return sections
+
+
 def build_report(run_dir: Union[str, Path]) -> Dict[str, object]:
     """Assemble the deterministic JSON report of a finished run."""
     cache = RunCache(run_dir)
@@ -169,6 +192,9 @@ def build_report(run_dir: Union[str, Path]) -> Dict[str, object]:
     baselines = _analysis_result(artifacts, "analysis:baselines")
     if baselines is not None:
         report["baseline_comparison"] = baselines["rows"]
+    attribution_sections = _attribution_sections(artifacts)
+    if attribution_sections:
+        report["attribution"] = {label: rows for label, rows in attribution_sections}
     return report
 
 
@@ -208,6 +234,13 @@ def render_markdown(report: Mapping[str, object]) -> str:
             markdown_table(report["baseline_comparison"], _BASELINE_COLUMNS),  # type: ignore[arg-type]
             "",
         ]
+    if "attribution" in report:
+        lines += [
+            "## Leak attribution at scale (marketplace workflow, Section III-C)",
+            "",
+        ]
+        for label, rows in report["attribution"].items():  # type: ignore[union-attr]
+            lines += [f"### {label}", "", markdown_table(rows, _ATTRIBUTION_COLUMNS), ""]
     return "\n".join(lines)
 
 

@@ -30,8 +30,12 @@ DATASET_KINDS = ("power-law", "uniform")
 #: ``reordering`` / ``percentage`` destroy attacks; ``boundary`` draws
 #: full-slack noise and takes no strength knob.
 ATTACK_KINDS = ("sampling", "reordering", "percentage", "boundary")
-#: Analysis layers a spec may request.
-ANALYSIS_KINDS = ("robustness", "fpr_curve", "distortion", "baselines")
+#: Analysis layers a spec may request. ``attribution`` reproduces the
+#: marketplace workflow: it scales a :class:`~repro.dispute.registry.
+#: WatermarkRegistry` vault with decoy buyers and checks that the leaked
+#: watermarked dataset is attributed to its buyer through the sublinear
+#: candidate index (see ``docs/registry.md``).
+ANALYSIS_KINDS = ("robustness", "fpr_curve", "distortion", "baselines", "attribution")
 #: Baseline comparators from :mod:`repro.baselines`.
 BASELINE_METHODS = ("wm-obt", "wm-rvs")
 
@@ -217,6 +221,9 @@ class ExperimentSpec:
         Comparators for the ``baselines`` analysis.
     fpr_trials:
         Monte-Carlo trials for the empirical column of the FPR curve.
+    attribution_vault_sizes:
+        Vault sizes (registered buyers, real + decoy) swept by the
+        ``attribution`` analysis.
     """
 
     name: str
@@ -231,6 +238,7 @@ class ExperimentSpec:
     analyses: Tuple[str, ...] = ("robustness",)
     baselines: Tuple[str, ...] = BASELINE_METHODS
     fpr_trials: int = 2000
+    attribution_vault_sizes: Tuple[int, ...] = (16, 64, 256)
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "experiment name must be non-empty")
@@ -271,6 +279,20 @@ class ExperimentSpec:
                 f"baseline must be one of {BASELINE_METHODS}, got {method!r}",
             )
         _require(self.fpr_trials >= 1, "fpr_trials must be >= 1")
+        _require(
+            len(self.attribution_vault_sizes) > 0,
+            "attribution_vault_sizes must be non-empty",
+        )
+        for size in self.attribution_vault_sizes:
+            _require(
+                isinstance(size, int) and size >= 1,
+                f"attribution_vault_sizes must be positive integers, got {size!r}",
+            )
+        _require(
+            len(set(self.attribution_vault_sizes))
+            == len(self.attribution_vault_sizes),
+            "attribution_vault_sizes must be unique",
+        )
         # Fail early on bad generation parameters, not inside a worker.
         self.generation_config()
 
@@ -323,6 +345,7 @@ class ExperimentSpec:
             "analyses": list(self.analyses),
             "baselines": list(self.baselines),
             "fpr_trials": self.fpr_trials,
+            "attribution_vault_sizes": list(self.attribution_vault_sizes),
         }
 
     @classmethod
@@ -343,6 +366,7 @@ class ExperimentSpec:
                 "analyses",
                 "baselines",
                 "fpr_trials",
+                "attribution_vault_sizes",
             },
         )
         datasets_raw = payload.get("datasets", [])
@@ -367,6 +391,10 @@ class ExperimentSpec:
             analyses=tuple(str(value) for value in payload.get("analyses", ("robustness",))),  # type: ignore[union-attr]
             baselines=tuple(str(value) for value in payload.get("baselines", BASELINE_METHODS)),  # type: ignore[union-attr]
             fpr_trials=int(payload.get("fpr_trials", 2000)),
+            attribution_vault_sizes=tuple(
+                _exact_int("attribution_vault_sizes", value)
+                for value in payload.get("attribution_vault_sizes", (16, 64, 256))  # type: ignore[union-attr]
+            ),
         )
 
     @classmethod

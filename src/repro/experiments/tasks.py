@@ -372,6 +372,92 @@ def run_distortion_task(
     }
 
 
+def run_attribution_task(
+    task: Task, deps: Mapping[str, Mapping[str, object]], seed: int
+) -> Dict[str, object]:
+    """Marketplace attribution at a sweep of vault sizes (docs/registry.md).
+
+    Every embedded secret of the dataset becomes a registered buyer; the
+    vault is then padded with synthetic decoy buyers up to each swept
+    size. Secret 0's watermarked copy plays the leaked dataset, and each
+    row records how the candidate index screened the vault — mode,
+    candidates vs active secrets — plus whether attribution recovered
+    exactly the real buyers a full linear ``detect_many_secrets`` scan
+    convicts (the parity column is computed, not assumed).
+    """
+    from repro.core.batch import detect_many_secrets
+    from repro.dispute import WatermarkRegistry
+
+    dataset = _dep_of_kind(task, deps, "dataset:")
+    embed = _dep_of_kind(task, deps, "embed:")
+    vocab = sorted(str(token) for token in dataset["counts"])  # type: ignore[union-attr]
+    secrets = [
+        WatermarkSecret.from_dict(record["secret"])
+        for record in embed["results"]  # type: ignore[union-attr]
+    ]
+    suspect = _histogram(embed["results"][0]["watermarked_counts"])  # type: ignore[index]
+    config = DetectionConfig(
+        pair_threshold=int(task.params["threshold"]),  # type: ignore[arg-type]
+        min_accepted_fraction=float(task.params["min_accepted_fraction"]),  # type: ignore[arg-type]
+    )
+    modulus_cap = secrets[0].modulus_cap
+    rows: List[Dict[str, object]] = []
+    for vault_size in [int(value) for value in task.params["vault_sizes"]]:  # type: ignore[union-attr]
+        registry = WatermarkRegistry()
+        for index, secret in enumerate(secrets):
+            registry.register(f"buyer-{index:05d}", secret)
+        rng = task_rng(seed, task.fingerprint, f"vault-{vault_size}")
+        for decoy in range(max(0, vault_size - len(secrets))):
+            # Decoys pair up a fresh permutation of the vocabulary, so
+            # their pairs are distinct tokens the real histogram holds.
+            order = rng.permutation(len(vocab))
+            pairs = [
+                (vocab[order[2 * slot]], vocab[order[2 * slot + 1]])
+                for slot in range(min(8, len(vocab) // 2))
+            ]
+            registry.register(
+                f"decoy-{decoy:06d}",
+                WatermarkSecret.build(
+                    pairs, int(rng.integers(1, 2**63)), modulus_cap
+                ),
+            )
+        matches = registry.attribute_leak(suspect, detection=config)
+        stats = registry.last_attribution
+        linear = {
+            buyer
+            for buyer, result in zip(
+                registry.active_buyers,
+                detect_many_secrets(
+                    suspect,
+                    [registry.secret_for(buyer) for buyer in registry.active_buyers],
+                    config,
+                ),
+            )
+            if result.accepted
+        }
+        matched = [buyer for buyer, _ in matches]
+        rows.append(
+            {
+                "vault_size": len(registry.active_buyers),
+                "mode": stats.mode if stats is not None else "empty",
+                "candidates": stats.candidates if stats is not None else 0,
+                "screened_fraction": (
+                    stats.candidates / stats.active_secrets
+                    if stats is not None and stats.active_secrets
+                    else 0.0
+                ),
+                "matched_buyers": len(matched),
+                "attributed": "buyer-00000" in matched,
+                "linear_parity": set(matched) == linear,
+            }
+        )
+    return {
+        "dataset": task.params["dataset"],
+        "threshold": int(task.params["threshold"]),  # type: ignore[arg-type]
+        "rows": rows,
+    }
+
+
 def run_robustness_summary(
     task: Task, deps: Mapping[str, Mapping[str, object]], seed: int
 ) -> Dict[str, object]:
@@ -433,6 +519,7 @@ _ANALYSIS_RUNNERS = {
     "distortion": run_distortion_task,
     "robustness": run_robustness_summary,
     "baselines": run_baselines_summary,
+    "attribution": run_attribution_task,
 }
 
 
@@ -463,6 +550,7 @@ def execute_task(
 __all__ = [
     "execute_task",
     "run_attack_task",
+    "run_attribution_task",
     "run_baseline_task",
     "run_dataset_task",
     "run_detect_task",

@@ -13,14 +13,18 @@ Layers, bottom up:
   keyed LRU of constructed detectors;
 * :mod:`repro.service.service` — :class:`DetectionService` (asyncio
   queue + batcher) and :class:`SyncDetectionService` (blocking facade);
-* :mod:`repro.service.wire` — the typed :class:`DetectRequest` /
-  :class:`DetectResponse` JSON-lines format;
+* :mod:`repro.service.wire` — the typed, versioned JSON-lines format
+  (``detect`` / ``embed`` / ``register`` / ``revoke`` / ``attribute``);
 * :mod:`repro.service.server` / :mod:`repro.service.client` — stdio and
   Unix-socket transports, exposed as ``freqywm serve`` / ``freqywm
   client``.
 
-See ``docs/service.md`` for the wire schema, cache semantics, and the
-coalescing-window knobs.
+The registry verbs turn the resident service into a multi-tenant vault:
+``serve --vault DIR`` backs them with a persistent
+:class:`~repro.dispute.vault.SecretVault`; without it an in-memory
+:class:`~repro.dispute.registry.WatermarkRegistry` is created on first
+use. See ``docs/service.md`` for the versioned wire protocol reference
+and ``docs/registry.md`` for the attribution flow.
 """
 
 from repro.core.cache import DEFAULT_CACHE_CAPACITY, CacheStats, DetectorCache
@@ -33,10 +37,17 @@ from repro.service.service import (
     SyncDetectionService,
 )
 from repro.service.wire import (
+    PROTOCOL_VERSION,
+    AttributeRequest,
+    AttributeResponse,
     DetectRequest,
     DetectResponse,
     EmbedRequest,
     EmbedResponse,
+    RegisterRequest,
+    RegisterResponse,
+    RevokeRequest,
+    RevokeResponse,
     WireRequest,
     WireResponse,
     decode_request,
@@ -46,6 +57,7 @@ from repro.service.wire import (
 
 __all__ = [
     "DEFAULT_CACHE_CAPACITY",
+    "PROTOCOL_VERSION",
     "CacheStats",
     "DetectorCache",
     "ServiceClient",
@@ -55,10 +67,16 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
     "SyncDetectionService",
+    "AttributeRequest",
+    "AttributeResponse",
     "DetectRequest",
     "DetectResponse",
     "EmbedRequest",
     "EmbedResponse",
+    "RegisterRequest",
+    "RegisterResponse",
+    "RevokeRequest",
+    "RevokeResponse",
     "WireRequest",
     "WireResponse",
     "decode_request",

@@ -28,12 +28,24 @@ from typing import IO, Optional, Union
 from repro.exceptions import ReproError
 from repro.service.service import DetectionService
 from repro.service.wire import (
+    AttributeResponse,
     DetectResponse,
     EmbedResponse,
+    RegisterResponse,
+    RevokeResponse,
     WireResponse,
     decode_request,
     encode_line,
 )
+
+#: Failure-response constructor per verb, for undecodable lines.
+_FAILURE_TYPES = {
+    "detect": DetectResponse,
+    "embed": EmbedResponse,
+    "register": RegisterResponse,
+    "revoke": RevokeResponse,
+    "attribute": AttributeResponse,
+}
 
 
 def _failure_for_line(line: str, error: Exception) -> WireResponse:
@@ -48,9 +60,8 @@ def _failure_for_line(line: str, error: Exception) -> WireResponse:
             operation = payload.get("op", "detect")
     except json.JSONDecodeError:
         pass
-    if operation == "embed":
-        return EmbedResponse.failure(request_id, str(error))
-    return DetectResponse.failure(request_id, str(error))
+    failure_type = _FAILURE_TYPES.get(operation, DetectResponse)
+    return failure_type.failure(request_id, str(error))
 
 
 async def _respond(service: DetectionService, line: str) -> WireResponse:

@@ -48,9 +48,15 @@ from repro.core.secrets import WatermarkSecret
 from repro.core.sharding import ShardedDetectionPool
 from repro.exceptions import ReproError, ServiceError
 from repro.service.wire import (
+    AttributeRequest,
+    AttributeResponse,
     DetectResponse,
     EmbedRequest,
     EmbedResponse,
+    RegisterRequest,
+    RegisterResponse,
+    RevokeRequest,
+    RevokeResponse,
     WireRequest,
     WireResponse,
 )
@@ -113,6 +119,9 @@ class ServiceStats:
     sharded_batches: int = 0
     failures: int = 0
     embeds: int = 0
+    registrations: int = 0
+    revocations: int = 0
+    attributions: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -130,6 +139,9 @@ class ServiceStats:
             "sharded_batches": self.sharded_batches,
             "failures": self.failures,
             "embeds": self.embeds,
+            "registrations": self.registrations,
+            "revocations": self.revocations,
+            "attributions": self.attributions,
         }
 
 
@@ -160,10 +172,21 @@ class DetectionService:
     blocking facade.
     """
 
-    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        registry: Optional[object] = None,
+    ) -> None:
         self.config = config or ServiceConfig()
         self.cache = DetectorCache(self.config.cache_capacity)
         self.stats = ServiceStats()
+        # The multi-tenant vault behind the register/revoke/attribute
+        # verbs: anything speaking the WatermarkRegistry API (the
+        # persistent SecretVault under `serve --vault`, an in-memory
+        # WatermarkRegistry otherwise — created lazily on first use).
+        self._vault_registry = registry
+        self._vault_lock = asyncio.Lock()
         self._registry: Dict[str, Tuple[WatermarkSecret, Optional[DetectionConfig]]] = {}
         self._queue: "Optional[asyncio.Queue[Optional[_Pending]]]" = None
         self._batcher: Optional[asyncio.Task] = None
@@ -281,10 +304,12 @@ class DetectionService:
         return result
 
     async def submit(self, request: WireRequest) -> WireResponse:
-        """Answer one wire request (either verb); failures become failure
+        """Answer one wire request (any verb); failures become failure
         responses of the matching type."""
         if isinstance(request, EmbedRequest):
             return await self._submit_embed(request)
+        if isinstance(request, (RegisterRequest, RevokeRequest, AttributeRequest)):
+            return await self._submit_vault(request)
         try:
             pending_input = request.suspect()
             (result, batch_size), cache_hit = await self._enqueue_with_hit(
@@ -344,6 +369,103 @@ class DetectionService:
         result = generator.generate(request.data(), secret_value=request.secret_value)
         return EmbedResponse.from_result(
             request.request_id, result, include_tokens=request.return_tokens
+        )
+
+    # ------------------------------------------------------------------ #
+    # Vault verbs (register / revoke / attribute)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def vault(self) -> object:
+        """The multi-tenant registry behind the vault verbs.
+
+        An in-memory :class:`~repro.dispute.registry.WatermarkRegistry`
+        is created lazily when the service was not given a persistent
+        one; the import is deferred so detect/embed-only deployments
+        never pull in the dispute layer.
+        """
+        if self._vault_registry is None:
+            from repro.dispute.registry import WatermarkRegistry
+
+            self._vault_registry = WatermarkRegistry()
+        return self._vault_registry
+
+    async def _submit_vault(
+        self, request: "RegisterRequest | RevokeRequest | AttributeRequest"
+    ) -> WireResponse:
+        """Answer one vault verb; every failure becomes a failure response.
+
+        Vault mutations are chained ledger appends (and, for a
+        persistent vault, file writes), so all three verbs serialise on
+        one lock; attribution's vectorized screen runs in the executor
+        to keep the detection batcher responsive.
+        """
+        failure = type(request).__name__.replace("Request", "Response")
+        failure_type = {
+            "RegisterResponse": RegisterResponse,
+            "RevokeResponse": RevokeResponse,
+            "AttributeResponse": AttributeResponse,
+        }[failure]
+        if not self.running or self._closing:
+            self.stats.failures += 1
+            return failure_type.failure(
+                request.request_id, "the detection service is not running"
+            )
+        try:
+            async with self._vault_lock:
+                return await asyncio.get_running_loop().run_in_executor(
+                    None, self._vault_sync, request
+                )
+        except ReproError as error:
+            self.stats.failures += 1
+            return failure_type.failure(request.request_id, str(error))
+        except Exception as error:  # noqa: BLE001 - wire contract: a failure
+            # response, never an unanswered id or a dead transport.
+            self.stats.failures += 1
+            return failure_type.failure(
+                request.request_id,
+                f"internal error: {type(error).__name__}: {error}",
+            )
+
+    def _vault_sync(
+        self, request: "RegisterRequest | RevokeRequest | AttributeRequest"
+    ) -> WireResponse:
+        """Run one vault verb against the registry (worker thread)."""
+        registry = self.vault
+        if isinstance(request, RegisterRequest):
+            entry = registry.register(
+                request.buyer_id, request.watermark_secret(), **request.metadata
+            )
+            self.stats.registrations += 1
+            return RegisterResponse(
+                request_id=request.request_id,
+                ok=True,
+                buyer_id=entry.buyer_id,
+                fingerprint=entry.fingerprint,
+                vault_size=len(registry.active_buyers),
+            )
+        if isinstance(request, RevokeRequest):
+            entry = registry.revoke(request.buyer_id, **request.metadata)
+            self.stats.revocations += 1
+            return RevokeResponse(
+                request_id=request.request_id,
+                ok=True,
+                buyer_id=entry.buyer_id,
+                fingerprint=entry.fingerprint,
+                vault_size=len(registry.active_buyers),
+            )
+        matches = registry.attribute_leak(
+            request.suspect(), detection=request.detection_config()
+        )
+        self.stats.attributions += 1
+        screen = registry.last_attribution
+        return AttributeResponse(
+            request_id=request.request_id,
+            ok=True,
+            matches=tuple(matches),
+            mode=screen.mode if screen is not None else None,
+            candidates=screen.candidates if screen is not None else None,
+            active_secrets=screen.active_secrets if screen is not None else None,
         )
 
     async def _enqueue(
@@ -503,8 +625,13 @@ class SyncDetectionService:
     ...     verdicts = service.detect_all(datasets, secret)
     """
 
-    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
-        self._service = DetectionService(config)
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        registry: Optional[object] = None,
+    ) -> None:
+        self._service = DetectionService(config, registry=registry)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="repro-detection-service", daemon=True
@@ -606,8 +733,13 @@ class SyncDetectionService:
 
         return self._call(_gather())
 
+    @property
+    def vault(self) -> object:
+        """The multi-tenant registry behind the vault verbs."""
+        return self._service.vault
+
     def submit(self, request: WireRequest) -> WireResponse:
-        """Blocking wire-level submission (either verb)."""
+        """Blocking wire-level submission (any verb)."""
         return self._call(self._service.submit(request))
 
 

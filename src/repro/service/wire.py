@@ -1,6 +1,6 @@
 """Typed request/response wire format of the watermarking service.
 
-Two verbs share the JSON-lines transport, discriminated by the optional
+Five verbs share the JSON-lines transport, discriminated by the optional
 ``op`` field:
 
 * **detect** (the default when ``op`` is absent) — *is this dataset
@@ -15,13 +15,29 @@ Two verbs share the JSON-lines transport, discriminated by the optional
   service runs ``WM_Generate`` and answers with the watermarked
   histogram (or edited token sequence) plus the freshly produced secret
   list, which the owner must store.
+* **register** (``op: "register"``) — *vault this buyer's watermark*:
+  the secret enters the service's multi-tenant registry (the in-memory
+  :class:`~repro.dispute.registry.WatermarkRegistry`, or the persistent
+  :class:`~repro.dispute.vault.SecretVault` under ``serve --vault``).
+* **revoke** (``op: "revoke"``) — withdraw a buyer's watermark from the
+  vault, appending an entry to the hash-chained ledger.
+* **attribute** (``op: "attribute"``) — *whose watermark does this
+  leaked copy carry?* The service runs the index-backed registry lookup
+  and answers with the matching buyers, strongest first.
 
 On the transport, each request and each response is **one JSON object per
 line** (JSON-lines). Responses carry the request's ``id`` so they may be
 delivered out of order; detect responses' ``batch_size`` and
 ``cache_hit`` expose what the coalescing layer actually did, which the
 benchmarks and the property tests use to assert the batching happened.
-The field-by-field schema is documented in ``docs/service.md``.
+
+Every line :func:`encode_line` produces also carries the protocol
+version as ``v`` (an absent ``v`` means version 1, the pre-registry
+wire). The compatibility rule: a peer accepts any line whose version is
+*at most* its own :data:`PROTOCOL_VERSION` — fields are only ever added,
+and decoders ignore unknown fields — and rejects higher versions with
+the error envelope rather than guessing at semantics it does not know.
+The field-by-field schema per verb is documented in ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -36,6 +52,13 @@ from repro.core.generator import WatermarkResult
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
 from repro.exceptions import ConfigurationError, HistogramError, ServiceError
+
+#: Version of the wire protocol this module speaks. Version 1 is the
+#: pre-registry wire (detect/embed, no ``v`` field); version 2 added the
+#: ``register``/``revoke``/``attribute`` verbs and the ``v`` field
+#: itself. Peers accept lines with ``v`` at most their own version
+#: (absent means 1) and reject higher ones — see the module docstring.
+PROTOCOL_VERSION = 2
 
 #: Keys accepted in a request's ``config`` object (DetectionConfig kwargs).
 _CONFIG_KEYS = frozenset(
@@ -577,51 +600,528 @@ class EmbedResponse:
         )
 
 
-#: Either verb's request / response, as produced by the line decoders.
-WireRequest = Union[DetectRequest, EmbedRequest]
-WireResponse = Union[DetectResponse, EmbedResponse]
+def _validated_id(payload: Dict[str, object], verb: str) -> str:
+    """Extract and validate the ``id`` field of a request payload."""
+    if not isinstance(payload, dict):
+        raise ServiceError(f"{verb} request payload must be a JSON object")
+    request_id = payload.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ServiceError(f"{verb} request payload is missing a string 'id'")
+    return request_id
+
+
+def _validated_buyer(payload: Dict[str, object], request_id: str, verb: str) -> str:
+    """Extract and validate the ``buyer_id`` field of a registry payload."""
+    buyer_id = payload.get("buyer_id")
+    if not isinstance(buyer_id, str) or not buyer_id:
+        raise ServiceError(
+            f"{verb} request {request_id!r} is missing a string 'buyer_id'"
+        )
+    return buyer_id
+
+
+@dataclass(frozen=True)
+class RegisterRequest:
+    """One vault registration on the service wire (``op: "register"``).
+
+    Attributes
+    ----------
+    request_id:
+        Caller-chosen correlation id echoed back on the response.
+    buyer_id:
+        The buyer the watermark was issued to (vault key).
+    secret:
+        The secret payload (:meth:`WatermarkSecret.to_dict` shape) to
+        vault. Unlike detect's fingerprint references, registration
+        necessarily carries the material once — that is the transfer
+        that makes later fingerprint-free attribution possible.
+    metadata:
+        Free-form provenance recorded on the chained ledger entry.
+    """
+
+    request_id: str
+    buyer_id: str
+    secret: Dict[str, object]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("request id must be a non-empty string")
+        if not self.buyer_id:
+            raise ServiceError(
+                f"register request {self.request_id!r} needs a non-empty buyer_id"
+            )
+
+    def watermark_secret(self) -> WatermarkSecret:
+        """The secret to vault, decoded."""
+        try:
+            return WatermarkSecret.from_dict(self.secret)
+        except ConfigurationError as exc:
+            raise ServiceError(
+                f"register request {self.request_id!r} has a malformed secret: {exc}"
+            ) from exc
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (empty metadata omitted)."""
+        payload: Dict[str, object] = {
+            "op": "register",
+            "id": self.request_id,
+            "buyer_id": self.buyer_id,
+            "secret": dict(self.secret),
+        }
+        if self.metadata:
+            payload["metadata"] = dict(self.metadata)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RegisterRequest":
+        """Rebuild a register request from :meth:`to_dict` output (validating)."""
+        request_id = _validated_id(payload, "register")
+        buyer_id = _validated_buyer(payload, request_id, "register")
+        secret = payload.get("secret")
+        if not isinstance(secret, dict):
+            raise ServiceError(
+                f"register request {request_id!r} needs a 'secret' object"
+            )
+        metadata = payload.get("metadata", {})
+        if not isinstance(metadata, dict):
+            raise ServiceError(
+                f"register request {request_id!r} metadata must be an object"
+            )
+        return cls(
+            request_id=request_id,
+            buyer_id=buyer_id,
+            secret=secret,
+            metadata=dict(metadata),
+        )
+
+
+@dataclass(frozen=True)
+class RegisterResponse:
+    """One registration outcome (or failure) on the service wire."""
+
+    request_id: str
+    ok: bool
+    buyer_id: Optional[str] = None
+    fingerprint: Optional[str] = None
+    vault_size: Optional[int] = None
+    error: Optional[str] = None
+
+    @classmethod
+    def failure(cls, request_id: str, message: str) -> "RegisterResponse":
+        """A failure response carrying only the error message."""
+        return cls(request_id=request_id, ok=False, error=message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (failure fields omitted on success)."""
+        payload: Dict[str, object] = {
+            "op": "register",
+            "id": self.request_id,
+            "ok": self.ok,
+        }
+        if self.ok:
+            payload.update(
+                {
+                    "buyer_id": self.buyer_id,
+                    "fingerprint": self.fingerprint,
+                    "vault_size": self.vault_size,
+                }
+            )
+        else:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RegisterResponse":
+        """Rebuild a response from :meth:`to_dict` output."""
+        if not isinstance(payload, dict) or "id" not in payload:
+            raise ServiceError("response payload must be a JSON object with 'id'")
+        if not payload.get("ok"):
+            return cls.failure(
+                str(payload["id"]), str(payload.get("error", "unknown error"))
+            )
+        return cls(
+            request_id=str(payload["id"]),
+            ok=True,
+            buyer_id=str(payload.get("buyer_id", "")),
+            fingerprint=str(payload.get("fingerprint", "")),
+            vault_size=int(payload.get("vault_size", 0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class RevokeRequest:
+    """One vault revocation on the service wire (``op: "revoke"``)."""
+
+    request_id: str
+    buyer_id: str
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("request id must be a non-empty string")
+        if not self.buyer_id:
+            raise ServiceError(
+                f"revoke request {self.request_id!r} needs a non-empty buyer_id"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (empty metadata omitted)."""
+        payload: Dict[str, object] = {
+            "op": "revoke",
+            "id": self.request_id,
+            "buyer_id": self.buyer_id,
+        }
+        if self.metadata:
+            payload["metadata"] = dict(self.metadata)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RevokeRequest":
+        """Rebuild a revoke request from :meth:`to_dict` output (validating)."""
+        request_id = _validated_id(payload, "revoke")
+        buyer_id = _validated_buyer(payload, request_id, "revoke")
+        metadata = payload.get("metadata", {})
+        if not isinstance(metadata, dict):
+            raise ServiceError(
+                f"revoke request {request_id!r} metadata must be an object"
+            )
+        return cls(request_id=request_id, buyer_id=buyer_id, metadata=dict(metadata))
+
+
+@dataclass(frozen=True)
+class RevokeResponse:
+    """One revocation outcome (or failure) on the service wire."""
+
+    request_id: str
+    ok: bool
+    buyer_id: Optional[str] = None
+    fingerprint: Optional[str] = None
+    vault_size: Optional[int] = None
+    error: Optional[str] = None
+
+    @classmethod
+    def failure(cls, request_id: str, message: str) -> "RevokeResponse":
+        """A failure response carrying only the error message."""
+        return cls(request_id=request_id, ok=False, error=message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (failure fields omitted on success)."""
+        payload: Dict[str, object] = {
+            "op": "revoke",
+            "id": self.request_id,
+            "ok": self.ok,
+        }
+        if self.ok:
+            payload.update(
+                {
+                    "buyer_id": self.buyer_id,
+                    "fingerprint": self.fingerprint,
+                    "vault_size": self.vault_size,
+                }
+            )
+        else:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RevokeResponse":
+        """Rebuild a response from :meth:`to_dict` output."""
+        if not isinstance(payload, dict) or "id" not in payload:
+            raise ServiceError("response payload must be a JSON object with 'id'")
+        if not payload.get("ok"):
+            return cls.failure(
+                str(payload["id"]), str(payload.get("error", "unknown error"))
+            )
+        return cls(
+            request_id=str(payload["id"]),
+            ok=True,
+            buyer_id=str(payload.get("buyer_id", "")),
+            fingerprint=str(payload.get("fingerprint", "")),
+            vault_size=int(payload.get("vault_size", 0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class AttributeRequest:
+    """One leak-attribution request on the service wire (``op: "attribute"``).
+
+    The leaked copy travels like a detect request's dataset — ``tokens``
+    or (far more compactly) ``counts`` — but no secret accompanies it:
+    the whole point is asking the vault *whose* watermark it carries.
+    ``config`` optionally overrides the attribution thresholds
+    (:class:`~repro.core.config.DetectionConfig` keyword arguments; the
+    service default is the registry's ``pair_threshold=1``).
+    """
+
+    request_id: str
+    tokens: Optional[Tuple[str, ...]] = None
+    counts: Optional[Dict[str, int]] = None
+    config: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("request id must be a non-empty string")
+        if (self.tokens is None) == (self.counts is None):
+            raise ServiceError(
+                f"attribute request {self.request_id!r} must carry exactly one "
+                "of tokens/counts"
+            )
+        if self.config is not None:
+            unknown = set(self.config) - _CONFIG_KEYS
+            if unknown:
+                raise ServiceError(
+                    f"attribute request {self.request_id!r} has unknown config "
+                    f"keys: {sorted(unknown)}"
+                )
+
+    def suspect(self) -> SuspectData:
+        """The leaked copy as attribution input."""
+        if self.counts is not None:
+            try:
+                return TokenHistogram.from_counts(self.counts)
+            except (HistogramError, TypeError, ValueError) as exc:
+                raise ServiceError(
+                    f"attribute request {self.request_id!r} has malformed "
+                    f"counts: {exc}"
+                ) from exc
+        return list(self.tokens or ())
+
+    def detection_config(self) -> Optional[DetectionConfig]:
+        """The threshold overrides, decoded — None when absent."""
+        if self.config is None:
+            return None
+        try:
+            return DetectionConfig(**self.config)  # type: ignore[arg-type]
+        except (ConfigurationError, TypeError) as exc:
+            raise ServiceError(
+                f"attribute request {self.request_id!r} has a malformed "
+                f"config: {exc}"
+            ) from exc
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (None fields omitted)."""
+        payload: Dict[str, object] = {"op": "attribute", "id": self.request_id}
+        if self.tokens is not None:
+            payload["tokens"] = list(self.tokens)
+        if self.counts is not None:
+            payload["counts"] = dict(self.counts)
+        if self.config is not None:
+            payload["config"] = dict(self.config)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "AttributeRequest":
+        """Rebuild an attribute request from :meth:`to_dict` output (validating)."""
+        request_id = _validated_id(payload, "attribute")
+        tokens = payload.get("tokens")
+        counts = payload.get("counts")
+        if counts is not None:
+            if not isinstance(counts, dict):
+                raise ServiceError(
+                    f"attribute request {request_id!r} counts must be an object"
+                )
+            for token, count in counts.items():
+                if isinstance(count, bool) or not isinstance(count, int):
+                    raise ServiceError(
+                        f"attribute request {request_id!r} count for {token!r} "
+                        f"must be an integer, got {count!r}"
+                    )
+        try:
+            return cls(
+                request_id=request_id,
+                tokens=tuple(str(token) for token in tokens)
+                if tokens is not None
+                else None,
+                counts={str(k): int(v) for k, v in counts.items()}
+                if counts is not None
+                else None,
+                config=payload.get("config"),  # type: ignore[arg-type]
+            )
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise ServiceError(
+                f"attribute request {request_id!r} payload is malformed: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class AttributeResponse:
+    """One attribution outcome (or failure) on the service wire.
+
+    ``matches`` lists the buyers whose watermark verified on the leaked
+    copy, strongest (highest accepted-pair fraction) first. ``mode`` /
+    ``candidates`` / ``active_secrets`` mirror the registry's
+    :class:`~repro.dispute.registry.AttributionStats` so wire clients can
+    observe how much the candidate index pruned.
+    """
+
+    request_id: str
+    ok: bool
+    matches: Tuple[Tuple[str, float], ...] = ()
+    mode: Optional[str] = None
+    candidates: Optional[int] = None
+    active_secrets: Optional[int] = None
+    error: Optional[str] = None
+
+    @classmethod
+    def failure(cls, request_id: str, message: str) -> "AttributeResponse":
+        """A failure response carrying only the error message."""
+        return cls(request_id=request_id, ok=False, error=message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (failure fields omitted on success)."""
+        payload: Dict[str, object] = {
+            "op": "attribute",
+            "id": self.request_id,
+            "ok": self.ok,
+        }
+        if self.ok:
+            payload.update(
+                {
+                    "matches": [
+                        {"buyer_id": buyer_id, "accepted_fraction": fraction}
+                        for buyer_id, fraction in self.matches
+                    ],
+                    "mode": self.mode,
+                    "candidates": self.candidates,
+                    "active_secrets": self.active_secrets,
+                }
+            )
+        else:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "AttributeResponse":
+        """Rebuild a response from :meth:`to_dict` output."""
+        if not isinstance(payload, dict) or "id" not in payload:
+            raise ServiceError("response payload must be a JSON object with 'id'")
+        if not payload.get("ok"):
+            return cls.failure(
+                str(payload["id"]), str(payload.get("error", "unknown error"))
+            )
+        raw_matches = payload.get("matches", [])
+        if not isinstance(raw_matches, list):
+            raise ServiceError(
+                f"attribute response {payload['id']!r} matches must be a list"
+            )
+        matches = tuple(
+            (str(match["buyer_id"]), float(match["accepted_fraction"]))
+            for match in raw_matches
+        )
+        return cls(
+            request_id=str(payload["id"]),
+            ok=True,
+            matches=matches,
+            mode=str(payload.get("mode", "")) or None,
+            candidates=int(payload.get("candidates", 0)),  # type: ignore[arg-type]
+            active_secrets=int(payload.get("active_secrets", 0)),  # type: ignore[arg-type]
+        )
+
+
+#: Any verb's request / response, as produced by the line decoders.
+WireRequest = Union[
+    DetectRequest, EmbedRequest, RegisterRequest, RevokeRequest, AttributeRequest
+]
+WireResponse = Union[
+    DetectResponse, EmbedResponse, RegisterResponse, RevokeResponse, AttributeResponse
+]
+
+_REQUEST_TYPES: Dict[str, type] = {
+    "detect": DetectRequest,
+    "embed": EmbedRequest,
+    "register": RegisterRequest,
+    "revoke": RevokeRequest,
+    "attribute": AttributeRequest,
+}
+
+_RESPONSE_TYPES: Dict[str, type] = {
+    "detect": DetectResponse,
+    "embed": EmbedResponse,
+    "register": RegisterResponse,
+    "revoke": RevokeResponse,
+    "attribute": AttributeResponse,
+}
+
+
+def _check_protocol(payload: object) -> None:
+    """Enforce the compatibility rule on a decoded payload's ``v`` field.
+
+    An absent ``v`` means protocol version 1 (the pre-registry wire);
+    any integer up to :data:`PROTOCOL_VERSION` is accepted; anything
+    newer (or malformed) is rejected so a peer never silently
+    misinterprets semantics it does not implement.
+    """
+    if not isinstance(payload, dict):
+        return
+    version = payload.get("v", 1)
+    if isinstance(version, bool) or not isinstance(version, int) or version < 1:
+        raise ServiceError(f"protocol version must be a positive integer, got {version!r}")
+    if version > PROTOCOL_VERSION:
+        raise ServiceError(
+            f"line speaks protocol version {version}, but this peer only "
+            f"understands versions up to {PROTOCOL_VERSION}"
+        )
 
 
 def encode_line(message) -> str:
-    """Encode a request/response as one JSON line (no trailing newline)."""
-    return json.dumps(message.to_dict(), separators=(",", ":"), sort_keys=True)
+    """Encode a request/response as one JSON line (no trailing newline).
+
+    The line carries the sender's :data:`PROTOCOL_VERSION` as ``v`` next
+    to the message payload, so peers can apply the compatibility rule
+    before interpreting any verb-specific field.
+    """
+    payload = message.to_dict()
+    payload["v"] = PROTOCOL_VERSION
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
 
 
 def decode_request(line: str) -> WireRequest:
-    """Decode one JSON line into a validated request (either verb).
+    """Decode one JSON line into a validated request (any verb).
 
-    The ``op`` field discriminates: absent or ``"detect"`` decodes a
-    :class:`DetectRequest`, ``"embed"`` an :class:`EmbedRequest`.
+    The ``op`` field discriminates (absent means ``"detect"``); the
+    ``v`` field is checked against :data:`PROTOCOL_VERSION` first.
     """
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ServiceError(f"request line is not valid JSON: {exc}") from exc
+    _check_protocol(payload)
     if isinstance(payload, dict):
         operation = payload.get("op", "detect")
-        if operation == "embed":
-            return EmbedRequest.from_dict(payload)
-        if operation != "detect":
+        request_type = _REQUEST_TYPES.get(operation)  # type: ignore[arg-type]
+        if request_type is None:
             raise ServiceError(f"unknown request op {operation!r}")
+        return request_type.from_dict(payload)
     return DetectRequest.from_dict(payload)
 
 
 def decode_response(line: str) -> WireResponse:
-    """Decode one JSON line into a response (either verb, op-discriminated)."""
+    """Decode one JSON line into a response (any verb, op-discriminated)."""
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ServiceError(f"response line is not valid JSON: {exc}") from exc
-    if isinstance(payload, dict) and payload.get("op") == "embed":
-        return EmbedResponse.from_dict(payload)
+    _check_protocol(payload)
+    if isinstance(payload, dict):
+        response_type = _RESPONSE_TYPES.get(payload.get("op", "detect"))  # type: ignore[arg-type]
+        if response_type is not None:
+            return response_type.from_dict(payload)
     return DetectResponse.from_dict(payload)
 
 
 __all__ = [
+    "PROTOCOL_VERSION",
+    "AttributeRequest",
+    "AttributeResponse",
     "DetectRequest",
     "DetectResponse",
     "EmbedRequest",
     "EmbedResponse",
+    "RegisterRequest",
+    "RegisterResponse",
+    "RevokeRequest",
+    "RevokeResponse",
     "WireRequest",
     "WireResponse",
     "encode_line",

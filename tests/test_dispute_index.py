@@ -1,0 +1,190 @@
+"""Candidate-index attribution: scale parity, revocation, forced index mode.
+
+``test_dispute.py`` pins the registry's ledger semantics on vaults small
+enough that the pooled group test screens them. These tests exercise the
+*index*-mode screening path the marketplace workflow depends on
+(``docs/registry.md``): verdict parity with the full linear
+:func:`~repro.core.batch.detect_many_secrets` scan over a
+multi-thousand-buyer vault, real candidate pruning, revocation
+semantics, and the empty / single-secret edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import detect_many_secrets
+from repro.core.config import DetectionConfig
+from repro.core.secrets import WatermarkSecret
+from repro.dispute import WatermarkRegistry
+from repro.exceptions import DisputeError
+
+#: Exact-alignment acceptance, half the pairs required — the marketplace
+#: attribution rule the benchmarks use.
+DETECTION = DetectionConfig(pair_threshold=0, min_accepted_fraction=0.5)
+
+
+def _decoy_secrets(vocabulary, count, modulus_cap, *, pairs=8, seed=7):
+    """``count`` synthetic buyer secrets with random pair lists.
+
+    Pairs are drawn over the leaked copy's own vocabulary so every
+    bucket is a live modulus test (the screen cannot shortcut on
+    missing tokens), mirroring ``benchmarks/bench_registry.py``.
+    """
+    rng = np.random.default_rng(seed)
+    tokens = np.array(sorted(vocabulary))
+    first = rng.integers(0, len(tokens), size=(count, pairs))
+    # A nonzero offset keeps first != second without a rejection loop.
+    second = (first + rng.integers(1, len(tokens), size=first.shape)) % len(tokens)
+    values = rng.integers(1, 2**63, size=count)
+    return [
+        WatermarkSecret.build(
+            list(zip(tokens[first[index]], tokens[second[index]])),
+            int(values[index]),
+            modulus_cap,
+        )
+        for index in range(count)
+    ]
+
+
+def _populated_registry(result, *, decoys, **registry_kwargs):
+    """A registry holding the real watermark plus ``decoys`` synthetic buyers."""
+    registry = WatermarkRegistry(**registry_kwargs)
+    registry.register("buyer-real", result.secret)
+    secrets = _decoy_secrets(
+        result.watermarked_histogram.as_dict(), decoys, result.secret.modulus_cap
+    )
+    for index, secret in enumerate(secrets):
+        registry.register(f"decoy-{index:04d}", secret)
+    return registry
+
+
+def test_index_parity_with_linear_scan(watermarked_bundle):
+    """Index-mode verdicts are identical to screening the whole vault."""
+    result, _ = watermarked_bundle
+    registry = _populated_registry(result, decoys=1999)
+
+    matches = registry.attribute_leak(result.watermarked_histogram, detection=DETECTION)
+
+    buyers = registry.active_buyers
+    linear_results = detect_many_secrets(
+        result.watermarked_histogram,
+        [registry.secret_for(buyer) for buyer in buyers],
+        DETECTION,
+    )
+    linear_accepted = {
+        buyer for buyer, verdict in zip(buyers, linear_results) if verdict.accepted
+    }
+
+    assert {buyer for buyer, _ in matches} == linear_accepted
+    assert "buyer-real" in linear_accepted
+    fractions = [fraction for _, fraction in matches]
+    assert fractions == sorted(fractions, reverse=True)
+
+    stats = registry.last_attribution
+    assert stats is not None
+    assert stats.mode == "index"
+    assert stats.active_secrets == 2000
+    assert 0 < stats.candidates < stats.active_secrets
+    assert stats.matches == len(matches)
+
+
+def test_empty_vault_attribution(skewed_histogram):
+    """An empty vault attributes nothing and reports the empty screen."""
+    registry = WatermarkRegistry()
+    assert registry.attribute_leak(skewed_histogram, detection=DETECTION) == []
+    stats = registry.last_attribution
+    assert stats is not None
+    assert stats.mode == "empty"
+    assert stats.candidates == 0
+    assert stats.active_secrets == 0
+    assert stats.matches == 0
+
+
+def test_single_secret_attribution(watermarked_bundle):
+    """A one-buyer vault convicts that buyer via the group-test screen."""
+    result, _ = watermarked_bundle
+    registry = WatermarkRegistry()
+    registry.register("only-buyer", result.secret)
+
+    matches = registry.attribute_leak(result.watermarked_histogram, detection=DETECTION)
+
+    assert [buyer for buyer, _ in matches] == ["only-buyer"]
+    stats = registry.last_attribution
+    assert stats is not None
+    assert stats.mode == "group-test"
+    assert stats.active_secrets == 1
+
+
+def test_revoke_then_attribute_never_returns_revoked(watermarked_bundle):
+    """A revoked buyer can never be named again — until re-registered."""
+    result, _ = watermarked_bundle
+    registry = _populated_registry(result, decoys=10)
+
+    before = registry.attribute_leak(result.watermarked_histogram, detection=DETECTION)
+    assert "buyer-real" in {buyer for buyer, _ in before}
+
+    registry.revoke("buyer-real", reason="leak")
+    after = registry.attribute_leak(result.watermarked_histogram, detection=DETECTION)
+    assert "buyer-real" not in {buyer for buyer, _ in after}
+
+    with pytest.raises(DisputeError):
+        registry.revoke("buyer-real")
+    with pytest.raises(DisputeError):
+        registry.secret_for("buyer-real")
+
+    # Re-registration is allowed and restores attribution.
+    registry.register("buyer-real", result.secret)
+    again = registry.attribute_leak(result.watermarked_histogram, detection=DETECTION)
+    assert "buyer-real" in {buyer for buyer, _ in again}
+    assert registry.verify_chain()
+
+
+def test_group_test_threshold_zero_forces_index_mode(watermarked_bundle):
+    """``group_test_threshold=0`` screens even tiny vaults per-secret.
+
+    Verdicts must match the default (group-test) registry exactly — the
+    two screen modes are different speed/shape trade-offs over one
+    acceptance rule, never different semantics.
+    """
+    result, _ = watermarked_bundle
+    forced = _populated_registry(result, decoys=3, group_test_threshold=0)
+    default = _populated_registry(result, decoys=3)
+
+    forced_matches = forced.attribute_leak(
+        result.watermarked_histogram, detection=DETECTION
+    )
+    default_matches = default.attribute_leak(
+        result.watermarked_histogram, detection=DETECTION
+    )
+
+    assert forced.last_attribution is not None
+    assert forced.last_attribution.mode == "index"
+    assert default.last_attribution is not None
+    assert default.last_attribution.mode == "group-test"
+    assert forced_matches == default_matches
+
+
+def test_index_stats_track_registrations_and_revocations(watermarked_bundle):
+    """Structural counters follow register/revoke exactly."""
+    result, _ = watermarked_bundle
+    registry = WatermarkRegistry()
+    registry.register("buyer-real", result.secret)
+    baseline = registry.index_stats()
+    assert baseline.active_secrets == 1
+
+    decoys = _decoy_secrets(
+        result.watermarked_histogram.as_dict(), 2, result.secret.modulus_cap
+    )
+    registry.register("decoy-0000", decoys[0])
+    registry.register("decoy-0001", decoys[1])
+    grown = registry.index_stats()
+    assert grown.active_secrets == 3
+    assert grown.postings == baseline.postings + 16
+    assert grown.buckets <= grown.postings
+
+    registry.revoke("decoy-0000")
+    shrunk = registry.index_stats()
+    assert shrunk.active_secrets == 2
+    assert shrunk.postings == baseline.postings + 8

@@ -1,0 +1,187 @@
+"""Persistence edge cases of the on-disk :class:`SecretVault`.
+
+The vault's crash contract (module docstring of
+:mod:`repro.dispute.vault`): a registration writes the content-addressed
+secret file *first* and appends the fsynced ledger line *second*, so a
+crash between the two leaves an ignorable orphan — never a vault entry
+or an index posting. A crash mid-append leaves a torn final ledger line,
+which reload truncates; anything corrupt *before* the tail is tampering
+and must fail loudly. These tests simulate each of those disk states
+directly and pin down what a reopened vault recovers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import DetectionConfig
+from repro.core.secrets import WatermarkSecret
+from repro.dispute import SecretVault
+from repro.exceptions import DisputeError
+
+DETECTION = DetectionConfig(pair_threshold=0, min_accepted_fraction=0.5)
+
+
+def _decoy_secret(histogram, modulus_cap, *, seed):
+    """One synthetic buyer secret over the histogram's vocabulary."""
+    tokens = sorted(histogram.as_dict())
+    pairs = [
+        (tokens[(seed + offset) % len(tokens)], tokens[(seed + offset + 7) % len(tokens)])
+        for offset in range(0, 24, 3)
+    ]
+    return WatermarkSecret.build(pairs, 10_000 + seed, modulus_cap)
+
+
+@pytest.fixture()
+def vault_bundle(tmp_path, watermarked_bundle):
+    """A vault holding the real buyer plus two decoys."""
+    result, _ = watermarked_bundle
+    vault = SecretVault(tmp_path)
+    vault.register("buyer-real", result.secret, tier="premium")
+    for index in range(2):
+        vault.register(
+            f"decoy-{index}",
+            _decoy_secret(result.watermarked_histogram, result.secret.modulus_cap, seed=index),
+        )
+    return vault, result
+
+
+def test_reload_round_trip(tmp_path, vault_bundle):
+    """A reopened vault replays to the identical ledger, buyers, verdicts."""
+    vault, result = vault_bundle
+    vault.revoke("decoy-1", reason="expired")
+    before_matches = vault.attribute_leak(result.watermarked_histogram, detection=DETECTION)
+    before_ledger = vault.export_public_ledger()
+
+    reopened = SecretVault(tmp_path)
+    assert reopened.export_public_ledger() == before_ledger
+    assert reopened.active_buyers == vault.active_buyers
+    assert len(reopened) == len(vault) == 4  # 3 registrations + 1 revocation
+    assert reopened.verify_chain()
+    assert reopened.secret_for("buyer-real").fingerprint() == result.secret.fingerprint()
+    assert (
+        reopened.attribute_leak(result.watermarked_histogram, detection=DETECTION)
+        == before_matches
+    )
+
+
+def test_crash_mid_register_leaves_no_partial_entry(tmp_path, vault_bundle):
+    """An orphan secret file (crash before the ledger append) is ignored.
+
+    The atomic-write contract: the half-finished registration must
+    contribute no vault entry, no active buyer, and no index posting.
+    """
+    vault, result = vault_bundle
+    orphan = _decoy_secret(
+        result.watermarked_histogram, result.secret.modulus_cap, seed=99
+    )
+    # Simulate the crash window: the secret file landed, the ledger
+    # append never happened.
+    (tmp_path / "secrets" / f"{orphan.fingerprint()}.json").write_text(
+        orphan.to_json(), encoding="utf-8"
+    )
+
+    reopened = SecretVault(tmp_path)
+    assert set(reopened.active_buyers) == set(vault.active_buyers)
+    assert reopened.index_stats().active_secrets == 3
+    assert reopened.index_stats().postings == vault.index_stats().postings
+    assert reopened.verify_chain()
+
+
+def test_torn_ledger_tail_is_truncated(tmp_path, vault_bundle):
+    """A crash mid-append (torn final line) is repaired, not fatal."""
+    vault, result = vault_bundle
+    intact = (tmp_path / "ledger.jsonl").read_text(encoding="utf-8")
+    (tmp_path / "ledger.jsonl").write_text(
+        intact + '{"seq":3,"action":"regis', encoding="utf-8"
+    )
+
+    reopened = SecretVault(tmp_path)
+    assert set(reopened.active_buyers) == set(vault.active_buyers)
+    # The torn bytes are gone from disk, so the next append re-chains
+    # cleanly onto the surviving records.
+    assert (tmp_path / "ledger.jsonl").read_text(encoding="utf-8") == intact
+    reopened.revoke("decoy-0")
+    assert SecretVault(tmp_path).verify_chain()
+
+
+def test_mid_file_garbage_is_tampering(tmp_path, vault_bundle):
+    """Corruption anywhere before the tail must raise, never repair."""
+    _vault, _result = vault_bundle
+    lines = (tmp_path / "ledger.jsonl").read_text(encoding="utf-8").splitlines()
+    lines[0] = '{"seq":0,"acti'
+    (tmp_path / "ledger.jsonl").write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    with pytest.raises(DisputeError, match="corrupt"):
+        SecretVault(tmp_path)
+
+
+def test_edited_record_breaks_the_chain(tmp_path, vault_bundle):
+    """A syntactically valid but edited record fails hash verification."""
+    _vault, _result = vault_bundle
+    lines = (tmp_path / "ledger.jsonl").read_text(encoding="utf-8").splitlines()
+    record = json.loads(lines[1])
+    record["buyer_id"] = "mallory"
+    lines[1] = json.dumps(record, separators=(",", ":"), sort_keys=True)
+    (tmp_path / "ledger.jsonl").write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    with pytest.raises(DisputeError, match="hash chain"):
+        SecretVault(tmp_path)
+
+
+def test_missing_secret_file_is_fatal(tmp_path, vault_bundle):
+    """A ledger record whose secret file vanished must fail the reload."""
+    vault, _result = vault_bundle
+    fingerprint = vault.secret_for("decoy-0").fingerprint()
+    (tmp_path / "secrets" / f"{fingerprint}.json").unlink()
+
+    with pytest.raises(DisputeError, match="does not exist"):
+        SecretVault(tmp_path)
+
+
+def test_reserved_action_metadata_is_rejected(tmp_path, vault_bundle):
+    """The ledger's ``action`` discriminator can never be spoofed."""
+    vault, result = vault_bundle
+    spare = _decoy_secret(
+        result.watermarked_histogram, result.secret.modulus_cap, seed=42
+    )
+    with pytest.raises(DisputeError, match="reserved"):
+        vault.register("buyer-new", spare, action="revoke")
+    with pytest.raises(DisputeError, match="reserved"):
+        vault.revoke("decoy-0", action="register")
+    # Neither failed call may have appended anything.
+    assert len(SecretVault(tmp_path)) == 3
+
+
+def test_duplicate_registration_appends_nothing(tmp_path, vault_bundle):
+    """A rejected duplicate leaves the ledger exactly as it was."""
+    vault, result = vault_bundle
+    before = (tmp_path / "ledger.jsonl").read_text(encoding="utf-8")
+    with pytest.raises(DisputeError, match="already"):
+        vault.register("buyer-real", result.secret)
+    assert (tmp_path / "ledger.jsonl").read_text(encoding="utf-8") == before
+
+
+def test_revoke_then_attribute_survives_reopen(tmp_path, vault_bundle):
+    """Revocation is durable: a reopened vault never names the buyer."""
+    vault, result = vault_bundle
+    assert "buyer-real" in {
+        buyer
+        for buyer, _ in vault.attribute_leak(
+            result.watermarked_histogram, detection=DETECTION
+        )
+    }
+    vault.revoke("buyer-real", reason="leak")
+
+    reopened = SecretVault(tmp_path)
+    matches = reopened.attribute_leak(result.watermarked_histogram, detection=DETECTION)
+    assert "buyer-real" not in {buyer for buyer, _ in matches}
+    # The append-only history still shows the registration and revocation.
+    actions = [entry.action for entry in reopened.entries]
+    assert actions == ["register", "register", "register", "revoke"]
+
+    reopened.register("buyer-real", result.secret, tier="reissued")
+    again = reopened.attribute_leak(result.watermarked_histogram, detection=DETECTION)
+    assert "buyer-real" in {buyer for buyer, _ in again}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate for the documented service surface.
+
+Parses every ``.py`` file under the given directories and requires a
+docstring on the module itself and on every *public* definition — any
+class, function or method whose name does not start with ``_``. The
+dispute and service layers are the repo's wire- and vault-facing API
+(``docs/service.md`` / ``docs/registry.md`` document them), so an
+undocumented public symbol there is a review failure, not a style nit.
+
+Stdlib-only (``ast``), so the CI docs job needs no extra tooling::
+
+    python tools/check_docstrings.py src/repro/dispute src/repro/service
+
+Exits non-zero listing every undocumented public definition.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+_DEFINITIONS = (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _undocumented(tree: ast.Module) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line, dotted_name)`` for every public def lacking a docstring."""
+    if ast.get_docstring(tree) is None:
+        yield 1, "<module>"
+    stack: List[Tuple[ast.AST, str]] = [(tree, "")]
+    while stack:
+        node, prefix = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, _DEFINITIONS):
+                continue
+            dotted = f"{prefix}{child.name}"
+            if not child.name.startswith("_"):
+                if ast.get_docstring(child) is None:
+                    yield child.lineno, dotted
+            # Private containers may still hold public members worth
+            # documenting, but their internals are not part of the gate.
+            if isinstance(child, ast.ClassDef) and not child.name.startswith("_"):
+                stack.append((child, f"{dotted}."))
+    return
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    """All undocumented public definitions of one file, sorted by line."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    return sorted(_undocumented(tree))
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_docstrings.py DIR [DIR ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for name in argv:
+        root = Path(name)
+        if not root.exists():
+            print(f"{name}: path not found", file=sys.stderr)
+            failures += 1
+            continue
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            checked += 1
+            for line, dotted in check_file(path):
+                print(f"{path}:{line}: missing docstring on {dotted}", file=sys.stderr)
+                failures += 1
+    if failures:
+        print(f"{failures} undocumented public definition(s)", file=sys.stderr)
+        return 1
+    print(f"docstring coverage OK across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
