@@ -1,0 +1,150 @@
+"""Backend dispatch overhead — the pluggable-kernel refactor must be free.
+
+Not a paper figure: this benchmark guards the compute-backend protocol
+(:mod:`repro.core.backend`) against performance regression. Routing the
+detection kernels through :class:`~repro.core.backend.NumpyBackend` adds
+a dispatch layer between ``detect_many`` and the NumPy calls that used to
+be inline; this gate proves the layer costs nothing measurable.
+
+* **Pre-refactor baseline**: an inline reimplementation of the screen as
+  ``detect_many`` computed it before the backend protocol existed — the
+  same :func:`~repro.core.arrays.frequency_matrix` gather followed by the
+  raw NumPy stacked-modulo pass, no dispatch, no host/device hooks.
+* **Gate**: the backend-routed ``detect_many`` screen over 10k suspects
+  must produce identical accepted-pair counts and run no slower than
+  1.5x the inline pass (generous headroom for loaded shared runners; the
+  two paths execute the same NumPy kernels, so the true ratio is ~1.0).
+
+Every other importable backend is timed and parity-checked too (the
+CuPy backend on GPU machines), but only NumPy — the default — is gated.
+
+Run directly (``python benchmarks/bench_backend.py``) or via pytest; the
+CI smoke job includes the timings in ``BENCH_smoke.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.arrays import frequency_matrix
+from repro.core.backend import available_backends
+from repro.core.batch import detect_many
+from repro.core.config import DetectionConfig
+from repro.core.detector import WatermarkDetector
+from repro.core.generator import WatermarkGenerator
+from repro.core.hashing import PairModulusCache
+from repro.core.histogram import TokenHistogram
+
+from bench_utils import experiment_banner
+
+OWNER_SECRET = 0xBEEFCAFE
+SEED = 11
+SUSPECT_COUNT = 10_000
+TOKENS = 150
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SCALE", "").lower() == "smoke"
+
+
+def _workload():
+    """One watermarked corpus and a fleet of suspect variants."""
+    base = TokenHistogram.from_counts(
+        {f"tok{i:04d}": 4_000 + (TOKENS - i) * 7 for i in range(TOKENS)}
+    )
+    result = WatermarkGenerator(rng=SEED).generate(base, secret_value=OWNER_SECRET)
+    count = 2_000 if _smoke() else SUSPECT_COUNT
+    # Mix of positives (scaled watermarked copies) and negatives
+    # (scaled originals) — scaling reuses the fast array path, so the
+    # screen itself dominates the benchmark, not suspect construction.
+    suspects = [
+        (result.watermarked_histogram if index % 2 else base).scaled(
+            1.0 + 0.00005 * index
+        )
+        for index in range(count)
+    ]
+    return result.secret, suspects
+
+
+def _inline_screen(suspects, secret, config: DetectionConfig) -> List[int]:
+    """The screen exactly as pre-backend ``detect_many`` ran it.
+
+    Same gather, same stacked NumPy modulo, no backend dispatch:
+    accepted-pair counts per suspect.
+    """
+    cache = PairModulusCache(secret.secret, secret.modulus_cap)
+    moduli = np.array(
+        [cache.modulus(pair.first, pair.second) for pair in secret.pairs],
+        dtype=np.int64,
+    )
+    valid = moduli >= 2
+    safe_moduli = np.where(valid, moduli, 1)
+    thresholds = np.full(moduli.size, config.pair_threshold, dtype=np.int64)
+    tokens: List[str] = []
+    positions: Dict[str, int] = {}
+    for pair in secret.pairs:
+        for token in (pair.first, pair.second):
+            if token not in positions:
+                positions[token] = len(tokens)
+                tokens.append(token)
+    first_columns = np.fromiter(
+        (positions[pair.first] for pair in secret.pairs), dtype=np.intp
+    )
+    second_columns = np.fromiter(
+        (positions[pair.second] for pair in secret.pairs), dtype=np.intp
+    )
+    matrix = frequency_matrix([suspect.arrays() for suspect in suspects], tokens)
+    first = matrix[:, first_columns]
+    second = matrix[:, second_columns]
+    present = (first > 0) & (second > 0)
+    remainder = (first - second) % safe_moduli
+    accepted = present & valid & (remainder <= thresholds)
+    return [int(row) for row in accepted.sum(axis=1)]
+
+
+def test_backend_dispatch_is_free():
+    """NumPy-backend ``detect_many``: identical counts, no slower than inline."""
+    secret, suspects = _workload()
+    config = DetectionConfig()
+
+    start = time.perf_counter()
+    inline_counts = _inline_screen(suspects, secret, config)
+    inline_seconds = time.perf_counter() - start
+
+    timings: Dict[str, float] = {}
+    for backend_name in available_backends():
+        detector = WatermarkDetector(secret, config, backend=backend_name)
+        start = time.perf_counter()
+        report = detect_many(suspects, detector=detector)
+        timings[backend_name] = time.perf_counter() - start
+        assert len(report) == len(suspects)
+        assert [result.accepted_pairs for result in report] == inline_counts, (
+            f"backend {backend_name!r} diverged from the inline screen"
+        )
+
+    engine_seconds = timings["numpy"]
+    ratio = engine_seconds / max(inline_seconds, 1e-9)
+    experiment_banner(
+        "Backend dispatch",
+        f"{len(suspects)} suspects x {len(secret.pairs)} pairs",
+    )
+    print(  # noqa: T201
+        f"  inline (pre-refactor): {inline_seconds:.3f} s   "
+        + "   ".join(
+            f"{name}: {seconds:.3f} s" for name, seconds in timings.items()
+        )
+        + f"   numpy/inline: {ratio:.2f}x"
+    )
+    assert ratio <= 1.5, (
+        f"backend dispatch regressed the screen: numpy backend took "
+        f"{engine_seconds:.3f}s vs inline {inline_seconds:.3f}s "
+        f"({ratio:.2f}x, gate 1.5x)"
+    )
+
+
+if __name__ == "__main__":
+    test_backend_dispatch_is_free()

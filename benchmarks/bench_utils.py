@@ -131,6 +131,7 @@ SMOKE_PATTERNS = (
     "bench_embed_many.py",
     "bench_experiment.py",
     "bench_registry.py",
+    "bench_backend.py",
 )
 
 

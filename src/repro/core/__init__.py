@@ -1,6 +1,17 @@
 """FreqyWM core: watermark generation, detection, and supporting stages."""
 
 from repro.core.arrays import HistogramArrays
+from repro.core.backend import (
+    BACKEND_ENV_VAR,
+    ArrayBackend,
+    BackendError,
+    CupyBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.core.batch import (
     BatchDetectionReport,
     BatchEmbeddingReport,
@@ -46,6 +57,15 @@ from repro.core.tokens import TokenPair, canonical_token, compose_token
 
 __all__ = [
     "HistogramArrays",
+    "BACKEND_ENV_VAR",
+    "ArrayBackend",
+    "BackendError",
+    "CupyBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     "BatchDetectionReport",
     "BatchEmbeddingReport",
     "detect_many",

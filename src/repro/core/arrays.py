@@ -18,6 +18,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backend import get_backend
+
 #: Sentinel stored in integer boundary arrays for "no upper boundary"
 #: (the top-ranked token may grow without limit). Kept as a huge but
 #: finite int64 so boundary arrays stay integer-typed; the dataclass API
@@ -111,16 +113,15 @@ class HistogramArrays:
         top-ranked token); ``lower[i]`` how many it may lose without
         falling behind its lower-ranked neighbour (its own count for the
         last token). Both arrays are ``int64`` and cached.
+
+        The arithmetic runs on the active compute backend
+        (:func:`repro.core.backend.get_backend`); the cached result is
+        always a pair of read-only host arrays.
         """
         if self._upper is None:
-            counts = self.counts
-            upper = np.empty(counts.size, dtype=np.int64)
-            lower = np.empty(counts.size, dtype=np.int64)
-            if counts.size:
-                upper[0] = UNBOUNDED
-                np.subtract(counts[:-1], counts[1:], out=upper[1:])
-                lower[-1] = counts[-1]
-                np.subtract(counts[:-1], counts[1:], out=lower[:-1])
+            upper, lower = get_backend().boundary_slack(
+                self.counts, unbounded=UNBOUNDED
+            )
             upper.flags.writeable = False
             lower.flags.writeable = False
             self._upper, self._lower = upper, lower

@@ -1,0 +1,428 @@
+"""Pluggable array-compute backend for the FreqyWM hot paths.
+
+The detector's stacked-modulo passes, :class:`~repro.core.eligibility.PairScanPlan`'s
+vectorized eligibility scan, histogram delta application and the Monte-Carlo
+false-positive simulation are all dense array kernels. This module extracts
+them behind a small backend protocol so they can run on NumPy (default) or on
+any array library exposing the NumPy API — CuPy ships as the optional GPU
+backend.
+
+Design (after the PyQMRI exemplar):
+
+* :class:`ArrayBackend` carries an ``xp`` array namespace plus explicit
+  host/device transfer hooks (:meth:`~ArrayBackend.from_host` /
+  :meth:`~ArrayBackend.to_host`). Long-lived operands — detector moduli,
+  eligibility plan indices — are uploaded **once** at construction and reused
+  across calls; per-call inputs move through ``xp.asarray``.
+* The fused kernels (:meth:`~ArrayBackend.stacked_modulo`,
+  :meth:`~ArrayBackend.pair_scan`, :meth:`~ArrayBackend.boundary_slack`,
+  :meth:`~ArrayBackend.plan_deltas`, :meth:`~ArrayBackend.apply_deltas`,
+  :meth:`~ArrayBackend.monte_carlo_accept`) are written once against
+  ``self.xp`` and shared by every backend; a backend only overrides the
+  transfer hooks (and may override a kernel with a hand-fused device
+  implementation).
+* Every kernel returns **host** NumPy arrays, and every kernel is
+  value-transparent: bit-identical to the pure-dict reference implementations
+  in :mod:`repro.core.reference` regardless of backend.
+  ``tests/backend_harness.py`` enforces this differentially.
+
+Selection: :func:`get_backend` resolves an explicit name, else the
+``FREQYWM_BACKEND`` environment variable, else ``"numpy"``. Backend instances
+are cached per name; the CuPy import happens lazily so the default path never
+pays for (or requires) a GPU stack.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import BackendError
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "ArrayBackend",
+    "BackendError",
+    "CupyBackend",
+    "NumpyBackend",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV_VAR = "FREQYWM_BACKEND"
+
+#: Backend used when neither an argument nor the environment selects one.
+DEFAULT_BACKEND = "numpy"
+
+
+class ArrayBackend:
+    """An ``xp`` array namespace plus the fused FreqyWM kernels.
+
+    Subclasses set :attr:`name` and the array namespace, and implement the
+    host/device transfer pair. The kernels below are generic over the
+    namespace: any library with NumPy semantics (NumPy itself, CuPy) runs
+    them unchanged, which is what keeps the bit-parity contract auditable —
+    there is exactly one arithmetic expression per kernel, shared by every
+    backend.
+    """
+
+    #: Registry / fingerprint identifier (e.g. ``"numpy"``, ``"cupy"``).
+    name: str = "abstract"
+
+    def __init__(self, xp) -> None:
+        self.xp = xp
+
+    # -- host/device transfers ------------------------------------------- #
+
+    def from_host(self, array: np.ndarray):
+        """Move a host NumPy array to this backend's device memory.
+
+        Used for long-lived operands uploaded once (detector moduli,
+        eligibility plan indices). The NumPy backend returns the array
+        unchanged, so the default path has zero transfer overhead.
+        """
+        raise NotImplementedError
+
+    def to_host(self, array) -> np.ndarray:
+        """Move a device array back to host NumPy memory."""
+        raise NotImplementedError
+
+    # -- fused kernels ---------------------------------------------------- #
+
+    def boundary_slack(self, counts, *, unbounded: int):
+        """Upper/lower modification boundaries of a sorted histogram.
+
+        ``upper[i]`` is the increase token ``i`` tolerates before passing its
+        left neighbour (``unbounded`` for the head token); ``lower[i]`` the
+        decrease before being passed by its right neighbour (the count itself
+        for the tail token). Both are ``int64`` host arrays.
+        """
+        xp = self.xp
+        counts = xp.asarray(counts)
+        size = int(counts.shape[0])
+        upper = xp.empty(size, dtype=xp.int64)
+        lower = xp.empty(size, dtype=xp.int64)
+        if size:
+            gaps = counts[:-1] - counts[1:]
+            upper[0] = unbounded
+            upper[1:] = gaps
+            lower[-1] = counts[-1]
+            lower[:-1] = gaps
+        return self.to_host(upper), self.to_host(lower)
+
+    def stacked_modulo(
+        self,
+        first,
+        second,
+        *,
+        safe_moduli,
+        valid,
+        thresholds,
+        symmetric_tolerance: bool,
+    ):
+        """The detector's acceptance rule over stacked frequency rows.
+
+        ``first``/``second`` are per-pair frequency arrays (1-D for a single
+        suspect, 2-D ``(datasets, pairs)`` for a batch; ``safe_moduli`` /
+        ``valid`` / ``thresholds`` broadcast along the last axis). Returns
+        ``(accepted, present, remainder)`` host arrays where ``remainder``
+        is ``(first - second) mod safe_moduli`` and acceptance requires both
+        tokens present, a usable modulus and the (optionally symmetric)
+        residue within threshold.
+        """
+        xp = self.xp
+        first = xp.asarray(first)
+        second = xp.asarray(second)
+        safe_moduli = xp.asarray(safe_moduli)
+        valid = xp.asarray(valid)
+        thresholds = xp.asarray(thresholds)
+        present = (first > 0) & (second > 0)
+        remainder = (first - second) % safe_moduli
+        if symmetric_tolerance:
+            residue = xp.minimum(remainder, safe_moduli - remainder)
+        else:
+            residue = remainder
+        accepted = present & valid & (residue <= thresholds)
+        return (
+            self.to_host(accepted),
+            self.to_host(present),
+            self.to_host(remainder),
+        )
+
+    def pair_scan(
+        self,
+        counts,
+        slack,
+        *,
+        first_index,
+        second_index,
+        need,
+        safe_moduli,
+        valid,
+        require_modification: bool,
+    ):
+        """Eligibility scan over a :class:`PairScanPlan`'s candidate pairs.
+
+        ``counts``/``slack`` are per-candidate host arrays; the remaining
+        operands are the plan's (possibly device-resident) pair arrays. A
+        pair survives when its modulus is usable and both members carry at
+        least ``ceil(modulus / 2)`` slack; ``require_modification``
+        additionally drops already-aligned pairs. Returns
+        ``(survivors, remainder, difference)`` — survivor positions into the
+        plan's pair arrays plus the gathered remainder/difference values.
+        """
+        xp = self.xp
+        counts = xp.asarray(counts)
+        slack = xp.asarray(slack)
+        first = counts[first_index]
+        second = counts[second_index]
+        keep = valid & (slack[first_index] >= need) & (slack[second_index] >= need)
+        difference = first - second
+        remainder = difference % safe_moduli
+        if require_modification:
+            keep = keep & (remainder != 0)
+        survivors = xp.nonzero(keep)[0]
+        return (
+            self.to_host(survivors),
+            self.to_host(remainder[survivors]),
+            self.to_host(difference[survivors]),
+        )
+
+    def plan_deltas(self, first, second, moduli):
+        """Vectorized adjustment planning for aligned-pair embedding.
+
+        For each pair, split the cheaper of the shrink distance ``r`` and
+        the growth distance ``modulus - r`` across both tokens (first token
+        gets the ``ceil`` half) so that ``(f_i - f_j) mod modulus == 0``
+        afterwards. Already-aligned pairs get zero deltas. Mirrors
+        :func:`repro.core.modification.plan_adjustment` bit for bit.
+        """
+        xp = self.xp
+        first = xp.asarray(first)
+        second = xp.asarray(second)
+        moduli = xp.asarray(moduli)
+        remainder = (first - second) % moduli
+        growth = moduli - remainder
+        shrink = remainder <= moduli // 2
+        delta_first = xp.where(shrink, -((remainder + 1) // 2), (growth + 1) // 2)
+        delta_second = xp.where(shrink, remainder + delta_first, delta_first - growth)
+        aligned = remainder == 0
+        zero = xp.zeros_like(delta_first)
+        delta_first = xp.where(aligned, zero, delta_first)
+        delta_second = xp.where(aligned, zero, delta_second)
+        return self.to_host(delta_first), self.to_host(delta_second)
+
+    def apply_deltas(self, counts, positions, deltas):
+        """Scatter-add ``deltas`` into a copy of ``counts`` at ``positions``.
+
+        ``positions`` must be unique (one entry per token, as produced from
+        a delta mapping) — the kernel uses fancy-index assignment, which is
+        well-defined only without duplicates, and that contract is what lets
+        CuPy run it as a single scatter instead of a serialised ``add.at``.
+        """
+        xp = self.xp
+        updated = xp.asarray(counts).copy()
+        positions = xp.asarray(positions)
+        updated[positions] = updated[positions] + xp.asarray(deltas)
+        return self.to_host(updated)
+
+    def monte_carlo_accept(self, remainders, threshold: int, required: int) -> int:
+        """Count Monte-Carlo trials that clear the acceptance rule.
+
+        ``remainders`` is a ``(trials, pairs)`` matrix of simulated residues;
+        a trial is a false positive when at least ``required`` residues fall
+        within ``threshold``. Returns the number of such trials.
+        """
+        xp = self.xp
+        draws = xp.asarray(remainders)
+        accepted = (draws <= threshold).sum(axis=1)
+        return int(self.to_host((accepted >= required).sum()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyBackend(ArrayBackend):
+    """The default CPU backend: plain NumPy, identity transfers."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        super().__init__(np)
+
+    def from_host(self, array: np.ndarray) -> np.ndarray:
+        return array
+
+    def to_host(self, array) -> np.ndarray:
+        return array
+
+
+class CupyBackend(ArrayBackend):
+    """Optional GPU backend over CuPy.
+
+    The ``cupy`` import happens here, at construction, so merely importing
+    :mod:`repro` (or running the default NumPy path) never touches the GPU
+    stack. Construction fails with :class:`BackendError` when CuPy is not
+    installed; :func:`available_backends` additionally probes that a device
+    is actually usable before advertising it.
+    """
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        try:
+            import cupy  # noqa: PLC0415 - deliberate lazy import
+        except ImportError as error:  # pragma: no cover - env dependent
+            raise BackendError(
+                "the 'cupy' backend requires CuPy, which is not installed; "
+                "install the wheel matching your CUDA toolkit "
+                "(e.g. 'pip install cupy-cuda12x') or select "
+                "FREQYWM_BACKEND=numpy"
+            ) from error
+        super().__init__(cupy)
+        self._cupy = cupy
+
+    def from_host(self, array: np.ndarray):
+        return self._cupy.asarray(array)
+
+    def to_host(self, array) -> np.ndarray:
+        return self._cupy.asnumpy(array)
+
+
+# --------------------------------------------------------------------------- #
+# Registry and resolution
+# --------------------------------------------------------------------------- #
+
+_LOCK = threading.Lock()
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {
+    NumpyBackend.name: NumpyBackend,
+    CupyBackend.name: CupyBackend,
+}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+_PROBED: Dict[str, bool] = {}
+
+BackendLike = Union[None, str, ArrayBackend]
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    Third-party array libraries with NumPy semantics can hook in here; the
+    differential harness picks registered backends up automatically via
+    :func:`available_backends`.
+    """
+    cleaned = str(name).strip().lower()
+    if not cleaned:
+        raise BackendError("backend name must be a non-empty string")
+    with _LOCK:
+        _FACTORIES[cleaned] = factory
+        _INSTANCES.pop(cleaned, None)
+        _PROBED.pop(cleaned, None)
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Every registered backend name, available or not."""
+    with _LOCK:
+        return tuple(_FACTORIES)
+
+
+def get_backend(name: Optional[str] = None) -> ArrayBackend:
+    """Resolve a backend instance by name.
+
+    Resolution order: explicit ``name`` argument, then the
+    ``FREQYWM_BACKEND`` environment variable, then ``"numpy"``. Instances
+    are cached per name, so repeated resolution is cheap and every caller
+    naming the same backend shares one instance (and therefore one set of
+    device buffers).
+    """
+    resolved = (name or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND)
+    resolved = str(resolved).strip().lower()
+    with _LOCK:
+        instance = _INSTANCES.get(resolved)
+        if instance is not None:
+            return instance
+        factory = _FACTORIES.get(resolved)
+    if factory is None:
+        known = ", ".join(sorted(backend_names()))
+        raise BackendError(
+            f"unknown compute backend {resolved!r}; registered backends: {known}"
+        )
+    try:
+        instance = factory()
+    except BackendError:
+        raise
+    except Exception as error:
+        raise BackendError(
+            f"compute backend {resolved!r} failed to initialise: {error!r}"
+        ) from error
+    with _LOCK:
+        return _INSTANCES.setdefault(resolved, instance)
+
+
+def resolve_backend(backend: BackendLike = None) -> ArrayBackend:
+    """Accept ``None`` / a name / an instance and return an instance."""
+    if isinstance(backend, ArrayBackend):
+        return backend
+    return get_backend(backend)
+
+
+def backend_name(backend: BackendLike = None) -> str:
+    """The resolved name for a backend argument (used in fingerprints)."""
+    return resolve_backend(backend).name
+
+
+def _probe(instance: ArrayBackend) -> bool:
+    """Run one tiny kernel and check it against known-good values.
+
+    A backend only counts as *available* when it can actually execute a
+    kernel round trip — CuPy imports fine on machines without a GPU, but
+    fails at the first allocation, and the differential harness (as well as
+    the CI CuPy leg) must skip cleanly there instead of erroring.
+    """
+    try:
+        accepted, present, remainder = instance.stacked_modulo(
+            np.array([5, 3, 0], dtype=np.int64),
+            np.array([3, 3, 1], dtype=np.int64),
+            safe_moduli=np.array([2, 7, 3], dtype=np.int64),
+            valid=np.array([True, True, True]),
+            thresholds=np.array([0, 1, 1], dtype=np.int64),
+            symmetric_tolerance=False,
+        )
+    except Exception:
+        return False
+    return (
+        np.array_equal(np.asarray(accepted), [True, True, False])
+        and np.array_equal(np.asarray(present), [True, True, False])
+        and np.array_equal(np.asarray(remainder), [0, 0, 2])
+    )
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backends that construct and pass the self-check probe.
+
+    ``"numpy"`` is always first. Probe results are cached, so the (slow)
+    CuPy construction attempt happens at most once per process.
+    """
+    names = []
+    for name in backend_names():
+        with _LOCK:
+            cached = _PROBED.get(name)
+        if cached is None:
+            try:
+                cached = _probe(get_backend(name))
+            except BackendError:
+                cached = False
+            with _LOCK:
+                _PROBED[name] = cached
+        if cached:
+            names.append(name)
+    ordered = sorted(names, key=lambda entry: (entry != DEFAULT_BACKEND, entry))
+    return tuple(ordered)

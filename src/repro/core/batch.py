@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backend import BackendLike, resolve_backend
 from repro.core.cache import DetectorCache
 from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.detector import (
@@ -101,6 +102,7 @@ def detect_many(
     collect_evidence: bool = False,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> BatchDetectionReport:
     """Run ``WM_Detect`` over a batch of suspected datasets at once.
 
@@ -133,6 +135,11 @@ def detect_many(
         runs in-process (the default).
     chunk_size : int, optional
         Datasets per dispatched worker chunk (sharded mode only).
+    backend :
+        Compute backend for the verification pass (name, instance or
+        ``None`` for the ``FREQYWM_BACKEND`` / NumPy default). With a
+        prebuilt ``detector`` the detector's own backend is used and an
+        explicit conflicting ``backend`` is rejected.
 
     Returns
     -------
@@ -142,7 +149,7 @@ def detect_many(
     if detector is None:
         if secret is None:
             raise DetectionError("detect_many needs a secret or a prebuilt detector")
-        detector = WatermarkDetector(secret, config)
+        detector = WatermarkDetector(secret, config, backend=backend)
     else:
         if secret is not None and secret.fingerprint() != detector.secret.fingerprint():
             raise DetectionError(
@@ -152,6 +159,12 @@ def detect_many(
             raise DetectionError(
                 "detect_many was given a config that differs from the prebuilt "
                 "detector's thresholds"
+            )
+        if backend is not None and resolve_backend(backend) is not detector.backend:
+            raise DetectionError(
+                "detect_many was given a detector built for backend "
+                f"{detector.backend.name!r} but backend "
+                f"{resolve_backend(backend).name!r} was requested"
             )
     if workers is not None and workers > 1:
         # Imported here: sharding imports BatchDetectionReport from this
@@ -164,6 +177,7 @@ def detect_many(
             workers=workers,
             chunk_size=chunk_size,
             local_detector=detector,
+            backend=detector.backend,
         ) as pool:
             return pool.detect_many(datasets, collect_evidence=collect_evidence)
     results = detector.detect_many(datasets, collect_evidence=collect_evidence)
@@ -177,6 +191,7 @@ def detect_many_secrets(
     *,
     collect_evidence: bool = False,
     detector_cache: Optional[DetectorCache] = None,
+    backend: BackendLike = None,
 ) -> List[DetectionResult]:
     """Run ``WM_Detect`` for many secrets against one dataset at once.
 
@@ -215,6 +230,12 @@ def detect_many_secrets(
         many-secrets screens — leak attribution over a registry's vault,
         provenance-chain reports — make repeated calls construction-free;
         verdicts are identical either way.
+    backend :
+        Compute backend for the stacked verification pass (name, instance
+        or ``None`` for the ``FREQYWM_BACKEND`` / NumPy default). Cached
+        detectors are looked up under the same backend, so one
+        ``detector_cache`` may serve callers on different backends
+        without ever mixing them.
 
     Returns
     -------
@@ -224,6 +245,7 @@ def detect_many_secrets(
     if not secrets:
         return []
     detection = config or DetectionConfig()
+    resolved_backend = resolve_backend(backend)
     histogram = (
         data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
     )
@@ -237,7 +259,7 @@ def detect_many_secrets(
         for secret in secrets:
             if len(secret.pairs) == 0:
                 raise DetectionError("a secret list contains no watermarked pairs")
-            detector = detector_cache.get(secret, detection)
+            detector = detector_cache.get(secret, detection, backend=resolved_backend)
             firsts, seconds, secret_moduli, secret_thresholds = (
                 detector.pair_components()
             )
@@ -276,6 +298,7 @@ def detect_many_secrets(
         valid=valid,
         thresholds=thresholds,
         symmetric_tolerance=detection.symmetric_tolerance,
+        backend=resolved_backend,
     )
     results: List[DetectionResult] = []
     for index, secret in enumerate(secrets):

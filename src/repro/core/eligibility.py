@@ -21,11 +21,12 @@ most promising tokens to keep generation latency predictable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backend import ArrayBackend, BackendLike, resolve_backend
 from repro.core.hashing import PairModulusCache, pair_modulus
 from repro.core.histogram import TokenHistogram
 from repro.core.tokens import TokenPair
@@ -219,6 +220,12 @@ class PairScanPlan:
     need: "np.ndarray"
     safe_moduli: "np.ndarray"
     valid: "np.ndarray"
+    #: Per-backend device copies of the pair arrays, uploaded lazily on
+    #: the first scan through each backend and reused for the plan's
+    #: lifetime (a memo, not part of the plan's identity).
+    _device: Dict[str, Tuple] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def build(
@@ -249,30 +256,50 @@ class PairScanPlan:
             valid=valid,
         )
 
+    def _device_buffers(self, backend: ArrayBackend) -> Tuple:
+        """This plan's pair arrays on ``backend``'s device (uploaded once)."""
+        buffers = self._device.get(backend.name)
+        if buffers is None:
+            buffers = (
+                backend.from_host(self.first_index),
+                backend.from_host(self.second_index),
+                backend.from_host(self.need),
+                backend.from_host(self.safe_moduli),
+                backend.from_host(self.valid),
+            )
+            self._device[backend.name] = buffers
+        return buffers
+
     def scan(
         self,
         counts: "np.ndarray",
         slack: "np.ndarray",
         *,
         require_modification: bool = False,
+        backend: BackendLike = None,
     ) -> List[EligiblePair]:
         """One dataset's eligibility scan over the cached pair plan.
 
         ``counts`` / ``slack`` are the candidate tokens' frequencies and
-        binding boundaries (aligned with :attr:`candidate_tokens`).
+        binding boundaries (aligned with :attr:`candidate_tokens`). The
+        scan arithmetic runs on the resolved compute backend through
+        :meth:`repro.core.backend.ArrayBackend.pair_scan`, against device
+        copies of the plan arrays that are uploaded once per backend.
         """
-        first = counts[self.first_index]
-        second = counts[self.second_index]
-        keep = (
-            self.valid
-            & (slack[self.first_index] >= self.need)
-            & (slack[self.second_index] >= self.need)
+        resolved = resolve_backend(backend)
+        first_index, second_index, need, safe_moduli, valid = self._device_buffers(
+            resolved
         )
-        difference = first - second
-        remainder = difference % self.safe_moduli
-        if require_modification:
-            keep &= remainder != 0
-        survivors = np.nonzero(keep)[0]
+        survivors, remainder, difference = resolved.pair_scan(
+            counts,
+            slack,
+            first_index=first_index,
+            second_index=second_index,
+            need=need,
+            safe_moduli=safe_moduli,
+            valid=valid,
+            require_modification=require_modification,
+        )
         tokens = self.candidate_tokens
         eligible = [
             EligiblePair(
@@ -281,10 +308,10 @@ class PairScanPlan:
                     tokens[int(self.second_index[index])],
                 ),
                 modulus=int(self.moduli[index]),
-                remainder=int(remainder[index]),
-                frequency_difference=int(difference[index]),
+                remainder=int(remainder[position]),
+                frequency_difference=int(difference[position]),
             )
-            for index in survivors
+            for position, index in enumerate(survivors)
         ]
         eligible.sort(key=lambda item: (item.cost, item.pair))
         return eligible
@@ -301,6 +328,7 @@ def generate_eligible_pairs(
     context: Optional[EligibilityContext] = None,
     modulus_cache: Optional[PairModulusCache] = None,
     plan_store: Optional[Dict[Tuple[str, ...], PairScanPlan]] = None,
+    backend: BackendLike = None,
 ) -> List[EligiblePair]:
     """Compute the eligible pair list ``L_e`` for a histogram.
 
@@ -340,6 +368,11 @@ def generate_eligible_pairs(
         candidate token list repeats across a batch, the scan runs
         vectorized over the cached plan instead of looping; results are
         identical.
+    backend:
+        Compute backend for the vectorized scan (name, instance or
+        ``None`` for the ``FREQYWM_BACKEND`` / NumPy default). The
+        streaming loop fallback always runs on the host; values are
+        identical on every path.
 
     Returns
     -------
@@ -397,7 +430,12 @@ def generate_eligible_pairs(
             dtype=np.int64,
             count=len(candidate_indices),
         )
-        return plan.scan(counts, slack, require_modification=require_modification)
+        return plan.scan(
+            counts,
+            slack,
+            require_modification=require_modification,
+            backend=backend,
+        )
     modulus_of = (
         modulus_cache.modulus
         if modulus_cache is not None

@@ -38,6 +38,7 @@ from repro.core.arrays import (
     counts_from_mapping,
     sort_histogram,
 )
+from repro.core.backend import get_backend
 from repro.core.tokens import TokenValue, canonical_token
 from repro.exceptions import HistogramError
 
@@ -291,16 +292,28 @@ class TokenHistogram:
 
         Counts may not become negative; tokens whose count reaches zero are
         dropped from the histogram (they no longer appear in the dataset).
+        The delta application over existing tokens runs as one scatter on
+        the active compute backend
+        (:meth:`repro.core.backend.ArrayBackend.apply_deltas`).
         """
-        array = self._array.copy()
         added: Dict[str, int] = {}
+        changed: Dict[int, int] = {}
         for token, delta in deltas.items():
             canonical = canonical_token(token)
             index = self._rank.get(canonical)
             if index is None:
                 added[canonical] = added.get(canonical, 0) + delta
             else:
-                array[index] += delta
+                # Accumulate per rank position: aliases of one canonical
+                # token must collapse to a single (unique-position) entry
+                # before the scatter kernel.
+                changed[index] = changed.get(index, 0) + delta
+        if changed:
+            positions = np.fromiter(changed.keys(), dtype=np.intp, count=len(changed))
+            values = np.fromiter(changed.values(), dtype=np.int64, count=len(changed))
+            array = get_backend().apply_deltas(self._array, positions, values)
+        else:
+            array = self._array.copy()
         for token, delta in added.items():
             if delta < 0:
                 raise HistogramError(

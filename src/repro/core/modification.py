@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from repro.core.backend import BackendLike, resolve_backend
 from repro.core.eligibility import EligiblePair
 from repro.core.histogram import TokenHistogram
 from repro.core.tokens import TokenPair
@@ -98,12 +99,15 @@ def plan_adjustment(
 def plan_adjustments(
     histogram: TokenHistogram,
     selected: Sequence[EligiblePair],
+    *,
+    backend: BackendLike = None,
 ) -> List[PairAdjustment]:
     """Plan the adjustments for every selected pair against ``histogram``.
 
     The ceil/floor arithmetic of :func:`plan_adjustment` is evaluated for
-    all pairs at once over the histogram's array backing; the result is
-    identical to calling :func:`plan_adjustment` per pair.
+    all pairs at once through the compute backend's
+    :meth:`~repro.core.backend.ArrayBackend.plan_deltas` kernel; the
+    result is identical to calling :func:`plan_adjustment` per pair.
     """
     if not selected:
         return []
@@ -122,15 +126,9 @@ def plan_adjustments(
             "pair convention violated: first token must have the larger frequency "
             f"({int(first[index])} < {int(second[index])})"
         )
-    remainder = (first - second) % moduli
-    shrink = remainder <= moduli // 2
-    growth = moduli - remainder
-    # ceil(x / 2) == (x + 1) // 2 for non-negative integers.
-    delta_first = np.where(shrink, -((remainder + 1) // 2), (growth + 1) // 2)
-    delta_second = np.where(shrink, remainder + delta_first, delta_first - growth)
-    aligned = remainder == 0
-    delta_first = np.where(aligned, 0, delta_first)
-    delta_second = np.where(aligned, 0, delta_second)
+    delta_first, delta_second = resolve_backend(backend).plan_deltas(
+        first, second, moduli
+    )
     return [
         PairAdjustment(
             pair=item.pair,

@@ -33,6 +33,7 @@ import os
 import warnings
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.backend import BackendLike, resolve_backend
 from repro.core.batch import BatchDetectionReport
 from repro.core.config import DetectionConfig
 from repro.core.detector import DetectionResult, SuspectData, WatermarkDetector
@@ -54,10 +55,19 @@ logger = logging.getLogger(__name__)
 _WORKER_DETECTOR: Optional[WatermarkDetector] = None
 
 
-def _initialize_worker(secret: WatermarkSecret, config: Optional[DetectionConfig]) -> None:
-    """Pool initializer: rebuild the detector once inside each worker."""
+def _initialize_worker(
+    secret: WatermarkSecret,
+    config: Optional[DetectionConfig],
+    backend_name: Optional[str] = None,
+) -> None:
+    """Pool initializer: rebuild the detector once inside each worker.
+
+    The backend travels by *name* (backend instances hold device handles
+    and are not picklable); each worker resolves its own instance, so
+    every shard runs on the same backend as the parent's detector.
+    """
     global _WORKER_DETECTOR
-    _WORKER_DETECTOR = WatermarkDetector(secret, config)
+    _WORKER_DETECTOR = WatermarkDetector(secret, config, backend=backend_name)
 
 
 def _detect_chunk(
@@ -135,6 +145,12 @@ class ShardedDetectionPool:
         precomputation. Must have been built from the same ``secret``
         and ``config`` (the detector-caching service layer guarantees
         this by construction); when omitted a fresh detector is built.
+    backend :
+        Compute backend for every shard (name, instance or ``None`` for
+        the ``FREQYWM_BACKEND`` / NumPy default). Workers receive the
+        backend *name* through the pool initializer and resolve their
+        own instance; a ``local_detector`` must already be on this
+        backend.
 
     Examples
     --------
@@ -155,6 +171,7 @@ class ShardedDetectionPool:
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
         local_detector: Optional[WatermarkDetector] = None,
+        backend: BackendLike = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise DetectionError(f"workers must be >= 1, got {workers}")
@@ -162,6 +179,16 @@ class ShardedDetectionPool:
             raise DetectionError(f"chunk_size must be >= 1, got {chunk_size}")
         self.secret = secret
         self.config = config
+        self.backend = resolve_backend(
+            backend if backend is not None or local_detector is None
+            else local_detector.backend
+        )
+        if local_detector is not None and local_detector.backend is not self.backend:
+            raise DetectionError(
+                "sharded pool was given a local detector on backend "
+                f"{local_detector.backend.name!r} but backend "
+                f"{self.backend.name!r} was requested"
+            )
         self.workers = workers if workers is not None else default_worker_count()
         self.chunk_size = chunk_size
         self.start_method = start_method
@@ -171,7 +198,7 @@ class ShardedDetectionPool:
         self._local = (
             local_detector
             if local_detector is not None
-            else WatermarkDetector(secret, config)
+            else WatermarkDetector(secret, config, backend=self.backend)
         )
 
     # ------------------------------------------------------------------ #
@@ -205,7 +232,7 @@ class ShardedDetectionPool:
                 self._pool = context.Pool(
                     processes=self.workers,
                     initializer=_initialize_worker,
-                    initargs=(self.secret, self.config),
+                    initargs=(self.secret, self.config, self.backend.name),
                 )
             except (OSError, ValueError) as error:
                 # Restricted sandboxes (no /dev/shm, seccomp'd fork, ...):

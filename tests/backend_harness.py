@@ -1,0 +1,421 @@
+"""Differential test harness for the pluggable compute backends.
+
+One harness, three layers of truth:
+
+* the **reference dict implementations** (:mod:`repro.core.reference` and
+  the per-pair arithmetic in :func:`repro.core.modification.plan_adjustment`)
+  are the executable specification;
+* the **NumPy backend** is the production default;
+* **every other importable backend** (CuPy on GPU machines, plus the
+  :class:`MirrorBackend` this module registers so the cross-backend
+  machinery is always exercised with at least two backends) must agree
+  with both, bit for bit — verdicts, evidence vectors, embedding deltas.
+
+The ``assert_*`` helpers below run one (dataset, secret, config) case
+through all three layers and raise on any divergence. They are used by
+``tests/test_backend_parity.py`` (hypothesis-driven sweeps) and reused by
+the pre-existing parity suites (``test_engine_parity.py``,
+``test_batch_secrets.py``, ``test_embedding.py``) so the repo has a single
+parity implementation instead of three ad-hoc ones.
+
+This module is importable (no ``test_`` prefix) and must stay free of
+test functions; pytest's rootdir-on-``sys.path`` behaviour makes it
+reachable as ``import backend_harness`` from any test module.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.backend import (
+    BACKEND_ENV_VAR,
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.core.batch import detect_many, detect_many_secrets
+from repro.core.cache import DetectorCache
+from repro.core.config import DetectionConfig, GenerationConfig
+from repro.core.detector import DetectionResult, WatermarkDetector
+from repro.core.eligibility import generate_eligible_pairs
+from repro.core.generator import WatermarkGenerator, WatermarkResult
+from repro.core.hashing import PairModulusCache
+from repro.core.histogram import TokenHistogram
+from repro.core.knapsack import select_within_budget
+from repro.core.matching import vertex_disjoint
+from repro.core.modification import plan_adjustment
+from repro.core.reference import detect_reference
+from repro.core.secrets import WatermarkSecret
+from repro.core.sharding import ShardedDetectionPool
+from repro.exceptions import HistogramError
+
+#: Default secret / modulus cap shared with the engine-parity suite.
+HARNESS_SECRET = 0xFEEDFACE
+HARNESS_Z = 61
+
+
+class MirrorBackend(NumpyBackend):
+    """A second registered backend: NumPy arithmetic under another name.
+
+    Registering it gives every machine — including CPU-only CI — at least
+    two live backends, so the parts of the system that must keep backends
+    apart (fingerprint keys, :class:`DetectorCache` residency, the
+    ``FREQYWM_BACKEND`` switch, per-backend device-buffer memos) are
+    genuinely exercised instead of trivially passing with a single entry.
+    """
+
+    name = "mirror"
+
+
+register_backend(MirrorBackend.name, MirrorBackend)
+
+
+def parity_backend_names() -> Tuple[str, ...]:
+    """Every backend the harness can run on this machine (numpy first)."""
+    return available_backends()
+
+
+def parity_backends() -> List[ArrayBackend]:
+    """Live instances of every available backend."""
+    return [get_backend(name) for name in parity_backend_names()]
+
+
+@contextmanager
+def use_backend(name: str):
+    """Select ``name`` through the ``FREQYWM_BACKEND`` environment switch.
+
+    This is the end-to-end selection path: code inside the block that
+    resolves a default backend (detectors, eligibility scans, histogram
+    updates, the FPR simulation) runs on ``name`` without any explicit
+    argument threading.
+    """
+    previous = os.environ.get(BACKEND_ENV_VAR)
+    os.environ[BACKEND_ENV_VAR] = name
+    try:
+        yield get_backend(name)
+    finally:
+        if previous is None:
+            os.environ.pop(BACKEND_ENV_VAR, None)
+        else:
+            os.environ[BACKEND_ENV_VAR] = previous
+
+
+# --------------------------------------------------------------------------- #
+# Case construction
+# --------------------------------------------------------------------------- #
+
+
+def build_watermarked_case(
+    counts,
+    *,
+    secret_value: int = HARNESS_SECRET,
+    modulus_cap: int = HARNESS_Z,
+    budget: float = 2.0,
+) -> Optional[Tuple[TokenHistogram, WatermarkSecret]]:
+    """Build ``(histogram, secret)`` for a counts mapping, or ``None``.
+
+    Follows the generation pipeline's shape (eligibility -> vertex-disjoint
+    matching -> budgeted selection) and commits the selected pairs into a
+    :class:`WatermarkSecret`. Returns ``None`` when the counts admit no
+    watermark (no eligible pairs / empty selection), which hypothesis
+    callers treat as a vacuous draw.
+    """
+    histogram = TokenHistogram.from_counts(counts)
+    candidates = vertex_disjoint(
+        generate_eligible_pairs(histogram, secret_value, modulus_cap)
+    )
+    if not candidates:
+        return None
+    selection = select_within_budget(histogram, candidates, budget)
+    if not selection.selected:
+        return None
+    secret = WatermarkSecret.build(
+        [item.pair for item in selection.selected], secret_value, modulus_cap
+    )
+    return histogram, secret
+
+
+def perturbed(histogram: TokenHistogram, deltas) -> TokenHistogram:
+    """Apply a (possibly destructive) delta mapping, tolerating rejects."""
+    try:
+        return histogram.with_updates(dict(deltas))
+    except HistogramError:
+        return histogram
+
+
+# --------------------------------------------------------------------------- #
+# Parity assertions
+# --------------------------------------------------------------------------- #
+
+
+def _assert_results_match(
+    ours: DetectionResult, reference: DetectionResult, *, where: str
+) -> None:
+    assert ours.accepted == reference.accepted, where
+    assert ours.accepted_pairs == reference.accepted_pairs, where
+    assert ours.required_pairs == reference.required_pairs, where
+    assert ours.total_pairs == reference.total_pairs, where
+
+
+def assert_detection_parity(
+    suspect,
+    secret: WatermarkSecret,
+    config: Optional[DetectionConfig] = None,
+    *,
+    backends: Optional[Iterable[ArrayBackend]] = None,
+) -> DetectionResult:
+    """Reference vs every backend for one suspect: verdicts AND evidence.
+
+    Runs the reference dict loop once, then for each backend checks the
+    single-dataset detector pass (including the full per-pair evidence
+    tuple) and the one-row batch pass. Returns the reference result so
+    callers can make additional assertions on it.
+    """
+    reference = detect_reference(suspect, secret, config)
+    for backend in backends if backends is not None else parity_backends():
+        detector = WatermarkDetector(secret, config, backend=backend)
+        single = detector.detect(suspect)
+        where = f"single-detect diverged on backend {backend.name!r}"
+        _assert_results_match(single, reference, where=where)
+        assert single.evidence == reference.evidence, where
+        batched = detector.detect_many([suspect], collect_evidence=True)
+        where = f"batched detect diverged on backend {backend.name!r}"
+        _assert_results_match(batched[0], reference, where=where)
+        assert batched[0].evidence == reference.evidence, where
+    return reference
+
+
+def assert_batch_parity(
+    suspects: Sequence,
+    secret: WatermarkSecret,
+    config: Optional[DetectionConfig] = None,
+    *,
+    chunk_size: Optional[int] = None,
+    backends: Optional[Iterable[ArrayBackend]] = None,
+) -> List[DetectionResult]:
+    """Reference vs every backend for a whole batch, in input order.
+
+    Covers the matrix ``detect_many`` pass and, when ``chunk_size`` is
+    given, the chunked dispatch path of :class:`ShardedDetectionPool`
+    running in-process — the same chunk boundaries the sharded workers
+    see, without spawning processes.
+    """
+    references = [detect_reference(suspect, secret, config) for suspect in suspects]
+    for backend in backends if backends is not None else parity_backends():
+        detector = WatermarkDetector(secret, config, backend=backend)
+        report = detect_many(suspects, detector=detector)
+        assert len(report) == len(references)
+        for index, reference in enumerate(references):
+            _assert_results_match(
+                report[index],
+                reference,
+                where=f"detect_many[{index}] diverged on backend {backend.name!r}",
+            )
+        if chunk_size is not None:
+            pool = ShardedDetectionPool(
+                secret,
+                config,
+                workers=1,
+                chunk_size=chunk_size,
+                local_detector=detector,
+            )
+            try:
+                chunked = pool.detect_many(suspects)
+            finally:
+                pool.close()
+            for index, reference in enumerate(references):
+                _assert_results_match(
+                    chunked[index],
+                    reference,
+                    where=(
+                        f"chunked detect_many[{index}] (chunk_size={chunk_size}) "
+                        f"diverged on backend {backend.name!r}"
+                    ),
+                )
+    return references
+
+
+def assert_many_secrets_parity(
+    data,
+    secrets: Sequence[WatermarkSecret],
+    config: Optional[DetectionConfig] = None,
+    *,
+    backends: Optional[Iterable[ArrayBackend]] = None,
+) -> List[DetectionResult]:
+    """Reference vs every backend for the stacked many-secrets pass.
+
+    Each secret's reference verdict comes from the dict loop; every
+    backend must reproduce it through both the uncached
+    :func:`detect_many_secrets` path and the detector-cache path
+    (whose cache keys embed the backend).
+    """
+    references = [detect_reference(data, secret, config) for secret in secrets]
+    for backend in backends if backends is not None else parity_backends():
+        for cache in (None, DetectorCache(capacity=None)):
+            results = detect_many_secrets(
+                data,
+                secrets,
+                config,
+                collect_evidence=True,
+                detector_cache=cache,
+                backend=backend,
+            )
+            assert len(results) == len(references)
+            path = "cached" if cache is not None else "uncached"
+            for index, reference in enumerate(references):
+                where = (
+                    f"detect_many_secrets[{index}] ({path}) diverged on "
+                    f"backend {backend.name!r}"
+                )
+                _assert_results_match(results[index], reference, where=where)
+                assert results[index].evidence == reference.evidence, where
+    return references
+
+
+def assert_embedding_results_identical(
+    left: WatermarkResult, right: WatermarkResult, *, where: str = "embedding"
+) -> None:
+    """Field-by-field ``WatermarkResult`` equality (timings excluded)."""
+    assert left.original_histogram == right.original_histogram, where
+    assert left.watermarked_histogram == right.watermarked_histogram, where
+    assert left.watermarked_tokens == right.watermarked_tokens, where
+    assert left.secret == right.secret, where
+    assert left.selection == right.selection, where
+    assert left.adjustments == right.adjustments, where
+    assert left.eligible_pairs == right.eligible_pairs, where
+
+
+def assert_embedding_parity(
+    counts,
+    *,
+    secret_value: int = HARNESS_SECRET,
+    config: Optional[GenerationConfig] = None,
+    rng_seed: int = 1234,
+    backend_names: Optional[Sequence[str]] = None,
+) -> Optional[WatermarkResult]:
+    """Embedding deltas: reference per-pair arithmetic vs every backend.
+
+    Runs the full ``WM_Generate`` pipeline once per backend (selected via
+    the ``FREQYWM_BACKEND`` switch, so the eligibility scan, the delta
+    planning and the histogram scatter all route through that backend) and
+    asserts:
+
+    * all backends produce bit-identical :class:`WatermarkResult`\\ s;
+    * every planned adjustment equals the reference
+      :func:`plan_adjustment` arithmetic evaluated per pair;
+    * the watermarked histogram equals the original with the reference
+      deltas applied.
+
+    Returns the first backend's result (``None`` when the counts admit no
+    watermark).
+    """
+    histogram = TokenHistogram.from_counts(counts)
+    names = list(backend_names) if backend_names is not None else list(
+        parity_backend_names()
+    )
+    results: List[WatermarkResult] = []
+    for name in names:
+        with use_backend(name):
+            fresh = TokenHistogram.from_counts(counts)  # cold array caches
+            generator = WatermarkGenerator(config, rng=rng_seed)
+            try:
+                results.append(
+                    generator.generate(fresh, secret_value=secret_value)
+                )
+            except Exception:
+                # Unembeddable inputs must be unembeddable on every
+                # backend; re-raise only if another backend succeeded.
+                if results:
+                    raise AssertionError(
+                        f"backend {name!r} rejected counts other backends embedded"
+                    )
+                return None
+    baseline = results[0]
+    for name, result in zip(names[1:], results[1:]):
+        assert_embedding_results_identical(
+            baseline, result, where=f"embedding diverged on backend {name!r}"
+        )
+    # Reference check: per-pair dict arithmetic reproduces the deltas.
+    reference_deltas: dict = {}
+    for item, adjustment in zip(baseline.selection.selected, baseline.adjustments):
+        expected = plan_adjustment(
+            histogram.frequency(item.pair.first),
+            histogram.frequency(item.pair.second),
+            item.modulus,
+            item.pair,
+        )
+        assert adjustment == expected, (
+            f"adjustment for {item.pair} diverged from plan_adjustment reference"
+        )
+        for token, delta in expected.as_deltas().items():
+            reference_deltas[token] = reference_deltas.get(token, 0) + delta
+    assert baseline.watermarked_histogram == histogram.with_updates(
+        reference_deltas
+    ), "watermarked histogram diverged from reference delta application"
+    return baseline
+
+
+def assert_eligibility_parity(
+    histogram: TokenHistogram,
+    *,
+    secret_value: int = HARNESS_SECRET,
+    modulus_cap: int = HARNESS_Z,
+    require_modification: bool = False,
+    backends: Optional[Iterable[ArrayBackend]] = None,
+) -> list:
+    """Streaming-loop eligibility vs the vectorized plan on every backend.
+
+    The loop fallback (no plan store) is the reference; the
+    :class:`PairScanPlan` path must reproduce the exact ordered
+    :class:`EligiblePair` list on every backend.
+    """
+    reference = generate_eligible_pairs(
+        histogram,
+        secret_value,
+        modulus_cap,
+        require_modification=require_modification,
+    )
+    for backend in backends if backends is not None else parity_backends():
+        plan_store: dict = {}
+        vectorized = generate_eligible_pairs(
+            histogram,
+            secret_value,
+            modulus_cap,
+            require_modification=require_modification,
+            modulus_cache=PairModulusCache(secret_value, modulus_cap),
+            plan_store=plan_store,
+            backend=backend,
+        )
+        if len(histogram) >= 2:
+            assert plan_store, "vectorized eligibility path was not taken"
+        assert vectorized == reference, (
+            f"eligibility scan diverged on backend {backend.name!r}"
+        )
+    return reference
+
+
+def reference_false_positive_rate(
+    moduli: Sequence[int], threshold: int, k: int, *, trials: int, seed
+) -> float:
+    """The seed Monte-Carlo loop: one 1-D draw and Python count per trial.
+
+    Byte-for-byte the pre-backend implementation of
+    :func:`repro.analysis.false_positive.empirical_false_positive_rate`;
+    kept here as the harness's anchor for RNG-stream parity of the
+    batched kernel path.
+    """
+    generator = np.random.default_rng(seed)
+    moduli_array = np.asarray(moduli, dtype=int)
+    hits = 0
+    for _ in range(trials):
+        remainders = generator.integers(0, moduli_array)
+        accepted = int(np.sum(remainders <= threshold))
+        if accepted >= k:
+            hits += 1
+    return hits / trials

@@ -1,0 +1,429 @@
+"""Cross-backend differential parity suite.
+
+Hypothesis-driven sweeps over vocabulary sizes, modulus caps, detection
+thresholds and chunk boundaries, every case run through the harness in
+``backend_harness``: the reference dict implementations, the NumPy
+backend, and every other importable backend (always at least the
+registered :class:`~backend_harness.MirrorBackend`; CuPy too on GPU
+machines) must agree bit for bit — verdicts, evidence vectors,
+embedding deltas.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import backend_harness as harness
+from repro.core.backend import (
+    BACKEND_ENV_VAR,
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    resolve_backend,
+)
+from repro.core.cache import DetectorCache
+from repro.core.config import DetectionConfig
+from repro.core.detector import WatermarkDetector, detector_fingerprint
+from repro.core.histogram import TokenHistogram
+from repro.exceptions import BackendError
+
+_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_TOKENS = "abcdefghijklmnopqrstuvwxyz0123456789.-"
+
+_counts = st.dictionaries(
+    st.text(alphabet=_TOKENS, min_size=1, max_size=8),
+    st.integers(min_value=1, max_value=50_000),
+    min_size=2,
+    max_size=25,
+)
+
+_configs = st.builds(
+    DetectionConfig,
+    pair_threshold=st.integers(min_value=0, max_value=3),
+    min_accepted_fraction=st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+    symmetric_tolerance=st.booleans(),
+)
+
+
+def _watermarked_case(counts):
+    """Build (original, watermarked, secret) or None for vacuous draws."""
+    from repro.core.hashing import PairModulusCache
+    from repro.core.modification import plan_adjustment
+
+    built = harness.build_watermarked_case(counts)
+    if built is None:
+        return None
+    histogram, secret = built
+    moduli = PairModulusCache(secret.secret, secret.modulus_cap)
+    deltas: dict = {}
+    for pair in secret.pairs:
+        adjustment = plan_adjustment(
+            histogram.frequency(pair.first),
+            histogram.frequency(pair.second),
+            moduli.modulus(pair.first, pair.second),
+            pair,
+        )
+        for token, delta in adjustment.as_deltas().items():
+            deltas[token] = deltas.get(token, 0) + delta
+    watermarked = harness.perturbed(histogram, deltas)
+    return histogram, watermarked, secret
+
+
+class TestBackendRegistry:
+    def test_numpy_is_default_and_listed_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert get_backend().name == "numpy"
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+
+    def test_mirror_backend_is_registered_and_available(self):
+        assert "mirror" in backend_names()
+        assert "mirror" in available_backends()
+        assert get_backend("mirror").name == "mirror"
+
+    def test_backend_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("mirror") is get_backend("mirror")
+        assert get_backend("numpy") is not get_backend("mirror")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendError, match="unknown"):
+            get_backend("tpu-v9")
+
+    def test_cupy_backend_is_registered_but_guarded(self):
+        assert "cupy" in backend_names()
+        try:
+            instance = get_backend("cupy")
+        except BackendError as error:
+            # No GPU / no CuPy in this environment: the guard must fire
+            # with an actionable message, not an ImportError.
+            assert "cupy" in str(error).lower()
+        else:  # pragma: no cover - GPU machines only
+            assert instance.name == "cupy"
+            assert "cupy" in available_backends()
+
+    def test_env_variable_selects_backend(self):
+        with harness.use_backend("mirror"):
+            assert os.environ[BACKEND_ENV_VAR] == "mirror"
+            assert get_backend().name == "mirror"
+        assert get_backend().name == "numpy"
+
+    def test_env_variable_with_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "quantum")
+        with pytest.raises(BackendError, match="quantum"):
+            get_backend()
+
+    def test_resolve_backend_accepts_none_name_and_instance(self):
+        mirror = get_backend("mirror")
+        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend("mirror") is mirror
+        assert resolve_backend(mirror) is mirror
+        with pytest.raises(BackendError):
+            resolve_backend("nope")
+
+
+class TestKernelParity:
+    """Direct kernel-level agreement between every backend and a dict loop."""
+
+    @_settings
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),  # first frequency
+                st.integers(min_value=0, max_value=10_000),  # second frequency
+                st.integers(min_value=2, max_value=61),  # modulus
+                st.integers(min_value=0, max_value=4),  # threshold
+                st.booleans(),  # usable modulus (valid)
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        symmetric=st.booleans(),
+    )
+    def test_stacked_modulo_matches_reference_loop(self, rows, symmetric):
+        first = np.array([row[0] for row in rows], dtype=np.int64)
+        second = np.array([row[1] for row in rows], dtype=np.int64)
+        moduli = np.array([row[2] for row in rows], dtype=np.int64)
+        thresholds = np.array([row[3] for row in rows], dtype=np.int64)
+        valid = np.array([row[4] for row in rows], dtype=bool)
+        safe_moduli = np.where(valid, moduli, 1)
+        expected_accepted, expected_present, expected_remainder = [], [], []
+        for f_i, f_j, modulus, threshold, usable in rows:
+            present = f_i > 0 and f_j > 0
+            safe = modulus if usable else 1
+            remainder = (f_i - f_j) % safe
+            residue = min(remainder, safe - remainder) if symmetric else remainder
+            expected_accepted.append(present and usable and residue <= threshold)
+            expected_present.append(present)
+            expected_remainder.append(remainder)
+        for backend in harness.parity_backends():
+            accepted, present, remainder = backend.stacked_modulo(
+                backend.from_host(first),
+                backend.from_host(second),
+                safe_moduli=backend.from_host(safe_moduli),
+                valid=backend.from_host(valid),
+                thresholds=backend.from_host(thresholds),
+                symmetric_tolerance=symmetric,
+            )
+            where = f"stacked_modulo diverged on {backend.name!r}"
+            assert accepted.tolist() == expected_accepted, where
+            assert present.tolist() == expected_present, where
+            assert remainder.tolist() == expected_remainder, where
+
+    @_settings
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5_000),
+                st.integers(min_value=0, max_value=5_000),
+                st.integers(min_value=2, max_value=61),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_plan_deltas_matches_scalar_arithmetic(self, pairs):
+        from repro.core.modification import plan_adjustment
+        from repro.core.tokens import TokenPair
+
+        ordered = [(max(a, b) + 1, min(a, b), modulus) for a, b, modulus in pairs]
+        first = np.array([row[0] for row in ordered], dtype=np.int64)
+        second = np.array([row[1] for row in ordered], dtype=np.int64)
+        moduli = np.array([row[2] for row in ordered], dtype=np.int64)
+        for backend in harness.parity_backends():
+            delta_first, delta_second = backend.plan_deltas(first, second, moduli)
+            for index, (f_i, f_j, modulus) in enumerate(ordered):
+                expected = plan_adjustment(
+                    f_i, f_j, modulus, TokenPair(first="hi", second="lo")
+                )
+                where = f"plan_deltas[{index}] diverged on {backend.name!r}"
+                assert delta_first[index] == expected.delta_first, where
+                assert delta_second[index] == expected.delta_second, where
+
+
+class TestDetectionParity:
+    @_settings
+    @given(counts=_counts, config=_configs)
+    def test_watermarked_and_original_verdicts(self, counts, config):
+        case = _watermarked_case(counts)
+        if case is None:
+            return
+        original, watermarked, secret = case
+        reference = harness.assert_detection_parity(watermarked, secret, config)
+        if not config.symmetric_tolerance and config.pair_threshold == 0:
+            # The embedding aligned every stored pair, so the strict
+            # paper rule must accept the watermarked histogram.
+            assert reference.accepted
+        harness.assert_detection_parity(original, secret, config)
+
+    @_settings
+    @given(counts=_counts, noise=_counts, config=_configs)
+    def test_unrelated_data_verdicts(self, counts, noise, config):
+        case = _watermarked_case(counts)
+        if case is None:
+            return
+        _, _, secret = case
+        harness.assert_detection_parity(TokenHistogram.from_counts(noise), secret, config)
+
+
+class TestBatchChunkBoundaries:
+    @_settings
+    @given(
+        counts=_counts,
+        perturbations=st.lists(
+            st.integers(min_value=-3, max_value=3), min_size=1, max_size=9
+        ),
+        chunk_size=st.integers(min_value=1, max_value=11),
+    )
+    def test_chunked_batches_match_reference(self, counts, perturbations, chunk_size):
+        case = _watermarked_case(counts)
+        if case is None:
+            return
+        original, watermarked, secret = case
+        anchor = next(iter(counts))
+        suspects = [original, watermarked] + [
+            harness.perturbed(watermarked, {anchor: delta})
+            for delta in perturbations
+        ]
+        harness.assert_batch_parity(suspects, secret, chunk_size=chunk_size)
+
+
+class TestManySecretsParity:
+    @_settings
+    @given(
+        counts=_counts,
+        forged_seeds=st.lists(
+            st.integers(min_value=1, max_value=2**31), min_size=1, max_size=4
+        ),
+        config=_configs,
+    )
+    def test_true_and_forged_secrets(self, counts, forged_seeds, config):
+        case = _watermarked_case(counts)
+        if case is None:
+            return
+        _, watermarked, secret = case
+        secrets = [secret]
+        for seed in forged_seeds:
+            forged = harness.build_watermarked_case(
+                counts, secret_value=seed, budget=1.5
+            )
+            if forged is not None:
+                secrets.append(forged[1])
+        harness.assert_many_secrets_parity(watermarked, secrets, config)
+
+
+class TestEmbeddingParity:
+    @_settings
+    @given(counts=_counts, seed=st.integers(min_value=0, max_value=2**31))
+    def test_full_generation_is_backend_invariant(self, counts, seed):
+        harness.assert_embedding_parity(counts, rng_seed=seed)
+
+
+class TestEligibilityParity:
+    @_settings
+    @given(
+        counts=_counts,
+        modulus_cap=st.integers(min_value=2, max_value=200),
+        require_modification=st.booleans(),
+    )
+    def test_vectorized_scan_matches_loop(
+        self, counts, modulus_cap, require_modification
+    ):
+        harness.assert_eligibility_parity(
+            TokenHistogram.from_counts(counts),
+            modulus_cap=modulus_cap,
+            require_modification=require_modification,
+        )
+
+
+class TestMonteCarloParity:
+    @pytest.mark.parametrize(
+        "trials", [1, 1023, 1024, 1025, 2048 + 7], ids=lambda t: f"trials{t}"
+    )
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_batched_rate_equals_per_trial_loop(self, trials, backend_name):
+        from repro.analysis.false_positive import empirical_false_positive_rate
+
+        moduli = [7, 11, 13, 29, 61]
+        expected = harness.reference_false_positive_rate(
+            moduli, 2, 2, trials=trials, seed=20240807
+        )
+        actual = empirical_false_positive_rate(
+            moduli, 2, 2, trials=trials, rng=20240807, backend=backend_name
+        )
+        assert actual == expected
+
+    def test_rng_stream_is_identical_across_backends(self):
+        from repro.analysis.false_positive import empirical_false_positive_rate
+
+        rates = {
+            name: empirical_false_positive_rate(
+                [5, 9, 17, 33], 1, 3, trials=1500, rng=7, backend=name
+            )
+            for name in available_backends()
+        }
+        assert len(set(rates.values())) == 1, rates
+
+
+class TestSpawnFailureFallback:
+    """Sharded dispatch that cannot spawn must fall back in-process,
+    on whichever backend was requested."""
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_detect_many_falls_back_on_requested_backend(
+        self, monkeypatch, backend_name
+    ):
+        import multiprocessing
+
+        from repro.core.batch import detect_many
+        from repro.core.reference import detect_reference
+
+        class FailingContext:
+            def Pool(self, *args, **kwargs):
+                raise OSError("no /dev/shm in this sandbox")
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", lambda method=None: FailingContext()
+        )
+        case = harness.build_watermarked_case(
+            {"a": 4000, "b": 2600, "c": 1500, "d": 900, "e": 500, "f": 220}
+        )
+        assert case is not None
+        histogram, secret = case
+        suspects = [histogram, histogram.scaled(1.2), histogram.scaled(0.8)]
+        with pytest.warns(RuntimeWarning, match="no /dev/shm in this sandbox"):
+            report = detect_many(
+                suspects, secret, workers=4, backend=backend_name
+            )
+        assert len(report) == len(suspects)
+        for suspect, result in zip(suspects, report):
+            reference = detect_reference(suspect, secret)
+            assert result.accepted == reference.accepted
+            assert result.accepted_pairs == reference.accepted_pairs
+
+
+class TestBackendIsolation:
+    """Caches and fingerprints must never mix backends."""
+
+    def test_fingerprint_embeds_backend_name(self):
+        case = harness.build_watermarked_case(
+            {"a": 900, "b": 500, "c": 260, "d": 120, "e": 55}
+        )
+        assert case is not None
+        _, secret = case
+        numpy_print = detector_fingerprint(secret, backend="numpy")
+        mirror_print = detector_fingerprint(secret, backend="mirror")
+        assert numpy_print.endswith("|xp=numpy")
+        assert mirror_print.endswith("|xp=mirror")
+        assert numpy_print != mirror_print
+        detector = WatermarkDetector(secret, backend="mirror")
+        assert detector.fingerprint == mirror_print
+
+    def test_detector_cache_keeps_backends_apart(self):
+        case = harness.build_watermarked_case(
+            {"a": 900, "b": 500, "c": 260, "d": 120, "e": 55}
+        )
+        assert case is not None
+        _, secret = case
+        cache = DetectorCache(capacity=None)
+        on_numpy = cache.get(secret, backend="numpy")
+        on_mirror = cache.get(secret, backend="mirror")
+        assert on_numpy is not on_mirror
+        assert on_numpy.backend.name == "numpy"
+        assert on_mirror.backend.name == "mirror"
+        assert cache.get(secret, backend="numpy") is on_numpy
+        assert cache.get(secret, backend="mirror") is on_mirror
+        assert len(cache) == 2
+
+    def test_env_switch_threads_through_whole_pipeline(self):
+        counts = {"a": 4000, "b": 2600, "c": 1500, "d": 900, "e": 500, "f": 220}
+        with harness.use_backend("mirror"):
+            result = harness.assert_embedding_parity(
+                counts, backend_names=["mirror"]
+            )
+            assert result is not None
+            detector = WatermarkDetector(result.secret)
+            assert detector.backend.name == "mirror"
+            assert detector.fingerprint.endswith("|xp=mirror")
+            assert detector.detect(result.watermarked_histogram).accepted
+        assert WatermarkDetector(result.secret).backend.name == "numpy"
+
+    def test_every_backend_satisfies_protocol(self):
+        for backend in harness.parity_backends():
+            assert isinstance(backend, ArrayBackend)
+            assert backend.name
+            round_trip = backend.to_host(
+                backend.from_host(np.array([1, 2, 3], dtype=np.int64))
+            )
+            assert isinstance(round_trip, np.ndarray)
+            assert round_trip.tolist() == [1, 2, 3]

@@ -40,15 +40,10 @@ def _histogram(seed: int, tokens: int = 40, size: int = 8_000) -> TokenHistogram
     )
 
 
-def assert_results_identical(left, right) -> None:
-    """Field-by-field equality of two WatermarkResults (timings excluded)."""
-    assert left.original_histogram == right.original_histogram
-    assert left.watermarked_histogram == right.watermarked_histogram
-    assert left.watermarked_tokens == right.watermarked_tokens
-    assert left.secret == right.secret
-    assert left.selection == right.selection
-    assert left.adjustments == right.adjustments
-    assert left.eligible_pairs == right.eligible_pairs
+# One shared WatermarkResult equality helper for every parity suite.
+from backend_harness import (
+    assert_embedding_results_identical as assert_results_identical,
+)
 
 
 class TestGenerateManyParity:
@@ -273,22 +268,54 @@ class TestEligibilityReuse:
         assert direct == via_context
 
     def test_vectorized_plan_matches_loop(self):
+        import backend_harness
+
         histogram = _histogram(4, tokens=60, size=12_000)
+        # Harness: streaming-loop reference vs the vectorized plan scan on
+        # every available backend.
+        loop = backend_harness.assert_eligibility_parity(
+            histogram, secret_value=0xFEED, modulus_cap=131
+        )
+        assert loop  # non-vacuous case
+        # Second scan through a warm plan store: same values again.
         cache = PairModulusCache(0xFEED, 131)
-        loop = generate_eligible_pairs(histogram, 0xFEED, 131, modulus_cache=cache)
         store = {}
-        vectorized = generate_eligible_pairs(
+        first = generate_eligible_pairs(
             histogram, 0xFEED, 131, modulus_cache=cache, plan_store=store
         )
-        assert loop == vectorized
+        assert first == loop
         assert store  # the plan was built and cached
-        # Second scan through the now-warm plan store: same values again.
         assert (
             generate_eligible_pairs(
                 histogram, 0xFEED, 131, modulus_cache=cache, plan_store=store
             )
             == loop
         )
+
+    def test_pair_budget_overflow_falls_back_to_loop(self, monkeypatch):
+        """Past ``VECTOR_SCAN_MAX_PAIRS`` the scan must fall back to the
+        streaming loop — and produce the exact same pair list.
+
+        The production budget is 2M pairs; forcing it to 0 makes every
+        vocabulary overflow, so this exercises the same branch a >2M-pair
+        candidate set takes without building one.
+        """
+        from repro.core import eligibility as eligibility_module
+
+        histogram = _histogram(6, tokens=60, size=12_000)
+        cache = PairModulusCache(0xFEED, 131)
+        store = {}
+        vectorized = generate_eligible_pairs(
+            histogram, 0xFEED, 131, modulus_cache=cache, plan_store=store
+        )
+        assert store  # the vectorized plan path ran
+        monkeypatch.setattr(eligibility_module, "VECTOR_SCAN_MAX_PAIRS", 0)
+        overflow_store = {}
+        fallback = generate_eligible_pairs(
+            histogram, 0xFEED, 131, modulus_cache=cache, plan_store=overflow_store
+        )
+        assert not overflow_store  # budget overflow forced the loop path
+        assert fallback == vectorized
 
     def test_require_modification_respected_by_plan(self):
         histogram = _histogram(5)
@@ -340,6 +367,70 @@ class TestLeanPickle:
 
 
 class TestScratchBounds:
+    def test_sharded_churn_respects_caps_and_stays_identical(self, monkeypatch):
+        """Eviction under maximal churn: every scratch bound holds, results
+        stay bit-identical to the sequential loop.
+
+        The production bounds (4-secret LRU, 8-context cap, 4M-pair plan
+        budget, 1M-pair modulus epoch reset) are scaled down so a small
+        batch drives every eviction path: a fresh secret and a fresh
+        vocabulary per dataset retires each derivation set immediately.
+        """
+        from repro.core import eligibility as eligibility_module
+        from repro.core import generator as generator_module
+        from repro.core.generator import _BatchScratch
+
+        monkeypatch.setattr(_BatchScratch, "MAX_SECRETS", 2)
+        monkeypatch.setattr(_BatchScratch, "MAX_CONTEXTS", 3)
+        monkeypatch.setattr(eligibility_module, "PLAN_STORE_PAIR_BUDGET", 2_000)
+
+        created = []
+
+        class SmallCache(PairModulusCache):
+            """Modulus cache whose epoch reset fires within one dataset."""
+
+            def __init__(self, secret, z, **kwargs):
+                kwargs["max_entries"] = 64
+                super().__init__(secret, z, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(generator_module, "PairModulusCache", SmallCache)
+
+        observed = []
+        original_trim = _BatchScratch.trim
+
+        def spying_trim(self):
+            original_trim(self)
+            observed.append(
+                (len(self.moduli), len(self.plans), len(self.contexts))
+            )
+
+        monkeypatch.setattr(_BatchScratch, "trim", spying_trim)
+
+        datasets = [
+            _histogram(seed, tokens=30, size=5_000) for seed in range(10)
+        ]
+        secret_values = [0x1000 + seed for seed in range(10)]
+        with ShardedEmbeddingPool(GenerationConfig(), workers=1, seed=3) as pool:
+            report = pool.embed_many(datasets, secret_values=secret_values)
+
+        sequential = [
+            WatermarkGenerator(GenerationConfig(), rng=3).generate(
+                data, secret_value=value
+            )
+            for data, value in zip(datasets, secret_values)
+        ]
+        for left, right in zip(report, sequential):
+            assert_results_identical(left, right)
+
+        assert len(observed) == len(datasets)  # trim ran after every dataset
+        assert max(moduli for moduli, _, _ in observed) <= 2
+        assert max(plans for _, plans, _ in observed) <= 2
+        assert max(contexts for _, _, contexts in observed) <= 3
+        # 30 candidate tokens -> 435 pairs per dataset, far past the
+        # 64-entry cap: the epoch reset must have fired, transparently.
+        assert any(cache.resets > 0 for cache in created)
+
     def test_fresh_secret_batches_do_not_accumulate_derivations(self):
         from repro.core.generator import _BatchScratch
 

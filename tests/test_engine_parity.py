@@ -32,6 +32,8 @@ from repro.core.similarity import (
 )
 from repro.exceptions import HistogramError
 
+import backend_harness as harness
+
 SECRET = 0xFEEDFACE
 Z = 61
 
@@ -201,18 +203,10 @@ class TestDetectionParity:
         symmetric=st.booleans(),
     )
     def test_detect_matches_reference(self, counts, noise, threshold, symmetric):
-        histogram = TokenHistogram.from_counts(counts)
-        candidates = vertex_disjoint(generate_eligible_pairs(histogram, SECRET, Z))
-        if not candidates:
+        case = harness.build_watermarked_case(counts)
+        if case is None:
             return
-        selection = select_within_budget(histogram, candidates, 2.0)
-        if not selection.selected:
-            return
-        from repro.core.secrets import WatermarkSecret
-
-        secret = WatermarkSecret.build(
-            [item.pair for item in selection.selected], SECRET, Z
-        )
+        histogram, secret = case
         # Perturb the histogram (dropping tokens is allowed) to exercise
         # missing-pair-token and near-threshold paths.
         deltas = {}
@@ -220,19 +214,13 @@ class TestDetectionParity:
         for token_index, delta in noise:
             token = tokens[token_index % len(tokens)]
             deltas[token] = delta
-        try:
-            suspected = histogram.with_updates(deltas)
-        except HistogramError:
-            suspected = histogram
+        suspected = harness.perturbed(histogram, deltas)
         config = DetectionConfig(
             pair_threshold=threshold, symmetric_tolerance=symmetric
         )
-        engine = WatermarkDetector(secret, config).detect(suspected)
-        reference = detect_reference(suspected, secret, config)
-        assert engine.accepted == reference.accepted
-        assert engine.accepted_pairs == reference.accepted_pairs
-        assert engine.required_pairs == reference.required_pairs
-        assert engine.evidence == reference.evidence
+        # The harness checks the engine against the reference dict loop —
+        # verdict, counts and evidence — on every available backend.
+        harness.assert_detection_parity(suspected, secret, config)
 
     def test_missing_pair_tokens_fail_that_pair(self):
         histogram = TokenHistogram.from_counts({"a": 900, "b": 500, "c": 200, "d": 40})
@@ -255,29 +243,14 @@ class TestBatchDetectionParity:
     @_settings
     @given(counts=_counts, batch=st.integers(min_value=1, max_value=6))
     def test_detect_many_matches_per_dataset_detect(self, counts, batch):
-        histogram = TokenHistogram.from_counts(counts)
-        candidates = vertex_disjoint(generate_eligible_pairs(histogram, SECRET, Z))
-        if not candidates:
+        case = harness.build_watermarked_case(counts)
+        if case is None:
             return
-        selection = select_within_budget(histogram, candidates, 2.0)
-        if not selection.selected:
-            return
-        from repro.core.secrets import WatermarkSecret
-
-        secret = WatermarkSecret.build(
-            [item.pair for item in selection.selected], SECRET, Z
-        )
+        histogram, secret = case
         suspects = [histogram.scaled(1.0 + 0.1 * index) for index in range(batch)]
-        report = detect_many(suspects, secret)
-        assert len(report) == batch
-        detector = WatermarkDetector(secret)
-        for suspect, batched in zip(suspects, report):
-            single = detector.detect(suspect, collect_evidence=False)
-            assert batched.accepted == single.accepted
-            assert batched.accepted_pairs == single.accepted_pairs
-            reference = detect_reference(suspect, secret)
-            assert batched.accepted == reference.accepted
-            assert batched.accepted_pairs == reference.accepted_pairs
+        # Harness: detect_many (and the in-process chunked pool path)
+        # against the reference loop, per dataset, on every backend.
+        harness.assert_batch_parity(suspects, secret, chunk_size=max(1, batch // 2))
 
     def test_detect_many_empty_batch(self):
         from repro.core.secrets import WatermarkSecret
