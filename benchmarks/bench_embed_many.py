@@ -39,6 +39,7 @@ from repro.core.detector import WatermarkDetector
 from repro.core.generator import WatermarkGenerator
 from repro.core.histogram import TokenHistogram
 from repro.core.sharding import default_worker_count
+from repro.exec.policy import ExecutionPolicy
 
 from bench_utils import experiment_banner
 
@@ -145,7 +146,7 @@ def test_sharded_embedding_parity_and_speedup():
             config,
             rng=SEED,
             secret_value=OWNER_SECRET,
-            workers=SHARD_WORKERS,
+            policy=ExecutionPolicy(workers=SHARD_WORKERS),
         )
         sharded_seconds = time.perf_counter() - start
 

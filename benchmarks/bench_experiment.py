@@ -26,6 +26,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.exec.policy import ExecutionPolicy
 from repro.experiments import ExperimentSpec, run_experiment, write_report
 
 from bench_utils import experiment_banner
@@ -50,11 +51,12 @@ def test_experiment_smoke_spec_caches_and_reproduces():
     spec = ExperimentSpec.load(SPEC_PATH)
     with tempfile.TemporaryDirectory(prefix="bench-experiment-") as scratch:
         run_dir = Path(scratch) / "run"
-        first_seconds, first = _time(run_experiment, spec, run_dir, workers=2)
+        policy = ExecutionPolicy(workers=2)
+        first_seconds, first = _time(run_experiment, spec, run_dir, policy=policy)
         json_path, md_path = write_report(run_dir)
         first_report = (json_path.read_bytes(), md_path.read_bytes())
 
-        second_seconds, second = _time(run_experiment, spec, run_dir, workers=2)
+        second_seconds, second = _time(run_experiment, spec, run_dir, policy=policy)
         json_path, md_path = write_report(run_dir)
         second_report = (json_path.read_bytes(), md_path.read_bytes())
 

@@ -33,6 +33,7 @@ from repro.core.knapsack import select_within_budget
 from repro.core.matching import vertex_disjoint
 from repro.core.secrets import WatermarkSecret
 from repro.core.sharding import ShardedDetectionPool, default_worker_count
+from repro.exec.policy import ExecutionPolicy
 from repro.core.streaming import StreamingHistogramBuilder, histogram_from_chunks
 from repro.datasets.synthetic import generate_power_law_tokens
 from repro.utils.rng import ensure_rng
@@ -130,7 +131,9 @@ def test_sharded_screening_100_datasets():
     config = DetectionConfig(pair_threshold=2)
 
     in_process_seconds, baseline = _time(detect_many, suspects, secret, config)
-    with ShardedDetectionPool(secret, config, workers=SHARD_WORKERS) as pool:
+    with ShardedDetectionPool(
+        secret, config, policy=ExecutionPolicy(workers=SHARD_WORKERS)
+    ) as pool:
         pool.detect_many(suspects[:4])  # warm the worker processes
         sharded_seconds, sharded = _time(pool.detect_many, suspects)
 

@@ -34,6 +34,7 @@ from repro.core.config import DetectionConfig, GenerationConfig
 from repro.core.generator import WatermarkGenerator
 from repro.core.histogram import TokenHistogram
 from repro.core.sharding import ShardedDetectionPool, default_worker_count
+from repro.exec.policy import ExecutionPolicy
 from repro.core.streaming import StreamingHistogramBuilder
 from repro.core.transform import apply_deltas_streaming, histogram_deltas
 from repro.datasets.loaders import iter_token_chunks, iter_tokens, save_token_file
@@ -131,7 +132,9 @@ def main() -> None:
     print(f"  in-process detect_many : {in_process:.2f}s")
 
     workers = max(2, min(4, default_worker_count()))
-    with ShardedDetectionPool(result.secret, config, workers=workers) as pool:
+    with ShardedDetectionPool(
+        result.secret, config, policy=ExecutionPolicy(workers=workers)
+    ) as pool:
         start = time.perf_counter()
         sharded = pool.detect_many(suspects)
         sharded_seconds = time.perf_counter() - start

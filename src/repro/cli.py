@@ -30,6 +30,12 @@ most useful utilities:
   over datasets × secrets × attacks × thresholds) against the
   content-addressed run cache, or re-render a finished run's
   paper-mapped Markdown/JSON report (``docs/experiments.md``).
+* ``freqywm worker``   — serve scheduler tasks over a Unix or TCP socket
+  for ``--scheduler remote`` clients (``docs/scheduler.md``). The
+  sharding subcommands (``generate`` / ``detect`` directory mode,
+  ``experiment run``) accept ``--scheduler remote --address ADDR`` to
+  fan their ``--workers`` sharding out to such workers instead of local
+  processes.
 
 Every subcommand prints a small plain-text report; machine-readable output
 is available with ``--json`` (field-by-field schemas in ``docs/cli.md``).
@@ -65,6 +71,7 @@ from repro.datasets.loaders import (
 )
 from repro.datasets.synthetic import generate_power_law_tokens
 from repro.exceptions import DatasetError, ReproError
+from repro.exec.policy import ExecutionPolicy
 from repro.utils.rng import derive_rng
 
 
@@ -74,6 +81,18 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return number
+
+
+def _execution_policy(args: argparse.Namespace) -> ExecutionPolicy:
+    """Fold --workers/--scheduler/--address into one ExecutionPolicy.
+
+    With the remote scheduler, ``--workers`` is ignored — parallelism is
+    the number of ``--address`` workers.
+    """
+    scheduler = getattr(args, "scheduler", "local")
+    addresses = tuple(getattr(args, "address", ()) or ())
+    workers = None if scheduler == "remote" else args.workers
+    return ExecutionPolicy(workers=workers, scheduler=scheduler, addresses=addresses)
 
 
 def _print_report(report: Dict[str, object], as_json: bool) -> None:
@@ -143,7 +162,8 @@ def _generate_directory(args: argparse.Namespace, config: GenerationConfig) -> i
             "directory embedding (each file is loaded whole inside its worker)"
         )
     files = _token_files(args.input)
-    with ShardedEmbeddingPool(config, seed=args.seed, workers=args.workers) as pool:
+    policy = _execution_policy(args)
+    with ShardedEmbeddingPool(config, seed=args.seed, policy=policy) as pool:
         summaries = pool.embed_files(files, args.output, args.secret)
     total = len(summaries)
     payload: Dict[str, object] = {
@@ -210,7 +230,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     # its own chunk, so the dominant load-and-count cost parallelises and
     # no process ever holds more than one chunk of histograms.
     files = _token_files(args.input)
-    with ShardedDetectionPool(secret, config, workers=args.workers) as pool:
+    with ShardedDetectionPool(secret, config, policy=_execution_policy(args)) as pool:
         report = pool.detect_files(files)
     payload: Dict[str, object] = report.summary()
     payload["workers"] = args.workers
@@ -464,7 +484,7 @@ def _cmd_experiment_run(args: argparse.Namespace) -> int:
 
     spec = load_spec(args.spec)
     run_dir = args.out if args.out is not None else Path("experiment-runs") / spec.name
-    outcome = run_experiment(spec, run_dir, workers=args.workers)
+    outcome = run_experiment(spec, run_dir, policy=_execution_policy(args))
     json_path, md_path = write_report(run_dir)
     report: Dict[str, object] = outcome.summary()
     report["report_json"] = str(json_path)
@@ -484,6 +504,52 @@ def _cmd_experiment_report(args: argparse.Namespace) -> int:
         print(render_markdown(report))  # noqa: T201
         print(f"\nwritten: {json_path} {md_path}")  # noqa: T201
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import asyncio
+    import importlib
+
+    from repro.exec.scheduler import load_builtin_tasks
+    from repro.exec.worker import (
+        TaskWorkerServer,
+        serve_worker_tcp,
+        serve_worker_unix,
+    )
+
+    if (args.socket is None) == (args.tcp is None):
+        raise ReproError("pass exactly one of --socket PATH or --tcp HOST:PORT")
+    tcp_host: Optional[str] = None
+    tcp_port = 0
+    if args.tcp is not None:
+        host, _separator, port_text = args.tcp.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ReproError(f"--tcp expects HOST:PORT, got {args.tcp!r}")
+        tcp_host, tcp_port = host, int(port_text)
+    # Builtin task functions first, then any operator-supplied modules
+    # registering custom ones.
+    load_builtin_tasks()
+    for module in args.import_modules:
+        importlib.import_module(module)
+    server = TaskWorkerServer(max_state=args.max_state)
+
+    def announce(message: str) -> None:
+        # stderr keeps any socket/stdio protocol stream clean; spawners
+        # (tests, CI) treat this line as the readiness signal.
+        print(message, file=sys.stderr, flush=True)  # noqa: T201
+
+    async def run() -> int:
+        if args.socket is not None:
+            await serve_worker_unix(args.socket, server=server, announce=announce)
+        else:
+            assert tcp_host is not None
+            await serve_worker_tcp(tcp_host, tcp_port, server=server, announce=announce)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        return 0
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -557,6 +623,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for batch embedding (directory input only)",
     )
+
+    def add_scheduler_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scheduler",
+            choices=("local", "remote"),
+            default="local",
+            help=(
+                "execution backend for the sharded path: local worker "
+                "processes (default) or remote `freqywm worker` processes"
+            ),
+        )
+        sub.add_argument(
+            "--address",
+            action="append",
+            default=[],
+            metavar="ADDR",
+            help=(
+                "a `freqywm worker` address (unix:/path or host:port); "
+                "repeatable, required with --scheduler remote"
+            ),
+        )
+
+    add_scheduler_arguments(generate)
     generate.set_defaults(handler=_cmd_generate)
 
     def add_detection_arguments(sub: argparse.ArgumentParser) -> None:
@@ -585,6 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for batch screening (directory input only)",
     )
+    add_scheduler_arguments(detect)
     add_detection_arguments(detect)
     detect.set_defaults(handler=_cmd_detect)
 
@@ -763,6 +853,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes per DAG level (results identical to --workers 1)",
     )
+    add_scheduler_arguments(experiment_run)
     experiment_run.set_defaults(handler=_cmd_experiment_run)
 
     experiment_report = experiment_sub.add_parser(
@@ -772,6 +863,40 @@ def build_parser() -> argparse.ArgumentParser:
         "run_dir", type=Path, help="run directory written by `experiment run`"
     )
     experiment_report.set_defaults(handler=_cmd_experiment_report)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="serve scheduler tasks to remote-scheduler clients (docs/scheduler.md)",
+    )
+    worker.add_argument(
+        "--socket",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="listen on a Unix domain socket",
+    )
+    worker.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="listen on TCP (port 0 picks a free port; the bound address is announced on stderr)",
+    )
+    worker.add_argument(
+        "--import",
+        dest="import_modules",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import MODULE before serving (registers custom task functions); repeatable",
+    )
+    worker.add_argument(
+        "--max-state",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="bound on cached worker-local initializer states (default 8)",
+    )
+    worker.set_defaults(handler=_cmd_worker)
 
     synth = subparsers.add_parser("synth", help="generate a synthetic power-law token file")
     synth.add_argument("output", type=Path, help="token file to write")

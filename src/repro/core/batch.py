@@ -40,7 +40,23 @@ from repro.core.hashing import PairModulusCache
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
 from repro.exceptions import DetectionError
+from repro.exec.chunking import derive_chunk_size, split_chunks
+from repro.exec.policy import ExecutionPolicy, policy_from_kwargs
+from repro.exec.scheduler import TaskSpec, create_scheduler, register_task_function
 from repro.utils.rng import RngLike
+
+
+def _wants_sharding(policy: ExecutionPolicy) -> bool:
+    """Whether a policy asks the batch helpers to dispatch via a scheduler.
+
+    The batch functions historically default to in-process execution, so
+    ``workers=None`` stays in-process here (unlike the pools, whose
+    ``workers=None`` means "all visible cores"); any non-local scheduler
+    always shards.
+    """
+    return policy.scheduler != "local" or (
+        policy.workers is not None and policy.workers > 1
+    )
 
 
 @dataclass(frozen=True)
@@ -100,6 +116,7 @@ def detect_many(
     *,
     detector: Optional[WatermarkDetector] = None,
     collect_evidence: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     backend: BackendLike = None,
@@ -127,14 +144,17 @@ def detect_many(
         When True, per-pair :class:`~repro.core.detector.PairEvidence` is
         materialised for every dataset (slower; intended for dispute /
         debugging flows, not for large screens).
+    policy : ExecutionPolicy, optional
+        How to parallelise the batch. ``policy.workers > 1`` partitions
+        the datasets across a
+        :class:`~repro.core.sharding.ShardedDetectionPool` (local worker
+        processes, or ``freqywm worker`` processes when
+        ``policy.scheduler == "remote"``); verdicts and ordering are
+        identical to the in-process path. The default runs in-process.
     workers : int, optional
-        When greater than 1, the batch is partitioned across that many
-        worker processes via
-        :class:`~repro.core.sharding.ShardedDetectionPool`; verdicts and
-        ordering are identical to the in-process path. ``None`` or ``1``
-        runs in-process (the default).
+        Deprecated alias for ``policy=ExecutionPolicy(workers=...)``.
     chunk_size : int, optional
-        Datasets per dispatched worker chunk (sharded mode only).
+        Deprecated alias for ``policy=ExecutionPolicy(chunk_size=...)``.
     backend :
         Compute backend for the verification pass (name, instance or
         ``None`` for the ``FREQYWM_BACKEND`` / NumPy default). With a
@@ -166,7 +186,10 @@ def detect_many(
                 f"{detector.backend.name!r} but backend "
                 f"{resolve_backend(backend).name!r} was requested"
             )
-    if workers is not None and workers > 1:
+    exec_policy = policy_from_kwargs(
+        policy, workers=workers, chunk_size=chunk_size, caller="detect_many"
+    )
+    if _wants_sharding(exec_policy):
         # Imported here: sharding imports BatchDetectionReport from this
         # module, so the dependency must stay one-way at import time.
         from repro.core.sharding import ShardedDetectionPool
@@ -174,8 +197,7 @@ def detect_many(
         with ShardedDetectionPool(
             detector.secret,
             detector.config,
-            workers=workers,
-            chunk_size=chunk_size,
+            policy=exec_policy,
             local_detector=detector,
             backend=detector.backend,
         ) as pool:
@@ -192,6 +214,7 @@ def detect_many_secrets(
     collect_evidence: bool = False,
     detector_cache: Optional[DetectorCache] = None,
     backend: BackendLike = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> List[DetectionResult]:
     """Run ``WM_Detect`` for many secrets against one dataset at once.
 
@@ -236,6 +259,13 @@ def detect_many_secrets(
         detectors are looked up under the same backend, so one
         ``detector_cache`` may serve callers on different backends
         without ever mixing them.
+    policy : ExecutionPolicy, optional
+        When the policy asks for parallelism (``workers > 1`` or a
+        remote scheduler), the *secrets* are partitioned into chunks and
+        screened by scheduler workers, each running this same stacked
+        pass over its chunk; results are identical and in input order.
+        ``detector_cache`` is an in-process optimisation and is not
+        consulted by the sharded path.
 
     Returns
     -------
@@ -249,6 +279,15 @@ def detect_many_secrets(
     histogram = (
         data if isinstance(data, TokenHistogram) else TokenHistogram.from_tokens(data)
     )
+    if policy is not None and _wants_sharding(policy) and len(secrets) > 1:
+        return _detect_secrets_sharded(
+            histogram,
+            secrets,
+            detection,
+            collect_evidence,
+            resolved_backend,
+            policy,
+        )
     arrays = histogram.arrays()
     first_tokens: List[str] = []
     second_tokens: List[str] = []
@@ -328,6 +367,51 @@ def detect_many_secrets(
     return results
 
 
+def _detect_secrets_chunk(_state: object, payload: tuple) -> List[DetectionResult]:
+    """Scheduler task: the stacked many-secrets pass over one secret chunk."""
+    histogram, chunk, detection, collect_evidence, backend_name = payload
+    return detect_many_secrets(
+        histogram,
+        chunk,
+        detection,
+        collect_evidence=collect_evidence,
+        backend=backend_name,
+    )
+
+
+register_task_function("secrets.chunk", _detect_secrets_chunk)
+
+
+def _detect_secrets_sharded(
+    histogram: TokenHistogram,
+    secrets: Sequence[WatermarkSecret],
+    detection: DetectionConfig,
+    collect_evidence: bool,
+    backend,
+    policy: ExecutionPolicy,
+) -> List[DetectionResult]:
+    """Partition a many-secrets screen across scheduler workers."""
+    scheduler = create_scheduler(policy)
+    try:
+        size = derive_chunk_size(
+            len(secrets), scheduler.workers, chunk_size=policy.chunk_size
+        )
+        specs = [
+            TaskSpec(
+                fingerprint=f"secrets:{detection.fingerprint()}:{index}",
+                function="secrets.chunk",
+                payload=(histogram, chunk, detection, collect_evidence, backend.name),
+            )
+            for index, chunk in enumerate(split_chunks(list(secrets), size))
+        ]
+        results: List[DetectionResult] = []
+        for chunk_results in scheduler.run(specs):
+            results.extend(chunk_results)
+        return results
+    finally:
+        scheduler.close()
+
+
 def embed_many(
     datasets: Sequence[EmbedData],
     config: Optional[GenerationConfig] = None,
@@ -335,6 +419,7 @@ def embed_many(
     rng: RngLike = None,
     secret_value: Optional[int] = None,
     secret_values: Optional[Sequence[Optional[int]]] = None,
+    policy: Optional[ExecutionPolicy] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
 ) -> BatchEmbeddingReport:
@@ -366,12 +451,16 @@ def embed_many(
         modulus reuse. Mutually exclusive with ``secret_values``.
     secret_values : Sequence[int | None], optional
         Per-dataset explicit secrets, aligned with ``datasets``.
+    policy : ExecutionPolicy, optional
+        How to parallelise the batch. ``policy.workers > 1`` partitions
+        the datasets across a
+        :class:`~repro.core.embedding.ShardedEmbeddingPool` (local or
+        remote, per ``policy.scheduler``); results and ordering are
+        identical to the in-process path. The default runs in-process.
     workers : int, optional
-        When greater than 1, the batch is partitioned across that many
-        worker processes via :class:`~repro.core.embedding.ShardedEmbeddingPool`;
-        results and ordering are identical to the in-process path.
+        Deprecated alias for ``policy=ExecutionPolicy(workers=...)``.
     chunk_size : int, optional
-        Datasets per dispatched worker chunk (sharded mode only).
+        Deprecated alias for ``policy=ExecutionPolicy(chunk_size=...)``.
 
     Returns
     -------
@@ -392,12 +481,14 @@ def embed_many(
         values = [secret_value] * len(datasets)
     elif secret_values is not None:
         values = list(secret_values)
-    if workers is not None and workers > 1:
+    exec_policy = policy_from_kwargs(
+        policy, workers=workers, chunk_size=chunk_size, caller="embed_many"
+    )
+    if _wants_sharding(exec_policy):
         with ShardedEmbeddingPool(
             config,
             seed=rng,  # validated by the pool: plain seed or None
-            workers=workers,
-            chunk_size=chunk_size,
+            policy=exec_policy,
         ) as pool:
             return pool.embed_many(datasets, secret_values=values)
     generator = WatermarkGenerator(config, rng=rng)

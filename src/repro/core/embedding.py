@@ -8,13 +8,15 @@ the same for the embedding side. Two independent levers compose:
   the SHA-256 pair-modulus derivations (per owner secret) and the
   histogram-side eligibility precomputation (per dataset) across a whole
   batch, with outputs bit-identical to the sequential loop;
-* **Process sharding** — :class:`ShardedEmbeddingPool` partitions a
-  batch across worker processes the way
+* **Worker sharding** — :class:`ShardedEmbeddingPool` partitions a
+  batch across scheduler workers the way
   :class:`~repro.core.sharding.ShardedDetectionPool` does for detection:
   every worker builds its :class:`~repro.core.generator.WatermarkGenerator`
-  once from the pickled configuration, chunks are dispatched in input
-  order, and results come back in input order. ``workers=1`` — and any
-  environment where processes cannot be spawned — falls back in-process.
+  once per ``init_key`` via the registered ``embed.state`` initializer,
+  chunks are dispatched in input order, and results come back in input
+  order — on the default local scheduler or a remote worker fleet.
+  ``workers=1`` — and any environment where processes cannot be
+  spawned — falls back in-process.
 
 Sharded embedding requires the generator's randomness source to be a
 plain seed (or ``None``): an ``int`` seed reproduces per dataset rather
@@ -22,7 +24,7 @@ than threading one mutable stream through the batch, so the outcome is
 independent of which worker embeds which dataset — exactly the property
 that makes the sharded results equal to the sequential ones. A live
 :class:`numpy.random.Generator` cannot give that guarantee and is
-rejected for ``workers > 1``.
+rejected.
 
 ``tests/test_embedding.py`` asserts batched/sharded parity (including a
 hypothesis sweep over arbitrary dataset lists) and
@@ -31,11 +33,13 @@ hypothesis sweep over arbitrary dataset lists) and
 
 from __future__ import annotations
 
+import hashlib
+import json
 import logging
 import warnings
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,31 +48,54 @@ from repro.core.generator import WatermarkGenerator, WatermarkResult
 from repro.core.histogram import TokenHistogram
 from repro.core.tokens import TokenValue
 from repro.exceptions import GenerationError
+from repro.exec.chunking import chunk_spans, derive_chunk_size
+from repro.exec.policy import ExecutionPolicy, policy_from_kwargs
+from repro.exec.scheduler import (
+    Scheduler,
+    TaskSpec,
+    create_scheduler,
+    register_initializer,
+    register_task_function,
+)
 
 #: A dataset to embed: a raw token sequence or a pre-built histogram.
 EmbedData = Union[Sequence[TokenValue], TokenHistogram]
 
 logger = logging.getLogger(__name__)
 
-# Per-worker generator, built once by _initialize_worker. Module-level so
-# the dispatched chunk functions stay picklable by reference.
-_WORKER_GENERATOR: Optional[WatermarkGenerator] = None
+
+def generator_fingerprint(
+    config: Optional[GenerationConfig], seed: Optional[int]
+) -> str:
+    """Stable cache key for a ``(config, seed)`` generator build.
+
+    The scheduler caches initializer products per ``init_key`` — two
+    pools sharing a configuration and seed share one worker-side
+    generator, while any differing field forces a rebuild.
+    """
+    resolved = config or GenerationConfig()
+    payload = json.dumps(
+        {"config": asdict(resolved), "seed": seed},
+        sort_keys=True,
+        default=str,
+    )
+    return "gen-" + hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _initialize_worker(config: Optional[GenerationConfig], seed: Optional[int]) -> None:
-    """Pool initializer: build the generator once inside each worker."""
-    global _WORKER_GENERATOR
-    _WORKER_GENERATOR = WatermarkGenerator(config, rng=seed)
+def _build_generator(
+    config: Optional[GenerationConfig], seed: Optional[int]
+) -> WatermarkGenerator:
+    """``embed.state`` initializer: build the per-worker generator."""
+    return WatermarkGenerator(config, rng=seed)
 
 
 def _embed_chunk(
+    generator: WatermarkGenerator,
     payload: Tuple[List[EmbedData], Optional[List[Optional[int]]]],
 ) -> List[WatermarkResult]:
-    """Run one ``generate_many`` pass over a dispatched chunk."""
+    """``embed.chunk`` task: one ``generate_many`` pass over a chunk."""
     chunk, secret_values = payload
-    if _WORKER_GENERATOR is None:  # pragma: no cover - defensive
-        raise GenerationError("sharded embedding worker was not initialized")
-    return _WORKER_GENERATOR.generate_many(chunk, secret_values=secret_values)
+    return generator.generate_many(chunk, secret_values=secret_values)
 
 
 def _embed_one_file(
@@ -112,16 +139,20 @@ def _embed_one_file(
 
 
 def _embed_file_chunk(
+    generator: WatermarkGenerator,
     payload: Tuple[List[Path], Path, Path],
 ) -> List[Dict[str, object]]:
-    """Watermark one chunk of token files inside a worker."""
+    """``embed.files`` task: watermark one chunk of token files."""
     paths, output_dir, secret_dir = payload
-    if _WORKER_GENERATOR is None:  # pragma: no cover - defensive
-        raise GenerationError("sharded embedding worker was not initialized")
     return [
-        _embed_one_file(_WORKER_GENERATOR, path, output_dir, secret_dir)
+        _embed_one_file(generator, path, output_dir, secret_dir)
         for path in paths
     ]
+
+
+register_initializer("embed.state", _build_generator)
+register_task_function("embed.chunk", _embed_chunk)
+register_task_function("embed.files", _embed_file_chunk)
 
 
 @dataclass(frozen=True)
@@ -177,13 +208,15 @@ class BatchEmbeddingReport:
 
 
 class ShardedEmbeddingPool:
-    """Partition batch embedding workloads across worker processes.
+    """Partition batch embedding workloads across scheduler workers.
 
-    The pool owns one :class:`~repro.core.generator.WatermarkGenerator`
-    per worker (built once in the pool initializer from the pickled
-    configuration and seed) and embeds batches by dispatching contiguous
-    chunks. Results come back in input order and are bit-identical to
-    the in-process sequential loop.
+    A thin client of the pluggable scheduler: every worker owns one
+    :class:`~repro.core.generator.WatermarkGenerator` (built once per
+    ``init_key`` by the registered ``embed.state`` initializer from the
+    pickled configuration and seed) and batches are embedded by
+    dispatching contiguous chunks as fingerprinted tasks. Results come
+    back in input order and are bit-identical to the in-process
+    sequential loop.
 
     Parameters
     ----------
@@ -195,18 +228,25 @@ class ShardedEmbeddingPool:
         not reproducible, sequentially or sharded). A live
         :class:`numpy.random.Generator` is *not* accepted: its mutable
         state cannot be split across processes deterministically.
+    policy : ExecutionPolicy, optional
+        How to parallelise — worker count, chunking, start method and
+        scheduler choice in one object (the preferred configuration
+        surface).
     workers : int, optional
-        Worker process count. ``None`` uses
-        :func:`~repro.core.sharding.default_worker_count`; ``1``
+        Deprecated alias for ``policy.workers`` (emits
+        ``DeprecationWarning``). ``None`` uses
+        :func:`~repro.exec.scheduler.default_worker_count`; ``1``
         short-circuits in-process — no processes are ever spawned.
     chunk_size : int, optional
-        Datasets per dispatched chunk. ``None`` splits each batch into
-        one chunk per worker — embedding chunks should be as large as
-        possible so the per-chunk modulus cache amortises across many
-        datasets.
+        Deprecated alias for ``policy.chunk_size``. ``None`` splits
+        each batch into one chunk per worker — embedding chunks should
+        be as large as possible so the per-chunk modulus cache amortises
+        across many datasets.
     start_method : str, optional
-        ``multiprocessing`` start method; ``None`` uses the platform
-        default.
+        Deprecated alias for ``policy.start_method``.
+    scheduler : Scheduler, optional
+        A prebuilt scheduler to dispatch through; the pool then does not
+        own its lifecycle and ``close()`` leaves it running.
     """
 
     def __init__(
@@ -214,9 +254,11 @@ class ShardedEmbeddingPool:
         config: Optional[GenerationConfig] = None,
         *,
         seed: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
+        scheduler: Optional[Scheduler] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise GenerationError(f"workers must be >= 1, got {workers}")
@@ -228,19 +270,62 @@ class ShardedEmbeddingPool:
                 "live Generator cannot reproduce deterministically across "
                 "worker processes"
             )
-        from repro.core.sharding import default_worker_count
-
+        self.policy = policy_from_kwargs(
+            policy,
+            workers=workers,
+            chunk_size=chunk_size,
+            start_method=start_method,
+            caller="ShardedEmbeddingPool",
+        )
         self.config = config or GenerationConfig()
         self.seed = seed
-        self.workers = workers if workers is not None else default_worker_count()
-        self.chunk_size = chunk_size
-        self.start_method = start_method
-        self._pool = None
+        self.chunk_size = self.policy.chunk_size
+        self.start_method = self.policy.start_method
         self._local = WatermarkGenerator(self.config, rng=seed)
+        self._init_key = generator_fingerprint(self.config, seed)
+        if scheduler is not None:
+            self._scheduler = scheduler
+            self._owns_scheduler = False
+        else:
+            self._scheduler = create_scheduler(
+                self.policy,
+                on_spawn_failure=self._spawn_failure,
+                inline_state={self._init_key: self._local},
+            )
+            self._owns_scheduler = True
+
+    def _spawn_failure(self, error: BaseException) -> None:
+        """Spawn-failure hook: same degradation contract as detection.
+
+        Restricted sandboxes fall back in-process, loudly — the reason
+        lands in the logging stream and as a RuntimeWarning.
+        """
+        logger.warning(
+            "cannot start embedding workers (%s: %s); "
+            "falling back to in-process embedding",
+            type(error).__name__,
+            error,
+        )
+        warnings.warn(
+            f"cannot start embedding workers ({error}); "
+            "falling back to in-process embedding",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+
+    @property
+    def workers(self) -> int:
+        """Effective worker count (drops to 1 after a spawn failure)."""
+        return self._scheduler.workers
+
+    @property
+    def _pool(self):
+        """The scheduler's live worker pool, None until (re)spawned."""
+        return getattr(self._scheduler, "_pool", None)
 
     def __enter__(self) -> "ShardedEmbeddingPool":
         return self
@@ -249,63 +334,36 @@ class ShardedEmbeddingPool:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker processes (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-
-    def _ensure_pool(self):
-        """Create the worker pool lazily; None when unavailable."""
-        if self._pool is None:
-            import multiprocessing
-
-            context = (
-                multiprocessing.get_context(self.start_method)
-                if self.start_method
-                else multiprocessing.get_context()
-            )
-            try:
-                self._pool = context.Pool(
-                    processes=self.workers,
-                    initializer=_initialize_worker,
-                    initargs=(self.config, self.seed),
-                )
-            except (OSError, ValueError) as error:
-                # Same degradation contract as ShardedDetectionPool:
-                # restricted sandboxes fall back in-process, loudly.
-                logger.warning(
-                    "cannot start embedding workers (%s: %s); "
-                    "falling back to in-process embedding",
-                    type(error).__name__,
-                    error,
-                )
-                warnings.warn(
-                    f"cannot start embedding workers ({error}); "
-                    "falling back to in-process embedding",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
-                self.workers = 1
-        return self._pool
+        """Shut down owned workers (idempotent; the pool respawns lazily)."""
+        if self._owns_scheduler:
+            self._scheduler.close()
 
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
 
-    def _chunks(self, items: List) -> Iterator[List]:
-        """Contiguous chunks in input order (ordered collection relies on it).
+    def _spec(self, function: str, payload, index: int) -> TaskSpec:
+        """One fingerprinted chunk task bound to this pool's generator."""
+        return TaskSpec(
+            fingerprint=f"{self._init_key}:{function}:{index}",
+            function=function,
+            payload=payload,
+            initializer="embed.state",
+            init_key=self._init_key,
+            init_args=(self.config, self.seed),
+        )
+
+    def _chunk_size(self, n_items: int) -> int:
+        """Embedding's chunk size: one chunk per worker unless overridden.
 
         Unlike detection's many-small-chunks default, embedding defaults
         to one chunk per worker: each chunk shares one modulus cache, so
         bigger chunks amortise more (and per-dataset embedding cost is
         far more uniform than suspect-file sizes).
         """
-        size = self.chunk_size
-        if size is None:
-            size = max(1, -(-len(items) // self.workers))
-        for start in range(0, len(items), size):
-            yield items[start : start + size]
+        return derive_chunk_size(
+            n_items, self.workers, chunk_size=self.chunk_size
+        )
 
     def embed_many(
         self,
@@ -339,23 +397,24 @@ class ShardedEmbeddingPool:
         if not items:
             return BatchEmbeddingReport(results=())
         values = list(secret_values) if secret_values is not None else None
-        pool = None
         if self.workers > 1 and len(items) > 1:
-            pool = self._ensure_pool()  # None when spawning failed
-        if pool is None:
-            return BatchEmbeddingReport(
-                results=tuple(self._local.generate_many(items, secret_values=values))
-            )
-        payloads = []
-        start = 0
-        for chunk in self._chunks(items):
-            chunk_values = values[start : start + len(chunk)] if values else None
-            payloads.append((chunk, chunk_values))
-            start += len(chunk)
+            size = self._chunk_size(len(items))
+            specs = [
+                self._spec(
+                    "embed.chunk",
+                    (items[start:stop], values[start:stop] if values else None),
+                    index,
+                )
+                for index, (start, stop) in enumerate(
+                    chunk_spans(len(items), size)
+                )
+            ]
+        else:
+            # One whole-batch task: the in-process fast path keeps the
+            # full cross-dataset amortisation of generate_many.
+            specs = [self._spec("embed.chunk", (items, values), 0)]
         collected: List[WatermarkResult] = []
-        # imap yields chunk results in dispatch order, so concatenating
-        # preserves the input order exactly.
-        for chunk_results in pool.imap(_embed_chunk, payloads):
+        for chunk_results in self._scheduler.run(specs):
             collected.extend(chunk_results)
         return BatchEmbeddingReport(results=tuple(collected))
 
@@ -393,16 +452,13 @@ class ShardedEmbeddingPool:
         sec_dir = Path(secret_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         sec_dir.mkdir(parents=True, exist_ok=True)
-        pool = None
-        if self.workers > 1 and len(items) > 1:
-            pool = self._ensure_pool()
-        if pool is None:
-            return [
-                _embed_one_file(self._local, path, out_dir, sec_dir) for path in items
-            ]
-        payloads = [(chunk, out_dir, sec_dir) for chunk in self._chunks(items)]
+        size = self._chunk_size(len(items))
+        specs = [
+            self._spec("embed.files", (items[start:stop], out_dir, sec_dir), index)
+            for index, (start, stop) in enumerate(chunk_spans(len(items), size))
+        ]
         collected: List[Dict[str, object]] = []
-        for chunk_results in pool.imap(_embed_file_chunk, payloads):
+        for chunk_results in self._scheduler.run(specs):
             collected.extend(chunk_results)
         return collected
 
@@ -411,4 +467,5 @@ __all__ = [
     "EmbedData",
     "BatchEmbeddingReport",
     "ShardedEmbeddingPool",
+    "generator_fingerprint",
 ]

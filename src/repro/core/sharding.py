@@ -1,17 +1,20 @@
-"""Sharded batch detection across multiprocessing workers.
+"""Sharded batch detection across scheduler workers.
 
 The vectorized :meth:`~repro.core.detector.WatermarkDetector.detect_many`
 screens a whole batch in one matrix pass, but the pass is still bound to
 one core — and for raw token sequences the per-dataset histogram build
 dominates, which is embarrassingly parallel. This module partitions a
-``detect_many`` workload across worker processes:
+``detect_many`` workload across workers via the pluggable scheduler
+(:mod:`repro.exec.scheduler`):
 
 * the detector state travels as its *serializable inputs* (the
   :class:`~repro.core.secrets.WatermarkSecret` and
-  :class:`~repro.core.config.DetectionConfig` dataclasses); every worker
-  rebuilds its :class:`~repro.core.detector.WatermarkDetector` **once**
-  in the pool initializer, so the SHA-256 moduli derivation is paid once
-  per worker, not once per chunk;
+  :class:`~repro.core.config.DetectionConfig` dataclasses) through the
+  registered ``detect.state`` initializer; every worker builds its
+  :class:`~repro.core.detector.WatermarkDetector` **once** per
+  ``init_key`` — the SHA-256 moduli derivation is paid once per worker,
+  not once per chunk — whether the worker is a local pool process or a
+  remote ``freqywm worker``;
 * datasets are dispatched in contiguous chunks (each chunk is one
   vectorized ``detect_many`` call in a worker) and results are collected
   **in input order** regardless of worker scheduling;
@@ -29,55 +32,65 @@ the multi-core speedup on the 100-dataset screening benchmark.
 from __future__ import annotations
 
 import logging
-import os
 import warnings
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.backend import BackendLike, resolve_backend
 from repro.core.batch import BatchDetectionReport
 from repro.core.config import DetectionConfig
-from repro.core.detector import DetectionResult, SuspectData, WatermarkDetector
+from repro.core.detector import (
+    DetectionResult,
+    SuspectData,
+    WatermarkDetector,
+    detector_fingerprint,
+)
 from repro.core.secrets import WatermarkSecret
 from repro.exceptions import DetectionError
+from repro.exec.chunking import (
+    DETECTION_CHUNKS_PER_WORKER,
+    DETECTION_MAX_CHUNK,
+    derive_chunk_size,
+    split_chunks,
+)
+from repro.exec.policy import ExecutionPolicy, policy_from_kwargs
+from repro.exec.scheduler import (
+    Scheduler,
+    TaskSpec,
+    create_scheduler,
+    default_worker_count,
+    register_initializer,
+    register_task_function,
+)
 
-#: Chunks dispatched per worker when ``chunk_size`` is not given: small
-#: enough to load-balance uneven datasets, large enough that each chunk
-#: amortises the worker round-trip over one vectorized matrix pass.
-_CHUNKS_PER_WORKER = 4
-#: Cap on the derived chunk size: bounds how many suspects are resident
-#: per dispatch (and per in-process fallback step) for huge batches.
-_MAX_CHUNK = 64
+#: Re-exported legacy names: the heuristic now lives in
+#: :mod:`repro.exec.chunking`, shared with the embedding pool.
+_CHUNKS_PER_WORKER = DETECTION_CHUNKS_PER_WORKER
+_MAX_CHUNK = DETECTION_MAX_CHUNK
 
 logger = logging.getLogger(__name__)
 
-# Per-worker detector, built once by _initialize_worker. Module-level so
-# the dispatched chunk function stays picklable by reference.
-_WORKER_DETECTOR: Optional[WatermarkDetector] = None
 
-
-def _initialize_worker(
+def _build_detector(
     secret: WatermarkSecret,
     config: Optional[DetectionConfig],
     backend_name: Optional[str] = None,
-) -> None:
-    """Pool initializer: rebuild the detector once inside each worker.
+) -> WatermarkDetector:
+    """``detect.state`` initializer: build the per-worker detector.
 
     The backend travels by *name* (backend instances hold device handles
     and are not picklable); each worker resolves its own instance, so
     every shard runs on the same backend as the parent's detector.
     """
-    global _WORKER_DETECTOR
-    _WORKER_DETECTOR = WatermarkDetector(secret, config, backend=backend_name)
+    return WatermarkDetector(secret, config, backend=backend_name)
 
 
 def _detect_chunk(
+    detector: WatermarkDetector,
     payload: Tuple[List[SuspectData], bool],
 ) -> List[DetectionResult]:
-    """Run one vectorized ``detect_many`` pass over a dispatched chunk."""
+    """``detect.chunk`` task: one vectorized pass over a dispatched chunk."""
     chunk, collect_evidence = payload
-    if _WORKER_DETECTOR is None:  # pragma: no cover - defensive
-        raise DetectionError("sharded detection worker was not initialized")
-    return _WORKER_DETECTOR.detect_many(chunk, collect_evidence=collect_evidence)
+    return detector.detect_many(chunk, collect_evidence=collect_evidence)
 
 
 def _load_suspect_files(paths: List) -> List[SuspectData]:
@@ -89,36 +102,31 @@ def _load_suspect_files(paths: List) -> List[SuspectData]:
     return [load_histogram_streaming(path) for path in paths]
 
 
-def _detect_file_chunk(payload: Tuple[List, bool]) -> List[DetectionResult]:
-    """Stream-load one chunk of token files and screen it in the worker."""
+def _detect_file_chunk(
+    detector: WatermarkDetector, payload: Tuple[List, bool]
+) -> List[DetectionResult]:
+    """``detect.files`` task: stream-load one chunk of files and screen it."""
     paths, collect_evidence = payload
-    if _WORKER_DETECTOR is None:  # pragma: no cover - defensive
-        raise DetectionError("sharded detection worker was not initialized")
-    return _WORKER_DETECTOR.detect_many(
+    return detector.detect_many(
         _load_suspect_files(paths), collect_evidence=collect_evidence
     )
 
 
-def default_worker_count() -> int:
-    """Worker count used when ``workers`` is not given: the visible cores.
-
-    Honours CPU affinity masks (cgroup-limited containers) where the
-    platform exposes them; never less than 1.
-    """
-    try:
-        return max(1, len(os.sched_getaffinity(0)))
-    except AttributeError:  # pragma: no cover - non-Linux platforms
-        return max(1, os.cpu_count() or 1)
+register_initializer("detect.state", _build_detector)
+register_task_function("detect.chunk", _detect_chunk)
+register_task_function("detect.files", _detect_file_chunk)
 
 
 class ShardedDetectionPool:
-    """Partition ``detect_many`` workloads across worker processes.
+    """Partition ``detect_many`` workloads across scheduler workers.
 
-    The pool owns one :class:`~repro.core.detector.WatermarkDetector`
-    per worker (built once in the pool initializer from the pickled
-    secret/config) and screens batches of suspected datasets by
-    dispatching contiguous chunks to the workers. Results come back in
-    input order with verdicts identical to the in-process path.
+    The pool is a thin client of the pluggable scheduler: it owns one
+    in-process :class:`~repro.core.detector.WatermarkDetector` for the
+    fast path, registers the detector's serializable inputs as the
+    ``detect.state`` initializer, and screens batches by dispatching
+    contiguous chunks as fingerprinted tasks. Results come back in
+    input order with verdicts identical to the in-process path — on the
+    default local scheduler *and* on a remote worker fleet.
 
     Parameters
     ----------
@@ -127,18 +135,22 @@ class ShardedDetectionPool:
     config : DetectionConfig, optional
         Detection thresholds shared by the whole pool (defaults to the
         strict ``t = 0``, ``k = 50%`` setting).
+    policy : ExecutionPolicy, optional
+        How to parallelise — worker count, chunking, start method and
+        scheduler choice in one object (the preferred configuration
+        surface).
     workers : int, optional
-        Worker process count. ``None`` uses
-        :func:`default_worker_count`; ``1`` (or a single-core machine)
+        Deprecated alias for ``policy.workers`` (emits
+        ``DeprecationWarning``). ``None`` uses
+        :func:`~repro.exec.scheduler.default_worker_count`; ``1``
         short-circuits to plain in-process detection — no processes are
         ever spawned.
     chunk_size : int, optional
-        Datasets per dispatched chunk. ``None`` splits each batch into
-        about four chunks per worker, balancing scheduling slack against
-        per-chunk dispatch overhead.
+        Deprecated alias for ``policy.chunk_size``. ``None`` splits
+        each batch into about four chunks per worker, balancing
+        scheduling slack against per-chunk dispatch overhead.
     start_method : str, optional
-        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
-        ``"forkserver"``). ``None`` uses the platform default.
+        Deprecated alias for ``policy.start_method``.
     local_detector : WatermarkDetector, optional
         A prebuilt in-process detector to reuse for the ``workers=1``
         fast path and the spawn-failure fallback, skipping one moduli
@@ -148,9 +160,12 @@ class ShardedDetectionPool:
     backend :
         Compute backend for every shard (name, instance or ``None`` for
         the ``FREQYWM_BACKEND`` / NumPy default). Workers receive the
-        backend *name* through the pool initializer and resolve their
-        own instance; a ``local_detector`` must already be on this
-        backend.
+        backend *name* through the initializer and resolve their own
+        instance; a ``local_detector`` must already be on this backend.
+    scheduler : Scheduler, optional
+        A prebuilt scheduler to dispatch through (e.g. a shared
+        :class:`~repro.exec.remote.RemoteScheduler`); the pool then does
+        not own its lifecycle and ``close()`` leaves it running.
 
     Examples
     --------
@@ -167,20 +182,30 @@ class ShardedDetectionPool:
         secret: WatermarkSecret,
         config: Optional[DetectionConfig] = None,
         *,
+        policy: Optional[ExecutionPolicy] = None,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
         local_detector: Optional[WatermarkDetector] = None,
         backend: BackendLike = None,
+        scheduler: Optional[Scheduler] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise DetectionError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise DetectionError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.policy = policy_from_kwargs(
+            policy,
+            workers=workers,
+            chunk_size=chunk_size,
+            start_method=start_method,
+            caller="ShardedDetectionPool",
+        )
         self.secret = secret
         self.config = config
+        resolved = backend if backend is not None else self.policy.backend
         self.backend = resolve_backend(
-            backend if backend is not None or local_detector is None
+            resolved if resolved is not None or local_detector is None
             else local_detector.backend
         )
         if local_detector is not None and local_detector.backend is not self.backend:
@@ -189,10 +214,8 @@ class ShardedDetectionPool:
                 f"{local_detector.backend.name!r} but backend "
                 f"{self.backend.name!r} was requested"
             )
-        self.workers = workers if workers is not None else default_worker_count()
-        self.chunk_size = chunk_size
-        self.start_method = start_method
-        self._pool = None
+        self.chunk_size = self.policy.chunk_size
+        self.start_method = self.policy.start_method
         # The in-process detector doubles as the workers=1 fast path and
         # the fallback when worker processes cannot be spawned.
         self._local = (
@@ -200,10 +223,53 @@ class ShardedDetectionPool:
             if local_detector is not None
             else WatermarkDetector(secret, config, backend=self.backend)
         )
+        self._init_key = detector_fingerprint(secret, config, self.backend)
+        if scheduler is not None:
+            self._scheduler = scheduler
+            self._owns_scheduler = False
+        else:
+            self._scheduler = create_scheduler(
+                self.policy,
+                on_spawn_failure=self._spawn_failure,
+                inline_state={self._init_key: self._local},
+            )
+            self._owns_scheduler = True
+
+    def _spawn_failure(self, error: BaseException) -> None:
+        """Spawn-failure hook: keep the historical detection warnings.
+
+        Restricted sandboxes (no /dev/shm, seccomp'd fork, ...) degrade
+        to in-process screening rather than failing the whole batch —
+        but never silently: the reason lands both in the logging stream
+        (for resident services) and as a RuntimeWarning (for
+        interactive/CLI runs).
+        """
+        logger.warning(
+            "cannot start detection workers (%s: %s); "
+            "falling back to in-process detection",
+            type(error).__name__,
+            error,
+        )
+        warnings.warn(
+            f"cannot start detection workers ({error}); "
+            "falling back to in-process detection",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+
+    @property
+    def workers(self) -> int:
+        """Effective worker count (drops to 1 after a spawn failure)."""
+        return self._scheduler.workers
+
+    @property
+    def _pool(self):
+        """The scheduler's live worker pool, None until (re)spawned."""
+        return getattr(self._scheduler, "_pool", None)
 
     def __enter__(self) -> "ShardedDetectionPool":
         return self
@@ -212,84 +278,53 @@ class ShardedDetectionPool:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker processes (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-
-    def _ensure_pool(self):
-        """Create the worker pool lazily; None when unavailable."""
-        if self._pool is None:
-            import multiprocessing
-
-            context = (
-                multiprocessing.get_context(self.start_method)
-                if self.start_method
-                else multiprocessing.get_context()
-            )
-            try:
-                self._pool = context.Pool(
-                    processes=self.workers,
-                    initializer=_initialize_worker,
-                    initargs=(self.secret, self.config, self.backend.name),
-                )
-            except (OSError, ValueError) as error:
-                # Restricted sandboxes (no /dev/shm, seccomp'd fork, ...):
-                # degrade to in-process screening rather than failing the
-                # whole batch — but never silently: the reason lands both
-                # in the logging stream (for resident services) and as a
-                # RuntimeWarning (for interactive/CLI runs).
-                logger.warning(
-                    "cannot start detection workers (%s: %s); "
-                    "falling back to in-process detection",
-                    type(error).__name__,
-                    error,
-                )
-                warnings.warn(
-                    f"cannot start detection workers ({error}); "
-                    "falling back to in-process detection",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
-                self.workers = 1
-        return self._pool
+        """Shut down owned workers (idempotent; the pool respawns lazily)."""
+        if self._owns_scheduler:
+            self._scheduler.close()
 
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
 
-    def _chunks(self, datasets: List[SuspectData]) -> Iterator[List[SuspectData]]:
-        """Contiguous chunks in input order (ordered collection relies on it)."""
-        size = self.chunk_size
-        if size is None:
-            size = max(1, -(-len(datasets) // (self.workers * _CHUNKS_PER_WORKER)))
-            size = min(size, _MAX_CHUNK)
-        for start in range(0, len(datasets), size):
-            yield datasets[start : start + size]
+    def _specs(
+        self, items: List, function: str, collect_evidence: bool
+    ) -> List[TaskSpec]:
+        """One fingerprinted task per contiguous chunk, in input order."""
+        size = derive_chunk_size(
+            len(items),
+            self.workers,
+            chunk_size=self.chunk_size,
+            chunks_per_worker=DETECTION_CHUNKS_PER_WORKER,
+            max_chunk=DETECTION_MAX_CHUNK,
+        )
+        return [
+            TaskSpec(
+                fingerprint=f"{self._init_key}:{function}:{index}",
+                function=function,
+                payload=(chunk, collect_evidence),
+                initializer="detect.state",
+                init_key=self._init_key,
+                init_args=(self.secret, self.config, self.backend.name),
+            )
+            for index, chunk in enumerate(split_chunks(items, size))
+        ]
 
     def _run(
-        self, items: List, chunk_function, local_function, collect_evidence: bool
+        self, items: List, function: str, collect_evidence: bool
     ) -> BatchDetectionReport:
-        """Shared dispatch: shard ``items`` or fall back to ``local_function``."""
+        """Shared dispatch: chunk ``items`` and gather in input order.
+
+        The scheduler walks the same chunks in-process when it cannot
+        (or need not) shard, so at most one chunk's datasets/histograms
+        are resident at a time — this is what keeps ``detect_files``
+        memory-bounded at ``workers=1`` too.
+        """
         if not items:
             return BatchDetectionReport(results=())
-        pool = None
-        if self.workers > 1 and len(items) > 1:
-            pool = self._ensure_pool()  # None when spawning failed
         collected: List[DetectionResult] = []
-        if pool is None:
-            # In-process fallback walks the same chunks as the sharded
-            # path, so at most one chunk's datasets/histograms are
-            # resident at a time (this is what keeps detect_files
-            # memory-bounded at workers=1 too).
-            for chunk in self._chunks(items):
-                collected.extend(local_function(chunk, collect_evidence))
-            return BatchDetectionReport(results=tuple(collected))
-        payloads = [(chunk, collect_evidence) for chunk in self._chunks(items)]
-        # imap yields chunk results in dispatch order, so concatenating
-        # preserves the input order exactly.
-        for chunk_results in pool.imap(chunk_function, payloads):
+        for chunk_results in self._scheduler.run(
+            self._specs(items, function, collect_evidence)
+        ):
             collected.extend(chunk_results)
         return BatchDetectionReport(results=tuple(collected))
 
@@ -318,14 +353,7 @@ class ShardedDetectionPool:
             identical to in-process
             :func:`repro.core.batch.detect_many`.
         """
-        return self._run(
-            list(datasets),
-            _detect_chunk,
-            lambda items, evidence: self._local.detect_many(
-                items, collect_evidence=evidence
-            ),
-            collect_evidence,
-        )
+        return self._run(list(datasets), "detect.chunk", collect_evidence)
 
     def detect_files(
         self,
@@ -358,14 +386,7 @@ class ShardedDetectionPool:
             One result per file, in input order, with verdicts identical
             to loading each file and running the in-process path.
         """
-        return self._run(
-            list(paths),
-            _detect_file_chunk,
-            lambda items, evidence: self._local.detect_many(
-                _load_suspect_files(items), collect_evidence=evidence
-            ),
-            collect_evidence,
-        )
+        return self._run(list(paths), "detect.files", collect_evidence)
 
 
 __all__ = ["ShardedDetectionPool", "default_worker_count"]

@@ -80,3 +80,27 @@ class ServiceError(ReproError):
     Covers malformed wire requests, references to unregistered secrets,
     and submissions against a service that is not running.
     """
+
+
+class SchedulerError(ReproError):
+    """Raised by the pluggable task scheduler (:mod:`repro.exec`).
+
+    Covers unknown scheduler/task-function names, unreachable remote
+    workers, and execution plans that cannot be dispatched.
+    """
+
+
+class WorkerCrashError(SchedulerError):
+    """A scheduler worker died while running a task, retries exhausted.
+
+    Carries the ``fingerprint`` of the lost task and the number of
+    ``attempts`` made, so callers can resubmit the exact task elsewhere.
+    Schedulers retry a crashed task a bounded number of times before
+    raising this — one crash is an incident, repeated crashes on the
+    same task are evidence the task itself kills its host.
+    """
+
+    def __init__(self, message: str, *, fingerprint: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.attempts = attempts

@@ -1,0 +1,63 @@
+"""Pluggable task execution: one API from in-process to distributed.
+
+The :mod:`repro.exec` package is the execution substrate the sharded
+pools and the experiment executor stand on:
+
+* :mod:`repro.exec.policy` — the frozen
+  :class:`~repro.exec.policy.ExecutionPolicy`, the single way callers
+  configure parallelism (workers, chunking, start method, backend,
+  scheduler name and worker addresses);
+* :mod:`repro.exec.scheduler` — the
+  :class:`~repro.exec.scheduler.Scheduler` API,
+  :class:`~repro.exec.scheduler.TaskSpec`, the task/initializer name
+  registries, and the default in-machine
+  :class:`~repro.exec.scheduler.LocalScheduler`;
+* :mod:`repro.exec.remote` — the
+  :class:`~repro.exec.remote.RemoteScheduler` dispatching tasks over
+  the JSON-lines wire to ``freqywm worker`` processes;
+* :mod:`repro.exec.worker` — the worker-process server itself;
+* :mod:`repro.exec.chunking` — the shared chunk-size heuristic.
+
+``docs/scheduler.md`` is the narrative documentation.
+"""
+
+from repro.exec.chunking import (
+    DETECTION_CHUNKS_PER_WORKER,
+    DETECTION_MAX_CHUNK,
+    chunk_spans,
+    derive_chunk_size,
+    split_chunks,
+)
+from repro.exec.policy import ExecutionPolicy, policy_from_kwargs
+from repro.exec.scheduler import (
+    LocalScheduler,
+    Scheduler,
+    TaskSpec,
+    create_scheduler,
+    default_worker_count,
+    load_builtin_tasks,
+    register_initializer,
+    register_scheduler,
+    register_task_function,
+    run_task,
+)
+
+__all__ = [
+    "DETECTION_CHUNKS_PER_WORKER",
+    "DETECTION_MAX_CHUNK",
+    "ExecutionPolicy",
+    "LocalScheduler",
+    "Scheduler",
+    "TaskSpec",
+    "chunk_spans",
+    "create_scheduler",
+    "default_worker_count",
+    "derive_chunk_size",
+    "load_builtin_tasks",
+    "policy_from_kwargs",
+    "register_initializer",
+    "register_scheduler",
+    "register_task_function",
+    "run_task",
+    "split_chunks",
+]

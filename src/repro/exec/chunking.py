@@ -1,0 +1,104 @@
+"""Shared chunk-size heuristic for every sharded dispatch layer.
+
+Both sharded pools used to carry a private copy of the same arithmetic:
+split ``n`` items into contiguous chunks sized so each worker receives a
+target number of chunks, optionally capped so no single dispatch holds
+too many items. Detection wants several small chunks per worker (suspect
+files vary wildly in size, so slack load-balances) while embedding wants
+one big chunk per worker (each chunk shares one modulus cache, so bigger
+amortises more) — the *heuristic* is one function with two parameter
+settings, not two functions.
+
+``tests/test_exec_chunking.py`` pins the boundary behaviour: fewer items
+than workers, ``chunk_size=1``, and the cap interacting with tiny
+batches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchedulerError
+
+#: Detection's default chunks dispatched per worker: small enough to
+#: load-balance uneven datasets, large enough that each chunk amortises
+#: the worker round-trip over one vectorized matrix pass.
+DETECTION_CHUNKS_PER_WORKER = 4
+#: Detection's cap on the derived chunk size: bounds how many suspects
+#: are resident per dispatch (and per in-process fallback step).
+DETECTION_MAX_CHUNK = 64
+
+
+def derive_chunk_size(
+    n_items: int,
+    workers: int,
+    *,
+    chunk_size: Optional[int] = None,
+    chunks_per_worker: int = 1,
+    max_chunk: Optional[int] = None,
+) -> int:
+    """The chunk size one dispatch should use for ``n_items`` items.
+
+    Parameters
+    ----------
+    n_items : int
+        Number of items in the batch (>= 0).
+    workers : int
+        Worker count the batch is split across (>= 1).
+    chunk_size : int, optional
+        Explicit caller-chosen size; returned verbatim when given.
+    chunks_per_worker : int, optional
+        Target chunks per worker when deriving (default 1: one chunk per
+        worker, embedding's setting; detection passes
+        :data:`DETECTION_CHUNKS_PER_WORKER`).
+    max_chunk : int, optional
+        Upper bound applied to the *derived* size (never to an explicit
+        ``chunk_size``); ``None`` leaves the derived size uncapped.
+
+    Returns
+    -------
+    int
+        A chunk size >= 1.
+    """
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise SchedulerError(f"chunk_size must be >= 1, got {chunk_size}")
+        return chunk_size
+    if workers < 1:
+        raise SchedulerError(f"workers must be >= 1, got {workers}")
+    if chunks_per_worker < 1:
+        raise SchedulerError(
+            f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+        )
+    size = max(1, -(-n_items // (workers * chunks_per_worker)))
+    if max_chunk is not None:
+        size = min(size, max_chunk)
+    return max(1, size)
+
+
+def chunk_spans(n_items: int, size: int) -> Iterator[Tuple[int, int]]:
+    """Contiguous ``(start, stop)`` spans covering ``range(n_items)`` in order.
+
+    Ordered collection of sharded results relies on the spans being
+    contiguous and emitted in input order.
+    """
+    if size < 1:
+        raise SchedulerError(f"chunk size must be >= 1, got {size}")
+    for start in range(0, n_items, size):
+        yield start, min(start + size, n_items)
+
+
+def split_chunks(items: Sequence, size: int) -> Iterator[List]:
+    """The items of each :func:`chunk_spans` span, as lists, in order."""
+    sequence = list(items)
+    for start, stop in chunk_spans(len(sequence), size):
+        yield sequence[start:stop]
+
+
+__all__ = [
+    "DETECTION_CHUNKS_PER_WORKER",
+    "DETECTION_MAX_CHUNK",
+    "chunk_spans",
+    "derive_chunk_size",
+    "split_chunks",
+]

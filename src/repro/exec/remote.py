@@ -1,0 +1,454 @@
+"""Distributed scheduler leg: tasks over the JSON-lines wire.
+
+:class:`RemoteScheduler` implements the same
+:class:`~repro.exec.scheduler.Scheduler` API as the in-machine pool,
+but dispatches each :class:`~repro.exec.scheduler.TaskSpec` as one
+``task`` line (protocol version 3, :mod:`repro.service.wire`) to a
+``freqywm worker`` process reachable by Unix socket or TCP, and reads
+one ``result`` line back. The distribution model is deliberately plain:
+
+* one client thread per worker address pulls indices off a shared work
+  queue, so a fast worker simply takes more tasks (work stealing by
+  construction, no partitioning step);
+* while a task runs remotely, the client probes liveness with
+  ``__heartbeat__`` task lines — the worker answers them on its event
+  loop even mid-task. A connection that stays silent past the heartbeat
+  timeout (or drops) marks that worker **dead**: its in-flight
+  fingerprint is *not* lost but re-queued, and another worker picks it
+  up, up to ``max_retries`` resubmissions before
+  :class:`~repro.exceptions.WorkerCrashError` surfaces — the same
+  bounded-retry contract as the local scheduler;
+* results are gathered **in submission order** regardless of which
+  worker answered first.
+
+Task payloads travel base64-pickled (:func:`pickle_b64`): the wire
+carries exactly what a ``multiprocessing`` pool would pickle anyway, so
+the trust model is unchanged — run workers only on hosts you would run
+a pool on. ``docs/scheduler.md`` spells this out.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import pickle
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro.exceptions as _exceptions
+from repro.exceptions import ReproError, SchedulerError, WorkerCrashError
+from repro.exec.scheduler import Scheduler, TaskSpec
+from repro.service.wire import (
+    HEARTBEAT_FUNCTION,
+    TaskRequest,
+    TaskResult,
+    decode_response,
+    encode_line,
+)
+
+# --------------------------------------------------------------------- #
+# Payload codec + spec <-> wire conversion
+# --------------------------------------------------------------------- #
+
+
+def pickle_b64(value: Any) -> str:
+    """Pickle ``value`` and encode it as base64 text for the JSON wire."""
+    return base64.b64encode(pickle.dumps(value)).decode("ascii")
+
+
+def unpickle_b64(text: str) -> Any:
+    """Invert :func:`pickle_b64` (trusted input only — see module doc)."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def spec_to_request(spec: TaskSpec, request_id: str) -> TaskRequest:
+    """Encode a task spec as one ``task`` wire request."""
+    return TaskRequest(
+        request_id=request_id,
+        function=spec.function,
+        payload=pickle_b64(spec.payload),
+        initializer=spec.initializer,
+        init_key=spec.init_key,
+        init_args=pickle_b64(spec.init_args) if spec.init_args else None,
+        fingerprint=spec.fingerprint,
+    )
+
+
+def spec_from_request(request: TaskRequest) -> TaskSpec:
+    """Decode a ``task`` wire request back into a runnable spec."""
+    return TaskSpec(
+        fingerprint=request.fingerprint or request.request_id,
+        function=request.function,
+        payload=unpickle_b64(request.payload) if request.payload is not None else None,
+        initializer=request.initializer,
+        init_key=request.init_key,
+        init_args=tuple(unpickle_b64(request.init_args))
+        if request.init_args is not None
+        else (),
+    )
+
+
+def parse_address(address: str) -> Tuple[str, Any]:
+    """Parse a worker address into ``("unix", path)`` or ``("tcp", (host, port))``.
+
+    Accepted forms: ``unix:/path/to.sock``, ``tcp:host:port`` and the
+    bare ``host:port`` shorthand.
+    """
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise SchedulerError(f"unix address {address!r} is missing a path")
+        return "unix", path
+    spec = address[len("tcp:"):] if address.startswith("tcp:") else address
+    host, separator, port_text = spec.rpartition(":")
+    if not separator or not host:
+        raise SchedulerError(
+            f"worker address {address!r} is not 'unix:PATH', 'tcp:HOST:PORT' "
+            "or 'HOST:PORT'"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SchedulerError(
+            f"worker address {address!r} has a non-integer port"
+        ) from None
+    if not 0 < port < 65536:
+        raise SchedulerError(f"worker address {address!r} port out of range")
+    return "tcp", (host, port)
+
+
+def _remote_error(result: TaskResult) -> ReproError:
+    """Rebuild a typed error from a failed ``result`` line.
+
+    The wire carries the exception's *type name* and message, never a
+    pickled exception object. Known :mod:`repro.exceptions` types are
+    re-raised as themselves so remote failures stay catchable exactly
+    like local ones; anything else degrades to ``SchedulerError``.
+    """
+    error_type = result.error_type or ""
+    message = result.error or "remote task failed"
+    candidate = getattr(_exceptions, error_type, None)
+    if (
+        isinstance(candidate, type)
+        and issubclass(candidate, ReproError)
+        and candidate is not WorkerCrashError
+    ):
+        return candidate(message)
+    prefix = f"{error_type}: " if error_type else ""
+    return SchedulerError(f"remote task {result.fingerprint!r} failed: {prefix}{message}")
+
+
+class _WorkerDied(Exception):
+    """Internal: the connection to one worker is gone (retry elsewhere)."""
+
+
+class _LineChannel:
+    """Blocking JSON-lines channel over one socket, with recv timeouts."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = bytearray()
+
+    def send_line(self, line: str) -> None:
+        """Write one line (appending the newline delimiter)."""
+        try:
+            self._sock.sendall(line.encode("utf-8") + b"\n")
+        except OSError as error:
+            raise _WorkerDied(f"send failed: {error}") from error
+
+    def recv_line(self, timeout: float) -> Optional[str]:
+        """One decoded line, or None when ``timeout`` elapses first."""
+        while b"\n" not in self._buffer:
+            self._sock.settimeout(timeout)
+            try:
+                data = self._sock.recv(65536)
+            except (TimeoutError, socket.timeout):
+                return None
+            except OSError as error:
+                raise _WorkerDied(f"recv failed: {error}") from error
+            if not data:
+                raise _WorkerDied("worker closed the connection")
+            self._buffer.extend(data)
+        line, _, rest = bytes(self._buffer).partition(b"\n")
+        self._buffer = bytearray(rest)
+        return line.decode("utf-8")
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent, errors swallowed)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
+class RemoteScheduler(Scheduler):
+    """Dispatch fingerprinted tasks to ``freqywm worker`` processes.
+
+    Parameters
+    ----------
+    addresses : Sequence[str]
+        Worker addresses (:func:`parse_address` forms). One client
+        thread serves each; ``workers`` equals the address count.
+    max_retries : int, optional
+        Resubmissions per task after a worker is lost (default 1 —
+        retried exactly once, matching the local scheduler).
+    heartbeat_interval : float, optional
+        Seconds of silence before a liveness probe is sent.
+    heartbeat_timeout : float, optional
+        Seconds of *total* silence (no result, no probe answer) after
+        which a worker is declared dead.
+    connect_timeout : float, optional
+        Seconds allowed for the initial connection per worker.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[str],
+        *,
+        max_retries: int = 1,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 10.0,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if not addresses:
+            raise SchedulerError("RemoteScheduler needs at least one worker address")
+        if max_retries < 0:
+            raise SchedulerError(f"max_retries must be >= 0, got {max_retries}")
+        if heartbeat_timeout <= 0 or heartbeat_interval <= 0:
+            raise SchedulerError("heartbeat interval/timeout must be positive")
+        self.addresses = tuple(addresses)
+        for address in self.addresses:
+            parse_address(address)  # fail fast on malformed addresses
+        self.workers = len(self.addresses)
+        self.max_retries = max_retries
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.connect_timeout = connect_timeout
+        self._channels: Dict[str, _LineChannel] = {}
+        self._dead: set = set()
+        self._sequence = itertools.count()
+        # Per-run state, guarded by _cond's lock.
+        self._cond = threading.Condition()
+        self._specs: List[TaskSpec] = []
+        self._queue: deque = deque()
+        self._attempts: List[int] = []
+        self._results: Dict[int, Any] = {}
+        self._failure: Optional[BaseException] = None
+        self._on_result: Optional[Callable[[int, Any], None]] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drop every worker connection (idempotent)."""
+        for channel in self._channels.values():
+            channel.close()
+        self._channels.clear()
+
+    def _connect(self, address: str) -> _LineChannel:
+        """The (cached) channel to one worker, connecting on first use."""
+        channel = self._channels.get(address)
+        if channel is not None:
+            return channel
+        kind, target = parse_address(address)
+        if kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.connect_timeout)
+            sock.connect(target)
+        else:
+            sock = socket.create_connection(target, timeout=self.connect_timeout)
+        channel = _LineChannel(sock)
+        self._channels[address] = channel
+        return channel
+
+    def _drop(self, address: str) -> None:
+        """Forget a dead worker's connection."""
+        channel = self._channels.pop(address, None)
+        if channel is not None:
+            channel.close()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        tasks: Sequence[TaskSpec],
+        *,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        """Fan ``tasks`` out to the workers; results in submission order."""
+        specs = list(tasks)
+        if not specs:
+            return []
+        live = [address for address in self.addresses if address not in self._dead]
+        if not live:
+            raise SchedulerError(
+                "no live remote workers left "
+                f"(all of {list(self.addresses)} marked dead)"
+            )
+        with self._cond:
+            self._specs = specs
+            self._queue = deque(range(len(specs)))
+            self._attempts = [1] * len(specs)
+            self._results = {}
+            self._failure = None
+            self._on_result = on_result
+        threads = [
+            threading.Thread(
+                target=self._serve, args=(address,), daemon=True,
+                name=f"repro-remote-{address}",
+            )
+            for address in live
+        ]
+        for thread in threads:
+            thread.start()
+        with self._cond:
+            while not self._finished():
+                self._cond.wait(0.05)
+            failure = self._failure
+        for thread in threads:
+            thread.join(timeout=self.heartbeat_timeout + 1.0)
+        if failure is not None:
+            raise failure
+        return [self._results[index] for index in range(len(specs))]
+
+    def _finished(self) -> bool:
+        """Run-complete predicate (callers hold the condition's lock)."""
+        return self._failure is not None or len(self._results) >= len(self._specs)
+
+    def _serve(self, address: str) -> None:
+        """One worker's client loop: pull indices, dispatch, collect."""
+        try:
+            channel = self._connect(address)
+        except OSError as error:
+            self._lose_worker(address, None, f"cannot connect: {error}")
+            return
+        while True:
+            with self._cond:
+                while not self._queue and not self._finished():
+                    # Idle but the run is live: another worker may still
+                    # crash and re-queue its in-flight task, so poll.
+                    self._cond.wait(0.05)
+                if self._finished():
+                    return
+                index = self._queue.popleft()
+                attempt = self._attempts[index]
+            try:
+                value = self._execute(channel, address, index, attempt)
+            except _WorkerDied as error:
+                self._drop(address)
+                self._lose_worker(address, index, str(error))
+                return
+            except ReproError as error:
+                # The task itself failed remotely: a typed library error,
+                # not an infrastructure loss. Propagate, no retry — the
+                # same task would fail the same way anywhere.
+                with self._cond:
+                    if self._failure is None:
+                        self._failure = error
+                    self._cond.notify_all()
+                return
+            except Exception as error:  # noqa: BLE001 - must never hang run()
+                # A client-side bug (malformed wire line, codec error)
+                # must surface as the run's failure, not as a silently
+                # dead thread that leaves run() waiting forever.
+                with self._cond:
+                    if self._failure is None:
+                        self._failure = SchedulerError(
+                            f"worker client for {address} failed: "
+                            f"{type(error).__name__}: {error}"
+                        )
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                if index not in self._results:
+                    self._results[index] = value
+                    if self._on_result is not None:
+                        self._on_result(index, value)
+                self._cond.notify_all()
+
+    def _execute(
+        self, channel: _LineChannel, address: str, index: int, attempt: int
+    ) -> Any:
+        """Send one task and await its result, heartbeating in between."""
+        spec = self._specs[index]
+        request_id = f"task-{index}-{attempt}-{next(self._sequence)}"
+        channel.send_line(encode_line(spec_to_request(spec, request_id)))
+        last_heard = time.monotonic()
+        while True:
+            line = channel.recv_line(timeout=self.heartbeat_interval)
+            now = time.monotonic()
+            if line is None:
+                if now - last_heard >= self.heartbeat_timeout:
+                    raise _WorkerDied(
+                        f"worker {address} silent for more than "
+                        f"{self.heartbeat_timeout:.1f}s (task "
+                        f"{spec.fingerprint!r} in flight)"
+                    )
+                channel.send_line(
+                    encode_line(
+                        TaskRequest(
+                            request_id=f"hb-{next(self._sequence)}",
+                            function=HEARTBEAT_FUNCTION,
+                        )
+                    )
+                )
+                continue
+            last_heard = now
+            response = decode_response(line)
+            if not isinstance(response, TaskResult):
+                continue  # not ours (future wire chatter): liveness only
+            if response.request_id != request_id:
+                continue  # heartbeat acks and stale duplicates
+            if response.ok:
+                return (
+                    unpickle_b64(response.result)
+                    if response.result is not None
+                    else None
+                )
+            raise _remote_error(response)
+
+    def _lose_worker(self, address: str, index: Optional[int], reason: str) -> None:
+        """Mark a worker dead; re-queue (or fail) its in-flight task."""
+        with self._cond:
+            self._dead.add(address)
+            if index is not None:
+                spec = self._specs[index]
+                if self._attempts[index] > self.max_retries:
+                    if self._failure is None:
+                        self._failure = WorkerCrashError(
+                            f"remote worker {address} lost running task "
+                            f"{spec.fingerprint!r} "
+                            f"({self._attempts[index]} attempts, retries "
+                            "exhausted): " + reason,
+                            fingerprint=spec.fingerprint,
+                            attempts=self._attempts[index],
+                        )
+                else:
+                    self._attempts[index] += 1
+                    self._queue.append(index)
+            still_live = [
+                a for a in self.addresses if a not in self._dead
+            ]
+            if not still_live and not self._finished():
+                if self._failure is None:
+                    self._failure = SchedulerError(
+                        f"all remote workers died; last loss at {address}: "
+                        + reason
+                    )
+            self._cond.notify_all()
+
+
+__all__ = [
+    "RemoteScheduler",
+    "parse_address",
+    "pickle_b64",
+    "spec_from_request",
+    "spec_to_request",
+    "unpickle_b64",
+]

@@ -1,0 +1,616 @@
+"""Pluggable task scheduler: one execution API behind every pool.
+
+Before this module, three call sites hand-rolled the same
+``multiprocessing.Pool`` dance —
+:class:`~repro.core.sharding.ShardedDetectionPool`,
+:class:`~repro.core.embedding.ShardedEmbeddingPool` and the experiment
+executor each owned its own worker lifecycle, chunk math and
+spawn-failure fallback. They are now thin clients of one abstraction:
+
+* a **task** is a :class:`TaskSpec` — a registered *function name*, a
+  picklable payload, a fingerprint for error reporting/retry, and an
+  optional named *initializer* whose product (a detector, a generator)
+  is cached worker-locally under ``init_key`` so expensive per-worker
+  state is built once and reused across tasks and batches;
+* a **scheduler** takes a list of tasks and returns their results **in
+  submission order**, whatever completion order the workers produce;
+* :class:`LocalScheduler` reproduces the historical in-machine behavior
+  bit-for-bit — ``workers=1`` (or a single task) never spawns anything,
+  a pool that cannot start falls back in-process with the caller's own
+  warning, and a worker killed mid-task is retried a bounded number of
+  times before surfacing as
+  :class:`~repro.exceptions.WorkerCrashError`;
+* :class:`~repro.exec.remote.RemoteScheduler` dispatches the very same
+  tasks over the JSON-lines wire to ``freqywm worker`` processes — same
+  API, same ordering, same typed crash error.
+
+Functions and initializers are registered *by name* (module import
+registers them; :func:`load_builtin_tasks` covers spawn-fresh
+processes), so a task travels as strings + payload and never pickles
+code. ``tests/test_scheduler.py`` pins the fault paths; the cross-
+scheduler report parity lives in ``tests/test_scheduler_experiment.py``.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import time
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchedulerError, WorkerCrashError
+
+logger = logging.getLogger(__name__)
+
+#: How many distinct initializer products one worker keeps alive. Small:
+#: states are detectors/generators holding derived moduli, and a worker
+#: serving a sweep rarely alternates between more than a few secrets.
+DEFAULT_STATE_CACHE = 8
+
+
+# --------------------------------------------------------------------- #
+# Task + registries
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit of work.
+
+    Attributes
+    ----------
+    fingerprint:
+        Stable identifier for this task, carried into
+        :class:`~repro.exceptions.WorkerCrashError` and the remote wire
+        so lost work is attributable and resubmittable. Content-hash
+        fingerprints (the experiment cache's) are ideal; any unique
+        string works.
+    function:
+        Registered task-function name (:func:`register_task_function`).
+        The function is called as ``function(state, payload)`` where
+        ``state`` is the initializer product (``None`` without one).
+    payload:
+        Picklable argument object for the function.
+    initializer:
+        Optional registered initializer name
+        (:func:`register_initializer`) building the worker-local state.
+    init_key:
+        Cache key for the initializer product. Tasks sharing an
+        ``init_key`` share one state per worker — the detector built for
+        chunk 0 serves chunk 40. Must uniquely describe ``init_args``
+        (a fingerprint of them), or workers would serve stale state.
+    init_args:
+        Picklable positional arguments for the initializer.
+    """
+
+    fingerprint: str
+    function: str
+    payload: Any = None
+    initializer: Optional[str] = None
+    init_key: str = ""
+    init_args: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.function:
+            raise SchedulerError("task function name must be non-empty")
+        if self.initializer is not None and not self.init_key:
+            raise SchedulerError(
+                f"task {self.fingerprint!r} names initializer "
+                f"{self.initializer!r} but no init_key to cache it under"
+            )
+
+
+_TASK_FUNCTIONS: Dict[str, Callable[[Any, Any], Any]] = {}
+_INITIALIZERS: Dict[str, Callable[..., Any]] = {}
+_BUILTINS_LOADED = False
+
+
+def register_task_function(name: str, function: Callable[[Any, Any], Any]) -> None:
+    """Register ``function`` under ``name`` for dispatch by TaskSpecs.
+
+    Re-registering the same callable is a no-op; rebinding a name to a
+    *different* callable raises — two call sites silently fighting over
+    a name would make results depend on import order.
+    """
+    existing = _TASK_FUNCTIONS.get(name)
+    if existing is not None and existing is not function:
+        raise SchedulerError(f"task function {name!r} is already registered")
+    _TASK_FUNCTIONS[name] = function
+
+
+def register_initializer(name: str, function: Callable[..., Any]) -> None:
+    """Register a named initializer building worker-local state."""
+    existing = _INITIALIZERS.get(name)
+    if existing is not None and existing is not function:
+        raise SchedulerError(f"initializer {name!r} is already registered")
+    _INITIALIZERS[name] = function
+
+
+def load_builtin_tasks() -> None:
+    """Import every module that registers built-in task functions.
+
+    Spawn-started workers (and ``freqywm worker`` processes) begin with
+    empty registries; importing the registering modules is what fills
+    them. Idempotent and cheap after the first call.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.core.batch  # noqa: F401
+    import repro.core.embedding  # noqa: F401
+    import repro.core.sharding  # noqa: F401
+    import repro.experiments.executor  # noqa: F401
+
+
+def resolve_task_function(name: str) -> Callable[[Any, Any], Any]:
+    """Look up a registered task function, loading builtins on a miss."""
+    function = _TASK_FUNCTIONS.get(name)
+    if function is None:
+        load_builtin_tasks()
+        function = _TASK_FUNCTIONS.get(name)
+    if function is None:
+        raise SchedulerError(f"unknown task function {name!r}")
+    return function
+
+
+def resolve_initializer(name: str) -> Callable[..., Any]:
+    """Look up a registered initializer, loading builtins on a miss."""
+    function = _INITIALIZERS.get(name)
+    if function is None:
+        load_builtin_tasks()
+        function = _INITIALIZERS.get(name)
+    if function is None:
+        raise SchedulerError(f"unknown initializer {name!r}")
+    return function
+
+
+# --------------------------------------------------------------------- #
+# Worker-side execution (runs inside pool workers and `freqywm worker`)
+# --------------------------------------------------------------------- #
+
+# Worker-local initializer products, LRU-bounded. Module-level so pool
+# workers (which import this module once) and the remote worker server
+# share one implementation.
+_WORKER_STATE: "OrderedDict[str, Any]" = OrderedDict()
+_WORKER_STATE_CAP = DEFAULT_STATE_CACHE
+
+
+def set_state_cache_size(size: int) -> None:
+    """Bound the worker-local state cache (``freqywm worker --max-state``)."""
+    global _WORKER_STATE_CAP
+    if size < 1:
+        raise SchedulerError(f"state cache size must be >= 1, got {size}")
+    _WORKER_STATE_CAP = size
+    while len(_WORKER_STATE) > _WORKER_STATE_CAP:
+        _WORKER_STATE.popitem(last=False)
+
+
+def _ensure_worker_state(spec: TaskSpec) -> Any:
+    """Build-or-fetch the initializer product for ``spec`` (LRU)."""
+    assert spec.initializer is not None
+    state = _WORKER_STATE.get(spec.init_key)
+    if state is None and spec.init_key not in _WORKER_STATE:
+        state = resolve_initializer(spec.initializer)(*spec.init_args)
+        _WORKER_STATE[spec.init_key] = state
+        while len(_WORKER_STATE) > _WORKER_STATE_CAP:
+            _WORKER_STATE.popitem(last=False)
+    else:
+        _WORKER_STATE.move_to_end(spec.init_key)
+    return state
+
+
+def run_task(spec: TaskSpec) -> Any:
+    """Execute one task in this process (the worker-side entry point).
+
+    Resolves the function and (cached) initializer state, then calls
+    ``function(state, payload)``. Used verbatim by pool workers, the
+    remote worker server, and the in-process fast path.
+    """
+    function = resolve_task_function(spec.function)
+    state = _ensure_worker_state(spec) if spec.initializer is not None else None
+    return function(state, spec.payload)
+
+
+def _pool_run(spec: TaskSpec) -> Any:
+    """Top-level pool target (picklable by reference)."""
+    return run_task(spec)
+
+
+def default_worker_count() -> int:
+    """Worker count used when ``workers`` is not given: the visible cores.
+
+    Honours CPU affinity masks (cgroup-limited containers) where the
+    platform exposes them; never less than 1.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return max(1, os.cpu_count() or 1)
+
+
+# --------------------------------------------------------------------- #
+# Scheduler API
+# --------------------------------------------------------------------- #
+
+
+class Scheduler:
+    """Protocol every scheduler implements: ordered fan-out of TaskSpecs.
+
+    ``run`` takes tasks, returns results **in submission order**, and
+    optionally streams each result to ``on_result(index, value)`` as it
+    completes (out of order) — the hook the experiment executor uses to
+    cache finished tasks at task granularity, not at batch barriers.
+    Implementations surface a worker lost mid-task as
+    :class:`~repro.exceptions.WorkerCrashError` after bounded retries.
+    """
+
+    #: Effective worker count (schedulers may lower it on fallback).
+    workers: int = 1
+
+    def run(
+        self,
+        tasks: Sequence[TaskSpec],
+        *,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        """Execute ``tasks``; result ``i`` corresponds to ``tasks[i]``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "Scheduler":
+        """Context-manager entry: the scheduler itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: release workers."""
+        self.close()
+
+
+@dataclass
+class _Submission:
+    """Book-keeping for one task's in-flight pool handles."""
+
+    spec: TaskSpec
+    attempts: int = 1
+    handles: List[Any] = field(default_factory=list)
+
+
+class LocalScheduler(Scheduler):
+    """In-machine scheduler over a ``multiprocessing`` pool.
+
+    Preserves the historical pool contracts the sharding layers exposed:
+
+    * ``workers=1`` — or a single submitted task — executes inline in
+      the calling process; no worker is ever spawned;
+    * a pool that cannot start (restricted sandboxes: no ``/dev/shm``,
+      seccomp'd fork) degrades to inline execution *loudly*, via the
+      ``on_spawn_failure`` hook so each call site keeps its established
+      log/warning wording, and ``workers`` drops to 1;
+    * a worker killed mid-task is detected (the pool auto-replaces the
+      process but its in-flight task is lost), the lost tasks are
+      resubmitted up to ``max_retries`` times, and persistent crashers
+      surface as :class:`~repro.exceptions.WorkerCrashError` carrying
+      the task fingerprint;
+    * results always come back in submission order.
+
+    Parameters
+    ----------
+    workers : int, optional
+        Worker process count; ``None`` uses :func:`default_worker_count`.
+    start_method : str, optional
+        ``multiprocessing`` start method; ``None`` = platform default.
+    size_to_batch : bool, optional
+        When True the pool is created per ``run`` call sized
+        ``min(workers, len(tasks))`` and closed afterwards (the
+        experiment executor's per-level behavior); when False (default)
+        one persistent ``workers``-sized pool serves every run.
+    on_spawn_failure : callable, optional
+        ``hook(error)`` invoked when the pool cannot start, before the
+        inline fallback; defaults to a generic logged warning plus
+        ``RuntimeWarning``.
+    max_retries : int, optional
+        Crash-of-worker resubmissions per task (default 1: retried
+        exactly once, then raised).
+    crash_grace : float, optional
+        Seconds to let straggler results land after a crash before
+        declaring still-unfinished tasks lost.
+    inline_state : dict, optional
+        Prebuilt initializer products keyed by ``init_key`` for the
+        inline path — how a pool's existing local detector is reused
+        instead of rebuilt.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        start_method: Optional[str] = None,
+        size_to_batch: bool = False,
+        on_spawn_failure: Optional[Callable[[BaseException], None]] = None,
+        max_retries: int = 1,
+        crash_grace: float = 0.5,
+        inline_state: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise SchedulerError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise SchedulerError(f"max_retries must be >= 0, got {max_retries}")
+        self.workers = workers if workers is not None else default_worker_count()
+        self.start_method = start_method
+        self.size_to_batch = size_to_batch
+        self.on_spawn_failure = on_spawn_failure
+        self.max_retries = max_retries
+        self.crash_grace = crash_grace
+        self.inline_state: Dict[str, Any] = dict(inline_state or {})
+        self._pool = None
+        self._poll_interval = 0.005
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut down the worker processes (idempotent; pool recreates lazily)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _spawn_pool(self, processes: int):
+        """Create a pool or fall back: hook fires, ``workers`` drops to 1."""
+        context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method
+            else multiprocessing.get_context()
+        )
+        try:
+            return context.Pool(processes=processes)
+        except (OSError, ValueError, RuntimeError, PermissionError) as error:
+            if self.on_spawn_failure is not None:
+                self.on_spawn_failure(error)
+            else:
+                logger.warning(
+                    "cannot start scheduler workers (%s: %s); "
+                    "falling back to in-process execution",
+                    type(error).__name__,
+                    error,
+                )
+                warnings.warn(
+                    f"cannot start scheduler workers ({error}); "
+                    "falling back to in-process execution",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+            self.workers = 1
+            return None
+
+    def _ensure_pool(self):
+        """The persistent pool, created lazily; None when unavailable."""
+        if self._pool is None:
+            self._pool = self._spawn_pool(self.workers)
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        tasks: Sequence[TaskSpec],
+        *,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        """Execute ``tasks``, inline or sharded, results in submission order."""
+        specs = list(tasks)
+        if not specs:
+            return []
+        if self.workers > 1 and len(specs) > 1:
+            if self.size_to_batch:
+                pool = self._spawn_pool(min(self.workers, len(specs)))
+                if pool is not None:
+                    with pool:
+                        return self._run_pool(pool, specs, on_result)
+            else:
+                pool = self._ensure_pool()
+                if pool is not None:
+                    return self._run_pool(pool, specs, on_result)
+        return self._run_inline(specs, on_result)
+
+    def _run_inline(
+        self,
+        specs: List[TaskSpec],
+        on_result: Optional[Callable[[int, Any], None]],
+    ) -> List[Any]:
+        """Execute every task in this process, reusing ``inline_state``."""
+        results: List[Any] = []
+        for index, spec in enumerate(specs):
+            function = resolve_task_function(spec.function)
+            state = None
+            if spec.initializer is not None:
+                state = self.inline_state.get(spec.init_key)
+                if state is None and spec.init_key not in self.inline_state:
+                    state = resolve_initializer(spec.initializer)(*spec.init_args)
+                    self.inline_state[spec.init_key] = state
+            value = function(state, spec.payload)
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
+
+    @staticmethod
+    def _pool_pids(pool) -> Optional[frozenset]:
+        """Live worker pids, or None when the pool does not expose them.
+
+        ``Pool._pool`` is stdlib-private but stable across supported
+        Pythons; when a future version hides it, crash detection
+        degrades to "hung forever" rather than misfiring — hence the
+        defensive None.
+        """
+        processes = getattr(pool, "_pool", None)
+        if processes is None:
+            return None
+        try:
+            return frozenset(proc.pid for proc in processes)
+        except (AttributeError, TypeError):  # pragma: no cover - defensive
+            return None
+
+    def _run_pool(
+        self,
+        pool,
+        specs: List[TaskSpec],
+        on_result: Optional[Callable[[int, Any], None]],
+    ) -> List[Any]:
+        """Drain ``specs`` through ``pool`` with crash detection + retry.
+
+        Tasks are submitted individually (``apply_async``) so a lost
+        worker costs only its in-flight tasks. The pool replaces a
+        killed process by itself but silently drops what it was running;
+        the drain loop watches the worker pid-set, and on a change waits
+        ``crash_grace`` for stragglers, then resubmits every unfinished
+        task. Duplicate completions are harmless — scheduler tasks are
+        pure by contract (the first result wins). A task that out-lives
+        ``max_retries`` resubmissions raises
+        :class:`~repro.exceptions.WorkerCrashError` with its
+        fingerprint.
+        """
+        submissions = [_Submission(spec) for spec in specs]
+        for submission in submissions:
+            submission.handles.append(pool.apply_async(_pool_run, (submission.spec,)))
+        unfinished = set(range(len(specs)))
+        results: List[Any] = [None] * len(specs)
+        known_pids = self._pool_pids(pool)
+
+        def collect_ready() -> bool:
+            """Harvest every ready handle; True when any result landed."""
+            progressed = False
+            for index in sorted(unfinished):
+                submission = submissions[index]
+                ready = next(
+                    (handle for handle in submission.handles if handle.ready()), None
+                )
+                if ready is None:
+                    continue
+                value = ready.get()  # task exceptions propagate as-is
+                results[index] = value
+                unfinished.discard(index)
+                progressed = True
+                if on_result is not None:
+                    on_result(index, value)
+            return progressed
+
+        while unfinished:
+            progressed = collect_ready()
+            if not unfinished:
+                break
+            pids = self._pool_pids(pool)
+            if pids is not None and known_pids is not None and pids - known_pids:
+                # At least one replacement pid appeared: a worker died.
+                known_pids = pids
+                deadline = time.monotonic() + self.crash_grace
+                while unfinished and time.monotonic() < deadline:
+                    if collect_ready():
+                        deadline = time.monotonic() + self.crash_grace
+                    time.sleep(self._poll_interval)
+                for index in sorted(unfinished):
+                    submission = submissions[index]
+                    if submission.attempts > self.max_retries:
+                        raise WorkerCrashError(
+                            f"worker crashed running task "
+                            f"{submission.spec.fingerprint!r} "
+                            f"({submission.attempts} attempts, retries "
+                            "exhausted)",
+                            fingerprint=submission.spec.fingerprint,
+                            attempts=submission.attempts,
+                        )
+                    submission.attempts += 1
+                    logger.warning(
+                        "worker crash lost task %s; resubmitting (attempt %d)",
+                        submission.spec.fingerprint,
+                        submission.attempts,
+                    )
+                    submission.handles.append(
+                        pool.apply_async(_pool_run, (submission.spec,))
+                    )
+            elif pids is not None:
+                known_pids = pids
+            if not progressed:
+                time.sleep(self._poll_interval)
+        return results
+
+
+# --------------------------------------------------------------------- #
+# Factory
+# --------------------------------------------------------------------- #
+
+
+def _local_factory(policy, **kwargs) -> Scheduler:
+    """Build a :class:`LocalScheduler` from an execution policy."""
+    return LocalScheduler(
+        policy.workers, start_method=policy.start_method, **kwargs
+    )
+
+
+def _remote_factory(policy, **kwargs) -> Scheduler:
+    """Build a :class:`~repro.exec.remote.RemoteScheduler` from a policy."""
+    from repro.exec.remote import RemoteScheduler
+
+    kwargs.pop("start_method", None)
+    kwargs.pop("size_to_batch", None)
+    kwargs.pop("on_spawn_failure", None)
+    kwargs.pop("inline_state", None)
+    return RemoteScheduler(policy.addresses, **kwargs)
+
+
+_SCHEDULER_FACTORIES: Dict[str, Callable[..., Scheduler]] = {
+    "local": _local_factory,
+    "remote": _remote_factory,
+}
+
+
+def register_scheduler(name: str, factory: Callable[..., Scheduler]) -> None:
+    """Register a scheduler factory ``factory(policy, **kwargs)`` by name."""
+    existing = _SCHEDULER_FACTORIES.get(name)
+    if existing is not None and existing is not factory:
+        raise SchedulerError(f"scheduler {name!r} is already registered")
+    _SCHEDULER_FACTORIES[name] = factory
+
+
+def create_scheduler(policy, **kwargs) -> Scheduler:
+    """Build the scheduler an :class:`~repro.exec.policy.ExecutionPolicy` names.
+
+    Extra keyword arguments go to the factory (the local factory accepts
+    every :class:`LocalScheduler` knob; the remote factory silently
+    drops the local-only ones so call sites can pass a uniform set).
+    """
+    factory = _SCHEDULER_FACTORIES.get(policy.scheduler)
+    if factory is None:
+        raise SchedulerError(
+            f"unknown scheduler {policy.scheduler!r} (registered: "
+            f"{sorted(_SCHEDULER_FACTORIES)})"
+        )
+    return factory(policy, **kwargs)
+
+
+__all__ = [
+    "DEFAULT_STATE_CACHE",
+    "LocalScheduler",
+    "Scheduler",
+    "TaskSpec",
+    "create_scheduler",
+    "default_worker_count",
+    "load_builtin_tasks",
+    "register_initializer",
+    "register_scheduler",
+    "register_task_function",
+    "resolve_initializer",
+    "resolve_task_function",
+    "run_task",
+    "set_state_cache_size",
+]

@@ -1,0 +1,223 @@
+"""The ``freqywm worker`` process: serves scheduler tasks over the wire.
+
+One worker is a small asyncio JSON-lines server (the same transport
+shape as ``freqywm serve``, :mod:`repro.service.server`) that accepts
+protocol-version-3 ``task`` lines, executes them through the shared
+worker-side entry point :func:`repro.exec.scheduler.run_task`, and
+answers each with one ``result`` line. Three properties matter:
+
+* **worker-local state reuse** — ``run_task`` caches initializer
+  products (detectors, generators) under their ``init_key``, so a
+  long-lived worker serving a sweep builds each expensive state once;
+* **heartbeats answer mid-task** — real tasks run on a single-thread
+  executor while the event loop keeps reading lines, so a
+  ``__heartbeat__`` probe is answered immediately even during a long
+  task (this is what lets clients distinguish *slow* from *dead*);
+* **failures stay typed** — a task raising inside the worker answers
+  with the exception's type name and message, never a pickled exception
+  object, and never kills the connection.
+
+Started by ``freqywm worker --socket PATH`` or ``--tcp HOST:PORT``
+(:mod:`repro.cli`); the worker announces ``listening on <address>`` on
+stderr once bound, which tests and the CI scheduler-smoke job use as
+the readiness signal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.exec.remote import pickle_b64, spec_from_request
+from repro.exec.scheduler import run_task, set_state_cache_size
+from repro.service.wire import (
+    TaskRequest,
+    TaskResult,
+    decode_request,
+    encode_line,
+)
+
+
+def _failure_for_line(line: str, error: Exception) -> TaskResult:
+    """A failure result for an undecodable line, best-effort request id."""
+    request_id = "?"
+    try:
+        payload = json.loads(line)
+        if isinstance(payload, dict) and isinstance(payload.get("id"), str):
+            request_id = payload["id"]
+    except json.JSONDecodeError:
+        pass
+    return TaskResult.failure(request_id, str(error))
+
+
+class TaskWorkerServer:
+    """Executes ``task`` wire requests for remote schedulers.
+
+    Parameters
+    ----------
+    max_state : int, optional
+        Bound on the worker-local initializer-state cache
+        (:func:`repro.exec.scheduler.set_state_cache_size`).
+    """
+
+    def __init__(self, *, max_state: Optional[int] = None) -> None:
+        if max_state is not None:
+            set_state_cache_size(max_state)
+        # One thread: task execution is serialized (worker state is not
+        # thread-safe) while the event loop stays free for heartbeats.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-worker-task"
+        )
+        #: Count of real (non-heartbeat) tasks served, for diagnostics.
+        self.served = 0
+
+    def _run(self, request: TaskRequest) -> TaskResult:
+        """Execute one task in the executor thread; always returns a result."""
+        try:
+            spec = spec_from_request(request)
+            value = run_task(spec)
+            return TaskResult(
+                request_id=request.request_id,
+                ok=True,
+                result=pickle_b64(value),
+                fingerprint=request.fingerprint,
+            )
+        except Exception as error:  # noqa: BLE001 - typed failure on the wire
+            return TaskResult(
+                request_id=request.request_id,
+                ok=False,
+                error=str(error),
+                error_type=type(error).__name__,
+                fingerprint=request.fingerprint,
+            )
+
+    async def respond(self, line: str) -> TaskResult:
+        """Answer one request line (never raises for bad input)."""
+        try:
+            request = decode_request(line)
+        except ReproError as error:
+            return _failure_for_line(line, error)
+        if not isinstance(request, TaskRequest):
+            return TaskResult.failure(
+                request.request_id,
+                "this worker serves only 'task' lines; detection verbs "
+                "belong to freqywm serve",
+            )
+        if request.is_heartbeat:
+            return TaskResult(request_id=request.request_id, ok=True)
+        self.served += 1
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, self._run, request)
+
+    async def handle_connection(
+        self,
+        conn_reader: asyncio.StreamReader,
+        conn_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve one client connection until EOF.
+
+        Each line becomes its own asyncio task (self-pruning set, like
+        the detection transports) so heartbeat lines are answered while
+        a task line is still executing.
+        """
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+
+        async def handle(line: str) -> None:
+            response = await self.respond(line)
+            async with write_lock:
+                conn_writer.write((encode_line(response) + "\n").encode("utf-8"))
+                await conn_writer.drain()
+
+        try:
+            while True:
+                raw = await conn_reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8").strip()
+                if not line:
+                    continue
+                task = asyncio.ensure_future(handle(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*list(tasks))
+        finally:
+            conn_writer.close()
+
+    def close(self) -> None:
+        """Shut down the task executor (idempotent)."""
+        self._executor.shutdown(wait=False)
+
+
+async def serve_worker_unix(
+    socket_path: Union[str, Path],
+    *,
+    server: Optional[TaskWorkerServer] = None,
+    ready: Optional[asyncio.Event] = None,
+    announce: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Serve scheduler tasks on a Unix domain socket until cancelled.
+
+    ``ready`` is set — and ``announce`` called with
+    ``"listening on unix:<path>"`` — once the socket accepts
+    connections. The socket file is removed on shutdown.
+    """
+    worker = server if server is not None else TaskWorkerServer()
+    path = Path(socket_path)
+    listener = await asyncio.start_unix_server(
+        worker.handle_connection, path=str(path)
+    )
+    try:
+        if announce is not None:
+            announce(f"listening on unix:{path}")
+        if ready is not None:
+            ready.set()
+        async with listener:
+            await listener.serve_forever()
+    finally:
+        worker.close()
+        if path.exists():
+            path.unlink()
+
+
+async def serve_worker_tcp(
+    host: str,
+    port: int,
+    *,
+    server: Optional[TaskWorkerServer] = None,
+    ready: Optional[asyncio.Event] = None,
+    announce: Optional[Callable[[str], None]] = None,
+    bound: Optional[Callable[[Tuple[str, int]], None]] = None,
+) -> None:
+    """Serve scheduler tasks on a TCP socket until cancelled.
+
+    ``port=0`` binds an ephemeral port; the actual ``(host, port)`` is
+    passed to ``bound`` and announced as ``"listening on tcp:<host>:<port>"``
+    so spawners (tests, CI) can learn where to connect.
+    """
+    worker = server if server is not None else TaskWorkerServer()
+    listener = await asyncio.start_server(worker.handle_connection, host, port)
+    try:
+        address = listener.sockets[0].getsockname()[:2]
+        if bound is not None:
+            bound((address[0], address[1]))
+        if announce is not None:
+            announce(f"listening on tcp:{address[0]}:{address[1]}")
+        if ready is not None:
+            ready.set()
+        async with listener:
+            await listener.serve_forever()
+    finally:
+        worker.close()
+
+
+__all__ = [
+    "TaskWorkerServer",
+    "serve_worker_tcp",
+    "serve_worker_unix",
+]

@@ -2,22 +2,25 @@
 
 The executor walks the plan level by level (every level only depends on
 earlier levels), skipping tasks whose fingerprint already has an artifact
-in the run cache and fanning the remainder out across worker processes.
-Because every task draws its randomness from a stream keyed by its own
-fingerprint (:func:`repro.experiments.tasks.task_rng`), the artifacts —
-and therefore the rendered reports — are bit-identical regardless of
-worker count or scheduling order.
+in the run cache and handing the remainder to a
+:class:`~repro.exec.scheduler.Scheduler`. Because every task draws its
+randomness from a stream keyed by its own fingerprint
+(:func:`repro.experiments.tasks.task_rng`), the artifacts — and therefore
+the rendered reports — are bit-identical regardless of worker count,
+scheduler backend or completion order.
 
-Process pools mirror the library's sharding layers: ``workers=1`` never
-spawns anything, and a pool that fails to start (restricted sandboxes)
-falls back to in-process execution with a logged warning rather than
-failing the run.
+Execution is configured by an :class:`~repro.exec.policy.ExecutionPolicy`:
+the default ``workers=1`` never spawns anything, a local pool that fails
+to start (restricted sandboxes) falls back to in-process execution with a
+logged warning rather than failing the run, and
+``ExecutionPolicy(scheduler="remote", addresses=...)`` fans the same plan
+out to ``freqywm worker`` processes.
 """
 
 from __future__ import annotations
 
 import logging
-import multiprocessing
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -25,6 +28,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ReproError
+from repro.exec.policy import ExecutionPolicy, policy_from_kwargs
+from repro.exec.scheduler import TaskSpec, create_scheduler, register_task_function
 from repro.experiments.cache import RunCache
 from repro.experiments.plan import Task, build_plan, validate_plan
 from repro.experiments.spec import ExperimentSpec
@@ -72,11 +77,19 @@ class RunResult:
 
 
 def _run_one(args: Tuple[Task, Dict[str, Dict[str, object]], int]):
-    """Pool worker: execute one task and time it."""
+    """Scheduler worker: execute one task and time it."""
     task, deps, seed = args
     start = time.perf_counter()
     result = execute_task(task, deps, seed)
     return task.task_id, result, time.perf_counter() - start
+
+
+def _experiment_task(_state: object, payload):
+    """Registered scheduler task wrapping :func:`_run_one` (stateless)."""
+    return _run_one(payload)
+
+
+register_task_function("experiment.task", _experiment_task)
 
 
 class ExperimentRunner:
@@ -87,19 +100,55 @@ class ExperimentRunner:
         spec: ExperimentSpec,
         run_dir: Union[str, Path],
         *,
-        workers: int = 1,
+        policy: Optional[ExecutionPolicy] = None,
+        workers: Optional[int] = None,
         start_method: Optional[str] = None,
     ) -> None:
-        if workers < 1:
+        if workers is not None and workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
+        exec_policy = policy_from_kwargs(
+            policy,
+            workers=workers,
+            start_method=start_method,
+            caller="ExperimentRunner",
+        )
+        if exec_policy.scheduler == "local" and exec_policy.workers is None:
+            # The runner's historical default is sequential execution,
+            # not all-cores (sweeps are often cache-bound, not CPU-bound).
+            exec_policy = exec_policy.merged(workers=1)
         self.spec = spec
-        self.workers = workers
-        self.start_method = start_method
+        self.policy = exec_policy
+        self.start_method = exec_policy.start_method
         self.plan = build_plan(spec)
         validate_plan(self.plan)
         self.cache = RunCache(run_dir)
+        # size_to_batch: each level gets a pool sized to its pending jobs
+        # and closed at the level barrier, exactly like the old per-level
+        # multiprocessing pools.
+        self._scheduler = create_scheduler(
+            exec_policy,
+            size_to_batch=True,
+            on_spawn_failure=self._spawn_failure,
+        )
+        self.workers = self._scheduler.workers
 
     # ------------------------------------------------------------------ #
+
+    def _spawn_failure(self, error: BaseException) -> None:
+        """Keep the historical warning text on pool-startup fallback."""
+        logger.warning(
+            "experiment worker pool unavailable (%s); running level in-process",
+            error,
+        )
+        warnings.warn(
+            f"experiment worker pool unavailable ({error}); running in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    def close(self) -> None:
+        """Release the underlying scheduler (idempotent)."""
+        self._scheduler.close()
 
     def run(self) -> RunResult:
         """Execute (or resume) the plan; returns executed/cached counters."""
@@ -108,6 +157,9 @@ class ExperimentRunner:
         results: Dict[str, Dict[str, object]] = {}
         executed: Dict[str, int] = {}
         cached: Dict[str, int] = {}
+        # Results may be delivered from scheduler client threads (remote
+        # backend); the cache and counters are guarded accordingly.
+        lock = threading.Lock()
 
         for level in self.plan.levels():
             pending: List[Task] = []
@@ -119,23 +171,37 @@ class ExperimentRunner:
                     pending.append(task)
             if not pending:
                 continue
-            jobs = [
-                (
-                    task,
-                    {dep: results[dep] for dep in task.deps},
-                    self.plan.seed,
+            by_id = {task.task_id: task for task in pending}
+            specs = [
+                TaskSpec(
+                    fingerprint=task.fingerprint,
+                    function="experiment.task",
+                    payload=(
+                        task,
+                        {dep: results[dep] for dep in task.deps},
+                        self.plan.seed,
+                    ),
                 )
                 for task in pending
             ]
-            for task, result, seconds in self._execute(jobs):
-                self.cache.store(task, result, seconds=seconds)
-                results[task.task_id] = dict(result)
-                executed[task.kind] = executed.get(task.kind, 0) + 1
+
+            def handle(_index: int, value) -> None:
+                # Streamed as tasks complete, not at the level barrier: an
+                # interrupted sharded run then resumes at task granularity,
+                # as cache.py documents.
+                task_id, result, seconds = value
+                task = by_id[task_id]
+                with lock:
+                    self.cache.store(task, result, seconds=seconds)
+                    results[task_id] = dict(result)
+                    executed[task.kind] = executed.get(task.kind, 0) + 1
+
+            self._scheduler.run(specs, on_result=handle)
 
         outcome = RunResult(
             run_dir=self.cache.run_dir,
             spec_fingerprint=self.plan.spec_fingerprint,
-            workers=self.workers,
+            workers=self._scheduler.workers,
             executed=executed,
             cached=cached,
             seconds=time.perf_counter() - started,
@@ -143,70 +209,23 @@ class ExperimentRunner:
         self.cache.write_run_log(outcome.summary())
         return outcome
 
-    # ------------------------------------------------------------------ #
-
-    def _execute(self, jobs):
-        """Run one level's pending jobs, sharded when workers > 1.
-
-        Yields ``(task, result, seconds)`` tuples. Output order within a
-        level does not matter for correctness (tasks in a level are
-        independent) but is kept deterministic anyway by mapping in job
-        order.
-        """
-        by_id = {task.task_id: task for task, _deps, _seed in jobs}
-        if self.workers > 1 and len(jobs) > 1:
-            # Only pool *startup* is allowed to fall back to in-process
-            # execution (restricted sandboxes, mirroring the sharding
-            # pools); a task failing inside a worker propagates as-is so
-            # it is never misdiagnosed as an environment problem.
-            pool = None
-            try:
-                context = (
-                    multiprocessing.get_context(self.start_method)
-                    if self.start_method
-                    else multiprocessing.get_context()
-                )
-                pool = context.Pool(processes=min(self.workers, len(jobs)))
-            except (OSError, RuntimeError, PermissionError) as error:
-                logger.warning(
-                    "experiment worker pool unavailable (%s); running level "
-                    "in-process",
-                    error,
-                )
-                warnings.warn(
-                    f"experiment worker pool unavailable ({error}); "
-                    "running in-process",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-            if pool is not None:
-                with pool:
-                    # imap_unordered so finished tasks reach the caller —
-                    # and the on-disk cache — as they complete, not at the
-                    # level barrier: an interrupted sharded run then
-                    # resumes at task granularity, as cache.py documents.
-                    for task_id, result, seconds in pool.imap_unordered(
-                        _run_one, jobs
-                    ):
-                        yield by_id[task_id], result, seconds
-                return
-        for job in jobs:
-            task_id, result, seconds = _run_one(job)
-            yield by_id[task_id], result, seconds
-
 
 def run_experiment(
     spec: ExperimentSpec,
     run_dir: Union[str, Path],
     *,
-    workers: int = 1,
+    policy: Optional[ExecutionPolicy] = None,
+    workers: Optional[int] = None,
     start_method: Optional[str] = None,
 ) -> RunResult:
     """Plan, execute (or resume) and log one experiment run."""
     runner = ExperimentRunner(
-        spec, run_dir, workers=workers, start_method=start_method
+        spec, run_dir, policy=policy, workers=workers, start_method=start_method
     )
-    return runner.run()
+    try:
+        return runner.run()
+    finally:
+        runner.close()
 
 
 def load_artifacts(run_dir: Union[str, Path]) -> Dict[str, Dict[str, object]]:

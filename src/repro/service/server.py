@@ -33,6 +33,7 @@ from repro.service.wire import (
     EmbedResponse,
     RegisterResponse,
     RevokeResponse,
+    TaskResult,
     WireResponse,
     decode_request,
     encode_line,
@@ -45,6 +46,7 @@ _FAILURE_TYPES = {
     "register": RegisterResponse,
     "revoke": RevokeResponse,
     "attribute": AttributeResponse,
+    "task": TaskResult,
 }
 
 

@@ -47,6 +47,7 @@ from repro.core.generator import WatermarkGenerator
 from repro.core.secrets import WatermarkSecret
 from repro.core.sharding import ShardedDetectionPool
 from repro.exceptions import ReproError, ServiceError
+from repro.exec.policy import ExecutionPolicy
 from repro.service.wire import (
     AttributeRequest,
     AttributeResponse,
@@ -57,6 +58,8 @@ from repro.service.wire import (
     RegisterResponse,
     RevokeRequest,
     RevokeResponse,
+    TaskRequest,
+    TaskResult,
     WireRequest,
     WireResponse,
 )
@@ -306,6 +309,16 @@ class DetectionService:
     async def submit(self, request: WireRequest) -> WireResponse:
         """Answer one wire request (any verb); failures become failure
         responses of the matching type."""
+        if isinstance(request, TaskRequest):
+            # Scheduler tasks belong to `freqywm worker`
+            # (repro.exec.worker); the detection service answers with a
+            # typed refusal instead of an unanswered id.
+            self.stats.failures += 1
+            return TaskResult.failure(
+                request.request_id,
+                "this service serves detection verbs; 'task' lines belong "
+                "to freqywm worker",
+            )
         if isinstance(request, EmbedRequest):
             return await self._submit_embed(request)
         if isinstance(request, (RegisterRequest, RevokeRequest, AttributeRequest)):
@@ -592,7 +605,7 @@ class DetectionService:
                 pool = ShardedDetectionPool(
                     detector.secret,
                     detector.config,
-                    workers=workers,
+                    policy=ExecutionPolicy(workers=workers),
                     local_detector=detector,
                 )
                 self._pools[detector.fingerprint] = pool

@@ -1,7 +1,7 @@
 """Typed request/response wire format of the watermarking service.
 
-Five verbs share the JSON-lines transport, discriminated by the optional
-``op`` field:
+Seven verbs share the JSON-lines transport, discriminated by the
+optional ``op`` field:
 
 * **detect** (the default when ``op`` is absent) — *is this dataset
   watermarked with that secret?* The dataset travels either as a raw
@@ -24,6 +24,17 @@ Five verbs share the JSON-lines transport, discriminated by the optional
 * **attribute** (``op: "attribute"``) — *whose watermark does this
   leaked copy carry?* The service runs the index-backed registry lookup
   and answers with the matching buyers, strongest first.
+* **task** (``op: "task"``) / **result** (``op: "result"``) — the
+  distributed-scheduler leg (version 3): a
+  :class:`~repro.exec.remote.RemoteScheduler` ships one fingerprinted
+  :class:`~repro.exec.scheduler.TaskSpec` per ``task`` line to a
+  ``freqywm worker`` process, which answers with one ``result`` line.
+  Payloads travel as base64-pickled blobs (``payload`` /
+  ``init_args``), which assumes a *trusted* transport — exactly the
+  stance of the multiprocessing pools these verbs generalise; see
+  ``docs/scheduler.md``. A ``task`` line whose ``function`` is
+  ``"__heartbeat__"`` is a liveness probe: workers answer it
+  immediately, even while a real task is running.
 
 On the transport, each request and each response is **one JSON object per
 line** (JSON-lines). Responses carry the request's ``id`` so they may be
@@ -56,9 +67,10 @@ from repro.exceptions import ConfigurationError, HistogramError, ServiceError
 #: Version of the wire protocol this module speaks. Version 1 is the
 #: pre-registry wire (detect/embed, no ``v`` field); version 2 added the
 #: ``register``/``revoke``/``attribute`` verbs and the ``v`` field
-#: itself. Peers accept lines with ``v`` at most their own version
-#: (absent means 1) and reject higher ones — see the module docstring.
-PROTOCOL_VERSION = 2
+#: itself; version 3 adds the scheduler's ``task``/``result`` verbs.
+#: Peers accept lines with ``v`` at most their own version (absent
+#: means 1) and reject higher ones — see the module docstring.
+PROTOCOL_VERSION = 3
 
 #: Keys accepted in a request's ``config`` object (DetectionConfig kwargs).
 _CONFIG_KEYS = frozenset(
@@ -1019,12 +1031,200 @@ class AttributeResponse:
         )
 
 
+#: ``function`` value marking a task request as a liveness probe.
+HEARTBEAT_FUNCTION = "__heartbeat__"
+
+
+@dataclass(frozen=True)
+class TaskRequest:
+    """One scheduler task on the service wire (``op: "task"``).
+
+    The executable part travels as *names* — a registered task
+    ``function`` and optional ``initializer`` — while the data parts
+    (``payload``, ``init_args``) are base64-pickled blobs produced by
+    :func:`repro.exec.remote.pickle_b64`. Pickle on the wire is a
+    deliberate trusted-transport trade-off (documented in
+    ``docs/scheduler.md``): the remote leg generalises an in-machine
+    ``multiprocessing`` pool, which pickles the very same objects.
+
+    Attributes
+    ----------
+    request_id:
+        Caller-chosen correlation id echoed back on the result line.
+    function:
+        Registered task-function name, or :data:`HEARTBEAT_FUNCTION`
+        for a liveness probe (all other fields then stay empty).
+    payload:
+        Base64-pickled task payload (``None`` for heartbeats).
+    initializer:
+        Optional registered initializer name for worker-local state.
+    init_key:
+        Cache key for the initializer product (required with
+        ``initializer``).
+    init_args:
+        Base64-pickled initializer arguments tuple.
+    fingerprint:
+        The task's stable identifier, echoed on the result so lost or
+        failed work stays attributable.
+    """
+
+    request_id: str
+    function: str
+    payload: Optional[str] = None
+    initializer: Optional[str] = None
+    init_key: str = ""
+    init_args: Optional[str] = None
+    fingerprint: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("request id must be a non-empty string")
+        if not self.function:
+            raise ServiceError(
+                f"task request {self.request_id!r} needs a function name"
+            )
+        if self.initializer is not None and not self.init_key:
+            raise ServiceError(
+                f"task request {self.request_id!r} names an initializer "
+                "but no init_key"
+            )
+
+    @property
+    def is_heartbeat(self) -> bool:
+        """Whether this request is a liveness probe, not a task."""
+        return self.function == HEARTBEAT_FUNCTION
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (None fields omitted)."""
+        payload: Dict[str, object] = {
+            "op": "task",
+            "id": self.request_id,
+            "function": self.function,
+        }
+        if self.payload is not None:
+            payload["payload"] = self.payload
+        if self.initializer is not None:
+            payload["initializer"] = self.initializer
+        if self.init_key:
+            payload["init_key"] = self.init_key
+        if self.init_args is not None:
+            payload["init_args"] = self.init_args
+        if self.fingerprint:
+            payload["fingerprint"] = self.fingerprint
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TaskRequest":
+        """Rebuild a task request from :meth:`to_dict` output (validating)."""
+        request_id = _validated_id(payload, "task")
+        function = payload.get("function")
+        if not isinstance(function, str) or not function:
+            raise ServiceError(
+                f"task request {request_id!r} needs a string 'function'"
+            )
+        for name in ("payload", "initializer", "init_key", "init_args", "fingerprint"):
+            value = payload.get(name)
+            if value is not None and not isinstance(value, str):
+                raise ServiceError(
+                    f"task request {request_id!r} field {name!r} must be a string"
+                )
+        return cls(
+            request_id=request_id,
+            function=function,
+            payload=payload.get("payload"),  # type: ignore[arg-type]
+            initializer=payload.get("initializer"),  # type: ignore[arg-type]
+            init_key=str(payload.get("init_key", "")),
+            init_args=payload.get("init_args"),  # type: ignore[arg-type]
+            fingerprint=str(payload.get("fingerprint", "")),
+        )
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One scheduler task outcome on the service wire (``op: "result"``).
+
+    A success carries the base64-pickled return value; a failure carries
+    the exception's type name and message so the client can re-raise a
+    typed error without unpickling arbitrary exception objects.
+    """
+
+    request_id: str
+    ok: bool
+    result: Optional[str] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    fingerprint: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("result id must be a non-empty string")
+
+    @classmethod
+    def failure(cls, request_id: str, message: str) -> "TaskResult":
+        """A failure result carrying only the error message."""
+        return cls(request_id=request_id, ok=False, error=message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (failure fields omitted on success)."""
+        payload: Dict[str, object] = {
+            "op": "result",
+            "id": self.request_id,
+            "ok": self.ok,
+        }
+        if self.ok:
+            if self.result is not None:
+                payload["result"] = self.result
+        else:
+            payload["error"] = self.error
+            if self.error_type is not None:
+                payload["error_type"] = self.error_type
+        if self.fingerprint:
+            payload["fingerprint"] = self.fingerprint
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TaskResult":
+        """Rebuild a task result from :meth:`to_dict` output."""
+        if not isinstance(payload, dict) or "id" not in payload:
+            raise ServiceError("response payload must be a JSON object with 'id'")
+        if not payload.get("ok"):
+            error_type = payload.get("error_type")
+            return cls(
+                request_id=str(payload["id"]),
+                ok=False,
+                error=str(payload.get("error", "unknown error")),
+                error_type=str(error_type) if error_type is not None else None,
+                fingerprint=str(payload.get("fingerprint", "")),
+            )
+        result = payload.get("result")
+        if result is not None and not isinstance(result, str):
+            raise ServiceError(
+                f"task result {payload['id']!r} 'result' must be a string"
+            )
+        return cls(
+            request_id=str(payload["id"]),
+            ok=True,
+            result=result,
+            fingerprint=str(payload.get("fingerprint", "")),
+        )
+
+
 #: Any verb's request / response, as produced by the line decoders.
 WireRequest = Union[
-    DetectRequest, EmbedRequest, RegisterRequest, RevokeRequest, AttributeRequest
+    DetectRequest,
+    EmbedRequest,
+    RegisterRequest,
+    RevokeRequest,
+    AttributeRequest,
+    TaskRequest,
 ]
 WireResponse = Union[
-    DetectResponse, EmbedResponse, RegisterResponse, RevokeResponse, AttributeResponse
+    DetectResponse,
+    EmbedResponse,
+    RegisterResponse,
+    RevokeResponse,
+    AttributeResponse,
+    TaskResult,
 ]
 
 _REQUEST_TYPES: Dict[str, type] = {
@@ -1033,6 +1233,7 @@ _REQUEST_TYPES: Dict[str, type] = {
     "register": RegisterRequest,
     "revoke": RevokeRequest,
     "attribute": AttributeRequest,
+    "task": TaskRequest,
 }
 
 _RESPONSE_TYPES: Dict[str, type] = {
@@ -1041,6 +1242,7 @@ _RESPONSE_TYPES: Dict[str, type] = {
     "register": RegisterResponse,
     "revoke": RevokeResponse,
     "attribute": AttributeResponse,
+    "result": TaskResult,
 }
 
 
@@ -1111,6 +1313,7 @@ def decode_response(line: str) -> WireResponse:
 
 
 __all__ = [
+    "HEARTBEAT_FUNCTION",
     "PROTOCOL_VERSION",
     "AttributeRequest",
     "AttributeResponse",
@@ -1122,6 +1325,8 @@ __all__ = [
     "RegisterResponse",
     "RevokeRequest",
     "RevokeResponse",
+    "TaskRequest",
+    "TaskResult",
     "WireRequest",
     "WireResponse",
     "encode_line",

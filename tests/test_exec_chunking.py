@@ -1,0 +1,96 @@
+"""Boundary behaviour of the shared chunk-size heuristic.
+
+One helper (:func:`repro.exec.chunking.derive_chunk_size`) now backs
+every sharded dispatch layer — detection's many-small-chunks setting,
+embedding's one-chunk-per-worker setting, and the batch helpers. The
+cases here pin the boundaries that used to live (twice) inside the
+pools: fewer items than workers, ``chunk_size=1``, and the cap
+interacting with tiny batches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchedulerError
+from repro.exec.chunking import (
+    DETECTION_CHUNKS_PER_WORKER,
+    DETECTION_MAX_CHUNK,
+    chunk_spans,
+    derive_chunk_size,
+    split_chunks,
+)
+
+
+class TestDeriveChunkSize:
+    def test_explicit_chunk_size_is_returned_verbatim(self):
+        assert derive_chunk_size(1000, 4, chunk_size=7) == 7
+
+    def test_explicit_chunk_size_ignores_the_cap(self):
+        assert derive_chunk_size(1000, 2, chunk_size=500, max_chunk=64) == 500
+
+    def test_chunk_size_one_is_valid(self):
+        assert derive_chunk_size(10, 4, chunk_size=1) == 1
+        assert [len(c) for c in split_chunks(range(3), 1)] == [1, 1, 1]
+
+    def test_explicit_chunk_size_must_be_positive(self):
+        with pytest.raises(SchedulerError, match="chunk_size"):
+            derive_chunk_size(10, 4, chunk_size=0)
+
+    def test_one_chunk_per_worker_default(self):
+        # Embedding's setting: ceil(n / workers).
+        assert derive_chunk_size(100, 4) == 25
+        assert derive_chunk_size(101, 4) == 26
+
+    def test_fewer_items_than_workers(self):
+        # Every worker gets at most one item; size never drops below 1.
+        assert derive_chunk_size(3, 8) == 1
+        assert derive_chunk_size(1, 8) == 1
+
+    def test_zero_items(self):
+        assert derive_chunk_size(0, 4) == 1
+
+    def test_chunks_per_worker_spreads_the_batch(self):
+        # Detection's setting: ceil(n / (workers * chunks_per_worker)).
+        assert (
+            derive_chunk_size(
+                640, 4, chunks_per_worker=DETECTION_CHUNKS_PER_WORKER
+            )
+            == 40
+        )
+
+    def test_max_chunk_caps_the_derived_size(self):
+        size = derive_chunk_size(
+            100_000,
+            2,
+            chunks_per_worker=DETECTION_CHUNKS_PER_WORKER,
+            max_chunk=DETECTION_MAX_CHUNK,
+        )
+        assert size == DETECTION_MAX_CHUNK
+
+    def test_cap_does_not_lift_small_batches(self):
+        assert derive_chunk_size(5, 4, max_chunk=DETECTION_MAX_CHUNK) == 2
+
+    def test_invalid_workers_and_chunks_per_worker(self):
+        with pytest.raises(SchedulerError, match="workers"):
+            derive_chunk_size(10, 0)
+        with pytest.raises(SchedulerError, match="chunks_per_worker"):
+            derive_chunk_size(10, 2, chunks_per_worker=0)
+
+
+class TestSpans:
+    def test_spans_are_contiguous_and_ordered(self):
+        assert list(chunk_spans(10, 4)) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_spans_of_empty_input(self):
+        assert list(chunk_spans(0, 4)) == []
+
+    def test_split_chunks_round_trip(self):
+        items = list(range(11))
+        chunks = list(split_chunks(items, 3))
+        assert [len(chunk) for chunk in chunks] == [3, 3, 3, 2]
+        assert [item for chunk in chunks for item in chunk] == items
+
+    def test_bad_span_size_rejected(self):
+        with pytest.raises(SchedulerError, match="chunk size"):
+            list(chunk_spans(10, 0))

@@ -1,0 +1,352 @@
+"""The pluggable scheduler: ordering, state reuse, and the fault paths.
+
+Three layers, matching ``docs/scheduler.md``:
+
+* **LocalScheduler** — in-process fast path, submission-order results
+  under induced out-of-order completion, worker-local state reuse,
+  spawn-failure fallback, and the crash contract (a worker killed
+  mid-task is retried exactly once, then surfaces as
+  :class:`~repro.exceptions.WorkerCrashError` with the task's
+  fingerprint).
+* **Wire codec** — address parsing and TaskSpec ↔ TaskRequest round
+  trips.
+* **RemoteScheduler** — real ``freqywm worker`` subprocesses over Unix
+  sockets: ordered gather across two workers, typed remote errors, a
+  heartbeat timeout marking an unresponsive worker dead *without* losing
+  its in-flight task, and the all-workers-dead terminal error.
+
+Task functions live in ``tests/scheduler_tasks.py`` so spawned workers
+can ``--import`` the same registrations.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+
+import pytest
+
+import scheduler_tasks
+from repro.exceptions import DetectionError, SchedulerError, WorkerCrashError
+from repro.exec.remote import (
+    RemoteScheduler,
+    parse_address,
+    spec_from_request,
+    spec_to_request,
+)
+from repro.exec.scheduler import (
+    LocalScheduler,
+    TaskSpec,
+    create_scheduler,
+    register_task_function,
+    run_task,
+)
+
+
+def _echo_specs(values):
+    return [
+        TaskSpec(fingerprint=f"echo-{index}", function="schedtest.echo", payload=value)
+        for index, value in enumerate(values)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# LocalScheduler
+# --------------------------------------------------------------------------- #
+
+
+class TestLocalInline:
+    def test_workers_one_runs_inline_and_in_order(self):
+        streamed = []
+        with LocalScheduler(workers=1) as scheduler:
+            results = scheduler.run(
+                _echo_specs([10, 20, 30]),
+                on_result=lambda index, value: streamed.append((index, value)),
+            )
+        assert results == [10, 20, 30]
+        assert streamed == [(0, 10), (1, 20), (2, 30)]
+        assert scheduler._pool is None  # nothing was ever spawned
+
+    def test_single_task_never_spawns_a_pool(self):
+        with LocalScheduler(workers=4) as scheduler:
+            assert scheduler.run(_echo_specs(["only"])) == ["only"]
+            assert scheduler._pool is None
+
+    def test_empty_batch(self):
+        with LocalScheduler(workers=2) as scheduler:
+            assert scheduler.run([]) == []
+
+    def test_inline_state_is_reused_not_rebuilt(self):
+        spec = TaskSpec(
+            fingerprint="state-1",
+            function="schedtest.with_state",
+            payload="p",
+            initializer="schedtest.state",
+            init_key="key-a",
+            init_args=("a",),
+        )
+        with LocalScheduler(workers=1, inline_state={"key-a": "prebuilt"}) as s:
+            assert s.run([spec]) == [("prebuilt", "p")]
+        # Without prebuilt state the initializer runs once and is cached.
+        with LocalScheduler(workers=1) as s:
+            first, second = s.run([spec, spec])
+            assert first == second
+            assert first[0].startswith("state:a:")
+
+    def test_workers_validation(self):
+        with pytest.raises(SchedulerError, match="workers"):
+            LocalScheduler(workers=0)
+        with pytest.raises(SchedulerError, match="max_retries"):
+            LocalScheduler(workers=1, max_retries=-1)
+
+
+class TestLocalPool:
+    def test_results_in_submission_order_under_out_of_order_completion(self):
+        specs = [
+            TaskSpec(
+                fingerprint=f"sleepy-{index}",
+                function="schedtest.sleepy",
+                payload=(0.5 if index == 0 else 0.0, index),
+            )
+            for index in range(4)
+        ]
+        streamed = []
+        with LocalScheduler(workers=2) as scheduler:
+            results = scheduler.run(
+                specs, on_result=lambda index, value: streamed.append(index)
+            )
+        assert results == [0, 1, 2, 3]
+        # The slow first task completes last, so streaming order differs
+        # from submission order — exactly what the ordered gather hides.
+        assert streamed[-1] == 0
+        assert sorted(streamed) == [0, 1, 2, 3]
+
+    def test_worker_killed_mid_task_is_retried_once_and_succeeds(self, tmp_path):
+        sentinel = tmp_path / "crashed-once"
+        specs = [
+            TaskSpec(
+                fingerprint="die-once",
+                function="schedtest.die_once",
+                payload=str(sentinel),
+            )
+        ] + _echo_specs(["a", "b", "c"])
+        with LocalScheduler(workers=2, crash_grace=0.1) as scheduler:
+            results = scheduler.run(specs)
+        assert results == ["survived", "a", "b", "c"]
+        assert sentinel.exists()
+
+    def test_persistent_crasher_raises_worker_crash_error(self):
+        specs = _echo_specs(["x"]) + [
+            TaskSpec(fingerprint="always-dies", function="schedtest.die")
+        ]
+        with LocalScheduler(workers=2, crash_grace=0.1) as scheduler:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                scheduler.run(specs)
+        assert excinfo.value.fingerprint == "always-dies"
+        assert excinfo.value.attempts == 2  # first try + exactly one retry
+
+    def test_task_exceptions_propagate_as_is(self):
+        specs = _echo_specs(["x"]) + [
+            TaskSpec(fingerprint="boom", function="schedtest.fail", payload="kaput")
+        ]
+        with LocalScheduler(workers=2) as scheduler:
+            with pytest.raises(DetectionError, match="kaput"):
+                scheduler.run(specs)
+
+    def test_spawn_failure_falls_back_inline_via_hook(self, monkeypatch):
+        class FailingContext:
+            def Pool(self, processes=None):
+                raise OSError("no forking here")
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", lambda method=None: FailingContext()
+        )
+        failures = []
+        with LocalScheduler(workers=4, on_spawn_failure=failures.append) as s:
+            assert s.run(_echo_specs([1, 2, 3])) == [1, 2, 3]
+            assert s.workers == 1
+        assert len(failures) == 1
+        assert "no forking here" in str(failures[0])
+
+
+class TestRegistry:
+    def test_rebinding_a_name_to_a_different_callable_raises(self):
+        with pytest.raises(SchedulerError, match="already registered"):
+            register_task_function("schedtest.echo", scheduler_tasks.fail)
+        # Re-registering the same callable is a no-op.
+        register_task_function("schedtest.echo", scheduler_tasks.echo)
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(SchedulerError, match="unknown task function"):
+            run_task(TaskSpec(fingerprint="f", function="schedtest.nope"))
+
+    def test_task_spec_validation(self):
+        with pytest.raises(SchedulerError, match="non-empty"):
+            TaskSpec(fingerprint="f", function="")
+        with pytest.raises(SchedulerError, match="init_key"):
+            TaskSpec(fingerprint="f", function="schedtest.echo", initializer="i")
+
+    def test_create_scheduler_rejects_unknown_names(self):
+        from repro.exec.policy import ExecutionPolicy
+
+        policy = ExecutionPolicy().merged(scheduler="mainframe")
+        with pytest.raises(SchedulerError, match="unknown scheduler"):
+            create_scheduler(policy)
+
+
+# --------------------------------------------------------------------------- #
+# Wire codec
+# --------------------------------------------------------------------------- #
+
+
+class TestAddressesAndCodec:
+    def test_parse_unix_and_tcp_addresses(self):
+        assert parse_address("unix:/tmp/w.sock") == ("unix", "/tmp/w.sock")
+        assert parse_address("tcp:localhost:9999") == ("tcp", ("localhost", 9999))
+        assert parse_address("127.0.0.1:80") == ("tcp", ("127.0.0.1", 80))
+
+    @pytest.mark.parametrize("bad", ["", "unix:", "host:", "host:not-a-port", ":9"])
+    def test_malformed_addresses_are_rejected(self, bad):
+        with pytest.raises(SchedulerError):
+            parse_address(bad)
+
+    def test_spec_round_trips_through_the_wire_request(self):
+        spec = TaskSpec(
+            fingerprint="fp-1",
+            function="schedtest.with_state",
+            payload={"k": [1, 2]},
+            initializer="schedtest.state",
+            init_key="key-z",
+            init_args=("z",),
+        )
+        assert spec_from_request(spec_to_request(spec, "task-0-1-1")) == spec
+
+
+# --------------------------------------------------------------------------- #
+# RemoteScheduler against real freqywm worker subprocesses
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def two_workers(tmp_path):
+    """Two live ``freqywm worker`` processes on Unix sockets."""
+    sock_a = tmp_path / "worker-a.sock"
+    sock_b = tmp_path / "worker-b.sock"
+    with scheduler_tasks.spawn_worker(sock_a):
+        with scheduler_tasks.spawn_worker(sock_b):
+            yield (f"unix:{sock_a}", f"unix:{sock_b}")
+
+
+@pytest.fixture()
+def unresponsive_worker(tmp_path):
+    """A fake worker that accepts connections and reads but never replies."""
+    path = tmp_path / "black-hole.sock"
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(str(path))
+    listener.listen(4)
+    stop = threading.Event()
+    connections = []
+
+    def serve():
+        listener.settimeout(0.1)
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            conn.settimeout(0.1)
+            connections.append(conn)
+        for conn in connections:
+            conn.close()
+        listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    yield f"unix:{path}"
+    stop.set()
+    thread.join(timeout=5)
+
+
+class TestRemoteScheduler:
+    def test_requires_at_least_one_address(self):
+        with pytest.raises(SchedulerError, match="at least one"):
+            RemoteScheduler([])
+
+    def test_ordered_gather_across_two_workers(self, two_workers):
+        specs = [
+            TaskSpec(
+                fingerprint=f"sleepy-{index}",
+                function="schedtest.sleepy",
+                payload=(0.3 if index == 0 else 0.0, index),
+            )
+            for index in range(6)
+        ]
+        streamed = []
+        with RemoteScheduler(two_workers) as scheduler:
+            assert scheduler.workers == 2
+            results = scheduler.run(
+                specs, on_result=lambda index, value: streamed.append(index)
+            )
+        assert results == [0, 1, 2, 3, 4, 5]
+        assert sorted(streamed) == [0, 1, 2, 3, 4, 5]
+        assert streamed[-1] == 0  # the slow task finished last
+
+    def test_worker_local_state_is_built_once_per_worker(self, two_workers):
+        specs = [
+            TaskSpec(
+                fingerprint=f"state-{index}",
+                function="schedtest.with_state",
+                payload=index,
+                initializer="schedtest.state",
+                init_key="shared-key",
+                init_args=("shared",),
+            )
+            for index in range(8)
+        ]
+        with RemoteScheduler(two_workers) as scheduler:
+            results = scheduler.run(specs)
+        states = {state for state, _payload in results}
+        # One cached state per worker process, never one per task.
+        assert 1 <= len(states) <= 2
+        assert all(state.startswith("state:shared:") for state in states)
+
+    def test_remote_task_errors_come_back_typed(self, two_workers):
+        spec = TaskSpec(
+            fingerprint="boom", function="schedtest.fail", payload="remote kaput"
+        )
+        with RemoteScheduler(two_workers[:1]) as scheduler:
+            with pytest.raises(DetectionError, match="remote kaput"):
+                scheduler.run([spec])
+
+    def test_heartbeat_timeout_marks_worker_dead_without_losing_tasks(
+        self, two_workers, unresponsive_worker
+    ):
+        # One real worker + one black hole. The black hole accepts the
+        # connection and a task line, then stays silent; after the
+        # heartbeat timeout its in-flight task must be resubmitted to
+        # the surviving worker, not lost.
+        addresses = [unresponsive_worker, two_workers[0]]
+        specs = _echo_specs(list(range(6)))
+        scheduler = RemoteScheduler(
+            addresses, heartbeat_interval=0.05, heartbeat_timeout=0.4
+        )
+        with scheduler:
+            results = scheduler.run(specs)
+        assert results == list(range(6))
+        assert unresponsive_worker in scheduler._dead
+
+    def test_all_workers_dead_raises_scheduler_error(self, unresponsive_worker):
+        scheduler = RemoteScheduler(
+            [unresponsive_worker], heartbeat_interval=0.05, heartbeat_timeout=0.3
+        )
+        with scheduler:
+            with pytest.raises(SchedulerError, match="remote workers"):
+                scheduler.run(_echo_specs([1, 2]))
+
+    def test_unreachable_address_is_skipped_when_another_worker_lives(
+        self, two_workers, tmp_path
+    ):
+        addresses = [f"unix:{tmp_path / 'nonexistent.sock'}", two_workers[1]]
+        with RemoteScheduler(addresses) as scheduler:
+            assert scheduler.run(_echo_specs(["a", "b"])) == ["a", "b"]

@@ -1,0 +1,84 @@
+"""Cross-scheduler parity for the experiment executor.
+
+The acceptance bar for the pluggable scheduler: the smoke spec produces
+**byte-identical** ``report.json`` / ``report.md`` whether it runs
+in-process, on a :class:`LocalScheduler` worker pool, or fanned out to
+two spawned ``freqywm worker`` processes — and a rerun against a warm
+cache executes nothing, regardless of backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import scheduler_tasks
+from repro.exec.policy import ExecutionPolicy
+from repro.experiments import load_spec, run_experiment, write_report
+
+
+@pytest.fixture(scope="module")
+def smoke_spec():
+    return load_spec("experiments/specs/smoke.json")
+
+
+def _report_bytes(spec, run_dir, policy):
+    result = run_experiment(spec, run_dir, policy=policy)
+    json_path, md_path = write_report(run_dir)
+    return result, json_path.read_bytes(), md_path.read_bytes()
+
+
+class TestCrossSchedulerParity:
+    def test_reports_are_byte_identical_across_all_three_backends(
+        self, smoke_spec, tmp_path
+    ):
+        serial, serial_json, serial_md = _report_bytes(
+            smoke_spec, tmp_path / "serial", ExecutionPolicy(workers=1)
+        )
+        local, local_json, local_md = _report_bytes(
+            smoke_spec, tmp_path / "local", ExecutionPolicy(workers=2)
+        )
+        assert serial.executed_total == local.executed_total > 0
+        assert local_json == serial_json
+        assert local_md == serial_md
+
+        sock_a = tmp_path / "wa.sock"
+        sock_b = tmp_path / "wb.sock"
+        with scheduler_tasks.spawn_worker(sock_a), scheduler_tasks.spawn_worker(
+            sock_b
+        ):
+            policy = ExecutionPolicy(
+                scheduler="remote",
+                addresses=(f"unix:{sock_a}", f"unix:{sock_b}"),
+            )
+            remote, remote_json, remote_md = _report_bytes(
+                smoke_spec, tmp_path / "remote", policy
+            )
+        assert remote.workers == 2
+        assert remote.executed_total == serial.executed_total
+        assert remote_json == serial_json
+        assert remote_md == serial_md
+
+    def test_cached_rerun_executes_nothing_on_every_backend(
+        self, smoke_spec, tmp_path
+    ):
+        run_dir = tmp_path / "warm"
+        first = run_experiment(smoke_spec, run_dir, policy=ExecutionPolicy(workers=2))
+        assert first.executed_total > 0
+
+        rerun_local = run_experiment(
+            smoke_spec, run_dir, policy=ExecutionPolicy(workers=2)
+        )
+        assert rerun_local.executed_total == 0
+        assert rerun_local.cached_total == first.executed_total
+
+        sock = tmp_path / "w.sock"
+        with scheduler_tasks.spawn_worker(sock):
+            rerun_remote = run_experiment(
+                smoke_spec,
+                run_dir,
+                policy=ExecutionPolicy(
+                    scheduler="remote", addresses=(f"unix:{sock}",)
+                ),
+            )
+        assert rerun_remote.executed_total == 0
+        assert rerun_remote.cached_total == first.executed_total
