@@ -121,8 +121,10 @@ def experiment_banner(identifier: str, description: str) -> None:
 #: the batch-embedding guard (embed_many parity + >=3x amortisation
 #: over the sequential generator loop), the experiment-orchestration
 #: guard (bundled smoke spec: cache-hit rerun + deterministic reports),
-#: and the vault-attribution guard (candidate-index parity with the
-#: linear scan + its speedup floor).
+#: the vault-attribution guard (candidate-index parity with the
+#: linear scan + its speedup floor), and the data-plane guard (>=5x
+#: bytes-on-wire dedup for shared remote payloads + the local
+#: shared-memory dispatch speedup).
 SMOKE_PATTERNS = (
     "bench_fig*.py",
     "bench_engine_scaling.py",
@@ -132,6 +134,7 @@ SMOKE_PATTERNS = (
     "bench_experiment.py",
     "bench_registry.py",
     "bench_backend.py",
+    "bench_exec_dataplane.py",
 )
 
 

@@ -539,17 +539,35 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         print(message, file=sys.stderr, flush=True)  # noqa: T201
 
     async def run() -> int:
+        import signal
+
         if args.socket is not None:
-            await serve_worker_unix(args.socket, server=server, announce=announce)
+            serving = serve_worker_unix(args.socket, server=server, announce=announce)
         else:
             assert tcp_host is not None
-            await serve_worker_tcp(tcp_host, tcp_port, server=server, announce=announce)
+            serving = serve_worker_tcp(
+                tcp_host, tcp_port, server=server, announce=announce
+            )
+        # SIGTERM drains into the same graceful path as Ctrl-C so fleet
+        # managers get the shutdown summary too.
+        task = asyncio.ensure_future(serving)
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, task.cancel)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - win32
+            pass
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
         return 0
 
     try:
         return asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         return 0
+    finally:
+        announce(f"worker summary: {server.summary_line()}")
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:

@@ -40,6 +40,7 @@ from repro.core.hashing import PairModulusCache
 from repro.core.histogram import TokenHistogram
 from repro.core.secrets import WatermarkSecret
 from repro.exceptions import DetectionError
+from repro.exec.blobs import dataplane_enabled, maybe_blob
 from repro.exec.chunking import derive_chunk_size, split_chunks
 from repro.exec.policy import ExecutionPolicy, policy_from_kwargs
 from repro.exec.scheduler import TaskSpec, create_scheduler, register_task_function
@@ -396,11 +397,25 @@ def _detect_secrets_sharded(
         size = derive_chunk_size(
             len(secrets), scheduler.workers, chunk_size=policy.chunk_size
         )
+        # The histogram is identical across every chunk task, so when the
+        # data plane is live it ships once as a content-addressed blob
+        # instead of being re-pickled into each payload.
+        histogram_value: object = histogram
+        histogram_refs: Tuple[str, ...] = ()
+        if dataplane_enabled() and scheduler.ships_payloads:
+            histogram_value, histogram_refs = maybe_blob(histogram)
         specs = [
             TaskSpec(
                 fingerprint=f"secrets:{detection.fingerprint()}:{index}",
                 function="secrets.chunk",
-                payload=(histogram, chunk, detection, collect_evidence, backend.name),
+                payload=(
+                    histogram_value,
+                    chunk,
+                    detection,
+                    collect_evidence,
+                    backend.name,
+                ),
+                blob_refs=histogram_refs,
             )
             for index, chunk in enumerate(split_chunks(list(secrets), size))
         ]

@@ -48,6 +48,7 @@ from repro.core.generator import WatermarkGenerator, WatermarkResult
 from repro.core.histogram import TokenHistogram
 from repro.core.tokens import TokenValue
 from repro.exceptions import GenerationError
+from repro.exec.blobs import dataplane_enabled, maybe_blob
 from repro.exec.chunking import chunk_spans, derive_chunk_size
 from repro.exec.policy import ExecutionPolicy, policy_from_kwargs
 from repro.exec.scheduler import (
@@ -342,7 +343,13 @@ class ShardedEmbeddingPool:
     # Dispatch
     # ------------------------------------------------------------------ #
 
-    def _spec(self, function: str, payload, index: int) -> TaskSpec:
+    def _spec(
+        self,
+        function: str,
+        payload,
+        index: int,
+        blob_refs: Tuple[str, ...] = (),
+    ) -> TaskSpec:
         """One fingerprinted chunk task bound to this pool's generator."""
         return TaskSpec(
             fingerprint=f"{self._init_key}:{function}:{index}",
@@ -351,6 +358,7 @@ class ShardedEmbeddingPool:
             initializer="embed.state",
             init_key=self._init_key,
             init_args=(self.config, self.seed),
+            blob_refs=blob_refs,
         )
 
     def _chunk_size(self, n_items: int) -> int:
@@ -399,16 +407,23 @@ class ShardedEmbeddingPool:
         values = list(secret_values) if secret_values is not None else None
         if self.workers > 1 and len(items) > 1:
             size = self._chunk_size(len(items))
-            specs = [
-                self._spec(
-                    "embed.chunk",
-                    (items[start:stop], values[start:stop] if values else None),
-                    index,
+            use_blobs = dataplane_enabled() and self._scheduler.ships_payloads
+            specs = []
+            for index, (start, stop) in enumerate(chunk_spans(len(items), size)):
+                chunk: object = items[start:stop]
+                chunk_refs: Tuple[str, ...] = ()
+                if use_blobs:
+                    # Large chunks travel as content-addressed blobs so the
+                    # local shm transport can ship them zero-copy.
+                    chunk, chunk_refs = maybe_blob(chunk)
+                specs.append(
+                    self._spec(
+                        "embed.chunk",
+                        (chunk, values[start:stop] if values else None),
+                        index,
+                        blob_refs=chunk_refs,
+                    )
                 )
-                for index, (start, stop) in enumerate(
-                    chunk_spans(len(items), size)
-                )
-            ]
         else:
             # One whole-batch task: the in-process fast path keeps the
             # full cross-dataset amortisation of generate_many.

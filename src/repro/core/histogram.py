@@ -27,6 +27,7 @@ over that backing so existing callers keep working unchanged.
 from __future__ import annotations
 
 import math
+import pickle
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
@@ -139,6 +140,31 @@ class TokenHistogram:
     def __setstate__(self, state: Tuple[List[str], np.ndarray]) -> None:
         order, array = state
         self._init_sorted(list(order), np.asarray(array, dtype=np.int64))
+
+    def __reduce_ex__(self, protocol: int):
+        # Protocol 5 hands the counts array to the picklee as an
+        # out-of-band PickleBuffer: a transport that extracts buffers
+        # (the blob data plane, shared-memory segments) moves the int64
+        # block without copying it through the pickle stream, and the
+        # receiving side reconstructs with ``np.frombuffer`` mapping the
+        # delivered buffer directly. Older protocols keep the plain
+        # ``__getstate__`` path.
+        if protocol >= 5:
+            return (
+                TokenHistogram._from_pickle_buffer,
+                (self._order, pickle.PickleBuffer(self._array), len(self._array)),
+            )
+        return super().__reduce_ex__(protocol)
+
+    @classmethod
+    def _from_pickle_buffer(
+        cls, order: List[str], buffer, length: int
+    ) -> "TokenHistogram":
+        """Rebuild from a protocol-5 out-of-band counts buffer (zero-copy)."""
+        array = np.frombuffer(buffer, dtype=np.int64, count=length)
+        instance = cls.__new__(cls)
+        instance._init_sorted(list(order), array)
+        return instance
 
     # ------------------------------------------------------------------ #
     # Constructors

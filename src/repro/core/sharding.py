@@ -46,6 +46,7 @@ from repro.core.detector import (
 )
 from repro.core.secrets import WatermarkSecret
 from repro.exceptions import DetectionError
+from repro.exec.blobs import dataplane_enabled, maybe_blob
 from repro.exec.chunking import (
     DETECTION_CHUNKS_PER_WORKER,
     DETECTION_MAX_CHUNK,
@@ -289,7 +290,16 @@ class ShardedDetectionPool:
     def _specs(
         self, items: List, function: str, collect_evidence: bool
     ) -> List[TaskSpec]:
-        """One fingerprinted task per contiguous chunk, in input order."""
+        """One fingerprinted task per contiguous chunk, in input order.
+
+        When the scheduler actually ships payloads to other processes
+        (pool or remote fleet) and the data plane is on, the shared
+        secret — identical in *every* task's ``init_args`` — and each
+        large chunk travel as blob refs: the secret crosses the
+        transport once per worker instead of once per chunk, and chunk
+        arrays ride shared memory / binary frames instead of base64.
+        Inline execution keeps plain values (zero extra copies).
+        """
         size = derive_chunk_size(
             len(items),
             self.workers,
@@ -297,17 +307,27 @@ class ShardedDetectionPool:
             chunks_per_worker=DETECTION_CHUNKS_PER_WORKER,
             max_chunk=DETECTION_MAX_CHUNK,
         )
-        return [
-            TaskSpec(
-                fingerprint=f"{self._init_key}:{function}:{index}",
-                function=function,
-                payload=(chunk, collect_evidence),
-                initializer="detect.state",
-                init_key=self._init_key,
-                init_args=(self.secret, self.config, self.backend.name),
+        use_blobs = dataplane_enabled() and self._scheduler.ships_payloads
+        secret_value, secret_refs = (self.secret, ())
+        if use_blobs:
+            secret_value, secret_refs = maybe_blob(self.secret)
+        specs: List[TaskSpec] = []
+        for index, chunk in enumerate(split_chunks(items, size)):
+            chunk_value, chunk_refs = (chunk, ())
+            if use_blobs:
+                chunk_value, chunk_refs = maybe_blob(chunk)
+            specs.append(
+                TaskSpec(
+                    fingerprint=f"{self._init_key}:{function}:{index}",
+                    function=function,
+                    payload=(chunk_value, collect_evidence),
+                    initializer="detect.state",
+                    init_key=self._init_key,
+                    init_args=(secret_value, self.config, self.backend.name),
+                    blob_refs=secret_refs + chunk_refs,
+                )
             )
-            for index, chunk in enumerate(split_chunks(items, size))
-        ]
+        return specs
 
     def _run(
         self, items: List, function: str, collect_evidence: bool

@@ -90,6 +90,30 @@ class SchedulerError(ReproError):
     """
 
 
+class BlobError(SchedulerError):
+    """Raised by the content-addressed data plane (:mod:`repro.exec.blobs`).
+
+    Covers malformed blob frames, digest mismatches and shared-memory
+    transport failures. Blob errors are infrastructure errors, not task
+    errors: schedulers may retry the affected task over the inline
+    payload path before surfacing them.
+    """
+
+
+class BlobNotFoundError(BlobError):
+    """A blob digest was requested that this store no longer holds.
+
+    Raised when a ``get`` misses both the in-process LRU and the
+    optional on-disk spill directory, and — over the wire — when a
+    worker's ``blob-request`` names a digest the client side evicted.
+    Carries the ``digest`` so callers can re-ship or fall back inline.
+    """
+
+    def __init__(self, message: str, *, digest: str = ""):
+        super().__init__(message)
+        self.digest = digest
+
+
 class WorkerCrashError(SchedulerError):
     """A scheduler worker died while running a task, retries exhausted.
 

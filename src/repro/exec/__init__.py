@@ -16,11 +16,24 @@ pools and the experiment executor stand on:
   :class:`~repro.exec.remote.RemoteScheduler` dispatching tasks over
   the JSON-lines wire to ``freqywm worker`` processes;
 * :mod:`repro.exec.worker` — the worker-process server itself;
+* :mod:`repro.exec.blobs` — the zero-copy data plane: the
+  content-addressed :class:`~repro.exec.blobs.BlobStore`, the
+  :class:`~repro.exec.blobs.BlobRef` payload indirection, and the
+  shared-memory / out-of-band pickling helpers both schedulers ship
+  large payloads through;
 * :mod:`repro.exec.chunking` — the shared chunk-size heuristic.
 
 ``docs/scheduler.md`` is the narrative documentation.
 """
 
+from repro.exec.blobs import (
+    BlobRef,
+    BlobStore,
+    dataplane_enabled,
+    default_blob_store,
+    maybe_blob,
+    resolve_refs,
+)
 from repro.exec.chunking import (
     DETECTION_CHUNKS_PER_WORKER,
     DETECTION_MAX_CHUNK,
@@ -32,6 +45,7 @@ from repro.exec.policy import ExecutionPolicy, policy_from_kwargs
 from repro.exec.scheduler import (
     LocalScheduler,
     Scheduler,
+    SchedulerStats,
     TaskSpec,
     create_scheduler,
     default_worker_count,
@@ -45,19 +59,26 @@ from repro.exec.scheduler import (
 __all__ = [
     "DETECTION_CHUNKS_PER_WORKER",
     "DETECTION_MAX_CHUNK",
+    "BlobRef",
+    "BlobStore",
     "ExecutionPolicy",
     "LocalScheduler",
     "Scheduler",
+    "SchedulerStats",
     "TaskSpec",
     "chunk_spans",
     "create_scheduler",
+    "dataplane_enabled",
+    "default_blob_store",
     "default_worker_count",
     "derive_chunk_size",
     "load_builtin_tasks",
+    "maybe_blob",
     "policy_from_kwargs",
     "register_initializer",
     "register_scheduler",
     "register_task_function",
+    "resolve_refs",
     "run_task",
     "split_chunks",
 ]

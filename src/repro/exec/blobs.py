@@ -1,0 +1,673 @@
+"""Content-addressed data plane: task data by digest, not by value.
+
+The scheduler (PR 8) separated task *metadata* (function names,
+fingerprints) from task *code* (registries); this module separates it
+from task *data*. A large immutable value — a shared secret, a detector
+pair table, a materialised token chunk — is serialised **once** into a
+:class:`BlobData` (a pickle-protocol-5 envelope: small metadata bytes
+plus zero-copy out-of-band buffers), keyed by its SHA-256 digest, and
+referenced from task payloads as a tiny :class:`BlobRef`. Transports
+then move the bytes in whatever way is cheapest:
+
+* **in-process** — the :class:`BlobStore` caches the original Python
+  object next to its bytes, so the inline execution path resolves a ref
+  back to the very object that was put (no serialisation at all);
+* **local pool** — the scheduler copies each blob into one
+  ``multiprocessing.shared_memory`` segment (:func:`export_shm_blob`)
+  and replaces refs with :class:`ShmBlobHandle`\\ s; workers attach and
+  reconstruct NumPy buffers **zero-copy** over the mapped segment;
+* **remote** — the protocol-v4 wire ships each blob to each worker at
+  most once (``blob-request`` / ``blob`` verbs, see
+  :mod:`repro.exec.remote` / :mod:`repro.exec.worker`), cached in a
+  bounded per-worker store.
+
+The store is an in-process LRU bounded by byte capacity; evicted
+entries optionally spill to disk with the run cache's atomic-write
+pattern (temp file + ``os.replace``) and are reloaded transparently on
+the next ``get``. ``pin``/``unpin`` exempt digests that must survive a
+sweep. Everything is gated by the ``FREQYWM_DATAPLANE`` environment
+variable: ``inline`` (or ``off``) disables blob-ification entirely and
+every scheduler falls back to the historical inline payloads —
+byte-identical results either way (``tests/test_dataplane.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import BlobError, BlobNotFoundError
+
+#: Default in-memory byte capacity of a :class:`BlobStore` (256 MiB).
+DEFAULT_CAPACITY = 256 * 1024 * 1024
+
+#: Values whose serialised form is smaller than this stay inline: a
+#: blob ref saves nothing on a payload that fits in one wire line.
+MIN_BLOB_BYTES = 4096
+
+#: Environment variable gating the data plane. ``inline`` / ``off`` /
+#: ``0`` force the historical inline-payload path everywhere.
+DATAPLANE_ENV = "FREQYWM_DATAPLANE"
+
+#: Upper bound on a single frame read off the wire — a corrupted length
+#: prefix must never convince a peer to allocate unbounded memory.
+MAX_FRAME_BYTES = 1 << 31
+
+
+def dataplane_enabled() -> bool:
+    """Whether blob-ification is on (checked per call, so tests/CI can flip it).
+
+    ``FREQYWM_DATAPLANE=inline`` (also ``off``/``0``/``false``) disables
+    the data plane: payload builders ship values inline exactly as
+    protocol v3 did. Any other value — including unset — enables it.
+    """
+    value = os.environ.get(DATAPLANE_ENV, "auto").strip().lower()
+    return value not in {"inline", "off", "0", "false"}
+
+
+# --------------------------------------------------------------------- #
+# Serialised form + digests
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BlobData:
+    """One blob's serialised form: pickle metadata + out-of-band buffers.
+
+    ``meta`` is the protocol-5 pickle stream with every large buffer
+    (NumPy arrays, bytes) extracted; ``buffers`` holds those raw buffer
+    bodies in extraction order. Keeping the two apart is what makes
+    zero-copy possible: a transport can place the buffers in shared
+    memory (or ship them as binary frames) and reconstruct with
+    ``pickle.loads(meta, buffers=...)`` without ever copying them
+    through a text encoding.
+    """
+
+    meta: bytes
+    buffers: Tuple[Union[bytes, memoryview], ...] = ()
+
+    @property
+    def size(self) -> int:
+        """Total payload bytes (metadata plus every buffer)."""
+        return len(self.meta) + sum(len(buffer) for buffer in self.buffers)
+
+    def frames(self) -> List[Union[bytes, memoryview]]:
+        """The wire frames for this blob: metadata first, then buffers."""
+        return [self.meta, *self.buffers]
+
+    @classmethod
+    def from_frames(cls, frames: List[bytes]) -> "BlobData":
+        """Rebuild from :meth:`frames` output (first frame is metadata)."""
+        if not frames:
+            raise BlobError("a blob needs at least a metadata frame")
+        return cls(meta=bytes(frames[0]), buffers=tuple(frames[1:]))
+
+
+def dumps_oob(value: Any) -> BlobData:
+    """Serialise ``value`` with protocol-5 out-of-band buffer extraction."""
+    buffers: List[memoryview] = []
+
+    def grab(buffer: pickle.PickleBuffer) -> bool:
+        view = buffer.raw()
+        buffers.append(view.toreadonly() if not view.readonly else view)
+        return False  # keep the body out of the metadata stream
+
+    meta = pickle.dumps(value, protocol=5, buffer_callback=grab)
+    return BlobData(meta=meta, buffers=tuple(buffers))
+
+
+def loads_oob(data: BlobData) -> Any:
+    """Invert :func:`dumps_oob` (zero-copy where the buffers allow it)."""
+    return pickle.loads(data.meta, buffers=[memoryview(b) for b in data.buffers])
+
+
+def blob_digest(data: BlobData) -> str:
+    """SHA-256 digest over the length-prefixed metadata and buffers."""
+    digest = hashlib.sha256()
+    digest.update(struct.pack("<Q", len(data.meta)))
+    digest.update(data.meta)
+    for buffer in data.buffers:
+        digest.update(struct.pack("<Q", len(buffer)))
+        digest.update(buffer)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class BlobRef:
+    """A by-digest reference embedded in task payloads instead of a value."""
+
+    digest: str
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != 64:
+            raise BlobError(f"blob digest must be 64 hex chars, got {self.digest!r}")
+
+
+# --------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------- #
+
+_NO_VALUE = object()
+
+
+@dataclass
+class _Entry:
+    """One resident blob: its bytes, size, and (optionally) the live object."""
+
+    data: BlobData
+    size: int
+    value: Any = _NO_VALUE
+
+
+class BlobStore:
+    """Content-addressed blob cache: byte-capacity LRU with optional spill.
+
+    Thread-safe. ``put`` computes (or verifies) the SHA-256 digest of
+    the serialised form; ``get`` returns the bytes, ``get_object`` the
+    deserialised value — preferring the cached original object so the
+    in-process resolution path costs nothing. When ``spill_dir`` is
+    given, LRU evictions write the blob to ``<digest>.blob`` with the
+    run cache's atomic pattern (temp file + ``os.replace``) and a later
+    ``get`` reloads it transparently; without it, an evicted digest
+    raises :class:`~repro.exceptions.BlobNotFoundError`.
+
+    Parameters
+    ----------
+    capacity : int, optional
+        In-memory byte budget (default 256 MiB). A single blob larger
+        than the budget is still admitted (it would otherwise be
+        unusable); everything else is evicted around it.
+    spill_dir : path-like, optional
+        Directory for evicted blobs; created on first use.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        spill_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise BlobError(f"blob store capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._pins: Dict[str, int] = {}
+        self._bytes = 0
+        self.puts = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.spills = 0
+        self.spill_loads = 0
+
+    # -- write side ---------------------------------------------------- #
+
+    def put(self, data: BlobData, *, value: Any = _NO_VALUE) -> str:
+        """Insert serialised ``data``; returns its digest (idempotent)."""
+        digest = blob_digest(data)
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                if entry.value is _NO_VALUE and value is not _NO_VALUE:
+                    entry.value = value
+                return digest
+            self.puts += 1
+            self._entries[digest] = _Entry(data=data, size=data.size, value=value)
+            self._bytes += data.size
+            self._shrink(keep=digest)
+        return digest
+
+    def put_object(self, value: Any) -> BlobRef:
+        """Serialise and insert ``value``; returns its :class:`BlobRef`."""
+        data = dumps_oob(value)
+        return BlobRef(self.put(data, value=value))
+
+    def pin(self, digest: str) -> None:
+        """Exempt ``digest`` from eviction until :meth:`unpin` (counted)."""
+        with self._lock:
+            if digest not in self._entries and not self._spill_path(digest).exists():
+                raise BlobNotFoundError(
+                    f"cannot pin unknown blob {digest[:12]}…", digest=digest
+                )
+            self._pins[digest] = self._pins.get(digest, 0) + 1
+
+    def unpin(self, digest: str) -> None:
+        """Drop one pin on ``digest`` (no-op for unpinned digests)."""
+        with self._lock:
+            count = self._pins.get(digest, 0) - 1
+            if count > 0:
+                self._pins[digest] = count
+            else:
+                self._pins.pop(digest, None)
+
+    # -- read side ----------------------------------------------------- #
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def size_of(self, digest: str) -> int:
+        """Resident size of ``digest`` in bytes (0 when not in memory)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            return entry.size if entry is not None else 0
+
+    def get(self, digest: str) -> BlobData:
+        """The serialised blob for ``digest`` (memory first, then spill)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                self.hits += 1
+                return entry.data
+            self.misses += 1
+        data = self._load_spilled(digest)
+        if data is None:
+            raise BlobNotFoundError(
+                f"blob {digest[:12]}… is not in this store "
+                "(evicted without a spill directory, or never put)",
+                digest=digest,
+            )
+        with self._lock:
+            self.spill_loads += 1
+            if digest not in self._entries:
+                self._entries[digest] = _Entry(data=data, size=data.size)
+                self._bytes += data.size
+                self._shrink(keep=digest)
+        return data
+
+    def get_object(self, digest: str) -> Any:
+        """The live value for ``digest`` — the original object when cached."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None and entry.value is not _NO_VALUE:
+                self._entries.move_to_end(digest)
+                self.hits += 1
+                return entry.value
+        data = self.get(digest)
+        value = loads_oob(data)
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None and entry.value is _NO_VALUE:
+                entry.value = value
+        return value
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (puts/hits/misses/evictions/spills and bytes)."""
+        with self._lock:
+            return {
+                "blobs": len(self._entries),
+                "bytes": self._bytes,
+                "puts": self.puts,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "spills": self.spills,
+                "spill_loads": self.spill_loads,
+            }
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and pin (spill files are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._pins.clear()
+            self._bytes = 0
+
+    # -- internals ----------------------------------------------------- #
+
+    def _shrink(self, *, keep: str) -> None:
+        """Evict LRU unpinned entries (except ``keep``) down to capacity."""
+        while self._bytes > self.capacity:
+            victim = next(
+                (
+                    digest
+                    for digest in self._entries
+                    if digest != keep and digest not in self._pins
+                ),
+                None,
+            )
+            if victim is None:
+                return  # everything left is pinned or the fresh entry
+            entry = self._entries.pop(victim)
+            self._bytes -= entry.size
+            self.evictions += 1
+            if self.spill_dir is not None:
+                self._spill(victim, entry.data)
+
+    def _spill_path(self, digest: str) -> Path:
+        if self.spill_dir is None:
+            return Path(os.devnull)
+        return self.spill_dir / f"{digest}.blob"
+
+    def _spill(self, digest: str, data: BlobData) -> None:
+        """Write an evicted blob to disk atomically (temp + ``os.replace``)."""
+        assert self.spill_dir is not None
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        path = self._spill_path(digest)
+        if path.exists():
+            return
+        temp = path.with_name(path.name + ".tmp")
+        with open(temp, "wb") as handle:
+            handle.write(struct.pack("<Q", len(data.meta)))
+            handle.write(data.meta)
+            handle.write(struct.pack("<Q", len(data.buffers)))
+            for buffer in data.buffers:
+                handle.write(struct.pack("<Q", len(buffer)))
+                handle.write(buffer)
+        os.replace(temp, path)
+        self.spills += 1
+
+    def _load_spilled(self, digest: str) -> Optional[BlobData]:
+        """Read a spilled blob back, verifying its digest."""
+        if self.spill_dir is None:
+            return None
+        path = self._spill_path(digest)
+        if not path.exists():
+            return None
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        try:
+            offset = 8
+            (meta_len,) = struct.unpack_from("<Q", raw, 0)
+            meta = raw[offset:offset + meta_len]
+            offset += meta_len
+            (count,) = struct.unpack_from("<Q", raw, offset)
+            offset += 8
+            buffers = []
+            for _ in range(count):
+                (length,) = struct.unpack_from("<Q", raw, offset)
+                offset += 8
+                buffers.append(raw[offset:offset + length])
+                offset += length
+        except struct.error as error:
+            raise BlobError(f"spilled blob {path} is truncated: {error}") from error
+        data = BlobData(meta=bytes(meta), buffers=tuple(buffers))
+        if blob_digest(data) != digest:
+            raise BlobError(f"spilled blob {path} fails its digest check")
+        return data
+
+
+# --------------------------------------------------------------------- #
+# Process-wide default store
+# --------------------------------------------------------------------- #
+
+_DEFAULT_STORE: Optional[BlobStore] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_blob_store() -> BlobStore:
+    """The process-wide store payload builders and schedulers share."""
+    global _DEFAULT_STORE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_STORE is None:
+            _DEFAULT_STORE = BlobStore()
+        return _DEFAULT_STORE
+
+
+def set_default_blob_store(store: Optional[BlobStore]) -> Optional[BlobStore]:
+    """Swap the default store (tests); returns the previous one."""
+    global _DEFAULT_STORE
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT_STORE
+        _DEFAULT_STORE = store
+        return previous
+
+
+def maybe_blob(
+    value: Any,
+    *,
+    min_bytes: int = MIN_BLOB_BYTES,
+    store: Optional[BlobStore] = None,
+) -> Tuple[Any, Tuple[str, ...]]:
+    """Blob-ify ``value`` when it is worth it.
+
+    Returns ``(replacement, digests)``: a :class:`BlobRef` plus its
+    one-element digest tuple when the serialised form reaches
+    ``min_bytes``, or the untouched value and an empty tuple otherwise.
+    This is the single call payload builders make, so the "is the data
+    plane on, is this value big enough" policy lives in one place.
+    """
+    data = dumps_oob(value)
+    if data.size < min_bytes:
+        return value, ()
+    target = store if store is not None else default_blob_store()
+    digest = target.put(data, value=value)
+    return BlobRef(digest), (digest,)
+
+
+# --------------------------------------------------------------------- #
+# Ref substitution in payload structures
+# --------------------------------------------------------------------- #
+
+_UNCHANGED = object()
+
+
+def _transform(obj: Any, replace: Callable[[Any], Any], depth: int) -> Any:
+    """Rebuild ``obj`` with ``replace`` applied; containers only, bounded.
+
+    ``replace`` returns ``_UNCHANGED`` to leave a node alone. Container
+    copies happen only on an actual change, so ref-free payloads pass
+    through untouched (same object, no copying).
+    """
+    replacement = replace(obj)
+    if replacement is not _UNCHANGED:
+        return replacement
+    if depth <= 0:
+        return obj
+    if type(obj) is tuple:
+        items = [_transform(item, replace, depth - 1) for item in obj]
+        if all(new is old for new, old in zip(items, obj)):
+            return obj
+        return tuple(items)
+    if type(obj) is list:
+        items = [_transform(item, replace, depth - 1) for item in obj]
+        if all(new is old for new, old in zip(items, obj)):
+            return obj
+        return items
+    if type(obj) is dict:
+        values = {key: _transform(item, replace, depth - 1) for key, item in obj.items()}
+        if all(values[key] is obj[key] for key in obj):
+            return obj
+        return values
+    return obj
+
+
+def rewrite_refs(obj: Any, mapping: Dict[str, Any], *, depth: int = 6) -> Any:
+    """Replace every :class:`BlobRef` whose digest is in ``mapping``."""
+
+    def replace(node: Any) -> Any:
+        if isinstance(node, BlobRef) and node.digest in mapping:
+            return mapping[node.digest]
+        return _UNCHANGED
+
+    return _transform(obj, replace, depth)
+
+
+def resolve_refs(
+    obj: Any,
+    fetch: Optional[Callable[[str], Any]] = None,
+    *,
+    depth: int = 6,
+) -> Any:
+    """Materialise every :class:`BlobRef` / :class:`ShmBlobHandle` in ``obj``.
+
+    ``fetch(digest)`` supplies ref values (default: the process-wide
+    store's ``get_object``); shared-memory handles load themselves.
+    Structures without refs come back unchanged — the same object.
+    """
+    lookup = fetch if fetch is not None else default_blob_store().get_object
+
+    def replace(node: Any) -> Any:
+        if isinstance(node, BlobRef):
+            return lookup(node.digest)
+        if isinstance(node, ShmBlobHandle):
+            return node.load()
+        return _UNCHANGED
+
+    return _transform(obj, replace, depth)
+
+
+def collect_refs(obj: Any, *, depth: int = 6) -> Tuple[str, ...]:
+    """Every distinct :class:`BlobRef` digest in ``obj``, in first-seen order."""
+    seen: Dict[str, None] = {}
+
+    def replace(node: Any) -> Any:
+        if isinstance(node, BlobRef):
+            seen.setdefault(node.digest)
+        return _UNCHANGED
+
+    _transform(obj, replace, depth)
+    return tuple(seen)
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory transport (local pool)
+# --------------------------------------------------------------------- #
+
+
+def _attach_segment(name: str):
+    """Attach to a shared-memory segment without claiming ownership.
+
+    Python 3.13 grew ``track=False`` for attach-only opens. On older
+    versions a plain attach re-registers the name with the family's
+    shared ``resource_tracker`` — harmless, because the tracker's cache
+    is a set (pool children inherit the parent's tracker, so the
+    exporter's eventual ``unlink`` still balances the books), and safer
+    than the unregister dance, which double-unregisters against the
+    owner and makes the tracker warn.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python <= 3.12: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class ShmBlobHandle:
+    """A blob parked in a shared-memory segment, addressable by name.
+
+    The local scheduler substitutes these for :class:`BlobRef`\\ s before
+    pickling a spec to its pool: the pickled handle is a few dozen
+    bytes, and the worker-side :meth:`load` attaches the segment and
+    reconstructs the value with its NumPy buffers mapping the segment
+    directly — zero copies of the array bodies. Workers must treat
+    loaded values as immutable (the buffers are read-only views).
+    """
+
+    digest: str
+    name: str
+    meta_len: int
+    buffer_lens: Tuple[int, ...]
+
+    def load(self) -> Any:
+        """Attach (cached) and deserialise this blob zero-copy."""
+        return _load_shm_value(self)
+
+
+#: Worker-side caches: attached segments by name, loaded values by
+#: segment name (LRU-capped — values keep their segment mapped).
+_ATTACHED: Dict[str, Any] = {}
+_LOADED: "OrderedDict[str, Any]" = OrderedDict()
+_LOADED_CAP = 32
+_ATTACH_LOCK = threading.Lock()
+
+
+def _load_shm_value(handle: ShmBlobHandle) -> Any:
+    """Worker-side: segment -> value, cached per segment name."""
+    with _ATTACH_LOCK:
+        if handle.name in _LOADED:
+            _LOADED.move_to_end(handle.name)
+            return _LOADED[handle.name]
+        segment = _ATTACHED.get(handle.name)
+        if segment is None:
+            try:
+                segment = _attach_segment(handle.name)
+            except FileNotFoundError as error:
+                raise BlobNotFoundError(
+                    f"shared-memory segment {handle.name} for blob "
+                    f"{handle.digest[:12]}… is gone (released early?)",
+                    digest=handle.digest,
+                ) from error
+            _ATTACHED[handle.name] = segment
+        view = segment.buf
+        meta = bytes(view[: handle.meta_len])
+        buffers = []
+        offset = handle.meta_len
+        for length in handle.buffer_lens:
+            buffers.append(view[offset:offset + length])
+            offset += length
+        value = pickle.loads(meta, buffers=buffers)
+        _LOADED[handle.name] = value
+        while len(_LOADED) > _LOADED_CAP:
+            stale_name, _ = _LOADED.popitem(last=False)
+            stale = _ATTACHED.pop(stale_name, None)
+            if stale is not None:
+                try:
+                    stale.close()
+                except BufferError:  # a live value still maps it: keep it
+                    _ATTACHED[stale_name] = stale
+        return value
+
+
+def export_shm_blob(digest: str, data: BlobData) -> Tuple[ShmBlobHandle, Any]:
+    """Copy ``data`` into a fresh shared-memory segment.
+
+    Returns the worker-facing :class:`ShmBlobHandle` and the owning
+    ``SharedMemory`` object — the caller is responsible for ``close()``
+    and ``unlink()`` when the last referencing task completes (the local
+    scheduler refcounts this). Raises ``OSError`` where shared memory
+    is unavailable; callers fall back to inline payloads.
+    """
+    from multiprocessing import shared_memory
+
+    total = max(1, data.size)
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    view = segment.buf
+    offset = 0
+    view[: len(data.meta)] = data.meta
+    offset += len(data.meta)
+    for buffer in data.buffers:
+        view[offset:offset + len(buffer)] = buffer
+        offset += len(buffer)
+    handle = ShmBlobHandle(
+        digest=digest,
+        name=segment.name,
+        meta_len=len(data.meta),
+        buffer_lens=tuple(len(buffer) for buffer in data.buffers),
+    )
+    return handle, segment
+
+
+__all__ = [
+    "DATAPLANE_ENV",
+    "DEFAULT_CAPACITY",
+    "MAX_FRAME_BYTES",
+    "MIN_BLOB_BYTES",
+    "BlobData",
+    "BlobRef",
+    "BlobStore",
+    "ShmBlobHandle",
+    "blob_digest",
+    "collect_refs",
+    "dataplane_enabled",
+    "default_blob_store",
+    "dumps_oob",
+    "export_shm_blob",
+    "loads_oob",
+    "maybe_blob",
+    "resolve_refs",
+    "rewrite_refs",
+    "set_default_blob_store",
+]

@@ -21,28 +21,54 @@ one ``result`` line back. The distribution model is deliberately plain:
 * results are gathered **in submission order** regardless of which
   worker answered first.
 
-Task payloads travel base64-pickled (:func:`pickle_b64`): the wire
-carries exactly what a ``multiprocessing`` pool would pickle anyway, so
-the trust model is unchanged — run workers only on hosts you would run
-a pool on. ``docs/scheduler.md`` spells this out.
+Task data rides the **v4 data plane** when the worker speaks it: the
+client probes each worker's protocol version at connect time, and a v4
+worker gets payloads as length-prefixed binary frames after the JSON
+header (pickle protocol 5, no base64 tax) with shared values referenced
+by digest — the worker ``blob-request``\\ s each digest it has not
+cached, once, so a sweep ships a shared secret per *worker*, not per
+*task*. A v3 worker (or ``FREQYWM_DATAPLANE=inline``) transparently
+gets the historical base64-pickled payloads (:func:`pickle_b64`).
+Either way the wire carries exactly what a ``multiprocessing`` pool
+would pickle anyway, so the trust model is unchanged — run workers only
+on hosts you would run a pool on. ``docs/scheduler.md`` spells this
+out.
 """
 
 from __future__ import annotations
 
 import base64
 import itertools
+import json
 import pickle
 import socket
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import repro.exceptions as _exceptions
-from repro.exceptions import ReproError, SchedulerError, WorkerCrashError
+from repro.exceptions import (
+    BlobNotFoundError,
+    ReproError,
+    SchedulerError,
+    WorkerCrashError,
+)
+from repro.exec.blobs import (
+    BlobData,
+    dataplane_enabled,
+    default_blob_store,
+    dumps_oob,
+    loads_oob,
+    resolve_refs,
+)
 from repro.exec.scheduler import Scheduler, TaskSpec
 from repro.service.wire import (
     HEARTBEAT_FUNCTION,
+    PROTOCOL_VERSION,
+    BlobRequest,
+    BlobResponse,
     TaskRequest,
     TaskResult,
     decode_response,
@@ -145,19 +171,79 @@ class _WorkerDied(Exception):
     """Internal: the connection to one worker is gone (retry elsewhere)."""
 
 
+class _RetryInline(Exception):
+    """Internal: the worker misses a blob the client evicted.
+
+    The task itself never ran — re-queue it with the inline-payload
+    flag so the resubmission carries full values, under the same
+    bounded-attempt budget as a crash.
+    """
+
+
 class _LineChannel:
-    """Blocking JSON-lines channel over one socket, with recv timeouts."""
+    """Blocking JSON-lines channel over one socket, with recv timeouts.
+
+    v4 adds binary frames: :meth:`send_payload` writes a header line
+    followed by raw frame bytes, and :meth:`recv_exact` reads a frame
+    body announced by a decoded header. Line and frame reads share one
+    buffer, so interleaving them never loses stream position.
+    """
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._buffer = bytearray()
 
-    def send_line(self, line: str) -> None:
-        """Write one line (appending the newline delimiter)."""
+    def send_line(self, line: str) -> int:
+        """Write one line (appending the newline delimiter); bytes sent."""
+        data = line.encode("utf-8") + b"\n"
         try:
-            self._sock.sendall(line.encode("utf-8") + b"\n")
+            self._sock.sendall(data)
         except OSError as error:
             raise _WorkerDied(f"send failed: {error}") from error
+        return len(data)
+
+    def send_payload(self, line: str, frames: Sequence[Union[bytes, memoryview]]) -> int:
+        """Write a header line plus its binary frames; total bytes sent.
+
+        Frames go out with separate ``sendall`` calls so large NumPy
+        buffers are never copied into a joined bytestring first.
+        """
+        total = self.send_line(line)
+        try:
+            for frame in frames:
+                self._sock.sendall(frame)
+                total += len(frame)
+        except OSError as error:
+            raise _WorkerDied(f"send failed: {error}") from error
+        return total
+
+    def recv_exact(self, count: int, timeout: float) -> bytes:
+        """Exactly ``count`` frame bytes, or :class:`_WorkerDied`.
+
+        A timeout mid-frame is fatal for the connection (the stream
+        position is unrecoverable), unlike :meth:`recv_line`'s soft
+        ``None`` — the caller treats the worker as lost.
+        """
+        deadline = time.monotonic() + timeout
+        while len(self._buffer) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _WorkerDied(
+                    f"worker stalled mid-frame ({len(self._buffer)}/{count} bytes)"
+                )
+            self._sock.settimeout(remaining)
+            try:
+                data = self._sock.recv(max(65536, count - len(self._buffer)))
+            except (TimeoutError, socket.timeout):
+                continue
+            except OSError as error:
+                raise _WorkerDied(f"recv failed: {error}") from error
+            if not data:
+                raise _WorkerDied("worker closed the connection mid-frame")
+            self._buffer.extend(data)
+        frame = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return frame
 
     def recv_line(self, timeout: float) -> Optional[str]:
         """One decoded line, or None when ``timeout`` elapses first."""
@@ -230,6 +316,11 @@ class RemoteScheduler(Scheduler):
         self._channels: Dict[str, _LineChannel] = {}
         self._dead: set = set()
         self._sequence = itertools.count()
+        #: Negotiated wire version per address (connect-time probe).
+        self._versions: Dict[str, int] = {}
+        #: Digests each worker already holds (shipped or announced).
+        self._shipped: Dict[str, set] = {}
+        self._stats_lock = threading.Lock()
         # Per-run state, guarded by _cond's lock.
         self._cond = threading.Condition()
         self._specs: List[TaskSpec] = []
@@ -238,6 +329,14 @@ class RemoteScheduler(Scheduler):
         self._results: Dict[int, Any] = {}
         self._failure: Optional[BaseException] = None
         self._on_result: Optional[Callable[[int, Any], None]] = None
+        #: Task indices forced onto the inline-payload path after a
+        #: blob miss (the client evicted a digest a worker asked for).
+        self._inline_only: set = set()
+
+    @property
+    def ships_payloads(self) -> bool:
+        """Always true: every task crosses a socket to another host."""
+        return True
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -262,8 +361,54 @@ class RemoteScheduler(Scheduler):
         else:
             sock = socket.create_connection(target, timeout=self.connect_timeout)
         channel = _LineChannel(sock)
+        self._versions[address] = self._negotiate(channel, address)
+        self._shipped[address] = set()
         self._channels[address] = channel
         return channel
+
+    def _negotiate(self, channel: _LineChannel, address: str) -> int:
+        """Probe the worker's protocol version with a heartbeat line.
+
+        The probe is a v4-stamped heartbeat. A v4 worker answers it OK
+        with its own ``v`` stamp; a v3 worker *rejects* the line (it
+        speaks a newer version than the worker understands) but still
+        preserves the request id and answers a failure stamped ``v: 3``
+        — either way, the response's stamp is the worker's ceiling, and
+        the channel speaks ``min(theirs, ours)`` from then on. Binary
+        frames are never sent before this completes, so an old worker
+        never sees bytes it would misparse as lines.
+        """
+        probe_id = f"hb-probe-{next(self._sequence)}"
+        channel.send_line(
+            encode_line(
+                TaskRequest(request_id=probe_id, function=HEARTBEAT_FUNCTION)
+            )
+        )
+        # A connected-but-silent peer is the heartbeat machinery's case,
+        # not the connect path's, so the probe waits at most the
+        # heartbeat timeout (a healthy worker answers immediately).
+        budget = max(0.1, min(self.connect_timeout, self.heartbeat_timeout))
+        deadline = time.monotonic() + budget
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _WorkerDied(
+                    f"worker {address} did not answer the version probe "
+                    f"within {budget:.1f}s"
+                )
+            line = channel.recv_line(timeout=remaining)
+            if line is None:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(payload, dict) or payload.get("id") != probe_id:
+                continue
+            version = payload.get("v", 1)
+            if isinstance(version, bool) or not isinstance(version, int) or version < 1:
+                version = 1
+            return min(version, PROTOCOL_VERSION)
 
     def _drop(self, address: str) -> None:
         """Forget a dead worker's connection."""
@@ -285,6 +430,7 @@ class RemoteScheduler(Scheduler):
         specs = list(tasks)
         if not specs:
             return []
+        self.stats.tasks += len(specs)
         live = [address for address in self.addresses if address not in self._dead]
         if not live:
             raise SchedulerError(
@@ -298,6 +444,7 @@ class RemoteScheduler(Scheduler):
             self._results = {}
             self._failure = None
             self._on_result = on_result
+            self._inline_only = set()
         threads = [
             threading.Thread(
                 target=self._serve, args=(address,), daemon=True,
@@ -325,7 +472,8 @@ class RemoteScheduler(Scheduler):
         """One worker's client loop: pull indices, dispatch, collect."""
         try:
             channel = self._connect(address)
-        except OSError as error:
+        except (OSError, _WorkerDied) as error:
+            self._drop(address)
             self._lose_worker(address, None, f"cannot connect: {error}")
             return
         while True:
@@ -340,6 +488,29 @@ class RemoteScheduler(Scheduler):
                 attempt = self._attempts[index]
             try:
                 value = self._execute(channel, address, index, attempt)
+            except _RetryInline as error:
+                # The worker is healthy; the client side evicted a blob
+                # it asked for. Re-queue the task on the inline-payload
+                # path under the same bounded-attempt budget a crash
+                # gets, and keep serving.
+                with self._cond:
+                    if self._attempts[index] > self.max_retries:
+                        if self._failure is None:
+                            spec = self._specs[index]
+                            self._failure = WorkerCrashError(
+                                f"task {spec.fingerprint!r} lost to a blob "
+                                f"miss ({self._attempts[index]} attempts, "
+                                f"retries exhausted): {error}",
+                                fingerprint=spec.fingerprint,
+                                attempts=self._attempts[index],
+                            )
+                        self._cond.notify_all()
+                        return
+                    self._attempts[index] += 1
+                    self._inline_only.add(index)
+                    self._queue.append(index)
+                    self._cond.notify_all()
+                continue
             except _WorkerDied as error:
                 self._drop(address)
                 self._lose_worker(address, index, str(error))
@@ -372,13 +543,118 @@ class RemoteScheduler(Scheduler):
                         self._on_result(index, value)
                 self._cond.notify_all()
 
+    def _send_task(
+        self, channel: _LineChannel, address: str, index: int, request_id: str
+    ) -> None:
+        """Ship one task line, framed (v4) or inline base64 (v3/fallback)."""
+        spec = self._specs[index]
+        version = self._versions.get(address, PROTOCOL_VERSION)
+        framed = (
+            version >= 4
+            and dataplane_enabled()
+            and index not in self._inline_only
+        )
+        if not framed:
+            inline = self._inline_spec(spec)
+            sent = channel.send_line(
+                encode_line(spec_to_request(inline, request_id), version=version)
+            )
+            with self._stats_lock:
+                self.stats.bytes_sent += sent
+            return
+        payload_data = dumps_oob(spec.payload)
+        init_data = dumps_oob(spec.init_args) if spec.init_args else None
+        frames: List[Any] = payload_data.frames()
+        payload_count = len(frames)
+        init_count = 0
+        if init_data is not None:
+            init_frames = init_data.frames()
+            init_count = len(init_frames)
+            frames = frames + init_frames
+        request = TaskRequest(
+            request_id=request_id,
+            function=spec.function,
+            initializer=spec.initializer,
+            init_key=spec.init_key,
+            fingerprint=spec.fingerprint,
+            blob_refs=spec.blob_refs,
+            frames=tuple(len(frame) for frame in frames),
+            payload_frames=payload_count,
+            init_frames=init_count,
+        )
+        sent = channel.send_payload(encode_line(request), frames)
+        store = default_blob_store()
+        shipped = self._shipped.setdefault(address, set())
+        with self._stats_lock:
+            self.stats.bytes_sent += sent
+            for digest in spec.blob_refs:
+                if digest in shipped:
+                    # The worker holds this blob already: the inline wire
+                    # would have re-shipped its full serialised size.
+                    self.stats.bytes_deduped += store.size_of(digest)
+                    self.stats.blobs_deduped += 1
+
+    @staticmethod
+    def _inline_spec(spec: TaskSpec) -> TaskSpec:
+        """A spec with its blob refs materialised back into values."""
+        if not spec.blob_refs:
+            return spec
+        return replace(
+            spec,
+            payload=resolve_refs(spec.payload),
+            init_args=resolve_refs(spec.init_args),
+            blob_refs=(),
+        )
+
+    def _answer_blob_request(
+        self, channel: _LineChannel, address: str, request: BlobRequest
+    ) -> None:
+        """Serve a worker's ``blob-request`` from the process-wide store."""
+        try:
+            data = default_blob_store().get(request.digest)
+        except BlobNotFoundError as error:
+            channel.send_line(
+                encode_line(
+                    BlobResponse(
+                        request_id=request.request_id,
+                        digest=request.digest,
+                        ok=False,
+                        error=str(error),
+                        error_type="BlobNotFoundError",
+                    )
+                )
+            )
+            return
+        frames = data.frames()
+        line = encode_line(
+            BlobResponse(
+                request_id=request.request_id,
+                digest=request.digest,
+                ok=True,
+                frames=tuple(len(frame) for frame in frames),
+            )
+        )
+        sent = channel.send_payload(line, frames)
+        self._shipped.setdefault(address, set()).add(request.digest)
+        with self._stats_lock:
+            self.stats.bytes_sent += sent
+            self.stats.blobs_sent += 1
+
     def _execute(
         self, channel: _LineChannel, address: str, index: int, attempt: int
     ) -> Any:
-        """Send one task and await its result, heartbeating in between."""
+        """Send one task and await its result, heartbeating in between.
+
+        Mid-flight the worker may interleave ``blob-request`` lines
+        (answered inline from the blob store) and framed results. A
+        framed result's frames are consumed *immediately* after its
+        header — before the request-id match check — because skipping
+        them would desynchronise the byte stream.
+        """
         spec = self._specs[index]
+        version = self._versions.get(address, PROTOCOL_VERSION)
         request_id = f"task-{index}-{attempt}-{next(self._sequence)}"
-        channel.send_line(encode_line(spec_to_request(spec, request_id)))
+        self._send_task(channel, address, index, request_id)
         last_heard = time.monotonic()
         while True:
             line = channel.recv_line(timeout=self.heartbeat_interval)
@@ -395,22 +671,38 @@ class RemoteScheduler(Scheduler):
                         TaskRequest(
                             request_id=f"hb-{next(self._sequence)}",
                             function=HEARTBEAT_FUNCTION,
-                        )
+                        ),
+                        version=version,
                     )
                 )
                 continue
             last_heard = now
             response = decode_response(line)
+            if isinstance(response, BlobRequest):
+                self._answer_blob_request(channel, address, response)
+                continue
             if not isinstance(response, TaskResult):
                 continue  # not ours (future wire chatter): liveness only
+            frame_bytes: List[bytes] = []
+            if response.frames:
+                # Consume the announced frames unconditionally to keep
+                # the stream in sync, even for a stale duplicate.
+                frame_bytes = [
+                    channel.recv_exact(size, self.heartbeat_timeout)
+                    for size in response.frames
+                ]
             if response.request_id != request_id:
                 continue  # heartbeat acks and stale duplicates
             if response.ok:
+                if frame_bytes:
+                    return loads_oob(BlobData.from_frames(frame_bytes))
                 return (
                     unpickle_b64(response.result)
                     if response.result is not None
                     else None
                 )
+            if response.error_type == "BlobNotFoundError":
+                raise _RetryInline(response.error or "worker missed a blob")
             raise _remote_error(response)
 
     def _lose_worker(self, address: str, index: Optional[int], reason: str) -> None:

@@ -39,10 +39,17 @@ import os
 import time
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SchedulerError, WorkerCrashError
+from repro.exec.blobs import (
+    dataplane_enabled,
+    default_blob_store,
+    export_shm_blob,
+    resolve_refs,
+    rewrite_refs,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -85,6 +92,12 @@ class TaskSpec:
         (a fingerprint of them), or workers would serve stale state.
     init_args:
         Picklable positional arguments for the initializer.
+    blob_refs:
+        Digests of every :class:`~repro.exec.blobs.BlobRef` embedded in
+        ``payload``/``init_args``. Declaring them up front lets a
+        scheduler plan transport — export shared-memory segments, ship
+        blobs to remote workers once — without walking payloads. Empty
+        for fully-inline tasks (the historical shape).
     """
 
     fingerprint: str
@@ -93,6 +106,7 @@ class TaskSpec:
     initializer: Optional[str] = None
     init_key: str = ""
     init_args: Tuple[Any, ...] = ()
+    blob_refs: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.function:
@@ -190,12 +204,18 @@ def set_state_cache_size(size: int) -> None:
         _WORKER_STATE.popitem(last=False)
 
 
-def _ensure_worker_state(spec: TaskSpec) -> Any:
-    """Build-or-fetch the initializer product for ``spec`` (LRU)."""
+def _ensure_worker_state(spec: TaskSpec, blob_fetch=None) -> Any:
+    """Build-or-fetch the initializer product for ``spec`` (LRU).
+
+    ``init_args`` blob refs are materialised only on a cache miss: tasks
+    sharing an ``init_key`` pay the blob fetch once per worker, which is
+    exactly the dedup the data plane exists for.
+    """
     assert spec.initializer is not None
     state = _WORKER_STATE.get(spec.init_key)
     if state is None and spec.init_key not in _WORKER_STATE:
-        state = resolve_initializer(spec.initializer)(*spec.init_args)
+        init_args = resolve_refs(spec.init_args, blob_fetch)
+        state = resolve_initializer(spec.initializer)(*init_args)
         _WORKER_STATE[spec.init_key] = state
         while len(_WORKER_STATE) > _WORKER_STATE_CAP:
             _WORKER_STATE.popitem(last=False)
@@ -204,16 +224,25 @@ def _ensure_worker_state(spec: TaskSpec) -> Any:
     return state
 
 
-def run_task(spec: TaskSpec) -> Any:
+def run_task(spec: TaskSpec, *, blob_fetch=None) -> Any:
     """Execute one task in this process (the worker-side entry point).
 
-    Resolves the function and (cached) initializer state, then calls
-    ``function(state, payload)``. Used verbatim by pool workers, the
-    remote worker server, and the in-process fast path.
+    Resolves the function and (cached) initializer state, materialises
+    any blob references in the payload — ``blob_fetch(digest)`` supplies
+    values, defaulting to the process-wide blob store; shared-memory
+    handles load themselves — then calls ``function(state, payload)``.
+    Used verbatim by pool workers, the remote worker server, and the
+    in-process fast path. Ref-free specs take no extra copies: payloads
+    pass through untouched.
     """
     function = resolve_task_function(spec.function)
-    state = _ensure_worker_state(spec) if spec.initializer is not None else None
-    return function(state, spec.payload)
+    state = (
+        _ensure_worker_state(spec, blob_fetch)
+        if spec.initializer is not None
+        else None
+    )
+    payload = resolve_refs(spec.payload, blob_fetch)
+    return function(state, payload)
 
 
 def _pool_run(spec: TaskSpec) -> Any:
@@ -238,6 +267,34 @@ def default_worker_count() -> int:
 # --------------------------------------------------------------------- #
 
 
+@dataclass
+class SchedulerStats:
+    """Data-plane accounting a scheduler accumulates across its runs.
+
+    ``bytes_sent`` counts payload bytes the scheduler actually moved to
+    workers (shared-memory segment sizes locally, wire bytes remotely);
+    ``bytes_deduped`` counts bytes it *didn't* move because a referenced
+    blob was already where it was needed. Their sum approximates what
+    the pre-data-plane inline path would have shipped, so
+    ``bytes_deduped / (bytes_sent + bytes_deduped)`` reads as the dedup
+    ratio. Counters are cumulative; surface them via :meth:`summary`.
+    """
+
+    tasks: int = 0
+    bytes_sent: int = 0
+    bytes_deduped: int = 0
+    blobs_sent: int = 0
+    blobs_deduped: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable rendering for smoke tools and logs."""
+        return (
+            f"tasks={self.tasks} bytes_sent={self.bytes_sent} "
+            f"bytes_deduped={self.bytes_deduped} blobs_sent={self.blobs_sent} "
+            f"blobs_deduped={self.blobs_deduped}"
+        )
+
+
 class Scheduler:
     """Protocol every scheduler implements: ordered fan-out of TaskSpecs.
 
@@ -251,6 +308,25 @@ class Scheduler:
 
     #: Effective worker count (schedulers may lower it on fallback).
     workers: int = 1
+
+    @property
+    def stats(self) -> SchedulerStats:
+        """Cumulative :class:`SchedulerStats` for this scheduler (lazy)."""
+        existing = self.__dict__.get("_stats")
+        if existing is None:
+            existing = self.__dict__["_stats"] = SchedulerStats()
+        return existing
+
+    @property
+    def ships_payloads(self) -> bool:
+        """Whether payloads cross a process boundary on the way to workers.
+
+        Payload builders consult this before blob-ifying: when execution
+        is in-process (``LocalScheduler`` with one worker) a blob ref
+        buys nothing and would add a serialisation round-trip, so large
+        values stay inline exactly as before the data plane existed.
+        """
+        return False
 
     def run(
         self,
@@ -280,6 +356,88 @@ class _Submission:
     spec: TaskSpec
     attempts: int = 1
     handles: List[Any] = field(default_factory=list)
+
+
+class _ShmExporter:
+    """Parks each referenced blob in one shared-memory segment, refcounted.
+
+    One segment per distinct digest per ``run`` call, however many tasks
+    reference it — that is the local dedup. Each task holds a refcount
+    on its digests from :meth:`prepare` until :meth:`release` (task
+    completed); the segment is unlinked when its count hits zero, and
+    :meth:`close` (always reached, crash paths included) unlinks
+    whatever is left. Retried tasks are never released early: a task's
+    refs drop only when its result actually landed, so resubmitted specs
+    always find their segments alive.
+    """
+
+    def __init__(self, store, stats: SchedulerStats) -> None:
+        self._store = store
+        self._stats = stats
+        self._segments: Dict[str, Tuple[Any, Any, int]] = {}
+        self._counts: Dict[str, int] = {}
+        self._task_refs: Dict[int, Tuple[str, ...]] = {}
+
+    def prepare(self, index: int, spec: TaskSpec) -> TaskSpec:
+        """Rewrite ``spec``'s blob refs to shared-memory handles.
+
+        Raises ``OSError`` when a segment cannot be created (no
+        ``/dev/shm``); the caller falls back to inline payloads.
+        """
+        mapping: Dict[str, Any] = {}
+        for digest in spec.blob_refs:
+            entry = self._segments.get(digest)
+            if entry is None:
+                data = self._store.get(digest)
+                handle, segment = export_shm_blob(digest, data)
+                entry = (handle, segment, data.size)
+                self._segments[digest] = entry
+                self._counts[digest] = 0
+                self._stats.bytes_sent += data.size
+                self._stats.blobs_sent += 1
+            else:
+                self._stats.bytes_deduped += entry[2]
+                self._stats.blobs_deduped += 1
+            mapping[digest] = entry[0]
+            self._counts[digest] += 1
+        self._task_refs[index] = tuple(mapping)
+        return replace(
+            spec,
+            payload=rewrite_refs(spec.payload, mapping),
+            init_args=rewrite_refs(spec.init_args, mapping),
+            blob_refs=(),
+        )
+
+    def release(self, index: int) -> None:
+        """Drop the completed task's refs; unlink segments at zero."""
+        for digest in self._task_refs.pop(index, ()):
+            count = self._counts.get(digest, 0) - 1
+            if count > 0:
+                self._counts[digest] = count
+            else:
+                self._counts.pop(digest, None)
+                self._unlink(digest)
+
+    def close(self) -> None:
+        """Unlink every remaining segment (idempotent; crash-safe path)."""
+        self._task_refs.clear()
+        self._counts.clear()
+        for digest in list(self._segments):
+            self._unlink(digest)
+
+    def _unlink(self, digest: str) -> None:
+        entry = self._segments.pop(digest, None)
+        if entry is None:
+            return
+        _, segment, _ = entry
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a live view pins the map
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
 
 
 class LocalScheduler(Scheduler):
@@ -352,6 +510,11 @@ class LocalScheduler(Scheduler):
         self._pool = None
         self._poll_interval = 0.005
 
+    @property
+    def ships_payloads(self) -> bool:
+        """True once a pool is in play: payloads get pickled to children."""
+        return self.workers > 1
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
@@ -371,6 +534,15 @@ class LocalScheduler(Scheduler):
             else multiprocessing.get_context()
         )
         try:
+            if dataplane_enabled():
+                # Start the resource tracker *before* forking so workers
+                # inherit it: an attach in a worker then re-registers a
+                # segment with the shared tracker (a set, so a no-op)
+                # instead of spawning a private tracker that would
+                # miscount the parent's unlink as a leak at shutdown.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
             return context.Pool(processes=processes)
         except (OSError, ValueError, RuntimeError, PermissionError) as error:
             if self.on_spawn_failure is not None:
@@ -411,6 +583,7 @@ class LocalScheduler(Scheduler):
         specs = list(tasks)
         if not specs:
             return []
+        self.stats.tasks += len(specs)
         if self.workers > 1 and len(specs) > 1:
             if self.size_to_batch:
                 pool = self._spawn_pool(min(self.workers, len(specs)))
@@ -428,7 +601,13 @@ class LocalScheduler(Scheduler):
         specs: List[TaskSpec],
         on_result: Optional[Callable[[int, Any], None]],
     ) -> List[Any]:
-        """Execute every task in this process, reusing ``inline_state``."""
+        """Execute every task in this process, reusing ``inline_state``.
+
+        Blob refs resolve against the process-wide store, whose value
+        cache returns the *original* objects — so a builder that
+        blob-ified for a pool that then fell back inline still runs with
+        zero extra copies.
+        """
         results: List[Any] = []
         for index, spec in enumerate(specs):
             function = resolve_task_function(spec.function)
@@ -436,9 +615,10 @@ class LocalScheduler(Scheduler):
             if spec.initializer is not None:
                 state = self.inline_state.get(spec.init_key)
                 if state is None and spec.init_key not in self.inline_state:
-                    state = resolve_initializer(spec.initializer)(*spec.init_args)
+                    init_args = resolve_refs(spec.init_args)
+                    state = resolve_initializer(spec.initializer)(*init_args)
                     self.inline_state[spec.init_key] = state
-            value = function(state, spec.payload)
+            value = function(state, resolve_refs(spec.payload))
             if on_result is not None:
                 on_result(index, value)
             results.append(value)
@@ -479,7 +659,65 @@ class LocalScheduler(Scheduler):
         ``max_retries`` resubmissions raises
         :class:`~repro.exceptions.WorkerCrashError` with its
         fingerprint.
+
+        Specs carrying blob refs go through the shared-memory exporter
+        first: each distinct blob becomes one segment shared by every
+        referencing task, released (and unlinked) as tasks complete,
+        with the remainder torn down in the ``finally`` whatever path —
+        crash, task exception, retry exhaustion — exits this method.
         """
+        exporter, prepared = self._prepare_pool_specs(specs)
+        try:
+            return self._drain_pool(pool, prepared, on_result, exporter)
+        finally:
+            if exporter is not None:
+                exporter.close()
+
+    def _prepare_pool_specs(
+        self, specs: List[TaskSpec]
+    ) -> Tuple[Optional[_ShmExporter], List[TaskSpec]]:
+        """Swap blob refs for shm handles (or inline values on fallback)."""
+        if not any(spec.blob_refs for spec in specs):
+            return None, specs
+        if dataplane_enabled():
+            exporter = _ShmExporter(default_blob_store(), self.stats)
+            prepared: List[TaskSpec] = []
+            try:
+                for index, spec in enumerate(specs):
+                    prepared.append(
+                        exporter.prepare(index, spec) if spec.blob_refs else spec
+                    )
+                return exporter, prepared
+            except OSError as error:
+                logger.warning(
+                    "shared-memory export unavailable (%s: %s); "
+                    "shipping payloads inline",
+                    type(error).__name__,
+                    error,
+                )
+                exporter.close()
+        return None, [self._resolve_spec(spec) for spec in specs]
+
+    @staticmethod
+    def _resolve_spec(spec: TaskSpec) -> TaskSpec:
+        """Materialise a spec's blob refs back into inline values."""
+        if not spec.blob_refs:
+            return spec
+        return replace(
+            spec,
+            payload=resolve_refs(spec.payload),
+            init_args=resolve_refs(spec.init_args),
+            blob_refs=(),
+        )
+
+    def _drain_pool(
+        self,
+        pool,
+        specs: List[TaskSpec],
+        on_result: Optional[Callable[[int, Any], None]],
+        exporter: Optional[_ShmExporter],
+    ) -> List[Any]:
+        """The submission/harvest/crash-retry loop behind :meth:`_run_pool`."""
         submissions = [_Submission(spec) for spec in specs]
         for submission in submissions:
             submission.handles.append(pool.apply_async(_pool_run, (submission.spec,)))
@@ -501,6 +739,8 @@ class LocalScheduler(Scheduler):
                 results[index] = value
                 unfinished.discard(index)
                 progressed = True
+                if exporter is not None:
+                    exporter.release(index)
                 if on_result is not None:
                     on_result(index, value)
             return progressed
@@ -602,6 +842,7 @@ __all__ = [
     "DEFAULT_STATE_CACHE",
     "LocalScheduler",
     "Scheduler",
+    "SchedulerStats",
     "TaskSpec",
     "create_scheduler",
     "default_worker_count",

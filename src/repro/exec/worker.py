@@ -2,44 +2,78 @@
 
 One worker is a small asyncio JSON-lines server (the same transport
 shape as ``freqywm serve``, :mod:`repro.service.server`) that accepts
-protocol-version-3 ``task`` lines, executes them through the shared
-worker-side entry point :func:`repro.exec.scheduler.run_task`, and
-answers each with one ``result`` line. Three properties matter:
+``task`` lines — protocol v3 base64 payloads or v4 binary frames — and
+executes them through the shared worker-side entry point
+:func:`repro.exec.scheduler.run_task`, answering each with one
+``result`` line. Four properties matter:
 
 * **worker-local state reuse** — ``run_task`` caches initializer
   products (detectors, generators) under their ``init_key``, so a
   long-lived worker serving a sweep builds each expensive state once;
+* **blob dedup** (v4) — a task line may reference shared values by
+  digest (``blob_refs``); the worker asks for each digest it has not
+  cached with a single ``blob-request`` line and keeps the answer in a
+  bounded per-worker :class:`~repro.exec.blobs.BlobStore`, so the
+  client ships a shared secret once per worker, not once per task (the
+  ``bytes_deduped`` counter measures exactly this saving);
 * **heartbeats answer mid-task** — real tasks run on a single-thread
   executor while the event loop keeps reading lines, so a
   ``__heartbeat__`` probe is answered immediately even during a long
   task (this is what lets clients distinguish *slow* from *dead*);
 * **failures stay typed** — a task raising inside the worker answers
   with the exception's type name and message, never a pickled exception
-  object, and never kills the connection.
+  object, and never kills the connection. A blob the client can no
+  longer supply fails with ``BlobNotFoundError``, which the scheduler
+  turns into an inline-payload retry.
 
-Started by ``freqywm worker --socket PATH`` or ``--tcp HOST:PORT``
+Every response line is stamped at ``min(incoming v, own ceiling)``, so
+a v3 client talking to a v4 worker still decodes what comes back; the
+``FREQYWM_WIRE_CEILING`` environment variable lowers the ceiling (the
+mixed-fleet tests use it to impersonate old workers). Started by
+``freqywm worker --socket PATH`` or ``--tcp HOST:PORT``
 (:mod:`repro.cli`); the worker announces ``listening on <address>`` on
 stderr once bound, which tests and the CI scheduler-smoke job use as
-the readiness signal.
+the readiness signal, and prints a :meth:`TaskWorkerServer.summary_line`
+on shutdown.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Callable, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import ReproError
+from repro.exceptions import BlobError, BlobNotFoundError, ReproError
+from repro.exec.blobs import BlobData, BlobStore, dumps_oob, loads_oob
 from repro.exec.remote import pickle_b64, spec_from_request
-from repro.exec.scheduler import run_task, set_state_cache_size
+from repro.exec.scheduler import TaskSpec, run_task, set_state_cache_size
 from repro.service.wire import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    BlobRequest,
     TaskRequest,
     TaskResult,
     decode_request,
     encode_line,
 )
+
+#: Environment variable capping the protocol version this worker admits
+#: (defaults to its own :data:`~repro.service.wire.PROTOCOL_VERSION`).
+#: Lowering it makes a new binary impersonate an old worker — the
+#: mixed-fleet degradation tests run real v3 negotiation through it.
+WIRE_CEILING_ENV = "FREQYWM_WIRE_CEILING"
+
+#: Seconds a task waits for the client to answer a ``blob-request``.
+BLOB_FETCH_TIMEOUT = 30.0
+
+#: StreamReader line-length cap. The v3/inline fallback carries a whole
+#: base64 payload in one JSON line, so asyncio's 64 KiB default would
+#: sever the connection on any task beyond a toy histogram; frames
+#: (``readexactly``) are not line-limited.
+MAX_LINE_BYTES = 1 << 27
 
 
 def _failure_for_line(line: str, error: Exception) -> TaskResult:
@@ -54,6 +88,47 @@ def _failure_for_line(line: str, error: Exception) -> TaskResult:
     return TaskResult.failure(request_id, str(error))
 
 
+def _parse_header(line: str) -> Optional[Dict[str, object]]:
+    """The line's JSON object, or None when it is not one."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _line_version(header: Optional[Dict[str, object]]) -> int:
+    """The ``v`` stamp of a parsed line (absent/malformed = 1)."""
+    if header is None:
+        return 1
+    version = header.get("v", 1)
+    if isinstance(version, bool) or not isinstance(version, int) or version < 1:
+        return 1
+    return version
+
+
+def _frame_sizes(header: Optional[Dict[str, object]]) -> Optional[List[int]]:
+    """The announced frame sizes, ``[]`` when absent, None when invalid.
+
+    Invalid sizes are unrecoverable: the connection's byte stream can no
+    longer be trusted, so the caller drops the connection rather than
+    guessing where the next line starts.
+    """
+    if header is None:
+        return []
+    value = header.get("frames")
+    if value is None:
+        return []
+    if not isinstance(value, list) or not all(
+        isinstance(item, int)
+        and not isinstance(item, bool)
+        and 0 <= item <= MAX_FRAME_BYTES
+        for item in value
+    ):
+        return None
+    return list(value)
+
+
 class TaskWorkerServer:
     """Executes ``task`` wire requests for remote schedulers.
 
@@ -62,11 +137,32 @@ class TaskWorkerServer:
     max_state : int, optional
         Bound on the worker-local initializer-state cache
         (:func:`repro.exec.scheduler.set_state_cache_size`).
+    blob_capacity : int, optional
+        Byte budget of the per-worker blob cache (default: the store's
+        own default, 256 MiB).
+    protocol_ceiling : int, optional
+        Highest wire version this worker admits; defaults to the
+        ``FREQYWM_WIRE_CEILING`` environment variable, else
+        :data:`~repro.service.wire.PROTOCOL_VERSION`.
     """
 
-    def __init__(self, *, max_state: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        *,
+        max_state: Optional[int] = None,
+        blob_capacity: Optional[int] = None,
+        protocol_ceiling: Optional[int] = None,
+    ) -> None:
         if max_state is not None:
             set_state_cache_size(max_state)
+        if protocol_ceiling is None:
+            env = os.environ.get(WIRE_CEILING_ENV, "").strip()
+            protocol_ceiling = int(env) if env else PROTOCOL_VERSION
+        self.protocol_ceiling = max(1, min(protocol_ceiling, PROTOCOL_VERSION))
+        #: Bounded per-worker cache of client-shipped blobs, by digest.
+        self.blobs = (
+            BlobStore(capacity=blob_capacity) if blob_capacity else BlobStore()
+        )
         # One thread: task execution is serialized (worker state is not
         # thread-safe) while the event loop stays free for heartbeats.
         self._executor = ThreadPoolExecutor(
@@ -74,44 +170,177 @@ class TaskWorkerServer:
         )
         #: Count of real (non-heartbeat) tasks served, for diagnostics.
         self.served = 0
+        #: Wire bytes read (header lines + frames), all connections.
+        self.bytes_received = 0
+        #: Bytes *not* re-shipped because a referenced blob was cached.
+        self.bytes_deduped = 0
 
-    def _run(self, request: TaskRequest) -> TaskResult:
+    # ------------------------------------------------------------------ #
+    # Task execution
+    # ------------------------------------------------------------------ #
+
+    def _spec_from(
+        self, request: TaskRequest, frames: Sequence[bytes]
+    ) -> TaskSpec:
+        """A runnable spec from a v3 (base64) or v4 (framed) task line."""
+        if not request.frames:
+            return spec_from_request(request)
+        if len(frames) != len(request.frames):
+            raise BlobError(
+                f"task {request.request_id!r} announced "
+                f"{len(request.frames)} frames but {len(frames)} arrived"
+            )
+        payload_count = request.payload_frames
+        init_count = request.init_frames
+        payload = (
+            loads_oob(BlobData.from_frames(list(frames[:payload_count])))
+            if payload_count
+            else None
+        )
+        init_args = (
+            tuple(
+                loads_oob(
+                    BlobData.from_frames(
+                        list(frames[payload_count:payload_count + init_count])
+                    )
+                )
+            )
+            if init_count
+            else ()
+        )
+        return TaskSpec(
+            fingerprint=request.fingerprint or request.request_id,
+            function=request.function,
+            payload=payload,
+            initializer=request.initializer,
+            init_key=request.init_key,
+            init_args=init_args,
+            blob_refs=request.blob_refs,
+        )
+
+    async def _ensure_blobs(self, request: TaskRequest, fetch_blob) -> None:
+        """Fetch every referenced blob this worker does not hold yet."""
+        for digest in request.blob_refs:
+            if digest in self.blobs:
+                self.bytes_deduped += self.blobs.size_of(digest)
+                continue
+            if fetch_blob is None:
+                raise BlobNotFoundError(
+                    f"no transport to fetch blob {digest[:12]}…",
+                    digest=digest,
+                )
+            data = await fetch_blob(request.request_id, digest)
+            actual = self.blobs.put(data)
+            if actual != digest:
+                raise BlobError(
+                    f"blob for task {request.request_id!r} failed its digest "
+                    f"check (wanted {digest[:12]}…, got {actual[:12]}…)"
+                )
+
+    def _run(
+        self, request: TaskRequest, spec: TaskSpec, framed: bool
+    ) -> Tuple[TaskResult, List[Union[bytes, memoryview]]]:
         """Execute one task in the executor thread; always returns a result."""
         try:
-            spec = spec_from_request(request)
-            value = run_task(spec)
-            return TaskResult(
-                request_id=request.request_id,
-                ok=True,
-                result=pickle_b64(value),
-                fingerprint=request.fingerprint,
+            value = run_task(spec, blob_fetch=self.blobs.get_object)
+            if framed:
+                data = dumps_oob(value)
+                frames = data.frames()
+                return (
+                    TaskResult(
+                        request_id=request.request_id,
+                        ok=True,
+                        frames=tuple(len(frame) for frame in frames),
+                        fingerprint=request.fingerprint,
+                    ),
+                    frames,
+                )
+            return (
+                TaskResult(
+                    request_id=request.request_id,
+                    ok=True,
+                    result=pickle_b64(value),
+                    fingerprint=request.fingerprint,
+                ),
+                [],
             )
         except Exception as error:  # noqa: BLE001 - typed failure on the wire
-            return TaskResult(
-                request_id=request.request_id,
-                ok=False,
-                error=str(error),
-                error_type=type(error).__name__,
-                fingerprint=request.fingerprint,
+            return (
+                TaskResult(
+                    request_id=request.request_id,
+                    ok=False,
+                    error=str(error),
+                    error_type=type(error).__name__,
+                    fingerprint=request.fingerprint,
+                ),
+                [],
             )
 
-    async def respond(self, line: str) -> TaskResult:
-        """Answer one request line (never raises for bad input)."""
+    async def respond(
+        self,
+        line: str,
+        *,
+        version: int = 1,
+        frames: Sequence[bytes] = (),
+        fetch_blob=None,
+    ) -> Tuple[TaskResult, List[Union[bytes, memoryview]]]:
+        """Answer one request line (never raises for bad input).
+
+        Returns the result plus any binary frames to write after it —
+        non-empty only when the request arrived at v4 or above (an old
+        client must never receive frames it would read as lines).
+        """
+        if version > self.protocol_ceiling:
+            return (
+                _failure_for_line(
+                    line,
+                    ReproError(
+                        f"line speaks protocol version {version}, but this "
+                        f"worker only understands versions up to "
+                        f"{self.protocol_ceiling}"
+                    ),
+                ),
+                [],
+            )
         try:
             request = decode_request(line)
         except ReproError as error:
-            return _failure_for_line(line, error)
+            return _failure_for_line(line, error), []
         if not isinstance(request, TaskRequest):
-            return TaskResult.failure(
-                request.request_id,
-                "this worker serves only 'task' lines; detection verbs "
-                "belong to freqywm serve",
+            return (
+                TaskResult.failure(
+                    request.request_id,
+                    "this worker serves only 'task' lines; detection verbs "
+                    "belong to freqywm serve",
+                ),
+                [],
             )
         if request.is_heartbeat:
-            return TaskResult(request_id=request.request_id, ok=True)
+            return TaskResult(request_id=request.request_id, ok=True), []
         self.served += 1
+        try:
+            await self._ensure_blobs(request, fetch_blob)
+            spec = self._spec_from(request, frames)
+        except Exception as error:  # noqa: BLE001 - typed failure on the wire
+            return (
+                TaskResult(
+                    request_id=request.request_id,
+                    ok=False,
+                    error=str(error),
+                    error_type=type(error).__name__,
+                    fingerprint=request.fingerprint,
+                ),
+                [],
+            )
+        framed = version >= 4 and self.protocol_ceiling >= 4
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, self._run, request)
+        return await loop.run_in_executor(
+            self._executor, self._run, request, spec, framed
+        )
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
 
     async def handle_connection(
         self,
@@ -120,18 +349,61 @@ class TaskWorkerServer:
     ) -> None:
         """Serve one client connection until EOF.
 
-        Each line becomes its own asyncio task (self-pruning set, like
-        the detection transports) so heartbeat lines are answered while
-        a task line is still executing.
+        The read loop alone consumes the byte stream: it parses each
+        header line and reads its announced frames *before* dispatching,
+        so concurrent per-line tasks (heartbeats answered mid-task, the
+        self-pruning set the detection transports use) can never race
+        for stream position. ``blob`` lines fulfil the connection's
+        pending blob futures; everything else becomes a response.
         """
         write_lock = asyncio.Lock()
+        blob_waits: Dict[str, asyncio.Future] = {}
         tasks: set = set()
+        loop = asyncio.get_running_loop()
 
-        async def handle(line: str) -> None:
-            response = await self.respond(line)
+        async def send(message, version: int, out_frames: Sequence = ()) -> None:
             async with write_lock:
-                conn_writer.write((encode_line(response) + "\n").encode("utf-8"))
+                conn_writer.write(
+                    (encode_line(message, version=version) + "\n").encode("utf-8")
+                )
+                for frame in out_frames:
+                    conn_writer.write(bytes(frame))
                 await conn_writer.drain()
+
+        async def fetch_blob(request_id: str, digest: str) -> BlobData:
+            """Ask the client for ``digest`` (once per connection attempt)."""
+            future = blob_waits.get(digest)
+            if future is None:
+                future = loop.create_future()
+                blob_waits[digest] = future
+                await send(
+                    BlobRequest(request_id=request_id, digest=digest),
+                    self.protocol_ceiling,
+                )
+            try:
+                header, frames = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=BLOB_FETCH_TIMEOUT
+                )
+            except asyncio.TimeoutError:
+                blob_waits.pop(digest, None)
+                raise BlobNotFoundError(
+                    f"client did not deliver blob {digest[:12]}… within "
+                    f"{BLOB_FETCH_TIMEOUT:.0f}s",
+                    digest=digest,
+                ) from None
+            blob_waits.pop(digest, None)
+            if not header.get("ok"):
+                raise BlobNotFoundError(
+                    str(header.get("error") or f"client lost blob {digest[:12]}…"),
+                    digest=digest,
+                )
+            return BlobData.from_frames(frames)
+
+        async def handle(line: str, version: int, frames: List[bytes]) -> None:
+            response, out_frames = await self.respond(
+                line, version=version, frames=frames, fetch_blob=fetch_blob
+            )
+            await send(response, min(version, self.protocol_ceiling), out_frames)
 
         try:
             while True:
@@ -141,13 +413,59 @@ class TaskWorkerServer:
                 line = raw.decode("utf-8").strip()
                 if not line:
                     continue
-                task = asyncio.ensure_future(handle(line))
+                header = _parse_header(line)
+                sizes = _frame_sizes(header)
+                if sizes is None:
+                    # Unparseable frame announcement: the stream position
+                    # is lost, so the connection cannot continue.
+                    break
+                frames = [await conn_reader.readexactly(size) for size in sizes]
+                self.bytes_received += len(raw) + sum(sizes)
+                if header is not None and header.get("op") == "blob":
+                    digest = header.get("digest")
+                    future = (
+                        blob_waits.get(digest) if isinstance(digest, str) else None
+                    )
+                    if future is not None and not future.done():
+                        future.set_result((header, frames))
+                    continue
+                task = asyncio.ensure_future(
+                    handle(line, _line_version(header), frames)
+                )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
             if tasks:
                 await asyncio.gather(*list(tasks))
+        except asyncio.IncompleteReadError:
+            pass  # client vanished mid-frame: nothing left to answer
         finally:
+            for future in blob_waits.values():
+                if not future.done():
+                    future.cancel()
             conn_writer.close()
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics + lifecycle
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> Dict[str, int]:
+        """Counter snapshot: tasks served and data-plane byte movement."""
+        return {
+            "served": self.served,
+            "bytes_received": self.bytes_received,
+            "bytes_deduped": self.bytes_deduped,
+            "blobs_cached": self.blobs.stats()["blobs"],
+        }
+
+    def summary_line(self) -> str:
+        """One-line rendering of :meth:`summary` for shutdown stderr."""
+        counters = self.summary()
+        return (
+            f"served={counters['served']} "
+            f"bytes_received={counters['bytes_received']} "
+            f"bytes_deduped={counters['bytes_deduped']} "
+            f"blobs_cached={counters['blobs_cached']}"
+        )
 
     def close(self) -> None:
         """Shut down the task executor (idempotent)."""
@@ -170,7 +488,7 @@ async def serve_worker_unix(
     worker = server if server is not None else TaskWorkerServer()
     path = Path(socket_path)
     listener = await asyncio.start_unix_server(
-        worker.handle_connection, path=str(path)
+        worker.handle_connection, path=str(path), limit=MAX_LINE_BYTES
     )
     try:
         if announce is not None:
@@ -201,7 +519,9 @@ async def serve_worker_tcp(
     so spawners (tests, CI) can learn where to connect.
     """
     worker = server if server is not None else TaskWorkerServer()
-    listener = await asyncio.start_server(worker.handle_connection, host, port)
+    listener = await asyncio.start_server(
+        worker.handle_connection, host, port, limit=MAX_LINE_BYTES
+    )
     try:
         address = listener.sockets[0].getsockname()[:2]
         if bound is not None:
@@ -217,6 +537,9 @@ async def serve_worker_tcp(
 
 
 __all__ = [
+    "BLOB_FETCH_TIMEOUT",
+    "MAX_LINE_BYTES",
+    "WIRE_CEILING_ENV",
     "TaskWorkerServer",
     "serve_worker_tcp",
     "serve_worker_unix",

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ReproError
+from repro.exec.blobs import dataplane_enabled, maybe_blob
 from repro.exec.policy import ExecutionPolicy, policy_from_kwargs
 from repro.exec.scheduler import TaskSpec, create_scheduler, register_task_function
 from repro.experiments.cache import RunCache
@@ -53,6 +54,8 @@ class RunResult:
     executed: Dict[str, int] = field(default_factory=dict)
     cached: Dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
+    bytes_sent: int = 0
+    bytes_deduped: int = 0
 
     @property
     def executed_total(self) -> int:
@@ -73,6 +76,8 @@ class RunResult:
             "executed_total": self.executed_total,
             "cached_total": self.cached_total,
             "seconds": round(self.seconds, 3),
+            "bytes_sent": self.bytes_sent,
+            "bytes_deduped": self.bytes_deduped,
         }
 
 
@@ -160,6 +165,16 @@ class ExperimentRunner:
         # Results may be delivered from scheduler client threads (remote
         # backend); the cache and counters are guarded accordingly.
         lock = threading.Lock()
+        use_blobs = dataplane_enabled() and self._scheduler.ships_payloads
+        # Dependency artifacts are shared by every downstream task in a
+        # level, so each is blobbed at most once per run; the memo holds
+        # (replacement, refs) keyed by the dep's task id.
+        dep_blobs: Dict[str, Tuple[object, Tuple[str, ...]]] = {}
+
+        def dep_value(dep: str) -> Tuple[object, Tuple[str, ...]]:
+            if dep not in dep_blobs:
+                dep_blobs[dep] = maybe_blob(results[dep])
+            return dep_blobs[dep]
 
         for level in self.plan.levels():
             pending: List[Task] = []
@@ -172,18 +187,25 @@ class ExperimentRunner:
             if not pending:
                 continue
             by_id = {task.task_id: task for task in pending}
-            specs = [
-                TaskSpec(
-                    fingerprint=task.fingerprint,
-                    function="experiment.task",
-                    payload=(
-                        task,
-                        {dep: results[dep] for dep in task.deps},
-                        self.plan.seed,
-                    ),
+            specs = []
+            for task in pending:
+                deps: Dict[str, object] = {}
+                refs: Tuple[str, ...] = ()
+                for dep in task.deps:
+                    if use_blobs:
+                        value, dep_refs = dep_value(dep)
+                        refs += dep_refs
+                    else:
+                        value = results[dep]
+                    deps[dep] = value
+                specs.append(
+                    TaskSpec(
+                        fingerprint=task.fingerprint,
+                        function="experiment.task",
+                        payload=(task, deps, self.plan.seed),
+                        blob_refs=refs,
+                    )
                 )
-                for task in pending
-            ]
 
             def handle(_index: int, value) -> None:
                 # Streamed as tasks complete, not at the level barrier: an
@@ -198,6 +220,7 @@ class ExperimentRunner:
 
             self._scheduler.run(specs, on_result=handle)
 
+        stats = self._scheduler.stats
         outcome = RunResult(
             run_dir=self.cache.run_dir,
             spec_fingerprint=self.plan.spec_fingerprint,
@@ -205,6 +228,8 @@ class ExperimentRunner:
             executed=executed,
             cached=cached,
             seconds=time.perf_counter() - started,
+            bytes_sent=stats.bytes_sent,
+            bytes_deduped=stats.bytes_deduped,
         )
         self.cache.write_run_log(outcome.summary())
         return outcome

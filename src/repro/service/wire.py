@@ -36,6 +36,18 @@ optional ``op`` field:
   ``"__heartbeat__"`` is a liveness probe: workers answer it
   immediately, even while a real task is running.
 
+* **Data plane** (v4): a line whose ``frames`` field lists byte counts
+  is followed by exactly those **length-prefixed binary frames** on the
+  same stream — pickle-protocol-5 metadata plus out-of-band buffers,
+  replacing the base64 text encoding (a 33% wire tax) for task
+  payloads, results and blobs. ``task`` lines may carry ``blob_refs``
+  (SHA-256 digests of shared values); a worker missing a digest asks
+  for it once with a ``blob-request`` line and the client answers with
+  a ``blob`` line + frames, so a 200-task sweep ships a shared secret
+  once per worker rather than once per task. v3 peers never see frames:
+  the scheduler probes each worker's version first and falls back to
+  inline base64 payloads automatically.
+
 On the transport, each request and each response is **one JSON object per
 line** (JSON-lines). Responses carry the request's ``id`` so they may be
 delivered out of order; detect responses' ``batch_size`` and
@@ -67,10 +79,13 @@ from repro.exceptions import ConfigurationError, HistogramError, ServiceError
 #: Version of the wire protocol this module speaks. Version 1 is the
 #: pre-registry wire (detect/embed, no ``v`` field); version 2 added the
 #: ``register``/``revoke``/``attribute`` verbs and the ``v`` field
-#: itself; version 3 adds the scheduler's ``task``/``result`` verbs.
-#: Peers accept lines with ``v`` at most their own version (absent
-#: means 1) and reject higher ones — see the module docstring.
-PROTOCOL_VERSION = 3
+#: itself; version 3 added the scheduler's ``task``/``result`` verbs.
+#: Version 4 adds the data plane: length-prefixed binary frames after a
+#: line (the ``frames`` field lists their sizes), the ``blob`` /
+#: ``blob-request`` verbs, and ``blob_refs`` on task lines. Peers accept
+#: lines with ``v`` at most their own version (absent means 1) and
+#: reject higher ones — see the module docstring.
+PROTOCOL_VERSION = 4
 
 #: Keys accepted in a request's ``config`` object (DetectionConfig kwargs).
 _CONFIG_KEYS = frozenset(
@@ -1034,6 +1049,51 @@ class AttributeResponse:
 #: ``function`` value marking a task request as a liveness probe.
 HEARTBEAT_FUNCTION = "__heartbeat__"
 
+#: Upper bound on any single binary frame a v4 line may announce; a
+#: corrupt length must never talk a peer into an unbounded allocation.
+MAX_FRAME_BYTES = 1 << 31
+
+
+def _validated_frames(payload: Dict[str, object], request_id: str) -> Tuple[int, ...]:
+    """The ``frames`` field as a validated tuple of byte counts."""
+    value = payload.get("frames")
+    if value is None:
+        return ()
+    if not isinstance(value, list) or not all(
+        isinstance(item, int)
+        and not isinstance(item, bool)
+        and 0 <= item <= MAX_FRAME_BYTES
+        for item in value
+    ):
+        raise ServiceError(
+            f"line {request_id!r} 'frames' must be a list of frame byte counts"
+        )
+    return tuple(value)
+
+
+def _validated_digests(payload: Dict[str, object], request_id: str) -> Tuple[str, ...]:
+    """The ``blob_refs`` field as a validated tuple of digest strings."""
+    value = payload.get("blob_refs")
+    if value is None:
+        return ()
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) and item for item in value
+    ):
+        raise ServiceError(
+            f"task request {request_id!r} 'blob_refs' must be a list of digests"
+        )
+    return tuple(value)
+
+
+def _validated_count(payload: Dict[str, object], name: str, request_id: str) -> int:
+    """A non-negative integer field (absent = 0)."""
+    value = payload.get(name, 0)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ServiceError(
+            f"line {request_id!r} field {name!r} must be a non-negative integer"
+        )
+    return value
+
 
 @dataclass(frozen=True)
 class TaskRequest:
@@ -1066,6 +1126,20 @@ class TaskRequest:
     fingerprint:
         The task's stable identifier, echoed on the result so lost or
         failed work stays attributable.
+    blob_refs:
+        v4: SHA-256 digests of blobs this task references. The worker
+        fetches any digest it has not cached via ``blob-request``
+        before running the task.
+    frames:
+        v4: byte sizes of the binary frames following this line. When
+        set, ``payload``/``init_args`` are absent and the frames carry
+        their pickle-protocol-5 serialisations instead.
+    payload_frames:
+        v4: how many leading entries of ``frames`` belong to the
+        payload (metadata frame + out-of-band buffers).
+    init_frames:
+        v4: how many entries after the payload's belong to
+        ``init_args`` (0 = inherit the v3 ``init_args`` field).
     """
 
     request_id: str
@@ -1075,6 +1149,10 @@ class TaskRequest:
     init_key: str = ""
     init_args: Optional[str] = None
     fingerprint: str = ""
+    blob_refs: Tuple[str, ...] = ()
+    frames: Tuple[int, ...] = ()
+    payload_frames: int = 0
+    init_frames: int = 0
 
     def __post_init__(self) -> None:
         if not self.request_id:
@@ -1111,6 +1189,12 @@ class TaskRequest:
             payload["init_args"] = self.init_args
         if self.fingerprint:
             payload["fingerprint"] = self.fingerprint
+        if self.blob_refs:
+            payload["blob_refs"] = list(self.blob_refs)
+        if self.frames:
+            payload["frames"] = list(self.frames)
+            payload["payload_frames"] = self.payload_frames
+            payload["init_frames"] = self.init_frames
         return payload
 
     @classmethod
@@ -1136,6 +1220,10 @@ class TaskRequest:
             init_key=str(payload.get("init_key", "")),
             init_args=payload.get("init_args"),  # type: ignore[arg-type]
             fingerprint=str(payload.get("fingerprint", "")),
+            blob_refs=_validated_digests(payload, request_id),
+            frames=_validated_frames(payload, request_id),
+            payload_frames=_validated_count(payload, "payload_frames", request_id),
+            init_frames=_validated_count(payload, "init_frames", request_id),
         )
 
 
@@ -1143,7 +1231,9 @@ class TaskRequest:
 class TaskResult:
     """One scheduler task outcome on the service wire (``op: "result"``).
 
-    A success carries the base64-pickled return value; a failure carries
+    A success carries the base64-pickled return value — or, on a v4
+    stream, announces binary ``frames`` after the line holding the
+    value's pickle-protocol-5 serialisation instead. A failure carries
     the exception's type name and message so the client can re-raise a
     typed error without unpickling arbitrary exception objects.
     """
@@ -1154,6 +1244,7 @@ class TaskResult:
     error: Optional[str] = None
     error_type: Optional[str] = None
     fingerprint: str = ""
+    frames: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.request_id:
@@ -1180,6 +1271,8 @@ class TaskResult:
                 payload["error_type"] = self.error_type
         if self.fingerprint:
             payload["fingerprint"] = self.fingerprint
+        if self.frames:
+            payload["frames"] = list(self.frames)
         return payload
 
     @classmethod
@@ -1187,14 +1280,16 @@ class TaskResult:
         """Rebuild a task result from :meth:`to_dict` output."""
         if not isinstance(payload, dict) or "id" not in payload:
             raise ServiceError("response payload must be a JSON object with 'id'")
+        request_id = str(payload["id"])
         if not payload.get("ok"):
             error_type = payload.get("error_type")
             return cls(
-                request_id=str(payload["id"]),
+                request_id=request_id,
                 ok=False,
                 error=str(payload.get("error", "unknown error")),
                 error_type=str(error_type) if error_type is not None else None,
                 fingerprint=str(payload.get("fingerprint", "")),
+                frames=_validated_frames(payload, request_id),
             )
         result = payload.get("result")
         if result is not None and not isinstance(result, str):
@@ -1202,14 +1297,118 @@ class TaskResult:
                 f"task result {payload['id']!r} 'result' must be a string"
             )
         return cls(
-            request_id=str(payload["id"]),
+            request_id=request_id,
             ok=True,
             result=result,
             fingerprint=str(payload.get("fingerprint", "")),
+            frames=_validated_frames(payload, request_id),
         )
 
 
-#: Any verb's request / response, as produced by the line decoders.
+@dataclass(frozen=True)
+class BlobRequest:
+    """A worker asking for a blob it does not hold (``op: "blob-request"``).
+
+    Sent worker→client while a task naming unknown ``blob_refs`` is
+    pending; ``request_id`` is the *task's* id so the client can relate
+    the fetch to the in-flight task. Each worker asks for a given digest
+    at most once per connection — the answer lands in its bounded store.
+    """
+
+    request_id: str
+    digest: str
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("blob request id must be a non-empty string")
+        if not self.digest:
+            raise ServiceError("blob request needs a digest")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload."""
+        return {"op": "blob-request", "id": self.request_id, "digest": self.digest}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BlobRequest":
+        """Rebuild from :meth:`to_dict` output (validating)."""
+        request_id = _validated_id(payload, "blob-request")
+        digest = payload.get("digest")
+        if not isinstance(digest, str) or not digest:
+            raise ServiceError(
+                f"blob request {request_id!r} needs a string 'digest'"
+            )
+        return cls(request_id=request_id, digest=digest)
+
+
+@dataclass(frozen=True)
+class BlobResponse:
+    """A blob delivery answering a :class:`BlobRequest` (``op: "blob"``).
+
+    On success the line's ``frames`` announce the blob's binary frames
+    (pickle metadata first, then each out-of-band buffer) following on
+    the stream. On failure — typically the client evicted the digest —
+    ``ok`` is false and ``error``/``error_type`` carry a typed error
+    (:class:`~repro.exceptions.BlobNotFoundError`) so the worker can
+    fail the dependent task in a way the scheduler retries inline.
+    """
+
+    request_id: str
+    digest: str
+    ok: bool = True
+    frames: Tuple[int, ...] = ()
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("blob response id must be a non-empty string")
+        if not self.digest:
+            raise ServiceError("blob response needs a digest")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (failure fields omitted on success)."""
+        payload: Dict[str, object] = {
+            "op": "blob",
+            "id": self.request_id,
+            "digest": self.digest,
+            "ok": self.ok,
+        }
+        if self.ok:
+            payload["frames"] = list(self.frames)
+        else:
+            payload["error"] = self.error
+            if self.error_type is not None:
+                payload["error_type"] = self.error_type
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BlobResponse":
+        """Rebuild from :meth:`to_dict` output (validating)."""
+        request_id = _validated_id(payload, "blob")
+        digest = payload.get("digest")
+        if not isinstance(digest, str) or not digest:
+            raise ServiceError(f"blob line {request_id!r} needs a string 'digest'")
+        if not payload.get("ok"):
+            error_type = payload.get("error_type")
+            return cls(
+                request_id=request_id,
+                digest=digest,
+                ok=False,
+                error=str(payload.get("error", "unknown error")),
+                error_type=str(error_type) if error_type is not None else None,
+            )
+        return cls(
+            request_id=request_id,
+            digest=digest,
+            ok=True,
+            frames=_validated_frames(payload, request_id),
+        )
+
+
+#: Any verb's request / response, as produced by the line decoders. The
+#: blob verbs appear in both unions: ``blob-request`` flows worker→client
+#: (decoded with the responses) and ``blob`` flows client→worker (decoded
+#: with the requests).
 WireRequest = Union[
     DetectRequest,
     EmbedRequest,
@@ -1217,6 +1416,8 @@ WireRequest = Union[
     RevokeRequest,
     AttributeRequest,
     TaskRequest,
+    BlobRequest,
+    BlobResponse,
 ]
 WireResponse = Union[
     DetectResponse,
@@ -1225,6 +1426,8 @@ WireResponse = Union[
     RevokeResponse,
     AttributeResponse,
     TaskResult,
+    BlobRequest,
+    BlobResponse,
 ]
 
 _REQUEST_TYPES: Dict[str, type] = {
@@ -1234,6 +1437,8 @@ _REQUEST_TYPES: Dict[str, type] = {
     "revoke": RevokeRequest,
     "attribute": AttributeRequest,
     "task": TaskRequest,
+    "blob": BlobResponse,
+    "blob-request": BlobRequest,
 }
 
 _RESPONSE_TYPES: Dict[str, type] = {
@@ -1243,6 +1448,8 @@ _RESPONSE_TYPES: Dict[str, type] = {
     "revoke": RevokeResponse,
     "attribute": AttributeResponse,
     "result": TaskResult,
+    "blob": BlobResponse,
+    "blob-request": BlobRequest,
 }
 
 
@@ -1266,15 +1473,17 @@ def _check_protocol(payload: object) -> None:
         )
 
 
-def encode_line(message) -> str:
+def encode_line(message, *, version: Optional[int] = None) -> str:
     """Encode a request/response as one JSON line (no trailing newline).
 
     The line carries the sender's :data:`PROTOCOL_VERSION` as ``v`` next
     to the message payload, so peers can apply the compatibility rule
-    before interpreting any verb-specific field.
+    before interpreting any verb-specific field. ``version`` lets a
+    sender speak *down* to a negotiated older peer (the scheduler's
+    v3 fallback path); speaking up is never valid.
     """
     payload = message.to_dict()
-    payload["v"] = PROTOCOL_VERSION
+    payload["v"] = PROTOCOL_VERSION if version is None else min(version, PROTOCOL_VERSION)
     return json.dumps(payload, separators=(",", ":"), sort_keys=True)
 
 
@@ -1314,9 +1523,12 @@ def decode_response(line: str) -> WireResponse:
 
 __all__ = [
     "HEARTBEAT_FUNCTION",
+    "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "AttributeRequest",
     "AttributeResponse",
+    "BlobRequest",
+    "BlobResponse",
     "DetectRequest",
     "DetectResponse",
     "EmbedRequest",

@@ -128,7 +128,7 @@ def test_malformed_registry_payloads_are_rejected():
 
 def test_encoded_lines_carry_the_protocol_version():
     line = encode_line(RevokeRequest(request_id="rev-1", buyer_id="b"))
-    assert json.loads(line)["v"] == PROTOCOL_VERSION == 3
+    assert json.loads(line)["v"] == PROTOCOL_VERSION == 4
 
 
 def test_older_and_absent_versions_are_accepted():

@@ -28,6 +28,7 @@ import tempfile
 from contextlib import contextmanager
 from pathlib import Path
 
+from repro.exec.blobs import dataplane_enabled
 from repro.exec.policy import ExecutionPolicy
 from repro.experiments import load_spec, run_experiment, write_report
 
@@ -65,7 +66,8 @@ def run_backend(spec, run_dir: Path, policy: ExecutionPolicy, label: str):
     print(
         f"  {label}: {result.executed_total} executed, "
         f"{result.cached_total} cached, {result.seconds:.2f}s "
-        f"({result.workers} worker(s))"
+        f"({result.workers} worker(s), {result.bytes_sent} bytes sent, "
+        f"{result.bytes_deduped} deduped)"
     )
     return result, json_path.read_bytes(), md_path.read_bytes()
 
@@ -83,7 +85,11 @@ def main(argv=None) -> int:
 
     with tempfile.TemporaryDirectory(prefix="scheduler-smoke-") as tmp:
         tmp_path = Path(tmp)
-        print("running the smoke spec on all three scheduler backends:")
+        mode = "blob" if dataplane_enabled() else "inline"
+        print(
+            "running the smoke spec on all three scheduler backends "
+            f"(data plane: {mode}):"
+        )
         serial, serial_json, serial_md = run_backend(
             spec, tmp_path / "serial", ExecutionPolicy(workers=1), "in-process"
         )
