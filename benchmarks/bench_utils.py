@@ -18,10 +18,12 @@ a quick sanity pass.
 
 from __future__ import annotations
 
+import math
 import os
 import sys
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 # Allow running the benchmarks from a source checkout without installation.
 _SRC = Path(__file__).resolve().parent.parent / "src"
@@ -103,6 +105,21 @@ _SCALES = {
 
 
 
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample (fraction in [0, 1]).
+
+    Nearest-rank (not interpolated) so a 3-iteration p95 is an actual
+    observed timing, never an extrapolation beyond the sample.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
 def experiment_banner(identifier: str, description: str) -> None:
     """Print a banner naming the paper artefact being regenerated."""
     line = "=" * 78
@@ -122,9 +139,10 @@ def experiment_banner(identifier: str, description: str) -> None:
 #: over the sequential generator loop), the experiment-orchestration
 #: guard (bundled smoke spec: cache-hit rerun + deterministic reports),
 #: the vault-attribution guard (candidate-index parity with the
-#: linear scan + its speedup floor), and the data-plane guard (>=5x
+#: linear scan + its speedup floor), the data-plane guard (>=5x
 #: bytes-on-wire dedup for shared remote payloads + the local
-#: shared-memory dispatch speedup).
+#: shared-memory dispatch speedup), and the telemetry-overhead guard
+#: (disabled spans are free; instrumented dispatch within 3% of raw).
 SMOKE_PATTERNS = (
     "bench_fig*.py",
     "bench_engine_scaling.py",
@@ -135,10 +153,11 @@ SMOKE_PATTERNS = (
     "bench_registry.py",
     "bench_backend.py",
     "bench_exec_dataplane.py",
+    "bench_obs_overhead.py",
 )
 
 
-def run_smoke(output, patterns=SMOKE_PATTERNS) -> dict:
+def run_smoke(output, patterns=SMOKE_PATTERNS, repeat: int = 1) -> dict:
     """Run every matching benchmark on tiny inputs and write a JSON report.
 
     Each script runs in its own pytest subprocess with
@@ -146,11 +165,20 @@ def run_smoke(output, patterns=SMOKE_PATTERNS) -> dict:
     minute; per-script wall-clock times and pass/fail states land in
     ``output`` (the CI job uploads it as the ``BENCH_smoke.json``
     artifact, giving every PR a comparable perf trace).
+
+    ``repeat`` reruns each script that many times and reports tail-aware
+    per-iteration latency: ``seconds`` is the median (p50) so a single
+    scheduler hiccup no longer poisons the baseline, and
+    ``p50_seconds`` / ``p95_seconds`` expose the distribution that
+    ``tools/compare_bench.py`` prefers when both reports carry it. A
+    failing iteration stops that script's repeats early.
     """
     import json
     import subprocess
     import time
 
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
     bench_dir = Path(__file__).resolve().parent
     scripts = sorted(
         {script for pattern in patterns for script in bench_dir.glob(pattern)}
@@ -158,31 +186,45 @@ def run_smoke(output, patterns=SMOKE_PATTERNS) -> dict:
     environment = dict(os.environ, REPRO_BENCH_SCALE="smoke")
     results = []
     for script in scripts:
-        start = time.perf_counter()
-        completed = subprocess.run(
-            [sys.executable, "-m", "pytest", "-q", "-x", script.name],
-            cwd=bench_dir,
-            env=environment,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
-        )
-        seconds = time.perf_counter() - start
-        passed = completed.returncode == 0
+        timings = []
+        passed = True
+        completed = None
+        for _iteration in range(repeat):
+            start = time.perf_counter()
+            completed = subprocess.run(
+                [sys.executable, "-m", "pytest", "-q", "-x", script.name],
+                cwd=bench_dir,
+                env=environment,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            timings.append(time.perf_counter() - start)
+            if completed.returncode != 0:
+                passed = False
+                break
+        p50 = percentile(timings, 0.50)
+        p95 = percentile(timings, 0.95)
         results.append(
             {
                 "benchmark": script.stem,
                 "passed": passed,
-                "seconds": round(seconds, 3),
+                "seconds": round(p50, 3),
+                "p50_seconds": round(p50, 3),
+                "p95_seconds": round(p95, 3),
+                "iterations": len(timings),
             }
         )
         status = "ok" if passed else "FAILED"
-        print(f"  {script.stem:<32} {seconds:6.1f}s  {status}")  # noqa: T201
-        if not passed:
+        print(  # noqa: T201
+            f"  {script.stem:<32} p50 {p50:6.1f}s  p95 {p95:6.1f}s  {status}"
+        )
+        if not passed and completed is not None:
             print(completed.stdout)  # noqa: T201
     report = {
         "scale": "smoke",
         "python": sys.version.split()[0],
+        "repeat": repeat,
         "results": results,
         "total_seconds": round(sum(entry["seconds"] for entry in results), 3),
         "failed": sum(1 for entry in results if not entry["passed"]),
@@ -208,10 +250,17 @@ def main(argv=None) -> int:
         default="BENCH_smoke.json",
         help="where to write the JSON smoke report (default: BENCH_smoke.json)",
     )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="iterations per script for p50/p95 latency (default 1)",
+    )
     arguments = parser.parse_args(argv)
     if not arguments.smoke:
         parser.error("nothing to do: pass --smoke")
-    report = run_smoke(arguments.output)
+    report = run_smoke(arguments.output, repeat=arguments.repeat)
     return 1 if report["failed"] else 0
 
 

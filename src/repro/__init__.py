@@ -49,7 +49,7 @@ from repro.service import (
     SyncDetectionService,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BatchDetectionReport",

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import Dict, Optional, Sequence
@@ -72,6 +73,8 @@ from repro.datasets.loaders import (
 from repro.datasets.synthetic import generate_power_law_tokens
 from repro.exceptions import DatasetError, ReproError
 from repro.exec.policy import ExecutionPolicy
+from repro.obs.logging import configure as configure_logging
+from repro.obs.logging import get_logger, log_record, parse_log_env
 from repro.utils.rng import derive_rng
 
 
@@ -92,7 +95,12 @@ def _execution_policy(args: argparse.Namespace) -> ExecutionPolicy:
     scheduler = getattr(args, "scheduler", "local")
     addresses = tuple(getattr(args, "address", ()) or ())
     workers = None if scheduler == "remote" else args.workers
-    return ExecutionPolicy(workers=workers, scheduler=scheduler, addresses=addresses)
+    return ExecutionPolicy(
+        workers=workers,
+        scheduler=scheduler,
+        addresses=addresses,
+        telemetry=getattr(args, "telemetry", None),
+    )
 
 
 def _print_report(report: Dict[str, object], as_json: bool) -> None:
@@ -568,6 +576,39 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         return 0
     finally:
         announce(f"worker summary: {server.summary_line()}")
+        log_record(
+            get_logger("exec.worker"),
+            logging.INFO,
+            "worker shutdown",
+            **server.summary(),
+        )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+    from repro.service.wire import StatsRequest
+
+    if args.socket is not None:
+        client = ServiceClient.connect_unix(args.socket)
+    else:
+        client = ServiceClient.spawn()
+    with client:
+        response = client.request([StatsRequest(request_id="stats:0")])[0]
+    if not response.ok:
+        raise ReproError(f"stats request failed: {response.error}")
+    if args.format == "json":
+        print(json.dumps(response.metrics, indent=2, default=str))  # noqa: T201
+    else:
+        sys.stdout.write(response.prometheus)
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_spans, render_report
+
+    spans = load_spans(args.run_dir)
+    print(render_report(spans, limit=args.limit))  # noqa: T201
+    return 0
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -595,6 +636,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="FreqyWM frequency watermarking (ICDE 2024 reproduction)",
     )
     parser.add_argument("--json", action="store_true", help="emit JSON reports")
+    parser.add_argument(
+        "--log",
+        default=None,
+        metavar="LEVEL[:FORMAT]",
+        help=(
+            "logging level/format (e.g. debug, info:json); overrides the "
+            "FREQYWM_LOG environment variable"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser(
@@ -871,6 +921,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes per DAG level (results identical to --workers 1)",
     )
+    experiment_run.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FEATURES",
+        help=(
+            "telemetry features for the run (comma list of spans,metrics,"
+            "profile, or 'all'); overrides FREQYWM_TELEMETRY"
+        ),
+    )
     add_scheduler_arguments(experiment_run)
     experiment_run.set_defaults(handler=_cmd_experiment_run)
 
@@ -916,6 +975,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker.set_defaults(handler=_cmd_worker)
 
+    stats = subparsers.add_parser(
+        "stats",
+        help="fetch a detection server's metrics (Prometheus text or JSON)",
+    )
+    stats.add_argument(
+        "--socket",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "connect to a running `freqywm serve --socket PATH`; when omitted "
+            "a private stdio server is spawned (useful only for smoke tests)"
+        ),
+    )
+    stats.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="exposition format (default prometheus text 0.0.4)",
+    )
+    stats.set_defaults(handler=_cmd_stats)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect trace spans recorded by telemetry-enabled runs",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report",
+        help="render the span tree / per-phase breakdown of a run directory",
+    )
+    trace_report.add_argument(
+        "run_dir",
+        type=Path,
+        help="run directory (or spans.jsonl file) written with spans enabled",
+    )
+    trace_report.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="render the full tree only up to N spans (default 200)",
+    )
+    trace_report.set_defaults(handler=_cmd_trace_report)
+
     synth = subparsers.add_parser("synth", help="generate a synthetic power-law token file")
     synth.add_argument("output", type=Path, help="token file to write")
     synth.add_argument("--alpha", type=float, default=0.5, help="power-law skewness")
@@ -932,7 +1036,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.log is not None:
+            level, format_name = parse_log_env(args.log)
+            configure_logging(level, format_name, force=True)
+        else:
+            configure_logging()
         return int(args.handler(args))
+    except BrokenPipeError:  # stdout piped into a closed pager/head
+        return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)  # noqa: T201
         return 2

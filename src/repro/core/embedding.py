@@ -58,11 +58,12 @@ from repro.exec.scheduler import (
     register_initializer,
     register_task_function,
 )
+from repro.obs.logging import get_logger, log_record
 
 #: A dataset to embed: a raw token sequence or a pre-built histogram.
 EmbedData = Union[Sequence[TokenValue], TokenHistogram]
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 
 def generator_fingerprint(
@@ -301,11 +302,13 @@ class ShardedEmbeddingPool:
         Restricted sandboxes fall back in-process, loudly — the reason
         lands in the logging stream and as a RuntimeWarning.
         """
-        logger.warning(
-            "cannot start embedding workers (%s: %s); "
-            "falling back to in-process embedding",
-            type(error).__name__,
-            error,
+        log_record(
+            logger,
+            logging.WARNING,
+            "cannot start embedding workers; falling back to in-process "
+            f"embedding ({type(error).__name__}: {error})",
+            error=str(error),
+            error_type=type(error).__name__,
         )
         warnings.warn(
             f"cannot start embedding workers ({error}); "

@@ -62,13 +62,14 @@ from repro.exec.scheduler import (
     register_initializer,
     register_task_function,
 )
+from repro.obs.logging import get_logger, log_record
 
 #: Re-exported legacy names: the heuristic now lives in
 #: :mod:`repro.exec.chunking`, shared with the embedding pool.
 _CHUNKS_PER_WORKER = DETECTION_CHUNKS_PER_WORKER
 _MAX_CHUNK = DETECTION_MAX_CHUNK
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 
 def _build_detector(
@@ -245,11 +246,13 @@ class ShardedDetectionPool:
         (for resident services) and as a RuntimeWarning (for
         interactive/CLI runs).
         """
-        logger.warning(
-            "cannot start detection workers (%s: %s); "
-            "falling back to in-process detection",
-            type(error).__name__,
-            error,
+        log_record(
+            logger,
+            logging.WARNING,
+            "cannot start detection workers; falling back to in-process "
+            f"detection ({type(error).__name__}: {error})",
+            error=str(error),
+            error_type=type(error).__name__,
         )
         warnings.warn(
             f"cannot start detection workers ({error}); "

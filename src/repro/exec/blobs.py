@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import BlobError, BlobNotFoundError
+from repro.obs.trace import span as trace_span, spans_active
 
 #: Default in-memory byte capacity of a :class:`BlobStore` (256 MiB).
 DEFAULT_CAPACITY = 256 * 1024 * 1024
@@ -213,6 +214,13 @@ class BlobStore:
 
     def put(self, data: BlobData, *, value: Any = _NO_VALUE) -> str:
         """Insert serialised ``data``; returns its digest (idempotent)."""
+        if not spans_active():
+            return self._put(data, value)
+        with trace_span("blob.put", attributes={"bytes": data.size}):
+            return self._put(data, value)
+
+    def _put(self, data: BlobData, value: Any) -> str:
+        """The :meth:`put` body (span-wrapped by the public method)."""
         digest = blob_digest(data)
         with self._lock:
             entry = self._entries.get(digest)
@@ -264,6 +272,13 @@ class BlobStore:
 
     def get(self, digest: str) -> BlobData:
         """The serialised blob for ``digest`` (memory first, then spill)."""
+        if not spans_active():
+            return self._get(digest)
+        with trace_span("blob.get", attributes={"digest": digest[:12]}):
+            return self._get(digest)
+
+    def _get(self, digest: str) -> BlobData:
+        """The :meth:`get` body (span-wrapped by the public method)."""
         with self._lock:
             entry = self._entries.get(digest)
             if entry is not None:
@@ -406,11 +421,21 @@ _DEFAULT_LOCK = threading.Lock()
 
 
 def default_blob_store() -> BlobStore:
-    """The process-wide store payload builders and schedulers share."""
+    """The process-wide store payload builders and schedulers share.
+
+    The store is registered (weakly) as the metrics registry's
+    ``blobs`` view on creation, so telemetry snapshots carry its
+    put/hit/eviction/spill counters alongside the scheduler's.
+    """
     global _DEFAULT_STORE
     with _DEFAULT_LOCK:
         if _DEFAULT_STORE is None:
+            from repro.obs.metrics import registry as metrics_registry
+
             _DEFAULT_STORE = BlobStore()
+            metrics_registry().register_view(
+                "blobs", _DEFAULT_STORE, lambda store: store.stats()
+            )
         return _DEFAULT_STORE
 
 

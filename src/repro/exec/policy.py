@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.obs.trace import parse_telemetry
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,12 @@ class ExecutionPolicy:
     addresses:
         Remote worker addresses (``"unix:/path.sock"``, ``"host:port"``)
         for the ``"remote"`` scheduler; must be empty for ``"local"``.
+    telemetry:
+        Telemetry features to enable for this run, as the same comma
+        list ``FREQYWM_TELEMETRY`` takes (``"spans,metrics"``,
+        ``"all"``, ...). ``None`` defers to the environment; the
+        experiment executor applies the value process-wide via
+        :func:`repro.obs.trace.configure_telemetry`.
     """
 
     workers: Optional[int] = None
@@ -61,6 +68,7 @@ class ExecutionPolicy:
     backend: Optional[str] = None
     scheduler: str = "local"
     addresses: Tuple[str, ...] = field(default_factory=tuple)
+    telemetry: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -86,6 +94,8 @@ class ExecutionPolicy:
             raise ConfigurationError(
                 "the remote scheduler needs at least one worker address"
             )
+        # Reject typos at construction, not at run time deep in a sweep.
+        parse_telemetry(self.telemetry)
 
     @property
     def parallel(self) -> bool:

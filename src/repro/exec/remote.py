@@ -64,6 +64,7 @@ from repro.exec.blobs import (
     resolve_refs,
 )
 from repro.exec.scheduler import Scheduler, TaskSpec
+from repro.obs.trace import span as trace_span, tracer
 from repro.service.wire import (
     HEARTBEAT_FUNCTION,
     PROTOCOL_VERSION,
@@ -100,6 +101,7 @@ def spec_to_request(spec: TaskSpec, request_id: str) -> TaskRequest:
         init_key=spec.init_key,
         init_args=pickle_b64(spec.init_args) if spec.init_args else None,
         fingerprint=spec.fingerprint,
+        trace=spec.trace,
     )
 
 
@@ -114,6 +116,7 @@ def spec_from_request(request: TaskRequest) -> TaskSpec:
         init_args=tuple(unpickle_b64(request.init_args))
         if request.init_args is not None
         else (),
+        trace=request.trace,
     )
 
 
@@ -431,6 +434,24 @@ class RemoteScheduler(Scheduler):
         if not specs:
             return []
         self.stats.tasks += len(specs)
+        with trace_span(
+            "scheduler.run",
+            attributes={"scheduler": "remote", "tasks": len(specs)},
+        ) as run_span:
+            context = run_span.context
+            if context is not None:
+                specs = [
+                    replace(spec, trace=context) if spec.trace is None else spec
+                    for spec in specs
+                ]
+            return self._run_traced(specs, on_result)
+
+    def _run_traced(
+        self,
+        specs: List[TaskSpec],
+        on_result: Optional[Callable[[int, Any], None]],
+    ) -> List[Any]:
+        """The fan-out body behind :meth:`run` (specs already stamped)."""
         live = [address for address in self.addresses if address not in self._dead]
         if not live:
             raise SchedulerError(
@@ -581,6 +602,7 @@ class RemoteScheduler(Scheduler):
             frames=tuple(len(frame) for frame in frames),
             payload_frames=payload_count,
             init_frames=init_count,
+            trace=spec.trace,
         )
         sent = channel.send_payload(encode_line(request), frames)
         store = default_blob_store()
@@ -634,7 +656,10 @@ class RemoteScheduler(Scheduler):
                 frames=tuple(len(frame) for frame in frames),
             )
         )
-        sent = channel.send_payload(line, frames)
+        with trace_span(
+            "blob.ship", attributes={"transport": "wire", "bytes": data.size}
+        ):
+            sent = channel.send_payload(line, frames)
         self._shipped.setdefault(address, set()).add(request.digest)
         with self._stats_lock:
             self.stats.bytes_sent += sent
@@ -693,6 +718,8 @@ class RemoteScheduler(Scheduler):
                 ]
             if response.request_id != request_id:
                 continue  # heartbeat acks and stale duplicates
+            if response.spans:
+                tracer().ingest(response.spans)
             if response.ok:
                 if frame_bytes:
                     return loads_oob(BlobData.from_frames(frame_bytes))

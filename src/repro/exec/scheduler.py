@@ -33,7 +33,6 @@ scheduler report parity lives in ``tests/test_scheduler_experiment.py``.
 
 from __future__ import annotations
 
-import logging
 import multiprocessing
 import os
 import time
@@ -50,8 +49,18 @@ from repro.exec.blobs import (
     resolve_refs,
     rewrite_refs,
 )
+from repro.obs.logging import get_logger
+from repro.obs.metrics import registry as metrics_registry
+from repro.obs.profile import maybe_profile
+from repro.obs.trace import (
+    current_context,
+    profile_active,
+    span as trace_span,
+    spans_active,
+    tracer,
+)
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 #: How many distinct initializer products one worker keeps alive. Small:
 #: states are detectors/generators holding derived moduli, and a worker
@@ -98,6 +107,13 @@ class TaskSpec:
         scheduler plan transport — export shared-memory segments, ship
         blobs to remote workers once — without walking payloads. Empty
         for fully-inline tasks (the historical shape).
+    trace:
+        Optional propagated ``(trace_id, parent_span_id)`` pair. When
+        set, :func:`run_task` records a span for this task parented
+        under the dispatching span *even in a process that never
+        enabled telemetry* — the scheduler that stamped the context
+        asked for the trace, and the worker ships the span back with
+        its result. ``None`` (the default) keeps the task invisible.
     """
 
     fingerprint: str
@@ -107,6 +123,7 @@ class TaskSpec:
     init_key: str = ""
     init_args: Tuple[Any, ...] = ()
     blob_refs: Tuple[str, ...] = ()
+    trace: Optional[Tuple[str, str]] = None
 
     def __post_init__(self) -> None:
         if not self.function:
@@ -224,17 +241,8 @@ def _ensure_worker_state(spec: TaskSpec, blob_fetch=None) -> Any:
     return state
 
 
-def run_task(spec: TaskSpec, *, blob_fetch=None) -> Any:
-    """Execute one task in this process (the worker-side entry point).
-
-    Resolves the function and (cached) initializer state, materialises
-    any blob references in the payload — ``blob_fetch(digest)`` supplies
-    values, defaulting to the process-wide blob store; shared-memory
-    handles load themselves — then calls ``function(state, payload)``.
-    Used verbatim by pool workers, the remote worker server, and the
-    in-process fast path. Ref-free specs take no extra copies: payloads
-    pass through untouched.
-    """
+def _execute_task(spec: TaskSpec, blob_fetch=None) -> Any:
+    """The bare task body: resolve function/state/blobs, then call."""
     function = resolve_task_function(spec.function)
     state = (
         _ensure_worker_state(spec, blob_fetch)
@@ -245,9 +253,56 @@ def run_task(spec: TaskSpec, *, blob_fetch=None) -> Any:
     return function(state, payload)
 
 
+def run_task(spec: TaskSpec, *, blob_fetch=None) -> Any:
+    """Execute one task in this process (the worker-side entry point).
+
+    Resolves the function and (cached) initializer state, materialises
+    any blob references in the payload — ``blob_fetch(digest)`` supplies
+    values, defaulting to the process-wide blob store; shared-memory
+    handles load themselves — then calls ``function(state, payload)``.
+    Used verbatim by pool workers, the remote worker server, and the
+    in-process fast path. Ref-free specs take no extra copies: payloads
+    pass through untouched.
+
+    When the spec carries a propagated trace context (or span recording
+    is enabled locally), the execution is wrapped in a
+    ``task:<function>`` span; with the ``profile`` feature on, a slow
+    task additionally gets its top cProfile frames attached to that
+    span. With telemetry fully off the body runs with zero overhead
+    beyond one tuple check.
+    """
+    if spec.trace is None and not spans_active():
+        return _execute_task(spec, blob_fetch)
+    with trace_span(
+        f"task:{spec.function}",
+        parent=spec.trace,
+        attributes={"fingerprint": spec.fingerprint},
+    ) as task_span:
+        with maybe_profile(task_span, profile_active()):
+            return _execute_task(spec, blob_fetch)
+
+
+@dataclass
+class _SpanEnvelope:
+    """A pool child's result plus the spans it recorded for the parent."""
+
+    value: Any
+    spans: Tuple[Dict[str, Any], ...]
+
+
 def _pool_run(spec: TaskSpec) -> Any:
-    """Top-level pool target (picklable by reference)."""
-    return run_task(spec)
+    """Top-level pool target (picklable by reference).
+
+    A traced spec returns a :class:`_SpanEnvelope` so the child's spans
+    travel back on the result channel; the parent's drain loop unwraps
+    it and ingests the spans into its own tracer/sink.
+    """
+    value = run_task(spec)
+    if spec.trace is not None:
+        recorded = tracer().drain()
+        if recorded:
+            return _SpanEnvelope(value, tuple(recorded))
+    return value
 
 
 def default_worker_count() -> int:
@@ -285,14 +340,27 @@ class SchedulerStats:
     bytes_deduped: int = 0
     blobs_sent: int = 0
     blobs_deduped: int = 0
+    shm_segments: int = 0
 
     def summary(self) -> str:
         """One-line human-readable rendering for smoke tools and logs."""
         return (
             f"tasks={self.tasks} bytes_sent={self.bytes_sent} "
             f"bytes_deduped={self.bytes_deduped} blobs_sent={self.blobs_sent} "
-            f"blobs_deduped={self.blobs_deduped}"
+            f"blobs_deduped={self.blobs_deduped} "
+            f"shm_segments={self.shm_segments}"
         )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Every counter as a plain dict (metrics views, telemetry.json)."""
+        return {
+            "tasks": self.tasks,
+            "bytes_sent": self.bytes_sent,
+            "bytes_deduped": self.bytes_deduped,
+            "blobs_sent": self.blobs_sent,
+            "blobs_deduped": self.blobs_deduped,
+            "shm_segments": self.shm_segments,
+        }
 
 
 class Scheduler:
@@ -311,10 +379,16 @@ class Scheduler:
 
     @property
     def stats(self) -> SchedulerStats:
-        """Cumulative :class:`SchedulerStats` for this scheduler (lazy)."""
+        """Cumulative :class:`SchedulerStats` for this scheduler (lazy).
+
+        The stats object is also registered (weakly) as the metrics
+        registry's ``scheduler`` view, so ``freqywm stats`` and
+        ``telemetry.json`` see the same counters the smoke tools print.
+        """
         existing = self.__dict__.get("_stats")
         if existing is None:
             existing = self.__dict__["_stats"] = SchedulerStats()
+            metrics_registry().register_view("scheduler", existing)
         return existing
 
     @property
@@ -389,12 +463,17 @@ class _ShmExporter:
             entry = self._segments.get(digest)
             if entry is None:
                 data = self._store.get(digest)
-                handle, segment = export_shm_blob(digest, data)
+                with trace_span(
+                    "blob.ship",
+                    attributes={"transport": "shm", "bytes": data.size},
+                ):
+                    handle, segment = export_shm_blob(digest, data)
                 entry = (handle, segment, data.size)
                 self._segments[digest] = entry
                 self._counts[digest] = 0
                 self._stats.bytes_sent += data.size
                 self._stats.blobs_sent += 1
+                self._stats.shm_segments += 1
             else:
                 self._stats.bytes_deduped += entry[2]
                 self._stats.blobs_deduped += 1
@@ -584,17 +663,27 @@ class LocalScheduler(Scheduler):
         if not specs:
             return []
         self.stats.tasks += len(specs)
-        if self.workers > 1 and len(specs) > 1:
-            if self.size_to_batch:
-                pool = self._spawn_pool(min(self.workers, len(specs)))
-                if pool is not None:
-                    with pool:
+        with trace_span(
+            "scheduler.run",
+            attributes={"scheduler": "local", "tasks": len(specs)},
+        ) as run_span:
+            context = run_span.context
+            if context is not None:
+                specs = [
+                    replace(spec, trace=context) if spec.trace is None else spec
+                    for spec in specs
+                ]
+            if self.workers > 1 and len(specs) > 1:
+                if self.size_to_batch:
+                    pool = self._spawn_pool(min(self.workers, len(specs)))
+                    if pool is not None:
+                        with pool:
+                            return self._run_pool(pool, specs, on_result)
+                else:
+                    pool = self._ensure_pool()
+                    if pool is not None:
                         return self._run_pool(pool, specs, on_result)
-            else:
-                pool = self._ensure_pool()
-                if pool is not None:
-                    return self._run_pool(pool, specs, on_result)
-        return self._run_inline(specs, on_result)
+            return self._run_inline(specs, on_result)
 
     def _run_inline(
         self,
@@ -618,7 +707,13 @@ class LocalScheduler(Scheduler):
                     init_args = resolve_refs(spec.init_args)
                     state = resolve_initializer(spec.initializer)(*init_args)
                     self.inline_state[spec.init_key] = state
-            value = function(state, resolve_refs(spec.payload))
+            with trace_span(
+                f"task:{spec.function}",
+                parent=spec.trace,
+                attributes={"fingerprint": spec.fingerprint},
+            ) as task_span:
+                with maybe_profile(task_span, profile_active()):
+                    value = function(state, resolve_refs(spec.payload))
             if on_result is not None:
                 on_result(index, value)
             results.append(value)
@@ -736,6 +831,9 @@ class LocalScheduler(Scheduler):
                 if ready is None:
                     continue
                 value = ready.get()  # task exceptions propagate as-is
+                if isinstance(value, _SpanEnvelope):
+                    tracer().ingest(value.spans)
+                    value = value.value
                 results[index] = value
                 unfinished.discard(index)
                 progressed = True

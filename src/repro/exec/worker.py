@@ -50,6 +50,7 @@ from repro.exceptions import BlobError, BlobNotFoundError, ReproError
 from repro.exec.blobs import BlobData, BlobStore, dumps_oob, loads_oob
 from repro.exec.remote import pickle_b64, spec_from_request
 from repro.exec.scheduler import TaskSpec, run_task, set_state_cache_size
+from repro.obs.trace import span as trace_span, tracer
 from repro.service.wire import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -216,6 +217,7 @@ class TaskWorkerServer:
             init_key=request.init_key,
             init_args=init_args,
             blob_refs=request.blob_refs,
+            trace=request.trace,
         )
 
     async def _ensure_blobs(self, request: TaskRequest, fetch_blob) -> None:
@@ -229,7 +231,8 @@ class TaskWorkerServer:
                     f"no transport to fetch blob {digest[:12]}…",
                     digest=digest,
                 )
-            data = await fetch_blob(request.request_id, digest)
+            with trace_span("blob.fetch", parent=request.trace):
+                data = await fetch_blob(request.request_id, digest)
             actual = self.blobs.put(data)
             if actual != digest:
                 raise BlobError(
@@ -240,9 +243,17 @@ class TaskWorkerServer:
     def _run(
         self, request: TaskRequest, spec: TaskSpec, framed: bool
     ) -> Tuple[TaskResult, List[Union[bytes, memoryview]]]:
-        """Execute one task in the executor thread; always returns a result."""
+        """Execute one task in the executor thread; always returns a result.
+
+        A request carrying a trace context gets the spans ``run_task``
+        recorded drained out of this process's tracer and attached to
+        the result line — success *and* failure — so the dispatching
+        scheduler stitches worker-side spans into its own tree even
+        when the task raised.
+        """
         try:
             value = run_task(spec, blob_fetch=self.blobs.get_object)
+            spans = self._drain_spans(request)
             if framed:
                 data = dumps_oob(value)
                 frames = data.frames()
@@ -252,6 +263,7 @@ class TaskWorkerServer:
                         ok=True,
                         frames=tuple(len(frame) for frame in frames),
                         fingerprint=request.fingerprint,
+                        spans=spans,
                     ),
                     frames,
                 )
@@ -261,6 +273,7 @@ class TaskWorkerServer:
                     ok=True,
                     result=pickle_b64(value),
                     fingerprint=request.fingerprint,
+                    spans=spans,
                 ),
                 [],
             )
@@ -272,9 +285,17 @@ class TaskWorkerServer:
                     error=str(error),
                     error_type=type(error).__name__,
                     fingerprint=request.fingerprint,
+                    spans=self._drain_spans(request),
                 ),
                 [],
             )
+
+    @staticmethod
+    def _drain_spans(request: TaskRequest) -> Tuple[Dict[str, object], ...]:
+        """The spans to ship back for ``request`` (empty when untraced)."""
+        if request.trace is None:
+            return ()
+        return tuple(tracer().drain())
 
     async def respond(
         self,

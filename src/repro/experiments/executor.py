@@ -19,6 +19,7 @@ out to ``freqywm worker`` processes.
 
 from __future__ import annotations
 
+import json
 import logging
 import threading
 import time
@@ -35,8 +36,22 @@ from repro.experiments.cache import RunCache
 from repro.experiments.plan import Task, build_plan, validate_plan
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.tasks import execute_task
+from repro.obs.logging import get_logger, log_record
+from repro.obs.metrics import registry as metrics_registry
+from repro.obs.trace import (
+    configure_telemetry,
+    enabled_features,
+    metrics_active,
+    span as trace_span,
+    spans_active,
+    tracer,
+)
+from repro.obs.report import SPANS_RELPATH
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
+
+#: Per-run metrics/trace summary written next to the manifest.
+TELEMETRY_RELPATH = "telemetry.json"
 
 
 @dataclass(frozen=True)
@@ -56,6 +71,7 @@ class RunResult:
     seconds: float = 0.0
     bytes_sent: int = 0
     bytes_deduped: int = 0
+    shm_segments: int = 0
 
     @property
     def executed_total(self) -> int:
@@ -78,6 +94,7 @@ class RunResult:
             "seconds": round(self.seconds, 3),
             "bytes_sent": self.bytes_sent,
             "bytes_deduped": self.bytes_deduped,
+            "shm_segments": self.shm_segments,
         }
 
 
@@ -121,6 +138,10 @@ class ExperimentRunner:
             # The runner's historical default is sequential execution,
             # not all-cores (sweeps are often cache-bound, not CPU-bound).
             exec_policy = exec_policy.merged(workers=1)
+        if exec_policy.telemetry is not None:
+            # The policy beats the environment, mirroring how the CLI's
+            # --telemetry flag beats FREQYWM_TELEMETRY.
+            configure_telemetry(exec_policy.telemetry)
         self.spec = spec
         self.policy = exec_policy
         self.start_method = exec_policy.start_method
@@ -141,9 +162,13 @@ class ExperimentRunner:
 
     def _spawn_failure(self, error: BaseException) -> None:
         """Keep the historical warning text on pool-startup fallback."""
-        logger.warning(
-            "experiment worker pool unavailable (%s); running level in-process",
-            error,
+        log_record(
+            logger,
+            logging.WARNING,
+            "experiment worker pool unavailable; running level in-process "
+            f"({type(error).__name__}: {error})",
+            error=str(error),
+            error_type=type(error).__name__,
         )
         warnings.warn(
             f"experiment worker pool unavailable ({error}); running in-process",
@@ -156,7 +181,61 @@ class ExperimentRunner:
         self._scheduler.close()
 
     def run(self) -> RunResult:
-        """Execute (or resume) the plan; returns executed/cached counters."""
+        """Execute (or resume) the plan; returns executed/cached counters.
+
+        With telemetry enabled the whole run becomes one trace: an
+        ``experiment.run`` root span, one ``experiment.level`` span per
+        plan level, and (transitively) the scheduler/task spans beneath
+        them. Spans stream to ``telemetry/spans.jsonl`` under the run
+        directory and a ``telemetry.json`` summary is written at the
+        end — both consumed by ``freqywm trace report`` and
+        ``tools/check_telemetry.py``.
+        """
+        if spans_active():
+            # Earlier runs in this process already streamed their spans
+            # to their own sinks; drain so the flush-on-attach behavior
+            # of set_sink cannot leak them into this run's file.
+            tracer().drain()
+            tracer().set_sink(Path(self.cache.run_dir) / SPANS_RELPATH)
+        try:
+            with trace_span(
+                "experiment.run",
+                attributes={
+                    "spec": self.plan.spec_fingerprint,
+                    "workers": self._scheduler.workers,
+                    "scheduler": self.policy.scheduler,
+                },
+            ):
+                outcome = self._run_plan()
+            if spans_active() or metrics_active():
+                self._write_telemetry(outcome)
+        finally:
+            if spans_active():
+                tracer().set_sink(None)
+        return outcome
+
+    def _write_telemetry(self, outcome: RunResult) -> None:
+        """Write the per-run ``telemetry.json`` summary artifact."""
+        payload: Dict[str, object] = {
+            "features": sorted(enabled_features()),
+            "run": outcome.summary(),
+        }
+        if metrics_active():
+            payload["metrics"] = metrics_registry().snapshot()
+        if spans_active():
+            payload["spans"] = {
+                "path": SPANS_RELPATH,
+                "buffered": tracer().buffered,
+                "dropped": tracer().dropped,
+            }
+        path = Path(self.cache.run_dir) / TELEMETRY_RELPATH
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+
+    def _run_plan(self) -> RunResult:
+        """The traced body of :meth:`run` (level loop and bookkeeping)."""
         started = time.perf_counter()
         self.cache.write_manifest(self.plan, self.spec.to_dict())
         results: Dict[str, Dict[str, object]] = {}
@@ -176,7 +255,7 @@ class ExperimentRunner:
                 dep_blobs[dep] = maybe_blob(results[dep])
             return dep_blobs[dep]
 
-        for level in self.plan.levels():
+        for index, level in enumerate(self.plan.levels()):
             pending: List[Task] = []
             for task in level:
                 if self.cache.has(task.fingerprint):
@@ -218,7 +297,11 @@ class ExperimentRunner:
                     results[task_id] = dict(result)
                     executed[task.kind] = executed.get(task.kind, 0) + 1
 
-            self._scheduler.run(specs, on_result=handle)
+            with trace_span(
+                "experiment.level",
+                attributes={"level": index, "tasks": len(pending)},
+            ):
+                self._scheduler.run(specs, on_result=handle)
 
         stats = self._scheduler.stats
         outcome = RunResult(
@@ -230,6 +313,7 @@ class ExperimentRunner:
             seconds=time.perf_counter() - started,
             bytes_sent=stats.bytes_sent,
             bytes_deduped=stats.bytes_deduped,
+            shm_segments=stats.shm_segments,
         )
         self.cache.write_run_log(outcome.summary())
         return outcome
@@ -266,6 +350,7 @@ def load_artifacts(run_dir: Union[str, Path]) -> Dict[str, Dict[str, object]]:
 
 
 __all__ = [
+    "TELEMETRY_RELPATH",
     "ExperimentRunner",
     "RunResult",
     "load_artifacts",

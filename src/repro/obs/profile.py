@@ -1,0 +1,107 @@
+"""Opt-in slow-task profiling for scheduler tasks.
+
+When the ``profile`` telemetry feature is on, :func:`maybe_profile`
+wraps a task body in :mod:`cProfile`. If the task finishes under the
+threshold (``FREQYWM_PROFILE_THRESHOLD`` seconds, default 0.25) the
+profile is discarded — fast tasks pay only the profiler overhead, never
+a serialisation cost. Slow tasks get their top-N cumulative-time frames
+attached to the surrounding span as the ``profile`` attribute, so a
+``freqywm trace report`` can show *why* the slow span was slow without
+anyone re-running under a profiler.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+#: Environment variable holding the slow-task threshold in seconds.
+PROFILE_THRESHOLD_ENV = "FREQYWM_PROFILE_THRESHOLD"
+
+#: Default threshold: tasks faster than this are never reported.
+DEFAULT_THRESHOLD = 0.25
+
+#: Frames attached to a slow span.
+TOP_FRAMES = 10
+
+
+def profile_threshold() -> float:
+    """The configured slow-task threshold in seconds (>= 0)."""
+    raw = os.environ.get(PROFILE_THRESHOLD_ENV)
+    if not raw:
+        return DEFAULT_THRESHOLD
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_THRESHOLD
+    return max(0.0, value)
+
+
+def top_frames(profiler: cProfile.Profile, limit: int = TOP_FRAMES) -> List[dict]:
+    """The ``limit`` most expensive frames by cumulative time.
+
+    Each entry is ``{"site", "calls", "total", "cumulative"}`` where
+    ``site`` is ``file:line(function)`` with the directory stripped —
+    short enough to live inside a span attribute.
+    """
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, line, function), (
+        _primitive,
+        calls,
+        total,
+        cumulative,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append(
+            {
+                "site": f"{os.path.basename(filename)}:{line}({function})",
+                "calls": calls,
+                "total": round(total, 6),
+                "cumulative": round(cumulative, 6),
+            }
+        )
+    rows.sort(key=lambda row: row["cumulative"], reverse=True)
+    return rows[:limit]
+
+
+@contextmanager
+def maybe_profile(span, enabled: bool, threshold: Optional[float] = None) -> Iterator[None]:
+    """Profile the enclosed block and annotate ``span`` when it was slow.
+
+    ``span`` is the active span object (or the shared no-op span when
+    tracing is off — attributes set on it vanish, which is fine: the
+    profile is only useful attached to a span someone will read). When
+    ``enabled`` is false the context manager is free of any profiler
+    overhead. The block's exceptions propagate untouched; a block that
+    raises after exceeding the threshold still gets its frames recorded.
+    """
+    if not enabled:
+        yield
+        return
+    limit = profile_threshold() if threshold is None else threshold
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        elapsed = time.perf_counter() - started
+        if elapsed >= limit:
+            span.set_attribute("profile", top_frames(profiler))
+            span.set_attribute("profile_elapsed", round(elapsed, 6))
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "PROFILE_THRESHOLD_ENV",
+    "TOP_FRAMES",
+    "maybe_profile",
+    "profile_threshold",
+    "top_frames",
+]

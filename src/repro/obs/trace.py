@@ -1,0 +1,408 @@
+"""Hierarchical trace spans with cross-process stitching.
+
+One :class:`Tracer` per process produces **spans** — named, timed
+segments with a ``trace_id`` shared by every span of one logical
+request, a unique ``span_id``, and a ``parent_id`` linking the segment
+to whatever enclosed it. The ambient parent travels in a
+:class:`contextvars.ContextVar`, so nested ``with span(...)`` blocks
+stitch themselves without threading ids through call signatures, and a
+*remote* parent (a scheduler client two processes away) is injected
+explicitly via the ``parent=`` override — that is how a
+``freqywm worker`` task span ends up under the experiment level span
+that dispatched it.
+
+Three properties keep the tracer honest about its costs:
+
+* **off means off** — with the ``spans`` feature disabled,
+  :func:`span` returns one shared no-op context manager: no id
+  generation, no clock reads, no dict allocation. The hot batch paths
+  pay a single attribute check.
+* **bounded buffering** — finished spans land in a fixed-size ring
+  buffer (:data:`SPAN_BUFFER_CAP`); overflow drops the *oldest* span
+  and counts the loss instead of growing without bound. Worker
+  processes :func:`drain` their buffer after every task and ship the
+  spans back with the result, so a worker crash can never lose more
+  than the crashing task's own spans.
+* **JSON-lines sink** — a configured sink file receives each span as
+  one JSON line the moment it finishes (flushed), so a killed parent
+  still leaves every completed span on disk for
+  ``freqywm trace report``.
+
+Enablement comes from ``FREQYWM_TELEMETRY`` (a comma list out of
+``spans``, ``metrics``, ``profile``) or an explicit
+:func:`configure_telemetry` call; see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+#: Environment variable naming the enabled telemetry features.
+TELEMETRY_ENV = "FREQYWM_TELEMETRY"
+
+#: The features ``FREQYWM_TELEMETRY`` may name.
+TELEMETRY_FEATURES = ("spans", "metrics", "profile")
+
+#: Finished spans kept in the in-memory ring buffer before the oldest
+#: is dropped (and counted). Sized for the largest realistic burst one
+#: drain interval produces — an experiment level is hundreds of tasks,
+#: not thousands of spans per task.
+SPAN_BUFFER_CAP = 4096
+
+#: A propagated trace context: ``(trace_id, parent_span_id)``.
+TraceContext = Tuple[str, str]
+
+
+def parse_telemetry(value: Optional[str]) -> frozenset:
+    """Parse a ``FREQYWM_TELEMETRY``-style comma list into a feature set.
+
+    ``None``/empty/``"off"`` mean no telemetry; ``"all"`` enables every
+    feature; unknown names raise :class:`ConfigurationError` so a typo
+    cannot silently disable the instrumentation someone asked for.
+    """
+    if value is None:
+        return frozenset()
+    names = [name.strip().lower() for name in value.split(",") if name.strip()]
+    if not names or names == ["off"]:
+        return frozenset()
+    if "all" in names:
+        return frozenset(TELEMETRY_FEATURES)
+    unknown = sorted(set(names) - set(TELEMETRY_FEATURES))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown telemetry feature(s) {unknown} "
+            f"(valid: {', '.join(TELEMETRY_FEATURES)}, or 'all'/'off')"
+        )
+    return frozenset(names)
+
+
+_FEATURES: frozenset = frozenset()
+_ENV_LOADED = False
+
+
+def configure_telemetry(features: Union[str, Iterable[str], None]) -> frozenset:
+    """Set the enabled telemetry features for this process explicitly.
+
+    Accepts a comma string (CLI/policy form) or an iterable of feature
+    names; returns the resulting feature set. Passing ``None`` disables
+    everything. Overrides whatever the environment said.
+    """
+    global _FEATURES, _ENV_LOADED
+    if features is None or isinstance(features, str):
+        parsed = parse_telemetry(features)
+    else:
+        parsed = parse_telemetry(",".join(features))
+    _FEATURES = parsed
+    _ENV_LOADED = True
+    return _FEATURES
+
+
+def enabled_features() -> frozenset:
+    """The enabled telemetry features (environment read once, lazily)."""
+    global _ENV_LOADED, _FEATURES
+    if not _ENV_LOADED:
+        _FEATURES = parse_telemetry(os.environ.get(TELEMETRY_ENV))
+        _ENV_LOADED = True
+    return _FEATURES
+
+
+def spans_active() -> bool:
+    """Whether span recording is enabled in this process."""
+    return "spans" in enabled_features()
+
+
+def metrics_active() -> bool:
+    """Whether the metrics registry is enabled in this process."""
+    return "metrics" in enabled_features()
+
+
+def profile_active() -> bool:
+    """Whether the slow-task profiler is enabled in this process."""
+    return "profile" in enabled_features()
+
+
+def _new_id(nbytes: int) -> str:
+    """A random lowercase-hex identifier of ``2 * nbytes`` characters."""
+    return uuid.uuid4().hex[: 2 * nbytes]
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set_attribute(self, _name: str, _value: object) -> None:
+        """Ignore the attribute (tracing is off)."""
+
+    @property
+    def context(self) -> None:
+        """No context to propagate (tracing is off)."""
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class ActiveSpan:
+    """One in-flight span: mutable attributes until the block exits."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "attrs", "_start", "_wall")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        attrs: Dict[str, object],
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self._start = time.perf_counter()
+        self._wall = time.time()
+
+    def set_attribute(self, name: str, value: object) -> None:
+        """Attach one structured attribute to the span."""
+        self.attrs[name] = value
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's ``(trace_id, span_id)`` — inject it into children."""
+        return (self.trace_id, self.span_id)
+
+    def finish(self, status: str) -> Dict[str, object]:
+        """The finished span as its JSON-serialisable dict form."""
+        record: Dict[str, object] = {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": round(self._wall, 6),
+            "duration": round(time.perf_counter() - self._start, 9),
+            "status": status,
+            "pid": os.getpid(),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Tracer:
+    """Process-local span recorder with a ring buffer and optional sink.
+
+    One instance per process (module singleton via :func:`tracer`);
+    fork-started pool workers detect the pid change and reset inherited
+    buffer/sink state so a child never re-emits its parent's spans.
+    """
+
+    def __init__(self) -> None:
+        self._buffer: List[Dict[str, object]] = []
+        self.dropped = 0
+        self._sink_path: Optional[str] = None
+        self._sink_file: Optional[IO[str]] = None
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+
+    # -------------------------------------------------------------- #
+    # Recording
+    # -------------------------------------------------------------- #
+
+    def _check_pid(self) -> None:
+        """Reset state inherited across a fork (child ≠ recording parent)."""
+        if self._pid != os.getpid():
+            self._buffer = []
+            self.dropped = 0
+            self._sink_path = None
+            self._sink_file = None
+            self._pid = os.getpid()
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[TraceContext] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> Iterator[Union[ActiveSpan, _NoopSpan]]:
+        """Record one span around the enclosed block.
+
+        With spans disabled *and* no explicit ``parent``, this is a
+        no-op (one shared inert object, nothing allocated). An explicit
+        ``parent`` — a :data:`TraceContext` shipped from another process
+        — forces recording even in a process that never enabled
+        telemetry itself: the dispatching parent asked for this trace,
+        so the worker records and ships the span back.
+
+        The block's exception (if any) marks the span ``status:
+        "error"`` with the exception type attached, then propagates.
+        """
+        if parent is None and not spans_active():
+            yield _NOOP_SPAN
+            return
+        self._check_pid()
+        current = _CURRENT.get()
+        if parent is not None:
+            trace_id, parent_id = parent
+        elif current is not None:
+            trace_id, parent_id = current
+        else:
+            trace_id, parent_id = _new_id(16), None  # new root trace
+        active = ActiveSpan(
+            trace_id, _new_id(8), parent_id, name, dict(attributes or ())
+        )
+        token = _CURRENT.set(active.context)
+        status = "ok"
+        try:
+            yield active
+        except BaseException as error:
+            status = "error"
+            active.attrs.setdefault("error_type", type(error).__name__)
+            raise
+        finally:
+            _CURRENT.reset(token)
+            self._record(active.finish(status))
+
+    def _record(self, record: Dict[str, object]) -> None:
+        """Buffer one finished span (bounded) and append it to the sink.
+
+        Lock-guarded: the remote scheduler's per-worker client threads
+        ingest shipped spans concurrently, and sink lines must never
+        interleave mid-record.
+        """
+        with self._lock:
+            if len(self._buffer) >= SPAN_BUFFER_CAP:
+                del self._buffer[0]
+                self.dropped += 1
+            self._buffer.append(record)
+            self._write_sink(record)
+
+    # -------------------------------------------------------------- #
+    # Cross-process stitching
+    # -------------------------------------------------------------- #
+
+    def drain(self) -> List[Dict[str, object]]:
+        """Remove and return every buffered span (worker → result line)."""
+        self._check_pid()
+        with self._lock:
+            drained, self._buffer = self._buffer, []
+        return drained
+
+    def ingest(self, spans: Iterable[Dict[str, object]]) -> None:
+        """Adopt spans recorded in another process (result line → parent).
+
+        Ingested spans re-enter this tracer's buffer and sink exactly as
+        if they had finished locally — their ids already stitch them
+        under the dispatching span.
+        """
+        self._check_pid()
+        for record in spans:
+            if isinstance(record, dict):
+                self._record(record)
+
+    # -------------------------------------------------------------- #
+    # Sink
+    # -------------------------------------------------------------- #
+
+    def set_sink(self, path: Union[str, os.PathLike, None]) -> None:
+        """Stream every finished span to ``path`` as JSON lines.
+
+        The file (and its parent directory) is created on first write;
+        ``None`` detaches the sink. Already-buffered spans are flushed
+        to the new sink immediately so a sink attached just after the
+        root span opened still sees the whole trace.
+        """
+        self._check_pid()
+        with self._lock:
+            if self._sink_file is not None:
+                self._sink_file.close()
+                self._sink_file = None
+            self._sink_path = None if path is None else str(path)
+            if self._sink_path is not None:
+                for record in self._buffer:
+                    self._write_sink(record)
+
+    def _write_sink(self, record: Dict[str, object]) -> None:
+        if self._sink_path is None:
+            return
+        if self._sink_file is None:
+            directory = os.path.dirname(self._sink_path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._sink_file = open(self._sink_path, "a", encoding="utf-8")
+        self._sink_file.write(json.dumps(record, default=str, sort_keys=True) + "\n")
+        self._sink_file.flush()
+
+    # -------------------------------------------------------------- #
+    # Introspection / lifecycle
+    # -------------------------------------------------------------- #
+
+    @property
+    def buffered(self) -> int:
+        """Spans currently held in the ring buffer."""
+        return len(self._buffer)
+
+    def reset(self) -> None:
+        """Drop buffered spans, the drop counter, and any sink (tests)."""
+        self.set_sink(None)
+        self._buffer = []
+        self.dropped = 0
+        self._pid = os.getpid()
+
+
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer singleton."""
+    return _TRACER
+
+
+def span(
+    name: str,
+    *,
+    parent: Optional[TraceContext] = None,
+    attributes: Optional[Dict[str, object]] = None,
+):
+    """Record a span on the process-wide tracer (see :meth:`Tracer.span`)."""
+    return _TRACER.span(name, parent=parent, attributes=attributes)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The ambient ``(trace_id, span_id)``, or None outside any span."""
+    return _CURRENT.get()
+
+
+__all__ = [
+    "SPAN_BUFFER_CAP",
+    "TELEMETRY_ENV",
+    "TELEMETRY_FEATURES",
+    "ActiveSpan",
+    "TraceContext",
+    "Tracer",
+    "configure_telemetry",
+    "current_context",
+    "enabled_features",
+    "metrics_active",
+    "parse_telemetry",
+    "profile_active",
+    "span",
+    "spans_active",
+    "tracer",
+]

@@ -33,6 +33,7 @@ from repro.service.wire import (
     EmbedResponse,
     RegisterResponse,
     RevokeResponse,
+    StatsResponse,
     TaskResult,
     WireResponse,
     decode_request,
@@ -46,6 +47,7 @@ _FAILURE_TYPES = {
     "register": RegisterResponse,
     "revoke": RevokeResponse,
     "attribute": AttributeResponse,
+    "stats": StatsResponse,
     "task": TaskResult,
 }
 

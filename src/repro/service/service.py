@@ -48,6 +48,8 @@ from repro.core.secrets import WatermarkSecret
 from repro.core.sharding import ShardedDetectionPool
 from repro.exceptions import ReproError, ServiceError
 from repro.exec.policy import ExecutionPolicy
+from repro.obs.metrics import registry as metrics_registry
+from repro.obs.trace import span as trace_span
 from repro.service.wire import (
     AttributeRequest,
     AttributeResponse,
@@ -58,6 +60,8 @@ from repro.service.wire import (
     RegisterResponse,
     RevokeRequest,
     RevokeResponse,
+    StatsRequest,
+    StatsResponse,
     TaskRequest,
     TaskResult,
     WireRequest,
@@ -148,6 +152,27 @@ class ServiceStats:
         }
 
 
+def _cache_view(cache: DetectorCache) -> Dict[str, object]:
+    """Metrics-view extractor: a detector cache's counter snapshot."""
+    return cache.stats().as_dict()
+
+
+def _vault_view(registry: object) -> Dict[str, object]:
+    """Metrics-view extractor: a vault registry's index statistics."""
+    index_stats = getattr(registry, "index_stats", None)
+    if not callable(index_stats):
+        return {}
+    stats = index_stats()
+    as_dict = getattr(stats, "as_dict", None)
+    if callable(as_dict):
+        return as_dict()
+    return {
+        key: value
+        for key, value in vars(stats).items()
+        if not key.startswith("_")
+    }
+
+
 @dataclass
 class _Pending:
     """One queued request: its dataset, resolved detector, and future."""
@@ -184,6 +209,15 @@ class DetectionService:
         self.config = config or ServiceConfig()
         self.cache = DetectorCache(self.config.cache_capacity)
         self.stats = ServiceStats()
+        # Surface the live counters through the telemetry plane: the
+        # metrics registry keeps only weak references, so a discarded
+        # service silently leaves the snapshot.
+        metrics_registry().register_view("service", self.stats)
+        metrics_registry().register_view(
+            "detector_cache", self.cache, _cache_view
+        )
+        if registry is not None:
+            metrics_registry().register_view("vault", registry, _vault_view)
         # The multi-tenant vault behind the register/revoke/attribute
         # verbs: anything speaking the WatermarkRegistry API (the
         # persistent SecretVault under `serve --vault`, an in-memory
@@ -308,7 +342,9 @@ class DetectionService:
 
     async def submit(self, request: WireRequest) -> WireResponse:
         """Answer one wire request (any verb); failures become failure
-        responses of the matching type."""
+        responses of the matching type. Each answered request is
+        wrapped in a ``service.<verb>`` span when span recording is on
+        (a no-op otherwise)."""
         if isinstance(request, TaskRequest):
             # Scheduler tasks belong to `freqywm worker`
             # (repro.exec.worker); the detection service answers with a
@@ -319,10 +355,37 @@ class DetectionService:
                 "this service serves detection verbs; 'task' lines belong "
                 "to freqywm worker",
             )
+        if isinstance(request, StatsRequest):
+            return self._submit_stats(request)
         if isinstance(request, EmbedRequest):
-            return await self._submit_embed(request)
+            with trace_span("service.embed"):
+                return await self._submit_embed(request)
         if isinstance(request, (RegisterRequest, RevokeRequest, AttributeRequest)):
-            return await self._submit_vault(request)
+            verb = type(request).__name__.replace("Request", "").lower()
+            with trace_span(f"service.{verb}"):
+                return await self._submit_vault(request)
+        with trace_span("service.detect"):
+            return await self._submit_detect(request)
+
+    def _submit_stats(self, request: StatsRequest) -> StatsResponse:
+        """Answer a ``stats`` request with the registry's two expositions."""
+        try:
+            registry = metrics_registry()
+            return StatsResponse(
+                request_id=request.request_id,
+                metrics=registry.snapshot(),
+                prometheus=registry.render_prometheus(),
+            )
+        except Exception as error:  # noqa: BLE001 - wire contract: a failure
+            # response, never an unanswered id.
+            self.stats.failures += 1
+            return StatsResponse.failure(
+                request.request_id,
+                f"internal error: {type(error).__name__}: {error}",
+            )
+
+    async def _submit_detect(self, request: WireRequest) -> WireResponse:
+        """Answer one detect request (the default wire verb)."""
         try:
             pending_input = request.suspect()
             (result, batch_size), cache_hit = await self._enqueue_with_hit(
@@ -401,6 +464,9 @@ class DetectionService:
             from repro.dispute.registry import WatermarkRegistry
 
             self._vault_registry = WatermarkRegistry()
+            metrics_registry().register_view(
+                "vault", self._vault_registry, _vault_view
+            )
         return self._vault_registry
 
     async def _submit_vault(

@@ -1095,6 +1095,41 @@ def _validated_count(payload: Dict[str, object], name: str, request_id: str) -> 
     return value
 
 
+def _validated_trace(
+    payload: Dict[str, object], request_id: str
+) -> Optional[Tuple[str, str]]:
+    """The optional ``trace`` field as a ``(trace_id, parent_id)`` pair."""
+    value = payload.get("trace")
+    if value is None:
+        return None
+    if (
+        not isinstance(value, list)
+        or len(value) != 2
+        or not all(isinstance(item, str) and item for item in value)
+    ):
+        raise ServiceError(
+            f"task request {request_id!r} 'trace' must be a "
+            "[trace_id, parent_span_id] pair of strings"
+        )
+    return (value[0], value[1])
+
+
+def _validated_spans(
+    payload: Dict[str, object], request_id: str
+) -> Tuple[Dict[str, object], ...]:
+    """The optional ``spans`` field as a tuple of span dicts."""
+    value = payload.get("spans")
+    if value is None:
+        return ()
+    if not isinstance(value, list) or not all(
+        isinstance(item, dict) for item in value
+    ):
+        raise ServiceError(
+            f"line {request_id!r} 'spans' must be a list of span objects"
+        )
+    return tuple(value)
+
+
 @dataclass(frozen=True)
 class TaskRequest:
     """One scheduler task on the service wire (``op: "task"``).
@@ -1140,6 +1175,12 @@ class TaskRequest:
     init_frames:
         v4: how many entries after the payload's belong to
         ``init_args`` (0 = inherit the v3 ``init_args`` field).
+    trace:
+        Optional ``(trace_id, parent_span_id)`` telemetry context.
+        A worker receiving it records a span for the task and ships
+        the span back on the result line; peers that predate the field
+        ignore it (fields are only ever *added* within a protocol
+        version, so this stays v4).
     """
 
     request_id: str
@@ -1153,6 +1194,7 @@ class TaskRequest:
     frames: Tuple[int, ...] = ()
     payload_frames: int = 0
     init_frames: int = 0
+    trace: Optional[Tuple[str, str]] = None
 
     def __post_init__(self) -> None:
         if not self.request_id:
@@ -1195,6 +1237,8 @@ class TaskRequest:
             payload["frames"] = list(self.frames)
             payload["payload_frames"] = self.payload_frames
             payload["init_frames"] = self.init_frames
+        if self.trace is not None:
+            payload["trace"] = list(self.trace)
         return payload
 
     @classmethod
@@ -1224,6 +1268,7 @@ class TaskRequest:
             frames=_validated_frames(payload, request_id),
             payload_frames=_validated_count(payload, "payload_frames", request_id),
             init_frames=_validated_count(payload, "init_frames", request_id),
+            trace=_validated_trace(payload, request_id),
         )
 
 
@@ -1236,6 +1281,11 @@ class TaskResult:
     value's pickle-protocol-5 serialisation instead. A failure carries
     the exception's type name and message so the client can re-raise a
     typed error without unpickling arbitrary exception objects.
+
+    ``spans`` carries the telemetry spans the worker recorded for this
+    task when the request asked for a trace (plain JSON objects, no
+    pickling) — the client ingests them into its own tracer so one
+    stitched tree spans both processes.
     """
 
     request_id: str
@@ -1245,6 +1295,7 @@ class TaskResult:
     error_type: Optional[str] = None
     fingerprint: str = ""
     frames: Tuple[int, ...] = ()
+    spans: Tuple[Dict[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.request_id:
@@ -1273,6 +1324,8 @@ class TaskResult:
             payload["fingerprint"] = self.fingerprint
         if self.frames:
             payload["frames"] = list(self.frames)
+        if self.spans:
+            payload["spans"] = list(self.spans)
         return payload
 
     @classmethod
@@ -1290,6 +1343,7 @@ class TaskResult:
                 error_type=str(error_type) if error_type is not None else None,
                 fingerprint=str(payload.get("fingerprint", "")),
                 frames=_validated_frames(payload, request_id),
+                spans=_validated_spans(payload, request_id),
             )
         result = payload.get("result")
         if result is not None and not isinstance(result, str):
@@ -1302,6 +1356,7 @@ class TaskResult:
             result=result,
             fingerprint=str(payload.get("fingerprint", "")),
             frames=_validated_frames(payload, request_id),
+            spans=_validated_spans(payload, request_id),
         )
 
 
@@ -1405,6 +1460,100 @@ class BlobResponse:
         )
 
 
+@dataclass(frozen=True)
+class StatsRequest:
+    """A telemetry snapshot request (``op: "stats"``).
+
+    Asks the service for its metrics registry — counters, gauges,
+    histograms, and the legacy-stats views — in both exposition forms.
+    Carries no arguments beyond the correlation id; the verb is an
+    *additive* v4 extension (older peers answer with an unknown-op
+    error envelope, which clients surface as a typed failure).
+    """
+
+    request_id: str
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("stats request id must be a non-empty string")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload."""
+        return {"op": "stats", "id": self.request_id}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StatsRequest":
+        """Rebuild from :meth:`to_dict` output (validating)."""
+        return cls(request_id=_validated_id(payload, "stats"))
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """The telemetry snapshot answering a :class:`StatsRequest`.
+
+    ``metrics`` is the registry's JSON snapshot
+    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`);
+    ``prometheus`` is the same registry rendered in the Prometheus text
+    exposition format, ready to serve to a scraper.
+    """
+
+    request_id: str
+    ok: bool = True
+    metrics: Dict[str, object] = field(default_factory=dict)
+    prometheus: str = ""
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ServiceError("stats response id must be a non-empty string")
+
+    @classmethod
+    def failure(cls, request_id: str, message: str) -> "StatsResponse":
+        """A failure response carrying only the error message."""
+        return cls(request_id=request_id, ok=False, error=message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload (failure fields omitted on success)."""
+        payload: Dict[str, object] = {
+            "op": "stats",
+            "id": self.request_id,
+            "ok": self.ok,
+        }
+        if self.ok:
+            payload["metrics"] = self.metrics
+            payload["prometheus"] = self.prometheus
+        else:
+            payload["error"] = self.error
+            if self.error_type is not None:
+                payload["error_type"] = self.error_type
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StatsResponse":
+        """Rebuild from :meth:`to_dict` output (validating)."""
+        request_id = _validated_id(payload, "stats")
+        if not payload.get("ok"):
+            error_type = payload.get("error_type")
+            return cls(
+                request_id=request_id,
+                ok=False,
+                error=str(payload.get("error", "unknown error")),
+                error_type=str(error_type) if error_type is not None else None,
+            )
+        metrics = payload.get("metrics", {})
+        if not isinstance(metrics, dict):
+            raise ServiceError(
+                f"stats response {request_id!r} 'metrics' must be an object"
+            )
+        prometheus = payload.get("prometheus", "")
+        if not isinstance(prometheus, str):
+            raise ServiceError(
+                f"stats response {request_id!r} 'prometheus' must be a string"
+            )
+        return cls(request_id=request_id, ok=True, metrics=metrics, prometheus=prometheus)
+
+
 #: Any verb's request / response, as produced by the line decoders. The
 #: blob verbs appear in both unions: ``blob-request`` flows worker→client
 #: (decoded with the responses) and ``blob`` flows client→worker (decoded
@@ -1416,6 +1565,7 @@ WireRequest = Union[
     RevokeRequest,
     AttributeRequest,
     TaskRequest,
+    StatsRequest,
     BlobRequest,
     BlobResponse,
 ]
@@ -1426,6 +1576,7 @@ WireResponse = Union[
     RevokeResponse,
     AttributeResponse,
     TaskResult,
+    StatsResponse,
     BlobRequest,
     BlobResponse,
 ]
@@ -1437,6 +1588,7 @@ _REQUEST_TYPES: Dict[str, type] = {
     "revoke": RevokeRequest,
     "attribute": AttributeRequest,
     "task": TaskRequest,
+    "stats": StatsRequest,
     "blob": BlobResponse,
     "blob-request": BlobRequest,
 }
@@ -1448,6 +1600,7 @@ _RESPONSE_TYPES: Dict[str, type] = {
     "revoke": RevokeResponse,
     "attribute": AttributeResponse,
     "result": TaskResult,
+    "stats": StatsResponse,
     "blob": BlobResponse,
     "blob-request": BlobRequest,
 }
@@ -1537,6 +1690,8 @@ __all__ = [
     "RegisterResponse",
     "RevokeRequest",
     "RevokeResponse",
+    "StatsRequest",
+    "StatsResponse",
     "TaskRequest",
     "TaskResult",
     "WireRequest",

@@ -14,6 +14,19 @@ from repro.core.config import GenerationConfig
 from repro.core.generator import WatermarkGenerator
 from repro.core.histogram import TokenHistogram
 from repro.datasets.synthetic import generate_power_law_histogram, generate_power_law_tokens
+from repro.obs import logging as _obs_logging
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs_logging():
+    """Undo ``repro.obs.logging.configure`` effects between tests.
+
+    Any test that reaches the CLI's ``main`` installs the telemetry
+    plane's handler and stops propagation to the logging root; left in
+    place, that would blind ``caplog`` for every later test.
+    """
+    yield
+    _obs_logging.reset()
 
 
 @pytest.fixture()

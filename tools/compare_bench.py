@@ -7,11 +7,16 @@ and the fresh report as the current run::
 
     python tools/compare_bench.py BASELINE.json CURRENT.json --max-ratio 2.0
 
-The tracked metric is each benchmark's ``seconds`` wall clock. The check
-fails (exit 1) when any benchmark present in both reports got slower
-than ``max-ratio`` times its baseline; benchmarks new in the current
-report are listed informationally, and sub-floor timings (both runs
-under ``--min-seconds``) are ignored as timer noise. The comparison is
+The tracked metric is tail-aware: when *both* reports carry the
+``p95_seconds`` per-iteration latency (written by
+``bench_utils.py --smoke --repeat N``), that is what gets compared —
+a benchmark whose median stayed flat but whose tail doubled is a real
+regression. Older single-shot reports fall back to the ``seconds``
+wall clock (``--metric`` forces either). The check fails (exit 1) when
+any benchmark present in both reports got slower than ``max-ratio``
+times its baseline; benchmarks new in the current report are listed
+informationally, and sub-floor timings (both runs under
+``--min-seconds``) are ignored as timer noise. The comparison is
 **tolerant by design** when no baseline exists — first runs, expired
 caches and renamed artifacts exit 0 with a notice — so the gate can
 never brick a fresh repository.
@@ -29,8 +34,8 @@ from typing import Dict, List
 DEFAULT_MIN_SECONDS = 0.5
 
 
-def load_report(path: Path) -> Dict[str, float]:
-    """Map benchmark name -> seconds from a ``BENCH_smoke.json`` report.
+def report_entries(path: Path) -> List[dict]:
+    """The ``results`` entries of a ``BENCH_smoke.json`` report.
 
     Raises ``ValueError`` for files that exist but are not smoke reports
     (corrupt cache entries must not masquerade as regressions).
@@ -39,10 +44,32 @@ def load_report(path: Path) -> Dict[str, float]:
     results = payload.get("results")
     if not isinstance(results, list):
         raise ValueError(f"{path}: not a smoke report (no results list)")
+    return results
+
+
+def entry_timings(entries: List[dict], metric: str) -> Dict[str, float]:
+    """Map benchmark name -> the chosen latency metric.
+
+    Entries missing the metric (older reports) fall back to ``seconds``
+    so a forced ``--metric p95_seconds`` still compares something real.
+    """
     timings: Dict[str, float] = {}
-    for entry in results:
-        timings[str(entry["benchmark"])] = float(entry["seconds"])
+    for entry in entries:
+        value = entry.get(metric, entry["seconds"])
+        timings[str(entry["benchmark"])] = float(value)
     return timings
+
+
+def select_metric(baseline: List[dict], current: List[dict]) -> str:
+    """``p95_seconds`` when every entry on both sides has it, else ``seconds``."""
+    if all("p95_seconds" in entry for entry in baseline + current):
+        return "p95_seconds"
+    return "seconds"
+
+
+def load_report(path: Path, metric: str = "seconds") -> Dict[str, float]:
+    """Map benchmark name -> ``metric`` from a ``BENCH_smoke.json`` report."""
+    return entry_timings(report_entries(path), metric)
 
 
 def compare(
@@ -86,17 +113,31 @@ def main(argv=None) -> int:
         default=DEFAULT_MIN_SECONDS,
         help="ignore benchmarks where both runs are under this wall clock",
     )
+    parser.add_argument(
+        "--metric",
+        choices=("auto", "seconds", "p95_seconds"),
+        default="auto",
+        help=(
+            "latency metric to compare (auto: p95_seconds when both "
+            "reports carry it, else seconds)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}: skipping regression check")
         return 0
     try:
-        baseline = load_report(args.baseline)
+        baseline_entries = report_entries(args.baseline)
     except (ValueError, KeyError, json.JSONDecodeError) as error:
         print(f"unreadable baseline ({error}): skipping regression check")
         return 0
-    current = load_report(args.current)
+    current_entries = report_entries(args.current)
+    metric = args.metric
+    if metric == "auto":
+        metric = select_metric(baseline_entries, current_entries)
+    baseline = entry_timings(baseline_entries, metric)
+    current = entry_timings(current_entries, metric)
 
     fresh = sorted(set(current) - set(baseline))
     if fresh:
@@ -110,7 +151,10 @@ def main(argv=None) -> int:
         print(f"{len(regressions)} benchmark regression(s)", file=sys.stderr)
         return 1
     shared = len(set(current) & set(baseline))
-    print(f"no regressions across {shared} benchmark(s) (max {args.max_ratio:.1f}x)")
+    print(
+        f"no regressions across {shared} benchmark(s) "
+        f"(metric {metric}, max {args.max_ratio:.1f}x)"
+    )
     return 0
 
 

@@ -22,6 +22,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import subprocess
 import sys
 import tempfile
@@ -67,8 +68,19 @@ def run_backend(spec, run_dir: Path, policy: ExecutionPolicy, label: str):
         f"  {label}: {result.executed_total} executed, "
         f"{result.cached_total} cached, {result.seconds:.2f}s "
         f"({result.workers} worker(s), {result.bytes_sent} bytes sent, "
-        f"{result.bytes_deduped} deduped)"
+        f"{result.bytes_deduped} deduped, {result.shm_segments} shm segment(s))"
     )
+    telemetry_path = Path(run_dir) / "telemetry.json"
+    if telemetry_path.exists():
+        # Present only when FREQYWM_TELEMETRY was on for this process;
+        # surfacing it here lets the CI telemetry job reuse this harness.
+        telemetry = json.loads(telemetry_path.read_text(encoding="utf-8"))
+        spans = telemetry.get("spans", {})
+        print(
+            f"    telemetry: features={','.join(telemetry.get('features', []))} "
+            f"spans_buffered={spans.get('buffered', 0)} "
+            f"dropped={spans.get('dropped', 0)} ({telemetry_path})"
+        )
     return result, json_path.read_bytes(), md_path.read_bytes()
 
 
